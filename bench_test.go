@@ -1,0 +1,316 @@
+// Benchmarks regenerating the paper's evaluation, one per figure or
+// reported experiment (see EXPERIMENTS.md for the mapping), plus
+// ablations and micro-benchmarks of the hot paths.
+//
+// The figure benches run the actual emulation sweeps in virtual time;
+// each iteration regenerates the full series. Reported metrics:
+// median convergence seconds at 0% and 100% SDN deployment and the
+// linear-fit slope. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/bgp/rib"
+	"repro/internal/bgp/wire"
+	"repro/internal/figures"
+	"repro/internal/idr"
+	"repro/internal/sdn"
+	"repro/internal/sdn/ofp"
+)
+
+// benchTimers are the paper-faithful protocol timers (MRAI 30s with
+// jitter) — the sweeps below keep them and reduce only the number of
+// runs per point, so virtual-time results match the full evaluation.
+func benchTimers() bgp.Timers { return bgp.DefaultTimers() }
+
+func reportSweep(b *testing.B, points []figures.Point) {
+	b.Helper()
+	first, last := points[0].Summary, points[len(points)-1].Summary
+	b.ReportMetric(first.Median, "s-pure-median")
+	b.ReportMetric(last.Median, "s-full-median")
+	_, slope, r2 := figures.LinearFit(points)
+	b.ReportMetric(slope, "s-per-fraction-slope")
+	b.ReportMetric(r2, "fit-r2")
+}
+
+// BenchmarkFig2Withdrawal regenerates Figure 2: withdrawal convergence
+// on a 16-AS clique versus SDN deployment fraction.
+func BenchmarkFig2Withdrawal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := figures.RunSweep(figures.SweepConfig{
+			Kind:       figures.Withdrawal,
+			CliqueSize: 16,
+			SDNCounts:  []int{0, 4, 8, 12, 16},
+			Runs:       3,
+			BaseSeed:   1,
+			Timers:     benchTimers(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSweep(b, points)
+		}
+	}
+}
+
+// BenchmarkAnnouncement regenerates the §4 announcement experiment.
+func BenchmarkAnnouncement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := figures.RunSweep(figures.SweepConfig{
+			Kind:       figures.Announcement,
+			CliqueSize: 16,
+			SDNCounts:  []int{0, 4, 8, 12, 16},
+			Runs:       3,
+			BaseSeed:   1,
+			Timers:     benchTimers(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSweep(b, points)
+		}
+	}
+}
+
+// BenchmarkFailover regenerates the §4 route fail-over experiment
+// (dual-homed stub origin losing its primary attachment).
+func BenchmarkFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := figures.RunSweep(figures.SweepConfig{
+			Kind:       figures.Failover,
+			CliqueSize: 16,
+			SDNCounts:  []int{0, 4, 8, 12, 16},
+			Runs:       3,
+			BaseSeed:   1,
+			Timers:     benchTimers(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSweep(b, points)
+		}
+	}
+}
+
+// BenchmarkMRAISweep is the ablation behind the withdrawal dynamics:
+// pure-BGP Tdown scales with the advertisement interval.
+func BenchmarkMRAISweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := figures.MRAISweep(8, 2,
+			[]time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(points[0].Summary.Median, "s-mrai5")
+			b.ReportMetric(points[len(points)-1].Summary.Median, "s-mrai30")
+		}
+	}
+}
+
+// BenchmarkCliqueSizeSweep: path exploration grows with mesh size.
+func BenchmarkCliqueSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := figures.CliqueSizeSweep([]int{4, 8, 12, 16}, 2, benchTimers(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(points[0].Summary.Median, "s-n4")
+			b.ReportMetric(points[len(points)-1].Summary.Median, "s-n16")
+		}
+	}
+}
+
+// BenchmarkDebounceAblation measures the delayed-recomputation design
+// insight: recomputation batches versus added convergence latency.
+func BenchmarkDebounceAblation(b *testing.B) {
+	timers := benchTimers()
+	timers.MRAI = 10 * time.Second
+	for i := 0; i < b.N; i++ {
+		points, err := figures.DebounceAblation(8, 4, 2,
+			[]time.Duration{-1, time.Second}, timers, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(points[0].Recomputes, "recomputes-nodebounce")
+			b.ReportMetric(points[1].Recomputes, "recomputes-1s")
+		}
+	}
+}
+
+// BenchmarkPathExploration counts routing churn (Oliveira et al. [13])
+// with and without the cluster.
+func BenchmarkPathExploration(b *testing.B) {
+	timers := benchTimers()
+	timers.MRAI = 10 * time.Second
+	for i := 0; i < b.N; i++ {
+		points, err := figures.PathExplorationSweep(8, []int{0, 6}, timers, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(points[0].BestChanges), "changes-pure")
+			b.ReportMetric(float64(points[1].BestChanges), "changes-sdn")
+		}
+	}
+}
+
+// BenchmarkSubCluster exercises the disjoint sub-cluster design goal.
+func BenchmarkSubCluster(b *testing.B) {
+	timers := benchTimers()
+	timers.MRAI = 5 * time.Second
+	for i := 0; i < b.N; i++ {
+		res, err := figures.SubClusterExperiment(timers, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ReachableAfterSplit {
+			b.Fatal("sub-clusters isolated")
+		}
+		if i == 0 {
+			b.ReportMetric(res.ReconvergenceTime.Seconds(), "s-reconvergence")
+		}
+	}
+}
+
+// BenchmarkFlapStability compares the flap-containment mechanisms:
+// plain BGP vs RFC 2439 damping vs the controller's debounce.
+func BenchmarkFlapStability(b *testing.B) {
+	timers := benchTimers()
+	timers.MRAI = 10 * time.Second
+	for i := 0; i < b.N; i++ {
+		points, err := figures.FlapStabilityAblation(8, 6, 20*time.Second, timers, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.ReportMetric(float64(p.Updates), "updates-"+p.Mode)
+			}
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkWireMarshalUpdate(b *testing.B) {
+	u := wire.Update{
+		Attrs: wire.PathAttrs{
+			Origin:  wire.OriginIGP,
+			ASPath:  wire.NewASPath(1, 2, 3, 4, 5),
+			NextHop: netip.MustParseAddr("100.64.0.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.0.1.0/24")},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Marshal(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireUnmarshalUpdate(b *testing.B) {
+	u := wire.Update{
+		Attrs: wire.PathAttrs{
+			Origin:  wire.OriginIGP,
+			ASPath:  wire.NewASPath(1, 2, 3, 4, 5),
+			NextHop: netip.MustParseAddr("100.64.0.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.0.1.0/24")},
+	}
+	frame, err := wire.Marshal(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRIBDecision(b *testing.B) {
+	tbl := rib.NewTable()
+	prefix := netip.MustParsePrefix("10.0.1.0/24")
+	for i := 0; i < 16; i++ {
+		tbl.SetAdjIn(&rib.Route{
+			Prefix:  prefix,
+			Peer:    rib.PeerKey(string(rune('a' + i))),
+			PeerASN: idr.ASN(i + 2),
+			PeerID:  idr.RouterIDFromAddr(netip.AddrFrom4([4]byte{172, 16, 0, byte(i + 2)})),
+			Attrs: wire.PathAttrs{
+				ASPath:  wire.NewASPath(idr.ASN(i+2), 1),
+				NextHop: netip.AddrFrom4([4]byte{100, 64, 0, byte(i + 2)}),
+			},
+		})
+	}
+	update := &rib.Route{
+		Prefix: prefix, Peer: "z", PeerASN: 99,
+		PeerID: idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.99")),
+		Attrs:  wire.PathAttrs{ASPath: wire.NewASPath(99, 1), NextHop: netip.MustParseAddr("100.64.0.99")},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.SetAdjIn(update)
+	}
+}
+
+func BenchmarkFlowTableLookup(b *testing.B) {
+	tbl := sdn.NewFlowTable()
+	for i := 0; i < 256; i++ {
+		tbl.Upsert(sdn.FlowEntry{
+			Match:   netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16),
+			OutPort: uint32(i),
+		})
+	}
+	addr := netip.MustParseAddr("10.128.7.9")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Lookup(addr); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+func BenchmarkOFPFlowModRoundTrip(b *testing.B) {
+	fm := ofp.FlowMod{
+		Command: ofp.FlowAdd, Priority: 100,
+		Match: netip.MustParsePrefix("10.0.1.0/24"), OutPort: 3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame, err := ofp.Marshal(fm, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ofp.Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleRun measures one full 16-clique withdrawal emulation
+// (establishment, announcement convergence, withdrawal convergence) —
+// the unit of work behind every figure point.
+func BenchmarkSingleRun(b *testing.B) {
+	cfg := figures.SweepConfig{Kind: figures.Withdrawal, Timers: benchTimers()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.RunOnce(cfg, 8, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command bgpsdnlab runs a hybrid BGP-SDN emulation scenario script:
+// the framework's experiment-lifecycle front end (see package
+// scenario for the script language).
+//
+// Usage:
+//
+//	bgpsdnlab -f scenario.lab
+//	bgpsdnlab < scenario.lab
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	file := flag.String("f", "", "scenario script (default: stdin)")
+	flag.Parse()
+
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	script, err := scenario.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	runner := scenario.NewRunner(os.Stdout)
+	if err := runner.Run(script); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgpsdnlab:", err)
+	os.Exit(1)
+}

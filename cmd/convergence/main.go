@@ -1,0 +1,146 @@
+// Command convergence regenerates the paper's evaluation series (see
+// EXPERIMENTS.md): Figure 2's withdrawal sweep, the §4 announcement
+// and fail-over experiments, and the repository's ablations.
+//
+// Usage:
+//
+//	convergence -exp fig2                     # the paper's Figure 2
+//	convergence -exp announce -runs 5
+//	convergence -exp failover -clique 8
+//	convergence -exp mrai|size|debounce|subcluster|exploration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/figures"
+	"repro/internal/plot"
+)
+
+func main() {
+	exp := flag.String("exp", "fig2", "fig2|announce|failover|mrai|size|debounce|subcluster|exploration|flap")
+	clique := flag.Int("clique", 16, "clique size")
+	runs := flag.Int("runs", 10, "runs per point (the paper's boxplots use 10)")
+	seed := flag.Int64("seed", 1, "base seed")
+	mrai := flag.Duration("mrai", 30*time.Second, "BGP MinRouteAdvertisementInterval")
+	debounce := flag.Duration("debounce", 100*time.Millisecond, "controller recomputation delay")
+	svg := flag.String("svg", "", "also render the sweep as an SVG boxplot to this file")
+	flag.Parse()
+
+	timers := bgp.DefaultTimers()
+	timers.MRAI = *mrai
+
+	sweep := func(kind figures.Kind) {
+		cfg := figures.SweepConfig{
+			Kind:       kind,
+			CliqueSize: *clique,
+			Runs:       *runs,
+			BaseSeed:   *seed,
+			Timers:     timers,
+			Debounce:   *debounce,
+		}
+		points, err := figures.RunSweep(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := figures.WriteTable(os.Stdout, kind, *clique, points); err != nil {
+			fatal(err)
+		}
+		a, b, r2 := figures.LinearFit(points)
+		fmt.Printf("# linear fit: t = %.1fs %+.1fs*fraction (r2=%.3f)\n", a, b, r2)
+		if *svg != "" {
+			boxes := make([]plot.Box, len(points))
+			for i, p := range points {
+				boxes[i] = plot.Box{
+					Label:   fmt.Sprintf("%.0f%%", 100*p.Fraction),
+					Summary: p.Summary,
+				}
+			}
+			f, err := os.Create(*svg)
+			if err != nil {
+				fatal(err)
+			}
+			cfg := plot.BoxplotConfig{
+				Title:  fmt.Sprintf("%s convergence on a %d-AS clique", kind, *clique),
+				XLabel: "fraction of ASes with centralized route control",
+				YLabel: "convergence time (s)",
+			}
+			if err := plot.WriteBoxplot(f, cfg, boxes); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# boxplot written to %s\n", *svg)
+		}
+	}
+
+	switch *exp {
+	case "fig2":
+		sweep(figures.Withdrawal)
+	case "announce":
+		sweep(figures.Announcement)
+	case "failover":
+		sweep(figures.Failover)
+	case "mrai":
+		points, err := figures.MRAISweep(*clique, *runs, nil, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := figures.WriteMRAITable(os.Stdout, points); err != nil {
+			fatal(err)
+		}
+	case "size":
+		points, err := figures.CliqueSizeSweep(nil, *runs, timers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := figures.WriteSizeTable(os.Stdout, points); err != nil {
+			fatal(err)
+		}
+	case "debounce":
+		points, err := figures.DebounceAblation(*clique, *clique/2, *runs, nil, timers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := figures.WriteDebounceTable(os.Stdout, points); err != nil {
+			fatal(err)
+		}
+	case "subcluster":
+		res, err := figures.SubClusterExperiment(timers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reachable before split: %v\n", res.ReachableBeforeSplit)
+		fmt.Printf("reachable after split:  %v (over legacy paths)\n", res.ReachableAfterSplit)
+		fmt.Printf("re-convergence:         %.3fs\n", res.ReconvergenceTime.Seconds())
+	case "flap":
+		points, err := figures.FlapStabilityAblation(*clique, 6, 20*time.Second, timers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := figures.WriteFlapTable(os.Stdout, points); err != nil {
+			fatal(err)
+		}
+	case "exploration":
+		points, err := figures.PathExplorationSweep(*clique, nil, timers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s %12s %10s\n", "sdn_k", "best_changes", "updates")
+		for _, p := range points {
+			fmt.Printf("%-8d %12d %10d\n", p.SDNCount, p.BestChanges, p.Updates)
+		}
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "convergence:", err)
+	os.Exit(1)
+}

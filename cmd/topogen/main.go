@@ -1,0 +1,86 @@
+// Command topogen generates AS-level topologies in the framework's
+// supported dataset formats: CAIDA AS relationships, iPlane inter-PoP
+// links, and Graphviz DOT.
+//
+// Usage:
+//
+//	topogen -kind clique -n 16 -format dot
+//	topogen -kind internet -n 200 -seed 7 -format caida > as-rel.txt
+//	topogen -kind internet -n 50 -format iplane -pops 3 > pops.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	kind := flag.String("kind", "clique", "clique|line|ring|star|tree|grid|er|ba|internet")
+	n := flag.Int("n", 16, "number of ASes (for grid: width)")
+	h := flag.Int("h", 4, "grid height")
+	fanout := flag.Int("fanout", 2, "tree fanout")
+	p := flag.Float64("p", 0.3, "Erdős–Rényi edge probability")
+	m := flag.Int("m", 2, "Barabási–Albert attachment count")
+	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "dot", "dot|caida|iplane")
+	pops := flag.Int("pops", 3, "max PoPs per AS (iplane format)")
+	labels := flag.Bool("labels", false, "relationship labels in DOT output")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := generate(*kind, *n, *h, *fanout, *p, *m, rng)
+	if err != nil {
+		fatal(err)
+	}
+	switch *format {
+	case "dot":
+		err = topology.WriteDOT(os.Stdout, g, topology.DOTOptions{EdgeLabels: *labels})
+	case "caida":
+		err = topology.WriteCAIDA(os.Stdout, g)
+	case "iplane":
+		var links []topology.PoPLink
+		links, err = topology.SynthesizeIPlane(g, *pops, rng)
+		if err == nil {
+			err = topology.WriteIPlane(os.Stdout, links)
+		}
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func generate(kind string, n, h, fanout int, p float64, m int, rng *rand.Rand) (*topology.Graph, error) {
+	switch kind {
+	case "clique":
+		return topology.Clique(n)
+	case "line":
+		return topology.Line(n)
+	case "ring":
+		return topology.Ring(n)
+	case "star":
+		return topology.Star(n)
+	case "tree":
+		return topology.Tree(n, fanout)
+	case "grid":
+		return topology.Grid(n, h)
+	case "er":
+		return topology.ErdosRenyi(n, p, rng)
+	case "ba":
+		return topology.BarabasiAlbert(n, m, rng)
+	case "internet":
+		return topology.SynthesizeInternetLike(topology.InternetLikeConfig{ASes: n}, rng)
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

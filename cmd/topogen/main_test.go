@@ -1,0 +1,26 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kinds := []string{"clique", "line", "ring", "star", "tree", "grid", "er", "ba", "internet"}
+	for _, kind := range kinds {
+		g, err := generate(kind, 12, 3, 2, 0.5, 2, rng)
+		if err != nil {
+			t.Fatalf("generate(%s): %v", kind, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("generate(%s): empty graph", kind)
+		}
+		if !g.Connected() {
+			t.Fatalf("generate(%s): disconnected", kind)
+		}
+	}
+	if _, err := generate("mobius", 10, 1, 1, 0.5, 2, rng); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}

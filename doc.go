@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Evaluating the
+// Effect of Centralization on Routing Convergence on a Hybrid BGP-SDN
+// Emulation Framework" (Gämperli, Kotronis, Dimitropoulos; SIGCOMM
+// 2014 demo, arXiv:1611.03113).
+//
+// The library lives under internal/: a deterministic discrete-event
+// network emulator (sim, netem), a BGP-4 implementation (bgp,
+// bgp/wire, bgp/rib, policy), the SDN cluster substrate (sdn, sdn/ofp,
+// speaker) and the paper's IDR controller (core), plus topology
+// generation and dataset formats (topology, addressing), measurement
+// tooling (monitor, collector, stats), experiment orchestration
+// (experiment, scenario) and the evaluation harness (figures).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured results. The root-level
+// benchmarks (bench_test.go) regenerate every figure and table.
+package repro

@@ -1,0 +1,414 @@
+// Package bgp implements a BGP-4 speaker: session FSM (RFC 4271 §8),
+// update processing, decision process integration, MRAI-paced route
+// advertisement and policy hooks. One Router instance is the
+// framework's stand-in for one Quagga bgpd process; in the paper's
+// model each AS runs exactly one of them.
+//
+// The implementation is single-threaded on a sim.Clock executor: all
+// entry points (Deliver, TransportUp/Down, Announce, ...) must be
+// called from clock events, which the emulator guarantees.
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/bgp/rib"
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// State is the BGP session state (RFC 4271 §8.2.2). The framework's
+// transport is message-based, so the TCP-level Connect/Active states
+// collapse into Idle.
+type State int
+
+// Session states.
+const (
+	StateIdle State = iota
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Timers collects the protocol timers. Zero values select defaults.
+type Timers struct {
+	// HoldTime proposed in OPEN (default 90s). The negotiated value is
+	// min(local, remote).
+	HoldTime time.Duration
+	// KeepaliveFraction divides the negotiated hold time to obtain the
+	// keepalive interval (default 3, i.e. hold/3).
+	KeepaliveFraction int
+	// ConnectRetry delays session re-establishment after a reset
+	// (default 5s).
+	ConnectRetry time.Duration
+	// MRAI is the MinRouteAdvertisementInterval on a per-peer basis
+	// (default 30s, the classic eBGP default that drives BGP's slow
+	// path exploration). Like Quagga's advertisement-interval — the
+	// BGP implementation the paper's framework runs — it paces the
+	// peer's whole update emission: announcements and withdrawals
+	// leave in one batch per interval. Set WithdrawalsImmediate for
+	// the strict RFC 4271 reading that exempts explicit withdrawals.
+	MRAI time.Duration
+	// WithdrawalsImmediate sends explicit withdrawals outside the
+	// MRAI batch (not Quagga's behaviour; kept for ablations).
+	WithdrawalsImmediate bool
+	// MRAIJitter, when true (the default via DefaultTimers), samples
+	// each interval uniformly from [0.75, 1.0) * MRAI as RFC 4271
+	// §9.2.2.3 recommends; this is what spreads convergence times
+	// across runs.
+	MRAIJitter bool
+}
+
+// DefaultTimers returns the framework defaults (Quagga-like).
+func DefaultTimers() Timers {
+	return Timers{
+		HoldTime:          90 * time.Second,
+		KeepaliveFraction: 3,
+		ConnectRetry:      5 * time.Second,
+		MRAI:              30 * time.Second,
+		MRAIJitter:        true,
+	}
+}
+
+func (t *Timers) setDefaults() {
+	d := DefaultTimers()
+	if t.HoldTime == 0 {
+		t.HoldTime = d.HoldTime
+	}
+	if t.KeepaliveFraction == 0 {
+		t.KeepaliveFraction = d.KeepaliveFraction
+	}
+	if t.ConnectRetry == 0 {
+		t.ConnectRetry = d.ConnectRetry
+	}
+	if t.MRAI == 0 {
+		t.MRAI = d.MRAI
+	}
+}
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceState TraceKind = iota // session state change
+	TraceSend                   // message sent
+	TraceRecv                   // message received
+	TraceBest                   // Loc-RIB change
+)
+
+// TraceEvent is one observable router event, consumed by the
+// framework's log-analysis and convergence tools.
+type TraceEvent struct {
+	Time   time.Time
+	Router idr.ASN
+	Kind   TraceKind
+	Peer   rib.PeerKey
+	State  State        // TraceState
+	Msg    wire.Message // TraceSend/TraceRecv
+	Change *rib.Change  // TraceBest
+}
+
+// Stats counts router activity for the analysis tools.
+type Stats struct {
+	UpdatesSent, UpdatesReceived         uint64
+	PrefixesAnnounced, PrefixesWithdrawn uint64 // counted on send
+	OpensSent, NotificationsSent         uint64
+	KeepalivesSent                       uint64
+	SessionResets                        uint64
+}
+
+// Config configures a Router.
+type Config struct {
+	ASN      idr.ASN
+	RouterID idr.RouterID
+	Clock    sim.Clock
+	// Rand drives MRAI jitter; required when Timers.MRAIJitter is set.
+	Rand   *rand.Rand
+	Policy policy.Policy // default policy.PermitAll{}
+	Timers Timers
+	// Trace, when non-nil, receives every TraceEvent.
+	Trace func(TraceEvent)
+	// Damping, when non-nil, enables RFC 2439 route-flap damping on
+	// received routes.
+	Damping *DampingConfig
+	// ProcessingDelay models the router's per-UPDATE processing cost
+	// (real BGP daemons spend milliseconds per update; Mininet-style
+	// emulations share one CPU across all routers). Inbound messages
+	// are serialised through a single work queue; each UPDATE costs a
+	// jittered (+-50%) ProcessingDelay, other messages are free. Zero
+	// disables the model.
+	ProcessingDelay time.Duration
+}
+
+// Router is one BGP speaker.
+type Router struct {
+	cfg    Config
+	table  *rib.Table
+	adjOut *rib.AdjOut
+	peers  map[rib.PeerKey]*Peer
+	// originated remembers locally-announced prefixes.
+	originated map[netip.Prefix]wire.PathAttrs
+	stats      Stats
+	// busyUntil serialises the processing-delay work queue.
+	busyUntil time.Time
+	// damping is nil unless Config.Damping is set.
+	damping *damping
+}
+
+// New validates cfg and returns a Router.
+func New(cfg Config) (*Router, error) {
+	if cfg.ASN == 0 {
+		return nil, fmt.Errorf("bgp: config needs an ASN")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("bgp: config needs a clock")
+	}
+	cfg.Timers.setDefaults()
+	if cfg.Timers.MRAIJitter && cfg.Rand == nil {
+		return nil, fmt.Errorf("bgp: MRAI jitter needs a random source")
+	}
+	if cfg.ProcessingDelay < 0 {
+		return nil, fmt.Errorf("bgp: negative processing delay")
+	}
+	if cfg.ProcessingDelay > 0 && cfg.Rand == nil {
+		return nil, fmt.Errorf("bgp: processing delay needs a random source")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.PermitAll{}
+	}
+	r := &Router{
+		cfg:        cfg,
+		table:      rib.NewTable(),
+		adjOut:     rib.NewAdjOut(),
+		peers:      make(map[rib.PeerKey]*Peer),
+		originated: make(map[netip.Prefix]wire.PathAttrs),
+	}
+	if cfg.Damping != nil {
+		r.damping = newDamping(*cfg.Damping, r)
+	}
+	return r, nil
+}
+
+// ASN returns the router's AS number.
+func (r *Router) ASN() idr.ASN { return r.cfg.ASN }
+
+// RouterID returns the router's BGP identifier.
+func (r *Router) RouterID() idr.RouterID { return r.cfg.RouterID }
+
+// Table exposes the RIBs (read-only use by monitors).
+func (r *Router) Table() *rib.Table { return r.table }
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+func (r *Router) trace(ev TraceEvent) {
+	if r.cfg.Trace != nil {
+		ev.Time = r.cfg.Clock.Now()
+		ev.Router = r.cfg.ASN
+		r.cfg.Trace(ev)
+	}
+}
+
+// PeerConfig configures one session.
+type PeerConfig struct {
+	// Key must be unique within the router (e.g. "to-AS7").
+	Key rib.PeerKey
+	// RemoteASN is the expected neighbor AS, verified against OPEN.
+	RemoteASN idr.ASN
+	// Neighbor carries the policy-relevant relationship.
+	Neighbor policy.Neighbor
+	// NextHop is the local address announced as NEXT_HOP on this
+	// session.
+	NextHop netip.Addr
+	// Send transmits one wire message to the neighbor. It must be
+	// reliable and in-order while the transport is up.
+	Send func([]byte) error
+}
+
+// AddPeer registers a session. The session stays Idle until
+// TransportUp is called.
+func (r *Router) AddPeer(pc PeerConfig) (*Peer, error) {
+	if pc.Key == "" {
+		return nil, fmt.Errorf("bgp: peer needs a key")
+	}
+	if _, dup := r.peers[pc.Key]; dup {
+		return nil, fmt.Errorf("bgp: duplicate peer %q", pc.Key)
+	}
+	if pc.RemoteASN == 0 {
+		return nil, fmt.Errorf("bgp: peer %q needs a remote ASN", pc.Key)
+	}
+	if pc.Send == nil {
+		return nil, fmt.Errorf("bgp: peer %q needs a send function", pc.Key)
+	}
+	if pc.Neighbor.Key == "" {
+		pc.Neighbor.Key = pc.Key
+	}
+	if pc.Neighbor.ASN == 0 {
+		pc.Neighbor.ASN = pc.RemoteASN
+	}
+	p := &Peer{
+		router:          r,
+		cfg:             pc,
+		state:           StateIdle,
+		pendingAnnounce: make(map[netip.Prefix]wire.PathAttrs),
+		pendingWithdraw: make(map[netip.Prefix]bool),
+	}
+	r.peers[pc.Key] = p
+	return p, nil
+}
+
+// Peer returns the session with the given key.
+func (r *Router) Peer(key rib.PeerKey) (*Peer, bool) {
+	p, ok := r.peers[key]
+	return p, ok
+}
+
+// Peers returns all sessions keyed by peer key.
+func (r *Router) Peers() map[rib.PeerKey]*Peer { return r.peers }
+
+// EstablishedCount returns the number of Established sessions.
+func (r *Router) EstablishedCount() int {
+	n := 0
+	for _, p := range r.peers {
+		if p.state == StateEstablished {
+			n++
+		}
+	}
+	return n
+}
+
+// Announce originates prefix from this router and propagates it.
+func (r *Router) Announce(prefix netip.Prefix) error {
+	if !prefix.Addr().Is4() {
+		return fmt.Errorf("bgp: only IPv4 prefixes supported, got %v", prefix)
+	}
+	attrs := wire.PathAttrs{Origin: wire.OriginIGP}
+	r.originated[prefix] = attrs
+	change := r.table.Originate(prefix, attrs)
+	r.onChange(change)
+	return nil
+}
+
+// Withdraw removes a locally-originated prefix.
+func (r *Router) Withdraw(prefix netip.Prefix) error {
+	if _, ok := r.originated[prefix]; !ok {
+		return fmt.Errorf("bgp: %v was not originated here", prefix)
+	}
+	delete(r.originated, prefix)
+	change := r.table.WithdrawLocal(prefix)
+	r.onChange(change)
+	return nil
+}
+
+// Originated returns the locally-announced prefixes.
+func (r *Router) Originated() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(r.originated))
+	for p := range r.originated {
+		out = append(out, p)
+	}
+	return out
+}
+
+// onChange reacts to one Loc-RIB transition: trace it and schedule
+// updates toward every established peer (in deterministic order, so a
+// seed fully determines a run).
+func (r *Router) onChange(change rib.Change) {
+	if !change.Changed() {
+		return
+	}
+	c := change
+	r.trace(TraceEvent{Kind: TraceBest, Change: &c})
+	for _, key := range r.peerKeys() {
+		r.peers[key].scheduleRoute(change.Prefix)
+	}
+}
+
+// peerKeys returns the session keys in sorted order.
+func (r *Router) peerKeys() []rib.PeerKey {
+	keys := make([]rib.PeerKey, 0, len(r.peers))
+	for k := range r.peers {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// learnedFromNeighbor resolves the policy neighbor a route was learned
+// from (policy.Local for originated routes).
+func (r *Router) learnedFromNeighbor(rt *rib.Route) policy.Neighbor {
+	if rt.Local {
+		return policy.Local
+	}
+	if p, ok := r.peers[rt.Peer]; ok {
+		return p.cfg.Neighbor
+	}
+	return policy.Neighbor{Key: rt.Peer, ASN: rt.PeerASN}
+}
+
+// exportAttrs builds the eBGP attributes for advertising rt to p:
+// prepend the local ASN, set NEXT_HOP to the session address, strip
+// LOCAL_PREF (eBGP), and strip MED on re-advertisement of learned
+// routes.
+func (r *Router) exportAttrs(p *Peer, rt *rib.Route) wire.PathAttrs {
+	attrs := rt.Attrs.Clone()
+	attrs.ASPath = attrs.ASPath.Prepend(r.cfg.ASN)
+	attrs.NextHop = p.cfg.NextHop
+	attrs.LocalPref = nil
+	if !rt.Local {
+		attrs.MED = nil
+	}
+	return attrs
+}
+
+// Deliver hands one received wire frame to the session it arrived on.
+// Unknown peers and frames on Idle sessions are dropped (the transport
+// may race a session reset). With ProcessingDelay set, frames pass
+// through the router's serialised work queue first.
+func (r *Router) Deliver(key rib.PeerKey, frame []byte) {
+	p, ok := r.peers[key]
+	if !ok {
+		return
+	}
+	if r.cfg.ProcessingDelay == 0 {
+		p.deliver(frame)
+		return
+	}
+	now := r.cfg.Clock.Now()
+	start := now
+	if r.busyUntil.After(start) {
+		start = r.busyUntil
+	}
+	var cost time.Duration
+	if len(frame) > wire.MarkerLen+2 && wire.MsgType(frame[wire.MarkerLen+2]) == wire.MsgUpdate {
+		// Jitter +-50% so runs with different seeds interleave
+		// processing differently, as real schedulers do.
+		f := 0.5 + r.cfg.Rand.Float64()
+		cost = time.Duration(float64(r.cfg.ProcessingDelay) * f)
+	}
+	finish := start.Add(cost)
+	r.busyUntil = finish
+	r.cfg.Clock.AfterFunc(finish.Sub(now), func() { p.deliver(frame) })
+}

@@ -1,0 +1,219 @@
+package bgp
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp/rib"
+	"repro/internal/sim"
+)
+
+// DampingConfig enables RFC 2439 route-flap damping, BGP's native
+// stability mechanism (Quagga ships it as `bgp dampening`). It is the
+// distributed counterpart to the paper's centralized delayed
+// recomputation: both rate-limit flaps, but damping punishes
+// individual routes at every router while the controller batches its
+// own decisions. The zero value of each field selects the listed
+// default.
+type DampingConfig struct {
+	// WithdrawPenalty is added on each withdrawal flap (default 1000).
+	WithdrawPenalty float64
+	// UpdatePenalty is added on each re-advertisement with changed
+	// attributes (default 500).
+	UpdatePenalty float64
+	// SuppressThreshold starts suppressing the route (default 2000).
+	SuppressThreshold float64
+	// ReuseThreshold reinstates a suppressed route once the decayed
+	// penalty falls below it (default 750).
+	ReuseThreshold float64
+	// HalfLife is the exponential decay half-life (default 15 min).
+	HalfLife time.Duration
+	// MaxSuppress caps the suppression time (default 60 min); the
+	// penalty is clipped so a route is never suppressed longer.
+	MaxSuppress time.Duration
+}
+
+func (c *DampingConfig) setDefaults() {
+	if c.WithdrawPenalty == 0 {
+		c.WithdrawPenalty = 1000
+	}
+	if c.UpdatePenalty == 0 {
+		c.UpdatePenalty = 500
+	}
+	if c.SuppressThreshold == 0 {
+		c.SuppressThreshold = 2000
+	}
+	if c.ReuseThreshold == 0 {
+		c.ReuseThreshold = 750
+	}
+	if c.HalfLife == 0 {
+		c.HalfLife = 15 * time.Minute
+	}
+	if c.MaxSuppress == 0 {
+		c.MaxSuppress = time.Hour
+	}
+}
+
+// maxPenalty is the ceiling implied by MaxSuppress: a penalty that
+// would take longer than MaxSuppress to decay to the reuse threshold
+// is clipped.
+func (c *DampingConfig) maxPenalty() float64 {
+	halfLives := float64(c.MaxSuppress) / float64(c.HalfLife)
+	return c.ReuseThreshold * math.Pow(2, halfLives)
+}
+
+// dampState tracks one (session, prefix) flap history.
+type dampState struct {
+	penalty    float64
+	updatedAt  time.Time
+	suppressed bool
+	// latest holds the most recent advertised route while suppressed,
+	// so reuse can reinstate it.
+	latest     *rib.Route
+	reuseTimer sim.Timer
+}
+
+// decayedPenalty returns the penalty decayed to now.
+func (d *dampState) decayedPenalty(cfg *DampingConfig, now time.Time) float64 {
+	dt := now.Sub(d.updatedAt)
+	if dt <= 0 {
+		return d.penalty
+	}
+	halfLives := float64(dt) / float64(cfg.HalfLife)
+	return d.penalty * math.Pow(0.5, halfLives)
+}
+
+// damping is the per-router damping engine.
+type damping struct {
+	cfg    DampingConfig
+	router *Router
+	state  map[rib.PeerKey]map[netip.Prefix]*dampState
+}
+
+func newDamping(cfg DampingConfig, r *Router) *damping {
+	cfg.setDefaults()
+	return &damping{
+		cfg:    cfg,
+		router: r,
+		state:  make(map[rib.PeerKey]map[netip.Prefix]*dampState),
+	}
+}
+
+func (d *damping) get(peer rib.PeerKey, prefix netip.Prefix) *dampState {
+	m := d.state[peer]
+	if m == nil {
+		m = make(map[netip.Prefix]*dampState)
+		d.state[peer] = m
+	}
+	s := m[prefix]
+	if s == nil {
+		s = &dampState{updatedAt: d.router.cfg.Clock.Now()}
+		m[prefix] = s
+	}
+	return s
+}
+
+// penalize records a flap and returns the new decayed penalty.
+func (d *damping) penalize(peer rib.PeerKey, prefix netip.Prefix, penalty float64) *dampState {
+	now := d.router.cfg.Clock.Now()
+	s := d.get(peer, prefix)
+	p := s.decayedPenalty(&d.cfg, now) + penalty
+	if max := d.cfg.maxPenalty(); p > max {
+		p = max
+	}
+	s.penalty = p
+	s.updatedAt = now
+	return s
+}
+
+// onWithdraw records a withdrawal flap. A withdrawal of a suppressed
+// route simply clears the stored reinstate candidate.
+func (d *damping) onWithdraw(peer rib.PeerKey, prefix netip.Prefix) {
+	s := d.penalize(peer, prefix, d.cfg.WithdrawPenalty)
+	s.latest = nil
+}
+
+// onUpdate decides the fate of a newly received route: returned true
+// means "install normally"; false means the route is suppressed (held
+// back from the decision process).
+func (d *damping) onUpdate(peer rib.PeerKey, prefix netip.Prefix, rt *rib.Route, changed bool) bool {
+	now := d.router.cfg.Clock.Now()
+	s := d.get(peer, prefix)
+	if changed {
+		s = d.penalize(peer, prefix, d.cfg.UpdatePenalty)
+	}
+	p := s.decayedPenalty(&d.cfg, now)
+	if s.suppressed || p >= d.cfg.SuppressThreshold {
+		d.suppress(peer, prefix, s, rt, p)
+		return false
+	}
+	return true
+}
+
+// suppress holds rt back and schedules reuse once the penalty decays.
+func (d *damping) suppress(peer rib.PeerKey, prefix netip.Prefix, s *dampState, rt *rib.Route, penalty float64) {
+	s.suppressed = true
+	s.latest = rt
+	if s.reuseTimer != nil {
+		s.reuseTimer.Stop()
+	}
+	// Time until penalty decays to the reuse threshold.
+	ratio := penalty / d.cfg.ReuseThreshold
+	if ratio < 1 {
+		ratio = 1
+	}
+	wait := time.Duration(float64(d.cfg.HalfLife) * math.Log2(ratio))
+	if wait > d.cfg.MaxSuppress {
+		wait = d.cfg.MaxSuppress
+	}
+	if wait < time.Second {
+		wait = time.Second
+	}
+	s.reuseTimer = d.router.cfg.Clock.AfterFunc(wait, func() {
+		d.reuse(peer, prefix, s)
+	})
+}
+
+// reuse reinstates the held-back route after decay.
+func (d *damping) reuse(peer rib.PeerKey, prefix netip.Prefix, s *dampState) {
+	if !s.suppressed {
+		return
+	}
+	s.suppressed = false
+	if s.latest == nil {
+		return // withdrawn while suppressed: nothing to reinstate
+	}
+	rt := s.latest
+	s.latest = nil
+	change := d.router.table.SetAdjIn(rt)
+	d.router.onChange(change)
+}
+
+// Suppressed reports whether the (peer, prefix) route is currently
+// damped (monitoring/test hook).
+func (r *Router) Suppressed(peer rib.PeerKey, prefix netip.Prefix) bool {
+	if r.damping == nil {
+		return false
+	}
+	if m := r.damping.state[peer]; m != nil {
+		if s := m[prefix]; s != nil {
+			return s.suppressed
+		}
+	}
+	return false
+}
+
+// DampingPenalty returns the current decayed penalty for the
+// (peer, prefix) pair, or 0 when damping is off.
+func (r *Router) DampingPenalty(peer rib.PeerKey, prefix netip.Prefix) float64 {
+	if r.damping == nil {
+		return 0
+	}
+	if m := r.damping.state[peer]; m != nil {
+		if s := m[prefix]; s != nil {
+			return s.decayedPenalty(&r.damping.cfg, r.cfg.Clock.Now())
+		}
+	}
+	return 0
+}

@@ -1,0 +1,525 @@
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/bgp/rib"
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/sim"
+)
+
+// Peer is one BGP session on a Router.
+type Peer struct {
+	router *Router
+	cfg    PeerConfig
+	state  State
+
+	transportUp bool
+	remoteID    idr.RouterID
+	remoteASN   idr.ASN
+	holdTime    time.Duration // negotiated
+
+	holdTimer      sim.Timer
+	keepaliveTimer sim.Timer
+	retryTimer     sim.Timer
+	mraiTimer      sim.Timer
+
+	// Pending outbound route changes, flushed under MRAI pacing.
+	pendingAnnounce map[netip.Prefix]wire.PathAttrs
+	pendingWithdraw map[netip.Prefix]bool
+	// nextAdvAllowed is when the next announcement flush may happen.
+	nextAdvAllowed time.Time
+}
+
+// State returns the session state.
+func (p *Peer) State() State { return p.state }
+
+// Key returns the session key.
+func (p *Peer) Key() rib.PeerKey { return p.cfg.Key }
+
+// RemoteASN returns the configured neighbor AS.
+func (p *Peer) RemoteASN() idr.ASN { return p.cfg.RemoteASN }
+
+func (p *Peer) clock() sim.Clock { return p.router.cfg.Clock }
+
+func (p *Peer) setState(s State) {
+	if p.state == s {
+		return
+	}
+	p.state = s
+	p.router.trace(TraceEvent{Kind: TraceState, Peer: p.cfg.Key, State: s})
+}
+
+// TransportUp signals that the underlying transport (link) is usable.
+// The session starts opening immediately.
+func (p *Peer) TransportUp() {
+	if p.transportUp {
+		return
+	}
+	p.transportUp = true
+	p.startOpen()
+}
+
+// TransportDown signals transport loss: the session resets and will
+// retry once the transport returns.
+func (p *Peer) TransportDown() {
+	if !p.transportUp {
+		return
+	}
+	p.transportUp = false
+	p.reset(false)
+}
+
+// startOpen begins session establishment (Idle -> OpenSent).
+func (p *Peer) startOpen() {
+	if !p.transportUp || p.state != StateIdle {
+		return
+	}
+	if err := p.sendOpen(); err != nil {
+		p.armRetry()
+		return
+	}
+	p.setState(StateOpenSent)
+	// RFC 4271 §8.2.2: in OpenSent the hold timer runs with a large
+	// value (4 minutes suggested) so a half-open session eventually
+	// resets and retries.
+	guard := 4 * time.Minute
+	if p.router.cfg.Timers.HoldTime > guard {
+		guard = p.router.cfg.Timers.HoldTime
+	}
+	if p.holdTimer != nil {
+		p.holdTimer.Stop()
+	}
+	p.holdTimer = p.clock().AfterFunc(guard, func() { p.reset(true) })
+}
+
+func (p *Peer) armRetry() {
+	d := p.router.cfg.Timers.ConnectRetry
+	if p.retryTimer != nil {
+		p.retryTimer.Stop()
+	}
+	p.retryTimer = p.clock().AfterFunc(d, func() {
+		p.startOpen()
+	})
+}
+
+func (p *Peer) sendOpen() error {
+	r := p.router
+	holdSecs := uint16(r.cfg.Timers.HoldTime / time.Second)
+	msg := wire.Open{AS: r.cfg.ASN, HoldTimeSecs: holdSecs, ID: r.cfg.RouterID}
+	if err := p.send(msg); err != nil {
+		return err
+	}
+	r.stats.OpensSent++
+	return nil
+}
+
+func (p *Peer) send(m wire.Message) error {
+	frame, err := wire.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := p.cfg.Send(frame); err != nil {
+		return err
+	}
+	p.router.trace(TraceEvent{Kind: TraceSend, Peer: p.cfg.Key, Msg: m})
+	return nil
+}
+
+// deliver processes one received frame.
+func (p *Peer) deliver(frame []byte) {
+	if !p.transportUp {
+		return
+	}
+	msg, err := wire.Unmarshal(frame)
+	if err != nil {
+		if de, ok := err.(*wire.DecodeError); ok {
+			_ = p.send(wire.Notification{Code: de.Code, Subcode: de.Subcode})
+			p.router.stats.NotificationsSent++
+		}
+		p.reset(true)
+		return
+	}
+	p.router.trace(TraceEvent{Kind: TraceRecv, Peer: p.cfg.Key, Msg: msg})
+	switch m := msg.(type) {
+	case wire.Open:
+		p.handleOpen(m)
+	case wire.Keepalive:
+		p.handleKeepalive()
+	case wire.Update:
+		p.handleUpdate(m)
+	case wire.Notification:
+		p.reset(true)
+	}
+}
+
+func (p *Peer) handleOpen(m wire.Open) {
+	if m.AS != p.cfg.RemoteASN {
+		_ = p.send(wire.Notification{Code: wire.NotifOpenMessageError, Subcode: 2}) // bad peer AS
+		p.router.stats.NotificationsSent++
+		p.reset(true)
+		return
+	}
+	switch p.state {
+	case StateIdle:
+		// The neighbor opened first; answer with our OPEN, then
+		// confirm.
+		if err := p.sendOpen(); err != nil {
+			p.armRetry()
+			return
+		}
+	case StateOpenSent:
+		// expected
+	default:
+		// OPEN in OpenConfirm/Established is an FSM error.
+		_ = p.send(wire.Notification{Code: wire.NotifFSMError})
+		p.router.stats.NotificationsSent++
+		p.reset(true)
+		return
+	}
+	p.remoteID = m.ID
+	p.remoteASN = m.AS
+	p.holdTime = p.router.cfg.Timers.HoldTime
+	if remote := time.Duration(m.HoldTimeSecs) * time.Second; remote < p.holdTime {
+		p.holdTime = remote
+	}
+	if err := p.send(wire.Keepalive{}); err != nil {
+		p.reset(true)
+		return
+	}
+	p.router.stats.KeepalivesSent++
+	p.setState(StateOpenConfirm)
+	p.armHoldTimer()
+}
+
+func (p *Peer) handleKeepalive() {
+	switch p.state {
+	case StateOpenConfirm:
+		p.establish()
+	case StateEstablished:
+		p.armHoldTimer()
+	default:
+		// KEEPALIVE in OpenSent means the neighbor confirmed an OPEN
+		// we never managed to deliver (it started after we sent ours).
+		// RFC 4271 treats it as an FSM error; resetting both ends lets
+		// the retry establish cleanly.
+		_ = p.send(wire.Notification{Code: wire.NotifFSMError})
+		p.router.stats.NotificationsSent++
+		p.reset(true)
+	}
+}
+
+func (p *Peer) establish() {
+	p.setState(StateEstablished)
+	p.armHoldTimer()
+	p.armKeepalive()
+	// Initial routing table dump: schedule every Loc-RIB route.
+	for _, rt := range p.router.table.BestRoutes() {
+		p.scheduleRoute(rt.Prefix)
+	}
+	// First advertisement batch may go immediately.
+	p.nextAdvAllowed = time.Time{}
+	p.flushAnnouncements()
+}
+
+func (p *Peer) armHoldTimer() {
+	if p.holdTime == 0 {
+		return // hold time 0 disables keepalives entirely
+	}
+	if p.holdTimer != nil {
+		p.holdTimer.Stop()
+	}
+	p.holdTimer = p.clock().AfterFunc(p.holdTime, func() {
+		_ = p.send(wire.Notification{Code: wire.NotifHoldTimerExpired})
+		p.router.stats.NotificationsSent++
+		p.reset(true)
+	})
+}
+
+func (p *Peer) armKeepalive() {
+	if p.holdTime == 0 {
+		return
+	}
+	interval := p.holdTime / time.Duration(p.router.cfg.Timers.KeepaliveFraction)
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if p.keepaliveTimer != nil {
+		p.keepaliveTimer.Stop()
+	}
+	p.keepaliveTimer = p.clock().AfterFunc(interval, func() {
+		if p.state != StateEstablished {
+			return
+		}
+		if err := p.send(wire.Keepalive{}); err == nil {
+			p.router.stats.KeepalivesSent++
+		}
+		p.armKeepalive()
+	})
+}
+
+// handleUpdate runs the inbound side of the decision process.
+func (p *Peer) handleUpdate(m wire.Update) {
+	if p.state != StateEstablished {
+		_ = p.send(wire.Notification{Code: wire.NotifFSMError})
+		p.router.stats.NotificationsSent++
+		p.reset(true)
+		return
+	}
+	p.armHoldTimer()
+	r := p.router
+	r.stats.UpdatesReceived++
+
+	for _, prefix := range m.Withdrawn {
+		if r.damping != nil {
+			r.damping.onWithdraw(p.cfg.Key, prefix)
+		}
+		change := r.table.WithdrawAdjIn(p.cfg.Key, prefix)
+		r.onChange(change)
+	}
+	if len(m.NLRI) == 0 {
+		return
+	}
+	// Loop prevention (RFC 4271 §9.1.2): a path containing our own ASN
+	// makes the route unfeasible. It still implicitly withdraws any
+	// previous route for the prefix from this peer — dropping it
+	// silently would leave a stale route in the Adj-RIB-In.
+	if m.Attrs.ASPath.Contains(r.cfg.ASN) {
+		for _, prefix := range m.NLRI {
+			change := r.table.WithdrawAdjIn(p.cfg.Key, prefix)
+			r.onChange(change)
+		}
+		return
+	}
+	for _, prefix := range m.NLRI {
+		rt := &rib.Route{
+			Prefix:  prefix,
+			Attrs:   m.Attrs.Clone(),
+			Peer:    p.cfg.Key,
+			PeerASN: p.cfg.RemoteASN,
+			PeerID:  p.remoteID,
+		}
+		// eBGP sessions must not import LOCAL_PREF from the wire.
+		rt.Attrs.LocalPref = nil
+		if !r.cfg.Policy.Import(p.cfg.Neighbor, rt) {
+			// Policy rejection acts as an implicit withdrawal of any
+			// previously accepted route for the prefix on this session.
+			change := r.table.WithdrawAdjIn(p.cfg.Key, prefix)
+			r.onChange(change)
+			continue
+		}
+		if r.damping != nil {
+			prev, had := r.table.AdjIn(p.cfg.Key, prefix)
+			changed := had && !prev.Attrs.Equal(rt.Attrs)
+			if !r.damping.onUpdate(p.cfg.Key, prefix, rt, changed) {
+				// Suppressed: hold the route back from the decision
+				// process (and flush any pre-suppression install).
+				change := r.table.WithdrawAdjIn(p.cfg.Key, prefix)
+				r.onChange(change)
+				continue
+			}
+		}
+		change := r.table.SetAdjIn(rt)
+		r.onChange(change)
+	}
+}
+
+// scheduleRoute queues the router's current best route for prefix
+// toward this peer (or its withdrawal), applying export policy and
+// split horizon. Called for every material Loc-RIB change and on
+// session establishment.
+func (p *Peer) scheduleRoute(prefix netip.Prefix) {
+	if p.state != StateEstablished {
+		return
+	}
+	r := p.router
+	best, ok := r.table.Best(prefix)
+	advertise := false
+	var attrs wire.PathAttrs
+	if ok {
+		learnedFrom := r.learnedFromNeighbor(best)
+		switch {
+		case best.Peer == p.cfg.Key:
+			// Split horizon: never advertise a route back to the
+			// session it came from.
+		case !r.cfg.Policy.Export(p.cfg.Neighbor, learnedFrom, best):
+			// Export policy rejects.
+		default:
+			advertise = true
+			attrs = r.exportAttrs(p, best)
+		}
+	}
+	if advertise {
+		if prev, had := r.adjOut.Get(p.cfg.Key, prefix); had && prev.Equal(attrs) {
+			// Identical to what the peer already has; and cancel any
+			// pending contrary state.
+			delete(p.pendingAnnounce, prefix)
+			delete(p.pendingWithdraw, prefix)
+			return
+		}
+		p.pendingAnnounce[prefix] = attrs
+		delete(p.pendingWithdraw, prefix)
+		p.scheduleFlush()
+		return
+	}
+	// Withdraw if the peer currently has (or is about to get) it.
+	delete(p.pendingAnnounce, prefix)
+	if _, had := r.adjOut.Get(p.cfg.Key, prefix); had {
+		p.pendingWithdraw[prefix] = true
+		if r.cfg.Timers.WithdrawalsImmediate {
+			p.flushWithdrawals()
+		} else {
+			p.scheduleFlush()
+		}
+	}
+}
+
+// flushWithdrawals sends all pending withdrawals immediately
+// (withdrawals are not MRAI-limited).
+func (p *Peer) flushWithdrawals() {
+	if p.state != StateEstablished || len(p.pendingWithdraw) == 0 {
+		return
+	}
+	r := p.router
+	prefixes := make([]netip.Prefix, 0, len(p.pendingWithdraw))
+	for prefix := range p.pendingWithdraw {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return idr.PrefixLess(prefixes[i], prefixes[j]) })
+	p.pendingWithdraw = make(map[netip.Prefix]bool)
+	for _, prefix := range prefixes {
+		r.adjOut.Delete(p.cfg.Key, prefix)
+	}
+	if err := p.send(wire.Update{Withdrawn: prefixes}); err != nil {
+		return
+	}
+	r.stats.UpdatesSent++
+	r.stats.PrefixesWithdrawn += uint64(len(prefixes))
+}
+
+// effectiveMRAI samples the (possibly jittered) advertisement interval.
+func (p *Peer) effectiveMRAI() time.Duration {
+	t := p.router.cfg.Timers
+	if t.MRAI <= 0 {
+		return 0
+	}
+	if !t.MRAIJitter {
+		return t.MRAI
+	}
+	// Uniform in [0.75, 1.0) * MRAI (RFC 4271 §9.2.2.3).
+	f := 0.75 + 0.25*p.router.cfg.Rand.Float64()
+	return time.Duration(float64(t.MRAI) * f)
+}
+
+// scheduleFlush arms the MRAI timer for the next update batch.
+func (p *Peer) scheduleFlush() {
+	if len(p.pendingAnnounce) == 0 && len(p.pendingWithdraw) == 0 {
+		return
+	}
+	if p.mraiTimer != nil && p.mraiTimer.Active() {
+		return
+	}
+	now := p.clock().Now()
+	delay := time.Duration(0)
+	if p.nextAdvAllowed.After(now) {
+		delay = p.nextAdvAllowed.Sub(now)
+	}
+	p.mraiTimer = p.clock().AfterFunc(delay, p.flushAnnouncements)
+}
+
+// flushAnnouncements sends the pending update batch: first the
+// withdrawals (unless already flushed immediately), then the
+// announcements grouped by identical attributes.
+func (p *Peer) flushAnnouncements() {
+	if p.state != StateEstablished {
+		return
+	}
+	sentWithdrawals := len(p.pendingWithdraw) > 0
+	p.flushWithdrawals()
+	if len(p.pendingAnnounce) == 0 {
+		if sentWithdrawals {
+			p.nextAdvAllowed = p.clock().Now().Add(p.effectiveMRAI())
+		}
+		return
+	}
+	r := p.router
+	// Group prefixes by identical attributes for honest UPDATE packing.
+	type group struct {
+		attrs    wire.PathAttrs
+		prefixes []netip.Prefix
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for prefix, attrs := range p.pendingAnnounce {
+		key := attrs.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{attrs: attrs}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.prefixes = append(g.prefixes, prefix)
+	}
+	sort.Strings(order)
+	p.pendingAnnounce = make(map[netip.Prefix]wire.PathAttrs)
+	for _, key := range order {
+		g := groups[key]
+		sort.Slice(g.prefixes, func(i, j int) bool { return idr.PrefixLess(g.prefixes[i], g.prefixes[j]) })
+		for _, prefix := range g.prefixes {
+			r.adjOut.Set(p.cfg.Key, prefix, g.attrs)
+		}
+		if err := p.send(wire.Update{Attrs: g.attrs, NLRI: g.prefixes}); err != nil {
+			return
+		}
+		r.stats.UpdatesSent++
+		r.stats.PrefixesAnnounced += uint64(len(g.prefixes))
+	}
+	p.nextAdvAllowed = p.clock().Now().Add(p.effectiveMRAI())
+}
+
+// reset tears the session down. When reconnect is true and the
+// transport is still up, re-establishment is retried after
+// ConnectRetry.
+func (p *Peer) reset(reconnect bool) {
+	r := p.router
+	wasEstablished := p.state == StateEstablished
+	if p.state != StateIdle {
+		r.stats.SessionResets++
+	}
+	p.setState(StateIdle)
+	for _, t := range []sim.Timer{p.holdTimer, p.keepaliveTimer, p.mraiTimer, p.retryTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	p.holdTimer, p.keepaliveTimer, p.mraiTimer, p.retryTimer = nil, nil, nil, nil
+	p.pendingAnnounce = make(map[netip.Prefix]wire.PathAttrs)
+	p.pendingWithdraw = make(map[netip.Prefix]bool)
+	p.nextAdvAllowed = time.Time{}
+	p.remoteID = idr.RouterID{}
+	p.remoteASN = 0
+
+	// Flush learned and advertised state; propagate the fallout. Flap
+	// history does not survive a session reset (held-back routes would
+	// be stale).
+	if r.damping != nil {
+		for _, s := range r.damping.state[p.cfg.Key] {
+			if s.reuseTimer != nil {
+				s.reuseTimer.Stop()
+			}
+		}
+		delete(r.damping.state, p.cfg.Key)
+	}
+	r.adjOut.DropPeer(p.cfg.Key)
+	if wasEstablished {
+		for _, change := range r.table.DropPeer(p.cfg.Key) {
+			r.onChange(change)
+		}
+	}
+	if reconnect && p.transportUp {
+		p.armRetry()
+	}
+}

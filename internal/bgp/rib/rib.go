@@ -1,0 +1,374 @@
+// Package rib implements the three BGP routing information bases of
+// RFC 4271 §3.2 — Adj-RIB-In, Loc-RIB and Adj-RIB-Out — plus the
+// decision process (§9.1) that ties them together.
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+)
+
+// PeerKey uniquely identifies one BGP session on a router.
+type PeerKey string
+
+// DefaultLocalPref is the preference assumed when LOCAL_PREF is unset
+// (RFC 4271 leaves this to policy; 100 is the universal default).
+const DefaultLocalPref uint32 = 100
+
+// Route is one path to a prefix as held in a RIB.
+type Route struct {
+	Prefix netip.Prefix
+	Attrs  wire.PathAttrs
+	// Peer identifies the session the route was learned from; empty
+	// for locally-originated routes.
+	Peer PeerKey
+	// PeerASN is the neighbor AS of that session.
+	PeerASN idr.ASN
+	// PeerID is the neighbor's BGP identifier (decision tie-break).
+	PeerID idr.RouterID
+	// Local marks locally-originated routes, which always win the
+	// decision process.
+	Local bool
+}
+
+// LocalPref returns the route's effective LOCAL_PREF.
+func (r *Route) LocalPref() uint32 {
+	if r.Attrs.LocalPref != nil {
+		return *r.Attrs.LocalPref
+	}
+	return DefaultLocalPref
+}
+
+// med returns the effective MULTI_EXIT_DISC (missing = 0, the
+// missing-as-best convention).
+func (r *Route) med() uint32 {
+	if r.Attrs.MED != nil {
+		return *r.Attrs.MED
+	}
+	return 0
+}
+
+// Clone deep-copies the route.
+func (r *Route) Clone() *Route {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Attrs = r.Attrs.Clone()
+	return &out
+}
+
+// String renders the route for logs.
+func (r *Route) String() string {
+	if r == nil {
+		return "<nil>"
+	}
+	src := string(r.Peer)
+	if r.Local {
+		src = "local"
+	}
+	return fmt.Sprintf("%v via %s [%s]", r.Prefix, src, r.Attrs.ASPath)
+}
+
+// Better reports whether a is preferred over b by the BGP decision
+// process (RFC 4271 §9.1.2.2), with the framework's conventions:
+//
+//  0. a locally-originated route beats any learned route;
+//  1. highest LOCAL_PREF;
+//  2. shortest AS_PATH;
+//  3. lowest ORIGIN (IGP < EGP < incomplete);
+//  4. lowest MED, compared only between routes from the same
+//     neighbor AS;
+//  5. lowest peer BGP identifier;
+//  6. lowest peer key (final deterministic tie-break for parallel
+//     sessions to one router).
+//
+// All sessions in the framework are eBGP, so the eBGP-over-iBGP and
+// IGP-cost steps do not apply. b may be nil (anything beats nothing).
+func Better(a, b *Route) bool {
+	if a == nil {
+		return false
+	}
+	if b == nil {
+		return true
+	}
+	if a.Local != b.Local {
+		return a.Local
+	}
+	if la, lb := a.LocalPref(), b.LocalPref(); la != lb {
+		return la > lb
+	}
+	if pa, pb := a.Attrs.ASPath.Length(), b.Attrs.ASPath.Length(); pa != pb {
+		return pa < pb
+	}
+	if a.Attrs.Origin != b.Attrs.Origin {
+		return a.Attrs.Origin < b.Attrs.Origin
+	}
+	if a.PeerASN == b.PeerASN {
+		if ma, mb := a.med(), b.med(); ma != mb {
+			return ma < mb
+		}
+	}
+	if a.PeerID != b.PeerID {
+		return a.PeerID.Less(b.PeerID)
+	}
+	return a.Peer < b.Peer
+}
+
+// Table is a router's complete RIB state: per-peer Adj-RIB-In, the
+// locally originated routes, and the Loc-RIB (best routes).
+type Table struct {
+	adjIn map[PeerKey]map[netip.Prefix]*Route
+	local map[netip.Prefix]*Route
+	best  map[netip.Prefix]*Route
+}
+
+// NewTable returns an empty RIB.
+func NewTable() *Table {
+	return &Table{
+		adjIn: make(map[PeerKey]map[netip.Prefix]*Route),
+		local: make(map[netip.Prefix]*Route),
+		best:  make(map[netip.Prefix]*Route),
+	}
+}
+
+// Change describes one Loc-RIB transition for a prefix.
+type Change struct {
+	Prefix   netip.Prefix
+	Old, New *Route // nil = no route
+}
+
+// Changed reports whether the transition is material (route added,
+// removed, or replaced with different attributes/source).
+func (c Change) Changed() bool {
+	switch {
+	case c.Old == nil && c.New == nil:
+		return false
+	case (c.Old == nil) != (c.New == nil):
+		return true
+	default:
+		return c.Old.Peer != c.New.Peer || c.Old.Local != c.New.Local ||
+			!c.Old.Attrs.Equal(c.New.Attrs)
+	}
+}
+
+// SetAdjIn installs r into the Adj-RIB-In of r.Peer (implicit
+// withdrawal of any previous route for the prefix from that peer) and
+// re-runs the decision process for the prefix.
+func (t *Table) SetAdjIn(r *Route) Change {
+	if r.Peer == "" {
+		panic("rib: SetAdjIn with empty peer key")
+	}
+	m := t.adjIn[r.Peer]
+	if m == nil {
+		m = make(map[netip.Prefix]*Route)
+		t.adjIn[r.Peer] = m
+	}
+	m[r.Prefix] = r
+	return t.decide(r.Prefix)
+}
+
+// WithdrawAdjIn removes the peer's route for prefix and re-decides.
+func (t *Table) WithdrawAdjIn(peer PeerKey, prefix netip.Prefix) Change {
+	if m := t.adjIn[peer]; m != nil {
+		delete(m, prefix)
+	}
+	return t.decide(prefix)
+}
+
+// AdjIn returns the peer's current route for prefix, if any.
+func (t *Table) AdjIn(peer PeerKey, prefix netip.Prefix) (*Route, bool) {
+	r, ok := t.adjIn[peer][prefix]
+	return r, ok
+}
+
+// AdjInPrefixes returns all prefixes present in the peer's Adj-RIB-In,
+// sorted.
+func (t *Table) AdjInPrefixes(peer PeerKey) []netip.Prefix {
+	m := t.adjIn[peer]
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
+	return out
+}
+
+// DropPeer removes the peer's entire Adj-RIB-In (session failure) and
+// re-decides every affected prefix, returning the material changes.
+func (t *Table) DropPeer(peer PeerKey) []Change {
+	m := t.adjIn[peer]
+	if m == nil {
+		return nil
+	}
+	prefixes := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return idr.PrefixLess(prefixes[i], prefixes[j]) })
+	delete(t.adjIn, peer)
+	var out []Change
+	for _, p := range prefixes {
+		if c := t.decide(p); c.Changed() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Originate installs a locally-originated route and re-decides.
+func (t *Table) Originate(prefix netip.Prefix, attrs wire.PathAttrs) Change {
+	t.local[prefix] = &Route{Prefix: prefix, Attrs: attrs, Local: true}
+	return t.decide(prefix)
+}
+
+// WithdrawLocal removes a locally-originated route and re-decides.
+func (t *Table) WithdrawLocal(prefix netip.Prefix) Change {
+	delete(t.local, prefix)
+	return t.decide(prefix)
+}
+
+// Best returns the Loc-RIB entry for prefix, if any.
+func (t *Table) Best(prefix netip.Prefix) (*Route, bool) {
+	r, ok := t.best[prefix]
+	return r, ok
+}
+
+// BestRoutes returns the whole Loc-RIB, sorted by prefix.
+func (t *Table) BestRoutes() []*Route {
+	out := make([]*Route, 0, len(t.best))
+	for _, r := range t.best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i].Prefix, out[j].Prefix) })
+	return out
+}
+
+// Prefixes returns every prefix known to any RIB, sorted.
+func (t *Table) Prefixes() []netip.Prefix {
+	set := make(map[netip.Prefix]bool)
+	for p := range t.local {
+		set[p] = true
+	}
+	for _, m := range t.adjIn {
+		for p := range m {
+			set[p] = true
+		}
+	}
+	out := make([]netip.Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
+	return out
+}
+
+// Lookup returns the Loc-RIB route whose prefix contains addr,
+// preferring the longest match — the data-plane forwarding decision.
+func (t *Table) Lookup(addr netip.Addr) (*Route, bool) {
+	var best *Route
+	for _, r := range t.best {
+		if !r.Prefix.Contains(addr) {
+			continue
+		}
+		if best == nil || r.Prefix.Bits() > best.Prefix.Bits() ||
+			(r.Prefix.Bits() == best.Prefix.Bits() && idr.PrefixLess(r.Prefix, best.Prefix)) {
+			best = r
+		}
+	}
+	return best, best != nil
+}
+
+// decide re-runs the decision process for prefix, iterating candidates
+// in deterministic order.
+func (t *Table) decide(prefix netip.Prefix) Change {
+	old := t.best[prefix]
+	var best *Route
+	if lr, ok := t.local[prefix]; ok {
+		best = lr
+	}
+	peers := make([]PeerKey, 0, len(t.adjIn))
+	for pk := range t.adjIn {
+		peers = append(peers, pk)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, pk := range peers {
+		if r, ok := t.adjIn[pk][prefix]; ok {
+			if Better(r, best) {
+				best = r
+			}
+		}
+	}
+	if best == nil {
+		delete(t.best, prefix)
+	} else {
+		t.best[prefix] = best
+	}
+	return Change{Prefix: prefix, Old: old, New: best}
+}
+
+// AdjOut tracks what has actually been advertised to each peer, so the
+// update sender can emit minimal diffs and correct withdrawals.
+type AdjOut struct {
+	routes map[PeerKey]map[netip.Prefix]wire.PathAttrs
+}
+
+// NewAdjOut returns an empty Adj-RIB-Out.
+func NewAdjOut() *AdjOut {
+	return &AdjOut{routes: make(map[PeerKey]map[netip.Prefix]wire.PathAttrs)}
+}
+
+// Get returns the attributes last advertised to peer for prefix.
+func (a *AdjOut) Get(peer PeerKey, prefix netip.Prefix) (wire.PathAttrs, bool) {
+	attrs, ok := a.routes[peer][prefix]
+	return attrs, ok
+}
+
+// Set records an advertisement.
+func (a *AdjOut) Set(peer PeerKey, prefix netip.Prefix, attrs wire.PathAttrs) {
+	m := a.routes[peer]
+	if m == nil {
+		m = make(map[netip.Prefix]wire.PathAttrs)
+		a.routes[peer] = m
+	}
+	m[prefix] = attrs
+}
+
+// Delete records a withdrawal, reporting whether the prefix had been
+// advertised.
+func (a *AdjOut) Delete(peer PeerKey, prefix netip.Prefix) bool {
+	m := a.routes[peer]
+	if _, ok := m[prefix]; !ok {
+		return false
+	}
+	delete(m, prefix)
+	return true
+}
+
+// DropPeer forgets everything advertised to peer (session reset),
+// returning the previously advertised prefixes, sorted.
+func (a *AdjOut) DropPeer(peer PeerKey) []netip.Prefix {
+	m := a.routes[peer]
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	delete(a.routes, peer)
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
+	return out
+}
+
+// Prefixes returns the prefixes currently advertised to peer, sorted.
+func (a *AdjOut) Prefixes(peer PeerKey) []netip.Prefix {
+	m := a.routes[peer]
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
+	return out
+}

@@ -1,0 +1,345 @@
+package wire
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/idr"
+)
+
+// Attribute type codes (RFC 4271 §5.1, RFC 1997).
+const (
+	AttrOrigin          uint8 = 1
+	AttrASPath          uint8 = 2
+	AttrNextHop         uint8 = 3
+	AttrMED             uint8 = 4
+	AttrLocalPref       uint8 = 5
+	AttrAtomicAggregate uint8 = 6
+	AttrAggregator      uint8 = 7
+	AttrCommunities     uint8 = 8
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   uint8 = 0x80
+	flagTransitive uint8 = 0x40
+	flagPartial    uint8 = 0x20
+	flagExtLen     uint8 = 0x10
+)
+
+// Origin is the ORIGIN attribute value.
+type Origin uint8
+
+// Origin values (RFC 4271 §5.1.1).
+const (
+	OriginIGP        Origin = 0
+	OriginEGP        Origin = 1
+	OriginIncomplete Origin = 2
+)
+
+// String names the origin.
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "IGP"
+	case OriginEGP:
+		return "EGP"
+	case OriginIncomplete:
+		return "incomplete"
+	default:
+		return fmt.Sprintf("Origin(%d)", uint8(o))
+	}
+}
+
+// SegType is the AS_PATH segment type.
+type SegType uint8
+
+// AS_PATH segment types (RFC 4271 §4.3).
+const (
+	ASSet      SegType = 1
+	ASSequence SegType = 2
+)
+
+// Segment is one AS_PATH segment.
+type Segment struct {
+	Type SegType
+	ASNs []idr.ASN
+}
+
+// ASPath is an ordered list of AS_PATH segments.
+type ASPath []Segment
+
+// NewASPath returns a single-sequence path over the given ASNs (empty
+// input yields an empty path, as originated routes carry).
+func NewASPath(asns ...idr.ASN) ASPath {
+	if len(asns) == 0 {
+		return nil
+	}
+	return ASPath{{Type: ASSequence, ASNs: append([]idr.ASN(nil), asns...)}}
+}
+
+// Length is the decision-process AS-path length: each AS in a sequence
+// counts 1, each AS_SET counts 1 in total (RFC 4271 §9.1.2.2).
+func (p ASPath) Length() int {
+	n := 0
+	for _, s := range p {
+		switch s.Type {
+		case ASSet:
+			if len(s.ASNs) > 0 {
+				n++
+			}
+		default:
+			n += len(s.ASNs)
+		}
+	}
+	return n
+}
+
+// Contains reports whether asn appears anywhere in the path — the BGP
+// loop-detection test (RFC 4271 §9.1.2).
+func (p ASPath) Contains(asn idr.ASN) bool {
+	for _, s := range p {
+		for _, a := range s.ASNs {
+			if a == asn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Prepend returns a new path with asn prepended, merging into a
+// leading AS_SEQUENCE when one exists (creating it otherwise).
+func (p ASPath) Prepend(asn idr.ASN) ASPath {
+	out := p.Clone()
+	if len(out) > 0 && out[0].Type == ASSequence {
+		out[0].ASNs = append([]idr.ASN{asn}, out[0].ASNs...)
+		return out
+	}
+	return append(ASPath{{Type: ASSequence, ASNs: []idr.ASN{asn}}}, out...)
+}
+
+// First returns the leftmost AS on the path (the neighbor that sent
+// it), or (0, false) for an empty path.
+func (p ASPath) First() (idr.ASN, bool) {
+	for _, s := range p {
+		if len(s.ASNs) > 0 {
+			return s.ASNs[0], true
+		}
+	}
+	return 0, false
+}
+
+// Origin returns the rightmost AS on the path (the originator), or
+// (0, false) for an empty path.
+func (p ASPath) Origin() (idr.ASN, bool) {
+	for i := len(p) - 1; i >= 0; i-- {
+		if n := len(p[i].ASNs); n > 0 {
+			return p[i].ASNs[n-1], true
+		}
+	}
+	return 0, false
+}
+
+// Clone deep-copies the path.
+func (p ASPath) Clone() ASPath {
+	if p == nil {
+		return nil
+	}
+	out := make(ASPath, len(p))
+	for i, s := range p {
+		out[i] = Segment{Type: s.Type, ASNs: append([]idr.ASN(nil), s.ASNs...)}
+	}
+	return out
+}
+
+// Equal reports deep equality of two paths.
+func (p ASPath) Equal(o ASPath) bool {
+	if len(p) != len(o) {
+		return false
+	}
+	for i := range p {
+		if p[i].Type != o[i].Type || len(p[i].ASNs) != len(o[i].ASNs) {
+			return false
+		}
+		for j := range p[i].ASNs {
+			if p[i].ASNs[j] != o[i].ASNs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the path in the conventional "1 2 {3,4}" form.
+func (p ASPath) String() string {
+	var b strings.Builder
+	for i, s := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if s.Type == ASSet {
+			parts := make([]string, len(s.ASNs))
+			for j, a := range s.ASNs {
+				parts[j] = fmt.Sprint(uint32(a))
+			}
+			b.WriteString("{" + strings.Join(parts, ",") + "}")
+			continue
+		}
+		for j, a := range s.ASNs {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprint(&b, uint32(a))
+		}
+	}
+	return b.String()
+}
+
+// Community is an RFC 1997 community value, conventionally written
+// "<asn>:<value>".
+type Community uint32
+
+// NewCommunity builds a community from its AS and value halves.
+func NewCommunity(asn uint16, value uint16) Community {
+	return Community(uint32(asn)<<16 | uint32(value))
+}
+
+// Halves splits the community into its conventional parts.
+func (c Community) Halves() (asn uint16, value uint16) {
+	return uint16(c >> 16), uint16(c)
+}
+
+// String renders the community as "asn:value".
+func (c Community) String() string {
+	a, v := c.Halves()
+	return fmt.Sprintf("%d:%d", a, v)
+}
+
+// Well-known communities (RFC 1997).
+const (
+	CommunityNoExport    Community = 0xFFFFFF01
+	CommunityNoAdvertise Community = 0xFFFFFF02
+)
+
+// PathAttrs is the decoded attribute set of one UPDATE.
+type PathAttrs struct {
+	// Origin is the mandatory ORIGIN attribute.
+	Origin Origin
+	// ASPath is the mandatory AS_PATH attribute (empty when locally
+	// originated and not yet sent over eBGP).
+	ASPath ASPath
+	// NextHop is the mandatory NEXT_HOP attribute.
+	NextHop netip.Addr
+	// MED is the optional MULTI_EXIT_DISC attribute.
+	MED *uint32
+	// LocalPref is the LOCAL_PREF attribute (iBGP/internal only; not
+	// emitted on eBGP sessions).
+	LocalPref *uint32
+	// AtomicAggregate marks the ATOMIC_AGGREGATE flag attribute.
+	AtomicAggregate bool
+	// Aggregator is the optional AGGREGATOR attribute (RFC 4271
+	// §5.1.7, 4-octet form per RFC 6793).
+	Aggregator *Aggregator
+	// Communities is the optional COMMUNITIES attribute.
+	Communities []Community
+}
+
+// Aggregator identifies the speaker that formed an aggregate route.
+type Aggregator struct {
+	AS idr.ASN
+	ID netip.Addr
+}
+
+// Clone deep-copies the attribute set.
+func (a PathAttrs) Clone() PathAttrs {
+	out := a
+	out.ASPath = a.ASPath.Clone()
+	if a.MED != nil {
+		v := *a.MED
+		out.MED = &v
+	}
+	if a.LocalPref != nil {
+		v := *a.LocalPref
+		out.LocalPref = &v
+	}
+	if a.Aggregator != nil {
+		v := *a.Aggregator
+		out.Aggregator = &v
+	}
+	if a.Communities != nil {
+		out.Communities = append([]Community(nil), a.Communities...)
+	}
+	return out
+}
+
+// Equal reports semantic equality of two attribute sets.
+func (a PathAttrs) Equal(b PathAttrs) bool {
+	if a.Origin != b.Origin || a.NextHop != b.NextHop || a.AtomicAggregate != b.AtomicAggregate {
+		return false
+	}
+	if !a.ASPath.Equal(b.ASPath) {
+		return false
+	}
+	if (a.MED == nil) != (b.MED == nil) || (a.MED != nil && *a.MED != *b.MED) {
+		return false
+	}
+	if (a.LocalPref == nil) != (b.LocalPref == nil) || (a.LocalPref != nil && *a.LocalPref != *b.LocalPref) {
+		return false
+	}
+	if (a.Aggregator == nil) != (b.Aggregator == nil) || (a.Aggregator != nil && *a.Aggregator != *b.Aggregator) {
+		return false
+	}
+	if len(a.Communities) != len(b.Communities) {
+		return false
+	}
+	for i := range a.Communities {
+		if a.Communities[i] != b.Communities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasCommunity reports whether c is attached.
+func (a PathAttrs) HasCommunity(c Community) bool {
+	for _, have := range a.Communities {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCommunity returns a copy with c attached (kept sorted, no dups).
+func (a PathAttrs) AddCommunity(c Community) PathAttrs {
+	if a.HasCommunity(c) {
+		return a
+	}
+	out := a.Clone()
+	out.Communities = append(out.Communities, c)
+	sort.Slice(out.Communities, func(i, j int) bool { return out.Communities[i] < out.Communities[j] })
+	return out
+}
+
+// String renders the attributes for logs.
+func (a PathAttrs) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "origin=%s path=[%s] nh=%s", a.Origin, a.ASPath, a.NextHop)
+	if a.MED != nil {
+		fmt.Fprintf(&b, " med=%d", *a.MED)
+	}
+	if a.LocalPref != nil {
+		fmt.Fprintf(&b, " lp=%d", *a.LocalPref)
+	}
+	if len(a.Communities) > 0 {
+		parts := make([]string, len(a.Communities))
+		for i, c := range a.Communities {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(&b, " comm=%s", strings.Join(parts, ","))
+	}
+	return b.String()
+}

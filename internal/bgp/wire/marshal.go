@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/idr"
+)
+
+// Marshal encodes one BGP message, header included.
+func Marshal(m Message) ([]byte, error) {
+	var body []byte
+	var err error
+	switch v := m.(type) {
+	case Open:
+		body, err = marshalOpen(v)
+	case *Open:
+		body, err = marshalOpen(*v)
+	case Update:
+		body, err = marshalUpdate(v)
+	case *Update:
+		body, err = marshalUpdate(*v)
+	case Keepalive, *Keepalive:
+		body = nil
+	case Notification:
+		body, err = marshalNotification(v)
+	case *Notification:
+		body, err = marshalNotification(*v)
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %T", m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	total := HeaderLen + len(body)
+	if total > MaxMsgLen {
+		return nil, fmt.Errorf("wire: message length %d exceeds %d", total, MaxMsgLen)
+	}
+	out := make([]byte, total)
+	for i := 0; i < MarkerLen; i++ {
+		out[i] = 0xFF
+	}
+	binary.BigEndian.PutUint16(out[MarkerLen:], uint16(total))
+	out[MarkerLen+2] = byte(m.Type())
+	copy(out[HeaderLen:], body)
+	return out, nil
+}
+
+func marshalOpen(o Open) ([]byte, error) {
+	if o.HoldTimeSecs != 0 && o.HoldTimeSecs < 3 {
+		return nil, fmt.Errorf("wire: open hold time %d (must be 0 or >= 3)", o.HoldTimeSecs)
+	}
+	// Capabilities: always advertise Four-Octet-AS with the real ASN
+	// (RFC 6793), plus any caller-provided capabilities.
+	caps := make([]Capability, 0, len(o.Capabilities)+1)
+	four := make([]byte, 4)
+	binary.BigEndian.PutUint32(four, uint32(o.AS))
+	caps = append(caps, Capability{Code: CapFourOctetAS, Value: four})
+	for _, c := range o.Capabilities {
+		if c.Code == CapFourOctetAS {
+			continue // implicit, never duplicated
+		}
+		caps = append(caps, c)
+	}
+	var opt []byte
+	for _, c := range caps {
+		if len(c.Value) > 255-2 {
+			return nil, fmt.Errorf("wire: capability %d value too long", c.Code)
+		}
+		// Optional parameter type 2 (capabilities), one per parameter.
+		param := make([]byte, 0, 4+len(c.Value))
+		param = append(param, 2, byte(2+len(c.Value)), c.Code, byte(len(c.Value)))
+		param = append(param, c.Value...)
+		opt = append(opt, param...)
+	}
+	if len(opt) > 255 {
+		return nil, fmt.Errorf("wire: optional parameters length %d > 255", len(opt))
+	}
+	body := make([]byte, 0, 10+len(opt))
+	body = append(body, Version)
+	myAS := uint16(ASTrans)
+	if o.AS <= 0xFFFF {
+		myAS = uint16(o.AS)
+	}
+	body = binary.BigEndian.AppendUint16(body, myAS)
+	body = binary.BigEndian.AppendUint16(body, o.HoldTimeSecs)
+	body = append(body, o.ID[:]...)
+	body = append(body, byte(len(opt)))
+	body = append(body, opt...)
+	return body, nil
+}
+
+func marshalNotification(n Notification) ([]byte, error) {
+	body := make([]byte, 0, 2+len(n.Data))
+	body = append(body, n.Code, n.Subcode)
+	body = append(body, n.Data...)
+	return body, nil
+}
+
+func marshalUpdate(u Update) ([]byte, error) {
+	withdrawn, err := marshalPrefixes(u.Withdrawn)
+	if err != nil {
+		return nil, fmt.Errorf("wire: withdrawn routes: %w", err)
+	}
+	var attrs []byte
+	if len(u.NLRI) > 0 {
+		attrs, err = marshalAttrs(u.Attrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nlri, err := marshalPrefixes(u.NLRI)
+	if err != nil {
+		return nil, fmt.Errorf("wire: nlri: %w", err)
+	}
+	body := make([]byte, 0, 4+len(withdrawn)+len(attrs)+len(nlri))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(withdrawn)))
+	body = append(body, withdrawn...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+	body = append(body, attrs...)
+	body = append(body, nlri...)
+	return body, nil
+}
+
+func marshalPrefixes(ps []netip.Prefix) ([]byte, error) {
+	var out []byte
+	for _, p := range ps {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("prefix %v is not IPv4", p)
+		}
+		if p.Bits() < 0 {
+			return nil, fmt.Errorf("prefix %v has invalid length", p)
+		}
+		out = append(out, byte(p.Bits()))
+		b4 := p.Addr().As4()
+		out = append(out, b4[:(p.Bits()+7)/8]...)
+	}
+	return out, nil
+}
+
+func appendAttr(out []byte, flags, typ uint8, value []byte) ([]byte, error) {
+	if len(value) > 0xFFFF {
+		return nil, fmt.Errorf("wire: attribute %d too long (%d)", typ, len(value))
+	}
+	if len(value) > 0xFF {
+		flags |= flagExtLen
+		out = append(out, flags, typ)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(value)))
+	} else {
+		out = append(out, flags, typ, byte(len(value)))
+	}
+	return append(out, value...), nil
+}
+
+func marshalAttrs(a PathAttrs) ([]byte, error) {
+	var out []byte
+	var err error
+
+	// ORIGIN: well-known mandatory.
+	if a.Origin > OriginIncomplete {
+		return nil, fmt.Errorf("wire: invalid origin %d", a.Origin)
+	}
+	out, err = appendAttr(out, flagTransitive, AttrOrigin, []byte{byte(a.Origin)})
+	if err != nil {
+		return nil, err
+	}
+
+	// AS_PATH: well-known mandatory; 4-octet ASNs (RFC 6793 encoding
+	// on a session with the Four-Octet-AS capability).
+	var path []byte
+	for _, s := range a.ASPath {
+		if s.Type != ASSet && s.Type != ASSequence {
+			return nil, fmt.Errorf("wire: invalid AS_PATH segment type %d", s.Type)
+		}
+		if len(s.ASNs) == 0 || len(s.ASNs) > 255 {
+			return nil, fmt.Errorf("wire: AS_PATH segment with %d ASNs", len(s.ASNs))
+		}
+		path = append(path, byte(s.Type), byte(len(s.ASNs)))
+		for _, asn := range s.ASNs {
+			path = binary.BigEndian.AppendUint32(path, uint32(asn))
+		}
+	}
+	out, err = appendAttr(out, flagTransitive, AttrASPath, path)
+	if err != nil {
+		return nil, err
+	}
+
+	// NEXT_HOP: well-known mandatory.
+	if !a.NextHop.Is4() {
+		return nil, fmt.Errorf("wire: next hop %v is not IPv4", a.NextHop)
+	}
+	nh := a.NextHop.As4()
+	out, err = appendAttr(out, flagTransitive, AttrNextHop, nh[:])
+	if err != nil {
+		return nil, err
+	}
+
+	if a.MED != nil {
+		v := make([]byte, 4)
+		binary.BigEndian.PutUint32(v, *a.MED)
+		out, err = appendAttr(out, flagOptional, AttrMED, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if a.LocalPref != nil {
+		v := make([]byte, 4)
+		binary.BigEndian.PutUint32(v, *a.LocalPref)
+		out, err = appendAttr(out, flagTransitive, AttrLocalPref, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if a.AtomicAggregate {
+		out, err = appendAttr(out, flagTransitive, AttrAtomicAggregate, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if a.Aggregator != nil {
+		if !a.Aggregator.ID.Is4() {
+			return nil, fmt.Errorf("wire: aggregator ID %v is not IPv4", a.Aggregator.ID)
+		}
+		v := make([]byte, 8)
+		binary.BigEndian.PutUint32(v, uint32(a.Aggregator.AS))
+		id := a.Aggregator.ID.As4()
+		copy(v[4:], id[:])
+		out, err = appendAttr(out, flagOptional|flagTransitive, AttrAggregator, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(a.Communities) > 0 {
+		v := make([]byte, 0, 4*len(a.Communities))
+		for _, c := range a.Communities {
+			v = binary.BigEndian.AppendUint32(v, uint32(c))
+		}
+		out, err = appendAttr(out, flagOptional|flagTransitive, AttrCommunities, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sanity check that idr.ASN fits the wire encoding
+var _ = idr.ASN(0)

@@ -1,0 +1,340 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"repro/internal/idr"
+)
+
+// DecodeError describes a malformed message and carries the
+// NOTIFICATION code/subcode a conforming speaker must send in response
+// (RFC 4271 §6).
+type DecodeError struct {
+	Code    uint8
+	Subcode uint8
+	Reason  string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("wire: %s (notify %d/%d)", e.Reason, e.Code, e.Subcode)
+}
+
+func decodeErr(code, subcode uint8, format string, args ...any) *DecodeError {
+	return &DecodeError{Code: code, Subcode: subcode, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Unmarshal decodes one complete BGP message (header included).
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < HeaderLen {
+		return nil, decodeErr(NotifMessageHeaderError, 2, "short message: %d bytes", len(b))
+	}
+	for i := 0; i < MarkerLen; i++ {
+		if b[i] != 0xFF {
+			return nil, decodeErr(NotifMessageHeaderError, 1, "marker byte %d is %#x", i, b[i])
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[MarkerLen:]))
+	if length < HeaderLen || length > MaxMsgLen || length != len(b) {
+		return nil, decodeErr(NotifMessageHeaderError, 2, "bad length %d for %d-byte buffer", length, len(b))
+	}
+	typ := MsgType(b[MarkerLen+2])
+	body := b[HeaderLen:]
+	switch typ {
+	case MsgOpen:
+		return unmarshalOpen(body)
+	case MsgUpdate:
+		return unmarshalUpdate(body)
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, decodeErr(NotifMessageHeaderError, 2, "keepalive with %d-byte body", len(body))
+		}
+		return Keepalive{}, nil
+	case MsgNotification:
+		if len(body) < 2 {
+			return nil, decodeErr(NotifMessageHeaderError, 2, "notification body %d bytes", len(body))
+		}
+		return Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+	default:
+		return nil, decodeErr(NotifMessageHeaderError, 3, "unknown message type %d", typ)
+	}
+}
+
+func unmarshalOpen(body []byte) (Message, error) {
+	if len(body) < 10 {
+		return nil, decodeErr(NotifOpenMessageError, 0, "open body %d bytes", len(body))
+	}
+	if body[0] != Version {
+		return nil, decodeErr(NotifOpenMessageError, 1, "unsupported version %d", body[0])
+	}
+	o := Open{
+		AS:           idr.ASN(binary.BigEndian.Uint16(body[1:])),
+		HoldTimeSecs: binary.BigEndian.Uint16(body[3:]),
+	}
+	if o.HoldTimeSecs != 0 && o.HoldTimeSecs < 3 {
+		return nil, decodeErr(NotifOpenMessageError, 6, "hold time %d", o.HoldTimeSecs)
+	}
+	copy(o.ID[:], body[5:9])
+	optLen := int(body[9])
+	opt := body[10:]
+	if len(opt) != optLen {
+		return nil, decodeErr(NotifOpenMessageError, 0, "optional parameters: have %d bytes, header says %d", len(opt), optLen)
+	}
+	for len(opt) > 0 {
+		if len(opt) < 2 {
+			return nil, decodeErr(NotifOpenMessageError, 0, "truncated optional parameter")
+		}
+		ptype, plen := opt[0], int(opt[1])
+		if len(opt) < 2+plen {
+			return nil, decodeErr(NotifOpenMessageError, 0, "optional parameter overruns message")
+		}
+		pval := opt[2 : 2+plen]
+		opt = opt[2+plen:]
+		if ptype != 2 {
+			continue // unknown parameter types are skipped
+		}
+		// Capabilities parameter: a sequence of TLVs.
+		for len(pval) > 0 {
+			if len(pval) < 2 {
+				return nil, decodeErr(NotifOpenMessageError, 0, "truncated capability")
+			}
+			code, clen := pval[0], int(pval[1])
+			if len(pval) < 2+clen {
+				return nil, decodeErr(NotifOpenMessageError, 0, "capability overruns parameter")
+			}
+			val := append([]byte(nil), pval[2:2+clen]...)
+			pval = pval[2+clen:]
+			if code == CapFourOctetAS {
+				if clen != 4 {
+					return nil, decodeErr(NotifOpenMessageError, 0, "four-octet-AS capability length %d", clen)
+				}
+				o.AS = idr.ASN(binary.BigEndian.Uint32(val))
+				continue
+			}
+			o.Capabilities = append(o.Capabilities, Capability{Code: code, Value: val})
+		}
+	}
+	return o, nil
+}
+
+func unmarshalUpdate(body []byte) (Message, error) {
+	if len(body) < 4 {
+		return nil, decodeErr(NotifUpdateMessageError, 1, "update body %d bytes", len(body))
+	}
+	wlen := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+wlen+2 {
+		return nil, decodeErr(NotifUpdateMessageError, 1, "withdrawn length %d overruns message", wlen)
+	}
+	withdrawn, err := unmarshalPrefixes(body[2 : 2+wlen])
+	if err != nil {
+		return nil, decodeErr(NotifUpdateMessageError, 10, "withdrawn routes: %v", err)
+	}
+	rest := body[2+wlen:]
+	alen := int(binary.BigEndian.Uint16(rest))
+	if len(rest) < 2+alen {
+		return nil, decodeErr(NotifUpdateMessageError, 1, "attribute length %d overruns message", alen)
+	}
+	attrs, err := unmarshalAttrs(rest[2 : 2+alen])
+	if err != nil {
+		return nil, err
+	}
+	nlri, err := unmarshalPrefixes(rest[2+alen:])
+	if err != nil {
+		return nil, decodeErr(NotifUpdateMessageError, 10, "nlri: %v", err)
+	}
+	u := Update{Withdrawn: withdrawn, NLRI: nlri}
+	if attrs != nil {
+		u.Attrs = attrs.PathAttrs
+	}
+	if len(nlri) > 0 {
+		// Mandatory attribute checks (RFC 4271 §6.3).
+		if attrs == nil || !attrs.seenOrigin {
+			return nil, decodeErr(NotifUpdateMessageError, 3, "missing ORIGIN")
+		}
+		if !attrs.seenASPath {
+			return nil, decodeErr(NotifUpdateMessageError, 3, "missing AS_PATH")
+		}
+		if !attrs.seenNextHop {
+			return nil, decodeErr(NotifUpdateMessageError, 3, "missing NEXT_HOP")
+		}
+	}
+	return u, nil
+}
+
+func unmarshalPrefixes(b []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		bits := int(b[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("prefix length %d > 32", bits)
+		}
+		nbytes := (bits + 7) / 8
+		if len(b) < 1+nbytes {
+			return nil, fmt.Errorf("prefix field truncated")
+		}
+		var b4 [4]byte
+		copy(b4[:], b[1:1+nbytes])
+		p := netip.PrefixFrom(netip.AddrFrom4(b4), bits)
+		// Reject garbage bits beyond the prefix length: require
+		// canonical encoding so equal prefixes compare equal.
+		if p.Masked() != p {
+			return nil, fmt.Errorf("prefix %v has host bits set", p)
+		}
+		out = append(out, p)
+		b = b[1+nbytes:]
+	}
+	return out, nil
+}
+
+type decodedAttrs struct {
+	PathAttrs
+	seenOrigin, seenASPath, seenNextHop bool
+}
+
+func unmarshalAttrs(b []byte) (*decodedAttrs, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var a decodedAttrs
+	seen := map[uint8]bool{}
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, decodeErr(NotifUpdateMessageError, 1, "truncated attribute header")
+		}
+		flags, typ := b[0], b[1]
+		var vlen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(b) < 4 {
+				return nil, decodeErr(NotifUpdateMessageError, 1, "truncated extended attribute header")
+			}
+			vlen = int(binary.BigEndian.Uint16(b[2:]))
+			hdr = 4
+		} else {
+			vlen = int(b[2])
+			hdr = 3
+		}
+		if len(b) < hdr+vlen {
+			return nil, decodeErr(NotifUpdateMessageError, 5, "attribute %d overruns message", typ)
+		}
+		val := b[hdr : hdr+vlen]
+		b = b[hdr+vlen:]
+		if seen[typ] {
+			return nil, decodeErr(NotifUpdateMessageError, 1, "duplicate attribute %d", typ)
+		}
+		seen[typ] = true
+		switch typ {
+		case AttrOrigin:
+			if vlen != 1 || val[0] > uint8(OriginIncomplete) {
+				return nil, decodeErr(NotifUpdateMessageError, 6, "bad ORIGIN")
+			}
+			a.Origin = Origin(val[0])
+			a.seenOrigin = true
+		case AttrASPath:
+			path, err := unmarshalASPath(val)
+			if err != nil {
+				return nil, decodeErr(NotifUpdateMessageError, 11, "AS_PATH: %v", err)
+			}
+			a.ASPath = path
+			a.seenASPath = true
+		case AttrNextHop:
+			if vlen != 4 {
+				return nil, decodeErr(NotifUpdateMessageError, 8, "NEXT_HOP length %d", vlen)
+			}
+			var b4 [4]byte
+			copy(b4[:], val)
+			a.NextHop = netip.AddrFrom4(b4)
+			a.seenNextHop = true
+		case AttrMED:
+			if vlen != 4 {
+				return nil, decodeErr(NotifUpdateMessageError, 5, "MED length %d", vlen)
+			}
+			v := binary.BigEndian.Uint32(val)
+			a.MED = &v
+		case AttrLocalPref:
+			if vlen != 4 {
+				return nil, decodeErr(NotifUpdateMessageError, 5, "LOCAL_PREF length %d", vlen)
+			}
+			v := binary.BigEndian.Uint32(val)
+			a.LocalPref = &v
+		case AttrAtomicAggregate:
+			if vlen != 0 {
+				return nil, decodeErr(NotifUpdateMessageError, 5, "ATOMIC_AGGREGATE length %d", vlen)
+			}
+			a.AtomicAggregate = true
+		case AttrAggregator:
+			if vlen != 8 {
+				return nil, decodeErr(NotifUpdateMessageError, 5, "AGGREGATOR length %d", vlen)
+			}
+			var b4 [4]byte
+			copy(b4[:], val[4:8])
+			a.Aggregator = &Aggregator{
+				AS: idr.ASN(binary.BigEndian.Uint32(val)),
+				ID: netip.AddrFrom4(b4),
+			}
+		case AttrCommunities:
+			if vlen%4 != 0 {
+				return nil, decodeErr(NotifUpdateMessageError, 5, "COMMUNITIES length %d", vlen)
+			}
+			for i := 0; i < vlen; i += 4 {
+				a.Communities = append(a.Communities, Community(binary.BigEndian.Uint32(val[i:])))
+			}
+		default:
+			// Unrecognized optional attributes are tolerated
+			// (transit behaviour is out of scope); unrecognized
+			// well-known attributes are an error.
+			if flags&flagOptional == 0 {
+				return nil, decodeErr(NotifUpdateMessageError, 2, "unrecognized well-known attribute %d", typ)
+			}
+		}
+	}
+	return &a, nil
+}
+
+func unmarshalASPath(b []byte) (ASPath, error) {
+	var path ASPath
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("truncated segment header")
+		}
+		st, n := SegType(b[0]), int(b[1])
+		if st != ASSet && st != ASSequence {
+			return nil, fmt.Errorf("bad segment type %d", st)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("empty segment")
+		}
+		if len(b) < 2+4*n {
+			return nil, fmt.Errorf("segment overruns attribute")
+		}
+		seg := Segment{Type: st, ASNs: make([]idr.ASN, n)}
+		for i := 0; i < n; i++ {
+			seg.ASNs[i] = idr.ASN(binary.BigEndian.Uint32(b[2+4*i:]))
+		}
+		path = append(path, seg)
+		b = b[2+4*n:]
+	}
+	return path, nil
+}
+
+// ReadMessage reads exactly one BGP message from a byte stream (for
+// the wall-clock TCP mode). It returns the raw frame including the
+// header; pass it to Unmarshal.
+func ReadMessage(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[MarkerLen:]))
+	if length < HeaderLen || length > MaxMsgLen {
+		return nil, decodeErr(NotifMessageHeaderError, 2, "bad length %d in stream", length)
+	}
+	frame := make([]byte, length)
+	copy(frame, hdr)
+	if _, err := io.ReadFull(r, frame[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

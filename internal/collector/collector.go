@@ -1,0 +1,184 @@
+// Package collector implements the framework's BGP route collector
+// (paper §3: "All BGP routers peer with a BGP route collector, which
+// collects routing updates for monitoring purposes").
+//
+// The collector is a real BGP speaker: it accepts sessions, imports
+// everything into its RIB and exports nothing, while recording every
+// UPDATE with a timestamp for offline analysis (a lightweight MRT-like
+// feed, serialisable as JSON lines).
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/bgp/rib"
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// DefaultASN is the collector's conventional private AS number.
+const DefaultASN idr.ASN = 65000
+
+// Record is one collected routing update.
+type Record struct {
+	Time time.Time `json:"time"`
+	// From is the router the update came from.
+	From idr.ASN `json:"from"`
+	// Announced maps prefix -> AS path for the NLRI in the update.
+	Announced map[string]string `json:"announced,omitempty"`
+	// Withdrawn lists withdrawn prefixes.
+	Withdrawn []string `json:"withdrawn,omitempty"`
+}
+
+// silentPolicy imports everything and exports nothing: the collector
+// listens only.
+type silentPolicy struct{}
+
+func (silentPolicy) Import(policy.Neighbor, *rib.Route) bool                  { return true }
+func (silentPolicy) Export(policy.Neighbor, policy.Neighbor, *rib.Route) bool { return false }
+
+// Collector is the route collector instance.
+type Collector struct {
+	router  *bgp.Router
+	clock   sim.Clock
+	records []Record
+	last    time.Time
+}
+
+// Config configures the collector.
+type Config struct {
+	// ASN defaults to DefaultASN.
+	ASN   idr.ASN
+	Clock sim.Clock
+	Rand  *rand.Rand
+	// Timers defaults to bgp.DefaultTimers with MRAI irrelevant (the
+	// collector never advertises).
+	Timers bgp.Timers
+}
+
+// New builds a collector.
+func New(cfg Config) (*Collector, error) {
+	if cfg.ASN == 0 {
+		cfg.ASN = DefaultASN
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("collector: needs a clock")
+	}
+	c := &Collector{clock: cfg.Clock}
+	router, err := bgp.New(bgp.Config{
+		ASN:      cfg.ASN,
+		RouterID: idr.RouterIDFromAddr(netip.AddrFrom4([4]byte{172, 31, 255, 1})),
+		Clock:    cfg.Clock,
+		Rand:     cfg.Rand,
+		Policy:   silentPolicy{},
+		Timers:   cfg.Timers,
+		Trace:    c.onTrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.router = router
+	return c, nil
+}
+
+// Router exposes the collector's BGP speaker for session wiring.
+func (c *Collector) Router() *bgp.Router { return c.router }
+
+// ASN returns the collector's AS number.
+func (c *Collector) ASN() idr.ASN { return c.router.ASN() }
+
+func (c *Collector) onTrace(ev bgp.TraceEvent) {
+	if ev.Kind != bgp.TraceRecv {
+		return
+	}
+	u, ok := ev.Msg.(wire.Update)
+	if !ok {
+		return
+	}
+	rec := Record{Time: ev.Time, From: peerASNFromKey(ev.Peer)}
+	if len(u.NLRI) > 0 {
+		rec.Announced = make(map[string]string, len(u.NLRI))
+		for _, p := range u.NLRI {
+			rec.Announced[p.String()] = u.Attrs.ASPath.String()
+		}
+	}
+	for _, p := range u.Withdrawn {
+		rec.Withdrawn = append(rec.Withdrawn, p.String())
+	}
+	c.records = append(c.records, rec)
+	c.last = ev.Time
+}
+
+// peerASNFromKey extracts the remote ASN from the framework's
+// conventional peer keys ("from-AS<number>"). Unknown shapes yield 0.
+func peerASNFromKey(key rib.PeerKey) idr.ASN {
+	var n uint32
+	if _, err := fmt.Sscanf(string(key), "from-AS%d", &n); err == nil {
+		return idr.ASN(n)
+	}
+	return 0
+}
+
+// PeerKeyFor returns the conventional collector-side peer key for a
+// monitored router.
+func PeerKeyFor(asn idr.ASN) rib.PeerKey {
+	return rib.PeerKey(fmt.Sprintf("from-AS%d", uint32(asn)))
+}
+
+// Records returns all collected updates in arrival order.
+func (c *Collector) Records() []Record { return c.records }
+
+// LastUpdate returns the time of the most recent update, or false when
+// nothing was collected.
+func (c *Collector) LastUpdate() (time.Time, bool) {
+	if c.last.IsZero() {
+		return time.Time{}, false
+	}
+	return c.last, true
+}
+
+// CountSince counts updates at or after t.
+func (c *Collector) CountSince(t time.Time) int {
+	n := 0
+	for _, r := range c.records {
+		if !r.Time.Before(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Buckets histograms update arrivals into fixed-width buckets starting
+// at start; useful for plotting update bursts during convergence.
+func (c *Collector) Buckets(start time.Time, width time.Duration, n int) []int {
+	out := make([]int, n)
+	for _, r := range c.records {
+		if r.Time.Before(start) {
+			continue
+		}
+		idx := int(r.Time.Sub(start) / width)
+		if idx >= 0 && idx < n {
+			out[idx]++
+		}
+	}
+	return out
+}
+
+// WriteJSONL streams the collected records as JSON lines.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range c.records {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package collector
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/idr"
+	"repro/internal/netem"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// rig peers one monitored router (AS 7) with a collector over netem.
+func rig(t *testing.T) (*sim.Kernel, *Collector, *bgp.Router) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	net := netem.NewNetwork(k, k.Rand())
+	coll, err := New(Config{Clock: k, Rand: k.Rand(),
+		Timers: bgp.Timers{MRAI: time.Second, MRAIJitter: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := bgp.New(bgp.Config{
+		ASN:      7,
+		RouterID: idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.7")),
+		Clock:    k,
+		Rand:     k.Rand(),
+		Timers:   bgp.Timers{MRAI: time.Second, MRAIJitter: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNode, _ := net.AddNode("r")
+	cNode, _ := net.AddNode("coll")
+	link, err := net.Connect(rNode, cNode, netem.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epR, epC := link.Endpoints()
+	pr, err := r.AddPeer(bgp.PeerConfig{
+		Key: "to-coll", RemoteASN: coll.ASN(),
+		NextHop: netip.MustParseAddr("172.31.0.7"), Send: epR.Send,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := coll.Router().AddPeer(bgp.PeerConfig{
+		Key: PeerKeyFor(7), RemoteASN: 7,
+		NextHop: netip.MustParseAddr("172.31.255.1"), Send: epC.Send,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNode.OnMessage(func(from *netem.Endpoint, data []byte) { r.Deliver("to-coll", data) })
+	cNode.OnMessage(func(from *netem.Endpoint, data []byte) { coll.Router().Deliver(PeerKeyFor(7), data) })
+	k.Go(func() {
+		pr.TransportUp()
+		pc.TransportUp()
+	})
+	return k, coll, r
+}
+
+func TestCollectorRecordsAnnounceAndWithdraw(t *testing.T) {
+	k, coll, r := rig(t)
+	pfx := netip.MustParsePrefix("10.0.7.0/24")
+	k.AfterFunc(time.Second, func() { _ = r.Announce(pfx) })
+	k.AfterFunc(10*time.Second, func() { _ = r.Withdraw(pfx) })
+	if err := k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recs := coll.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (%+v)", len(recs), recs)
+	}
+	if recs[0].From != 7 || recs[0].Announced[pfx.String()] != "7" {
+		t.Fatalf("announce record = %+v", recs[0])
+	}
+	if len(recs[1].Withdrawn) != 1 || recs[1].Withdrawn[0] != pfx.String() {
+		t.Fatalf("withdraw record = %+v", recs[1])
+	}
+	if recs[0].Time.After(recs[1].Time) {
+		t.Fatal("records out of order")
+	}
+	// The collector's own RIB holds nothing after the withdrawal.
+	if _, ok := coll.Router().Table().Best(pfx); ok {
+		t.Fatal("collector RIB should be empty after withdrawal")
+	}
+	last, ok := coll.LastUpdate()
+	if !ok || !last.Equal(recs[1].Time) {
+		t.Fatal("LastUpdate wrong")
+	}
+	if coll.CountSince(recs[1].Time) != 1 {
+		t.Fatal("CountSince wrong")
+	}
+}
+
+func TestCollectorNeverAdvertises(t *testing.T) {
+	k, coll, r := rig(t)
+	pfx := netip.MustParsePrefix("10.0.7.0/24")
+	k.AfterFunc(time.Second, func() { _ = r.Announce(pfx) })
+	// Give the collector something it could in principle re-advertise,
+	// plus plenty of time.
+	if err := k.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sent := coll.Router().Stats().UpdatesSent; sent != 0 {
+		t.Fatalf("collector sent %d updates; must be silent", sent)
+	}
+	// The monitored router never received an UPDATE from the collector.
+	if got := r.Stats().UpdatesReceived; got != 0 {
+		t.Fatalf("router received %d updates from collector", got)
+	}
+}
+
+func TestCollectorBuckets(t *testing.T) {
+	k, coll, r := rig(t)
+	pfx1 := netip.MustParsePrefix("10.0.7.0/24")
+	pfx2 := netip.MustParsePrefix("10.1.7.0/24")
+	k.AfterFunc(time.Second, func() { _ = r.Announce(pfx1) })
+	k.AfterFunc(11*time.Second, func() { _ = r.Announce(pfx2) })
+	if err := k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	buckets := coll.Buckets(sim.Epoch, 5*time.Second, 4)
+	if buckets[0] != 1 || buckets[2] != 1 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	// Out-of-range records are ignored.
+	if coll.Buckets(sim.Epoch.Add(time.Hour), time.Second, 2)[0] != 0 {
+		t.Fatal("future start should see nothing")
+	}
+}
+
+func TestCollectorJSONL(t *testing.T) {
+	k, coll, r := rig(t)
+	pfx := netip.MustParsePrefix("10.0.7.0/24")
+	k.AfterFunc(time.Second, func() { _ = r.Announce(pfx) })
+	if err := k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := coll.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"from":7`) || !strings.Contains(out, "10.0.7.0/24") {
+		t.Fatalf("jsonl = %q", out)
+	}
+}
+
+func TestPeerKeyRoundTrip(t *testing.T) {
+	if got := peerASNFromKey(PeerKeyFor(64500)); got != 64500 {
+		t.Fatalf("round trip = %v", got)
+	}
+	if got := peerASNFromKey("weird"); got != 0 {
+		t.Fatalf("unknown key = %v, want 0", got)
+	}
+}
+
+func TestCollectorConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing clock should error")
+	}
+	k := sim.NewKernel(1)
+	c, err := New(Config{Clock: k, Rand: k.Rand()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ASN() != DefaultASN {
+		t.Fatalf("default ASN = %v", c.ASN())
+	}
+	if _, ok := c.LastUpdate(); ok {
+		t.Fatal("fresh collector should have no updates")
+	}
+	// silentPolicy: imports everything, exports nothing.
+	var p silentPolicy
+	if !p.Import(policy.Neighbor{}, nil) {
+		t.Fatal("silent policy must import")
+	}
+	if p.Export(policy.Neighbor{}, policy.Neighbor{}, nil) {
+		t.Fatal("silent policy must not export")
+	}
+}

@@ -1,0 +1,476 @@
+// Package core implements the paper's primary contribution: the
+// proof-of-concept IDR SDN controller that exploits centralization to
+// improve inter-domain routing convergence (§3).
+//
+// The controller sits over the cluster BGP speaker and the cluster's
+// switches. It maintains two graphs, exactly as the paper describes:
+//
+//   - the Switch graph — the physical topology of the cluster's
+//     switches (member ASes and their intra-cluster links), and
+//   - the AS topology graph — a per-destination-prefix transformation
+//     of the switch graph that adds the usable external egress routes
+//     and removes egresses whose AS paths would re-enter the same
+//     sub-cluster, "taking carefully into account paths that cross the
+//     legacy world and the SDN cluster so as to avoid loops".
+//
+// Best paths are computed with Dijkstra on the AS topology graph and
+// compiled to flow rules on the member switches. Recomputation is
+// delayed (debounced) "so as to improve overall stability and
+// rate-limit route flaps due to bursts in external BGP input" — the
+// paper's second design insight. Disjoint sub-clusters under one
+// controller are supported: an intra-cluster link failure splits the
+// switch graph into components that keep routing independently, with
+// legacy paths able to reconnect them.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/bgp/wire"
+	"repro/internal/frames"
+	"repro/internal/idr"
+	"repro/internal/sdn/ofp"
+	"repro/internal/sim"
+	"repro/internal/speaker"
+)
+
+// DefaultDebounce is the default delayed-recomputation window.
+const DefaultDebounce = 1 * time.Second
+
+// SessKey identifies one external eBGP peering: the border member it
+// terminates on and the switch port it uses.
+type SessKey struct {
+	Border idr.ASN
+	Port   uint32
+}
+
+// String renders the key for logs.
+func (k SessKey) String() string { return fmt.Sprintf("%v#%d", k.Border, k.Port) }
+
+// Stats counts controller activity for the analysis tools.
+type Stats struct {
+	Recomputes       uint64
+	FlowModsSent     uint64
+	RouteEvents      uint64
+	AnnounceCommands uint64
+	WithdrawCommands uint64
+}
+
+// Config configures the controller.
+type Config struct {
+	Clock sim.Clock
+	// Debounce is the delayed-recomputation window (default
+	// DefaultDebounce). Zero selects the default; negative disables
+	// debouncing entirely (recompute immediately — the ablation case).
+	Debounce time.Duration
+	// HoldTime proposed on external sessions (default speaker's 90s).
+	HoldTime time.Duration
+	// OnRecompute, when set, observes every recomputation batch.
+	OnRecompute func(dirty int)
+}
+
+// Controller is the IDR controller instance (one per cluster).
+type Controller struct {
+	cfg      Config
+	members  map[idr.ASN]*member
+	sessions map[SessKey]*extSession
+	// extRoutes: per prefix, the candidate external routes by session.
+	extRoutes map[netip.Prefix]map[SessKey]wire.PathAttrs
+	// owned: cluster-originated prefixes and their owner member.
+	owned map[netip.Prefix]idr.ASN
+
+	dirty         map[netip.Prefix]bool
+	allDirty      bool
+	debounceTimer sim.Timer
+	started       bool
+
+	xid   uint32
+	stats Stats
+}
+
+type member struct {
+	asn   idr.ASN
+	send  func([]byte) error
+	ports map[uint32]*portInfo
+}
+
+type portInfo struct {
+	neighbor idr.ASN
+	isMember bool
+	up       bool
+	sess     *extSession
+}
+
+type extSession struct {
+	key         SessKey
+	remote      idr.ASN
+	sess        *speaker.Session
+	established bool
+}
+
+// New returns a controller on the given clock.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("core: controller needs a clock")
+	}
+	if cfg.Debounce == 0 {
+		cfg.Debounce = DefaultDebounce
+	}
+	return &Controller{
+		cfg:       cfg,
+		members:   make(map[idr.ASN]*member),
+		sessions:  make(map[SessKey]*extSession),
+		extRoutes: make(map[netip.Prefix]map[SessKey]wire.PathAttrs),
+		owned:     make(map[netip.Prefix]idr.ASN),
+		dirty:     make(map[netip.Prefix]bool),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Members returns the cluster membership, sorted.
+func (c *Controller) Members() []idr.ASN {
+	out := make([]idr.ASN, 0, len(c.members))
+	for a := range c.members {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsMember reports cluster membership.
+func (c *Controller) IsMember(asn idr.ASN) bool {
+	_, ok := c.members[asn]
+	return ok
+}
+
+// AddMember registers a cluster member switch with its control-channel
+// transmit function.
+func (c *Controller) AddMember(asn idr.ASN, send func([]byte) error) error {
+	if asn == 0 {
+		return fmt.Errorf("core: member needs an ASN")
+	}
+	if send == nil {
+		return fmt.Errorf("core: member %v needs a control channel", asn)
+	}
+	if _, dup := c.members[asn]; dup {
+		return fmt.Errorf("core: duplicate member %v", asn)
+	}
+	c.members[asn] = &member{asn: asn, send: send, ports: make(map[uint32]*portInfo)}
+	return nil
+}
+
+// RegisterPort teaches the controller the switch graph: member's port
+// leads to neighbor (isMember marks intra-cluster links). Ports start
+// up.
+func (c *Controller) RegisterPort(memberASN idr.ASN, port uint32, neighbor idr.ASN, isMember bool) error {
+	m, ok := c.members[memberASN]
+	if !ok {
+		return fmt.Errorf("core: unknown member %v", memberASN)
+	}
+	if _, dup := m.ports[port]; dup {
+		return fmt.Errorf("core: member %v port %d already registered", memberASN, port)
+	}
+	if isMember {
+		if _, ok := c.members[neighbor]; !ok {
+			return fmt.Errorf("core: member %v port %d: intra-cluster neighbor %v is not a member", memberASN, port, neighbor)
+		}
+	}
+	m.ports[port] = &portInfo{neighbor: neighbor, isMember: isMember, up: true}
+	return nil
+}
+
+// AddExternalPeering creates the speaker session for the eBGP peering
+// with remoteASN on the given border port. localID is the border
+// member's BGP identifier (members keep their AS identity); nextHop is
+// the member's address on the external link.
+func (c *Controller) AddExternalPeering(borderASN idr.ASN, port uint32, remoteASN idr.ASN, localID idr.RouterID, nextHop netip.Addr) error {
+	m, ok := c.members[borderASN]
+	if !ok {
+		return fmt.Errorf("core: unknown member %v", borderASN)
+	}
+	pi, ok := m.ports[port]
+	if !ok {
+		return fmt.Errorf("core: member %v has no port %d", borderASN, port)
+	}
+	if pi.isMember {
+		return fmt.Errorf("core: member %v port %d is intra-cluster", borderASN, port)
+	}
+	if pi.sess != nil {
+		return fmt.Errorf("core: member %v port %d already has a peering", borderASN, port)
+	}
+	key := SessKey{Border: borderASN, Port: port}
+	es := &extSession{key: key, remote: remoteASN}
+	sess, err := speaker.New(speaker.Config{
+		LocalASN:  borderASN,
+		LocalID:   localID,
+		RemoteASN: remoteASN,
+		NextHop:   nextHop,
+		HoldTime:  c.cfg.HoldTime,
+		Clock:     c.cfg.Clock,
+		Send: func(bgpFrame []byte) error {
+			return c.sendPacketOut(m, port, bgpFrame)
+		},
+		OnRoute: func(ev speaker.RouteEvent) { c.onRoute(key, ev) },
+		OnState: func(up bool) { c.onSessionState(es, up) },
+	})
+	if err != nil {
+		return err
+	}
+	es.sess = sess
+	pi.sess = es
+	c.sessions[key] = es
+	return nil
+}
+
+func (c *Controller) nextXid() uint32 {
+	c.xid++
+	return c.xid
+}
+
+func (c *Controller) sendPacketOut(m *member, port uint32, bgpFrame []byte) error {
+	po := ofp.PacketOut{OutPort: port, Data: frames.Encode(frames.KindBGP, bgpFrame)}
+	frame, err := ofp.Marshal(po, c.nextXid())
+	if err != nil {
+		return err
+	}
+	return m.send(frame)
+}
+
+// Start greets every switch and brings up the external sessions whose
+// ports are up.
+func (c *Controller) Start() error {
+	if c.started {
+		return fmt.Errorf("core: controller already started")
+	}
+	c.started = true
+	for _, asn := range c.Members() {
+		m := c.members[asn]
+		for _, msg := range []ofp.Message{ofp.Hello{}, ofp.FeaturesRequest{}} {
+			frame, err := ofp.Marshal(msg, c.nextXid())
+			if err != nil {
+				return err
+			}
+			if err := m.send(frame); err != nil {
+				return err
+			}
+		}
+	}
+	for _, key := range c.sessionKeys() {
+		es := c.sessions[key]
+		pi := c.members[es.key.Border].ports[es.key.Port]
+		if pi.up {
+			es.sess.TransportUp()
+		}
+	}
+	return nil
+}
+
+// sessionKeys returns the external peering keys in sorted order.
+func (c *Controller) sessionKeys() []SessKey {
+	keys := make([]SessKey, 0, len(c.sessions))
+	for k := range c.sessions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Border != keys[j].Border {
+			return keys[i].Border < keys[j].Border
+		}
+		return keys[i].Port < keys[j].Port
+	})
+	return keys
+}
+
+// OriginatePrefix announces a cluster-originated prefix owned by a
+// member AS.
+func (c *Controller) OriginatePrefix(owner idr.ASN, prefix netip.Prefix) error {
+	if _, ok := c.members[owner]; !ok {
+		return fmt.Errorf("core: unknown member %v", owner)
+	}
+	c.owned[prefix] = owner
+	c.markDirty(prefix)
+	return nil
+}
+
+// WithdrawOriginated retracts a cluster-originated prefix.
+func (c *Controller) WithdrawOriginated(prefix netip.Prefix) error {
+	if _, ok := c.owned[prefix]; !ok {
+		return fmt.Errorf("core: %v is not cluster-originated", prefix)
+	}
+	delete(c.owned, prefix)
+	c.markDirty(prefix)
+	return nil
+}
+
+// HandleControl processes one OpenFlow frame arriving from a member
+// switch.
+func (c *Controller) HandleControl(memberASN idr.ASN, frame []byte) error {
+	m, ok := c.members[memberASN]
+	if !ok {
+		return fmt.Errorf("core: control frame from unknown member %v", memberASN)
+	}
+	msg, xid, err := ofp.Unmarshal(frame)
+	if err != nil {
+		return fmt.Errorf("core: from member %v: %w", memberASN, err)
+	}
+	switch v := msg.(type) {
+	case ofp.Hello, ofp.FeaturesReply, ofp.EchoReply:
+		return nil
+	case ofp.EchoRequest:
+		reply, err := ofp.Marshal(ofp.EchoReply{Data: v.Data}, xid)
+		if err != nil {
+			return err
+		}
+		return m.send(reply)
+	case ofp.PacketIn:
+		return c.handlePacketIn(m, v)
+	case ofp.PortStatus:
+		c.handlePortStatus(m, v)
+		return nil
+	default:
+		return fmt.Errorf("core: unexpected %v from member %v", msg.Type(), memberASN)
+	}
+}
+
+func (c *Controller) handlePacketIn(m *member, pin ofp.PacketIn) error {
+	pi, ok := m.ports[pin.InPort]
+	if !ok || pi.sess == nil {
+		// BGP traffic on a port with no configured peering: drop.
+		return nil
+	}
+	pi.sess.sess.Deliver(pin.Data)
+	return nil
+}
+
+func (c *Controller) handlePortStatus(m *member, ps ofp.PortStatus) {
+	pi, ok := m.ports[ps.Port]
+	if !ok || pi.up == ps.Up {
+		return
+	}
+	pi.up = ps.Up
+	if pi.sess != nil {
+		if ps.Up {
+			pi.sess.sess.TransportUp()
+		} else {
+			pi.sess.sess.TransportDown()
+		}
+		return
+	}
+	if pi.isMember {
+		// The switch graph changed: every prefix may reroute.
+		c.markAllDirty()
+	}
+}
+
+// onRoute records an external route event and schedules recomputation.
+func (c *Controller) onRoute(key SessKey, ev speaker.RouteEvent) {
+	c.stats.RouteEvents++
+	if ev.Withdrawn {
+		if m := c.extRoutes[ev.Prefix]; m != nil {
+			delete(m, key)
+			if len(m) == 0 {
+				delete(c.extRoutes, ev.Prefix)
+			}
+		}
+	} else {
+		m := c.extRoutes[ev.Prefix]
+		if m == nil {
+			m = make(map[SessKey]wire.PathAttrs)
+			c.extRoutes[ev.Prefix] = m
+		}
+		m[key] = ev.Attrs
+	}
+	c.markDirty(ev.Prefix)
+}
+
+func (c *Controller) onSessionState(es *extSession, up bool) {
+	es.established = up
+	if up {
+		// Re-advertise current state on the fresh session.
+		c.markAllDirty()
+	}
+	// Session loss already produced synthetic withdrawals via OnRoute.
+}
+
+// markDirty schedules a delayed recomputation for one prefix.
+func (c *Controller) markDirty(prefix netip.Prefix) {
+	c.dirty[prefix] = true
+	c.armDebounce()
+}
+
+// markAllDirty schedules recomputation of every known prefix.
+func (c *Controller) markAllDirty() {
+	c.allDirty = true
+	c.armDebounce()
+}
+
+func (c *Controller) armDebounce() {
+	if c.cfg.Debounce < 0 {
+		// Debouncing disabled (ablation): recompute synchronously.
+		c.recompute()
+		return
+	}
+	if c.debounceTimer != nil && c.debounceTimer.Active() {
+		return
+	}
+	c.debounceTimer = c.cfg.Clock.AfterFunc(c.cfg.Debounce, c.recompute)
+}
+
+// knownPrefixes returns every prefix with state, sorted.
+func (c *Controller) knownPrefixes() []netip.Prefix {
+	set := make(map[netip.Prefix]bool, len(c.extRoutes)+len(c.owned))
+	for p := range c.extRoutes {
+		set[p] = true
+	}
+	for p := range c.owned {
+		set[p] = true
+	}
+	out := make([]netip.Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
+	return out
+}
+
+// recompute runs the delayed best-path recomputation for all dirty
+// prefixes.
+func (c *Controller) recompute() {
+	var prefixes []netip.Prefix
+	if c.allDirty {
+		prefixes = c.knownPrefixes()
+		// Previously-known prefixes that lost all state still need
+		// their flows/announcements cleaned up.
+		for p := range c.dirty {
+			if _, known := c.extRoutes[p]; known {
+				continue
+			}
+			if _, own := c.owned[p]; own {
+				continue
+			}
+			prefixes = append(prefixes, p)
+		}
+	} else {
+		prefixes = make([]netip.Prefix, 0, len(c.dirty))
+		for p := range c.dirty {
+			prefixes = append(prefixes, p)
+		}
+		sort.Slice(prefixes, func(i, j int) bool { return idr.PrefixLess(prefixes[i], prefixes[j]) })
+	}
+	c.allDirty = false
+	c.dirty = make(map[netip.Prefix]bool)
+	if len(prefixes) == 0 {
+		return
+	}
+	c.stats.Recomputes++
+	if c.cfg.OnRecompute != nil {
+		c.cfg.OnRecompute(len(prefixes))
+	}
+	for _, p := range prefixes {
+		c.recomputePrefix(p)
+	}
+}

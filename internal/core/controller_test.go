@@ -1,0 +1,481 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/sdn/ofp"
+	"repro/internal/sim"
+	"repro/internal/speaker"
+)
+
+// capture collects control frames sent to one member switch.
+type capture struct {
+	frames [][]byte
+}
+
+func (c *capture) send(b []byte) error {
+	c.frames = append(c.frames, b)
+	return nil
+}
+
+// flowMods decodes the captured FlowMod messages.
+func (c *capture) flowMods(t *testing.T) []ofp.FlowMod {
+	t.Helper()
+	var out []ofp.FlowMod
+	for _, f := range c.frames {
+		msg, _, err := ofp.Unmarshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm, ok := msg.(ofp.FlowMod); ok {
+			out = append(out, fm)
+		}
+	}
+	return out
+}
+
+// testCluster builds a controller with members 11,12,13 in a line
+// (11-12-13), a capture per member, and an established external
+// session on 11 port 2 toward legacy AS 2 and on 13 port 2 toward
+// legacy AS 3.
+func testCluster(t *testing.T) (*Controller, *sim.Kernel, map[idr.ASN]*capture) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	c, err := New(Config{Clock: k, Debounce: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := map[idr.ASN]*capture{11: {}, 12: {}, 13: {}}
+	for asn, cp := range caps {
+		if err := c.AddMember(asn, cp.send); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Switch graph: 11 port1 <-> 12 port1; 12 port2 <-> 13 port1.
+	mustRegister := func(m idr.ASN, port uint32, nb idr.ASN, member bool) {
+		t.Helper()
+		if err := c.RegisterPort(m, port, nb, member); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRegister(11, 1, 12, true)
+	mustRegister(12, 1, 11, true)
+	mustRegister(12, 2, 13, true)
+	mustRegister(13, 1, 12, true)
+	mustRegister(11, 2, 2, false)
+	mustRegister(13, 2, 3, false)
+	id := func(a idr.ASN) idr.RouterID {
+		return idr.RouterIDFromAddr(netip.AddrFrom4([4]byte{172, 16, 0, byte(a)}))
+	}
+	if err := c.AddExternalPeering(11, 2, 2, id(11), netip.MustParseAddr("100.64.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddExternalPeering(13, 2, 3, id(13), netip.MustParseAddr("100.64.0.5")); err != nil {
+		t.Fatal(err)
+	}
+	// Mark the sessions established without running the FSM: these
+	// white-box tests exercise the graph logic, not the speaker.
+	for _, es := range c.sessions {
+		es.established = true
+	}
+	return c, k, caps
+}
+
+var testPrefix = netip.MustParsePrefix("10.0.2.0/24")
+
+func extAttrs(path ...idr.ASN) wire.PathAttrs {
+	return wire.PathAttrs{
+		Origin:  wire.OriginIGP,
+		ASPath:  wire.NewASPath(path...),
+		NextHop: netip.MustParseAddr("100.64.0.2"),
+	}
+}
+
+func TestSubClusters(t *testing.T) {
+	c, _, _ := testCluster(t)
+	comp := c.subClusters()
+	if comp[11] != comp[12] || comp[12] != comp[13] {
+		t.Fatalf("connected cluster should be one component: %v", comp)
+	}
+	// Fail 12<->13: splits into {11,12} and {13}.
+	c.members[12].ports[2].up = false
+	c.members[13].ports[1].up = false
+	comp = c.subClusters()
+	if comp[11] != comp[12] {
+		t.Fatal("11 and 12 should stay together")
+	}
+	if comp[13] == comp[11] {
+		t.Fatal("13 should be isolated")
+	}
+}
+
+func TestDijkstraExternalPrefix(t *testing.T) {
+	c, _, _ := testCluster(t)
+	// Route learned only at border 11 from AS 2 with path [2].
+	c.onRoute(SessKey{Border: 11, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(2),
+	})
+	res := c.dijkstra(testPrefix, c.subClusters())
+	// 11 exits directly: cost 1 + len([2]) = 2.
+	if res.dist[11] != 2 {
+		t.Fatalf("dist[11] = %d, want 2", res.dist[11])
+	}
+	if res.dist[12] != 3 || res.dist[13] != 4 {
+		t.Fatalf("dist = %v", res.dist)
+	}
+	if res.next[12] != 11 || res.next[13] != 12 {
+		t.Fatalf("next = %v", res.next)
+	}
+	if res.egress[11].key != (SessKey{Border: 11, Port: 2}) {
+		t.Fatalf("egress = %v", res.egress)
+	}
+	path, ok := res.forwardingPath(13)
+	if !ok || len(path) != 3 || path[0] != 13 || path[2] != 11 {
+		t.Fatalf("forwardingPath(13) = %v", path)
+	}
+}
+
+func TestDijkstraPrefersShorterExternalPath(t *testing.T) {
+	c, _, _ := testCluster(t)
+	// Border 11 hears a long path, border 13 a short one.
+	c.onRoute(SessKey{Border: 11, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(2, 7, 8, 9),
+	})
+	c.onRoute(SessKey{Border: 13, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(3),
+	})
+	res := c.dijkstra(testPrefix, c.subClusters())
+	// 12 should prefer egress via 13 (cost 2+1=3) over 11 (cost 5+1).
+	if res.next[12] != 13 {
+		t.Fatalf("next[12] = %v, want 13", res.next[12])
+	}
+	// 11 itself: direct exit costs 5; via 12,13 costs 2+2=4 -> transit.
+	if res.next[11] != 12 {
+		t.Fatalf("next[11] = %v, want 12 (transit beats long exit)", res.next[11])
+	}
+	if _, isEgress := res.egress[11]; isEgress {
+		t.Fatal("11 should not be an egress")
+	}
+}
+
+func TestCandidateLoopAvoidance(t *testing.T) {
+	c, _, _ := testCluster(t)
+	// External path re-entering the cluster (contains member 12):
+	// unusable from any border in the same component.
+	c.onRoute(SessKey{Border: 11, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(2, 12, 5),
+	})
+	cands := c.candidatesFor(testPrefix, c.subClusters())
+	if len(cands) != 0 {
+		t.Fatalf("re-entering path must be filtered, got %v", cands)
+	}
+	// After a partition isolating 13, a path through 13 is usable
+	// from component {11,12} (sub-clusters reach each other over the
+	// legacy world).
+	c.members[12].ports[2].up = false
+	c.members[13].ports[1].up = false
+	c.onRoute(SessKey{Border: 11, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(2, 13, 5),
+	})
+	cands = c.candidatesFor(testPrefix, c.subClusters())
+	if len(cands) != 1 {
+		t.Fatalf("cross-sub-cluster path should be usable, got %v", cands)
+	}
+}
+
+func TestDijkstraOwnedPrefix(t *testing.T) {
+	c, _, _ := testCluster(t)
+	owned := netip.MustParsePrefix("10.0.13.0/24")
+	if err := c.OriginatePrefix(13, owned); err != nil {
+		t.Fatal(err)
+	}
+	res := c.dijkstra(owned, c.subClusters())
+	if res.owner != 13 || res.dist[13] != 0 {
+		t.Fatalf("owner routing wrong: %+v", res)
+	}
+	if res.dist[11] != 2 || res.next[11] != 12 {
+		t.Fatalf("11's path to owner wrong: dist=%v next=%v", res.dist, res.next)
+	}
+}
+
+func TestPushFlowsProgramsSwitches(t *testing.T) {
+	c, k, caps := testCluster(t)
+	c.onRoute(SessKey{Border: 11, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(2),
+	})
+	if err := k.Run(); err != nil { // debounce fires, recompute runs
+		t.Fatal(err)
+	}
+	// Member 13 forwards toward 12 (its port 1).
+	mods := caps[13].flowMods(t)
+	if len(mods) != 1 || mods[0].Command != ofp.FlowAdd || mods[0].OutPort != 1 {
+		t.Fatalf("member 13 flow mods = %v", mods)
+	}
+	// Member 12 forwards toward 11 (its port 1).
+	mods = caps[12].flowMods(t)
+	if len(mods) != 1 || mods[0].OutPort != 1 {
+		t.Fatalf("member 12 flow mods = %v", mods)
+	}
+	// Border 11 exits on its external port 2.
+	mods = caps[11].flowMods(t)
+	if len(mods) != 1 || mods[0].OutPort != 2 {
+		t.Fatalf("member 11 flow mods = %v", mods)
+	}
+	if c.Stats().FlowModsSent != 3 || c.Stats().Recomputes != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestWithdrawalRemovesFlows(t *testing.T) {
+	c, k, caps := testCluster(t)
+	key := SessKey{Border: 11, Port: 2}
+	c.onRoute(key, speaker.RouteEvent{Prefix: testPrefix, Attrs: extAttrs(2)})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.onRoute(key, speaker.RouteEvent{Prefix: testPrefix, Withdrawn: true})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mods := caps[12].flowMods(t)
+	last := mods[len(mods)-1]
+	if last.Command != ofp.FlowDelete || last.Match != testPrefix {
+		t.Fatalf("expected FlowDelete, got %v", last)
+	}
+}
+
+func TestDebounceBatchesRecomputes(t *testing.T) {
+	c, k, _ := testCluster(t)
+	key := SessKey{Border: 11, Port: 2}
+	// A burst of 10 route events within the debounce window yields one
+	// recomputation (the paper's rate-limiting insight).
+	for i := 0; i < 10; i++ {
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 0}), 24)
+		c.onRoute(key, speaker.RouteEvent{Prefix: pfx, Attrs: extAttrs(2)})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Recomputes; got != 1 {
+		t.Fatalf("recomputes = %d, want 1 (debounced)", got)
+	}
+}
+
+func TestNoDebounceAblation(t *testing.T) {
+	k := sim.NewKernel(1)
+	c, err := New(Config{Clock: k, Debounce: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &capture{}
+	if err := c.AddMember(11, cp.send); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterPort(11, 1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	id := idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.11"))
+	if err := c.AddExternalPeering(11, 1, 2, id, netip.MustParseAddr("100.64.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	for _, es := range c.sessions {
+		es.established = true
+	}
+	key := SessKey{Border: 11, Port: 1}
+	for i := 0; i < 5; i++ {
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 0}), 24)
+		c.onRoute(key, speaker.RouteEvent{Prefix: pfx, Attrs: extAttrs(2)})
+	}
+	if got := c.Stats().Recomputes; got != 5 {
+		t.Fatalf("recomputes = %d, want 5 (no debounce)", got)
+	}
+}
+
+func TestAnnouncementForTransparency(t *testing.T) {
+	c, k, _ := testCluster(t)
+	// Route at border 11 from AS2 path [2 9]. Border 13's announcement
+	// to AS3 must carry the full internal path [13 12 11] + [2 9].
+	c.onRoute(SessKey{Border: 11, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(2, 9),
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := c.dijkstra(testPrefix, c.subClusters())
+	k13 := SessKey{Border: 13, Port: 2}
+	attrs, ok := c.announcementFor(k13, c.sessions[k13], testPrefix, res)
+	if !ok {
+		t.Fatal("13 should announce to AS3")
+	}
+	want := wire.NewASPath(13, 12, 11, 2, 9)
+	if !attrs.ASPath.Equal(want) {
+		t.Fatalf("announced path = %v, want %v", attrs.ASPath, want)
+	}
+	// Border 11 must NOT announce back to AS2 (split horizon).
+	k11 := SessKey{Border: 11, Port: 2}
+	if _, ok := c.announcementFor(k11, c.sessions[k11], testPrefix, res); ok {
+		t.Fatal("split horizon violated")
+	}
+}
+
+func TestAnnouncementSkipsReceiverLoop(t *testing.T) {
+	c, k, _ := testCluster(t)
+	// Path already contains AS3 — announcing to AS3 would loop.
+	c.onRoute(SessKey{Border: 11, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(2, 3),
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := c.dijkstra(testPrefix, c.subClusters())
+	k13 := SessKey{Border: 13, Port: 2}
+	if _, ok := c.announcementFor(k13, c.sessions[k13], testPrefix, res); ok {
+		t.Fatal("announcement containing the receiver must be skipped")
+	}
+}
+
+func TestOwnedPrefixAnnouncement(t *testing.T) {
+	c, k, _ := testCluster(t)
+	owned := netip.MustParsePrefix("10.0.13.0/24")
+	if err := c.OriginatePrefix(13, owned); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := c.dijkstra(owned, c.subClusters())
+	k11 := SessKey{Border: 11, Port: 2}
+	attrs, ok := c.announcementFor(k11, c.sessions[k11], owned, res)
+	if !ok {
+		t.Fatal("owned prefix should be announced at border 11")
+	}
+	if want := wire.NewASPath(11, 12, 13); !attrs.ASPath.Equal(want) {
+		t.Fatalf("owned path = %v, want %v", attrs.ASPath, want)
+	}
+	// Withdrawing removes it.
+	if err := c.WithdrawOriginated(owned); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res = c.dijkstra(owned, c.subClusters())
+	if _, ok := c.announcementFor(k11, c.sessions[k11], owned, res); ok {
+		t.Fatal("withdrawn prefix still announced")
+	}
+	if err := c.WithdrawOriginated(owned); err == nil {
+		t.Fatal("double withdraw should error")
+	}
+}
+
+func TestPartitionIsolatesRouting(t *testing.T) {
+	c, k, caps := testCluster(t)
+	c.onRoute(SessKey{Border: 11, Port: 2}, speaker.RouteEvent{
+		Prefix: testPrefix, Attrs: extAttrs(2),
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Partition: ports on the 12<->13 link go down (PortStatus).
+	ps, _ := ofp.Marshal(ofp.PortStatus{Port: 2, Up: false}, 1)
+	if err := c.HandleControl(12, ps); err != nil {
+		t.Fatal(err)
+	}
+	ps13, _ := ofp.Marshal(ofp.PortStatus{Port: 1, Up: false}, 1)
+	if err := c.HandleControl(13, ps13); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 13 has no path now: its last flow mod must be a delete.
+	mods := caps[13].flowMods(t)
+	last := mods[len(mods)-1]
+	if last.Command != ofp.FlowDelete {
+		t.Fatalf("13 should lose its flow after partition, got %v", last)
+	}
+	// 12 still routes via 11.
+	mods = caps[12].flowMods(t)
+	last = mods[len(mods)-1]
+	if last.Command != ofp.FlowAdd || last.OutPort != 1 {
+		t.Fatalf("12 should still route via 11, got %v", last)
+	}
+}
+
+func TestConfigAndWiringValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing clock should error")
+	}
+	k := sim.NewKernel(1)
+	c, err := New(Config{Clock: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func([]byte) error { return nil }
+	if err := c.AddMember(0, send); err == nil {
+		t.Fatal("zero ASN should error")
+	}
+	if err := c.AddMember(1, nil); err == nil {
+		t.Fatal("nil send should error")
+	}
+	if err := c.AddMember(1, send); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddMember(1, send); err == nil {
+		t.Fatal("duplicate member should error")
+	}
+	if err := c.RegisterPort(9, 1, 2, false); err == nil {
+		t.Fatal("unknown member should error")
+	}
+	if err := c.RegisterPort(1, 1, 5, true); err == nil {
+		t.Fatal("intra-cluster to non-member should error")
+	}
+	if err := c.RegisterPort(1, 1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterPort(1, 1, 2, false); err == nil {
+		t.Fatal("duplicate port should error")
+	}
+	id := idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.1"))
+	nh := netip.MustParseAddr("100.64.0.1")
+	if err := c.AddExternalPeering(9, 1, 2, id, nh); err == nil {
+		t.Fatal("unknown member peering should error")
+	}
+	if err := c.AddExternalPeering(1, 9, 2, id, nh); err == nil {
+		t.Fatal("unknown port peering should error")
+	}
+	if err := c.AddExternalPeering(1, 1, 2, id, nh); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddExternalPeering(1, 1, 3, id, nh); err == nil {
+		t.Fatal("duplicate peering should error")
+	}
+	if err := c.OriginatePrefix(9, testPrefix); err == nil {
+		t.Fatal("originate at non-member should error")
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("double start should error")
+	}
+	if err := c.HandleControl(9, nil); err == nil {
+		t.Fatal("control from unknown member should error")
+	}
+	if err := c.HandleControl(1, []byte{1}); err == nil {
+		t.Fatal("garbage control frame should error")
+	}
+	if !c.IsMember(1) || c.IsMember(9) {
+		t.Fatal("IsMember wrong")
+	}
+	if len(c.Members()) != 1 {
+		t.Fatal("Members wrong")
+	}
+	if (SessKey{Border: 1, Port: 2}).String() == "" {
+		t.Fatal("SessKey.String empty")
+	}
+}

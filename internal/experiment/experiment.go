@@ -1,0 +1,338 @@
+// Package experiment is the framework's high-level orchestration API
+// (paper §2: "the user should be able to actively control the
+// experiments" while the framework "takes care of configuration
+// management"). Given an AS-level topology, a set of SDN cluster
+// members and a policy template, it builds the whole emulated network:
+//
+//   - one BGP router per legacy AS (internal/bgp),
+//   - one OpenFlow switch per cluster member plus the IDR controller
+//     and its cluster BGP speaker sessions (internal/sdn,
+//     internal/core, internal/speaker),
+//   - automatic address/prefix assignment (internal/addressing),
+//   - a route collector peering with every legacy router
+//     (internal/collector),
+//   - convergence detection, probe-based loss measurement and event
+//     logging (internal/monitor).
+//
+// Experiment lifecycle commands mirror the paper's Mininet-BGP
+// commands: Announce, Withdraw, FailLink, RestoreLink, WaitConverged.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addressing"
+	"repro/internal/bgp"
+	"repro/internal/bgp/rib"
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/frames"
+	"repro/internal/idr"
+	"repro/internal/monitor"
+	"repro/internal/netem"
+	"repro/internal/policy"
+	"repro/internal/sdn"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config describes one experiment.
+type Config struct {
+	// Seed drives all randomness (MRAI jitter, loss draws); two runs
+	// with the same config and seed are identical.
+	Seed int64
+	// Graph is the AS-level topology (required, connected).
+	Graph *topology.Graph
+	// SDNMembers lists the ASes operated as SDN cluster switches under
+	// the IDR controller. Empty means pure BGP.
+	SDNMembers []idr.ASN
+	// Policy is the BGP policy template (default policy.PermitAll).
+	Policy policy.Policy
+	// Timers are the BGP protocol timers (default bgp.DefaultTimers).
+	Timers bgp.Timers
+	// Debounce is the controller's delayed-recomputation window
+	// (default core.DefaultDebounce; negative disables).
+	Debounce time.Duration
+	// LinkDelay is the default inter-AS link delay (default
+	// netem.DefaultDelay); per-edge delays from the topology override.
+	LinkDelay time.Duration
+	// ControlDelay is the switch-controller channel delay (default 1ms).
+	ControlDelay time.Duration
+	// ProcessingDelay is each router's per-UPDATE processing cost
+	// (see bgp.Config.ProcessingDelay). Zero disables the model.
+	ProcessingDelay time.Duration
+	// Damping enables RFC 2439 route-flap damping on every legacy
+	// router (nil = off).
+	Damping *bgp.DampingConfig
+	// WithCollector attaches the route collector to every legacy
+	// router (default off; it adds one session per router).
+	WithCollector bool
+	// Settle is the convergence quiescence window (default
+	// monitor.DefaultSettle).
+	Settle time.Duration
+}
+
+// Experiment is one built emulation.
+type Experiment struct {
+	cfg Config
+
+	K        *sim.Kernel
+	Net      *netem.Network
+	Plan     *addressing.Plan
+	Routers  map[idr.ASN]*bgp.Router
+	Switches map[idr.ASN]*sdn.Switch
+	Ctrl     *core.Controller
+	Coll     *collector.Collector
+	Detector *monitor.Detector
+	Log      *monitor.EventLog
+	Probes   *monitor.ProbeEngine
+
+	members map[idr.ASN]bool
+	links   map[[2]idr.ASN]*netem.Link
+	// peerEndpoint maps a legacy router's session key to the endpoint
+	// it rides on (probe forwarding).
+	peerEndpoint map[idr.ASN]map[rib.PeerKey]*netem.Endpoint
+	// keyOf maps a legacy node's endpoint to its session key.
+	keyOf map[*netem.Endpoint]rib.PeerKey
+	// portOf maps a switch node's endpoint to its port number.
+	portOf map[*netem.Endpoint]uint32
+	// ctrlPeers maps controller-node endpoints to the member served.
+	ctrlPeers map[*netem.Endpoint]idr.ASN
+
+	started bool
+}
+
+func linkKey(a, b idr.ASN) [2]idr.ASN {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]idr.ASN{a, b}
+}
+
+// ControllerNodeName is the netem node hosting the controller and the
+// cluster BGP speaker.
+const ControllerNodeName = "controller"
+
+// CollectorNodeName is the netem node hosting the route collector.
+const CollectorNodeName = "collector"
+
+// New builds the experiment network. Nothing runs until Start.
+func New(cfg Config) (*Experiment, error) {
+	if cfg.Graph == nil || cfg.Graph.NumNodes() == 0 {
+		return nil, fmt.Errorf("experiment: config needs a topology")
+	}
+	if !cfg.Graph.Connected() {
+		return nil, fmt.Errorf("experiment: topology must be connected")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.PermitAll{}
+	}
+	if cfg.ControlDelay == 0 {
+		cfg.ControlDelay = time.Millisecond
+	}
+
+	e := &Experiment{
+		cfg:          cfg,
+		K:            sim.NewKernel(cfg.Seed),
+		Routers:      make(map[idr.ASN]*bgp.Router),
+		Switches:     make(map[idr.ASN]*sdn.Switch),
+		members:      make(map[idr.ASN]bool),
+		links:        make(map[[2]idr.ASN]*netem.Link),
+		peerEndpoint: make(map[idr.ASN]map[rib.PeerKey]*netem.Endpoint),
+		keyOf:        make(map[*netem.Endpoint]rib.PeerKey),
+		portOf:       make(map[*netem.Endpoint]uint32),
+	}
+	e.Net = netem.NewNetwork(e.K, e.K.Rand())
+	// The quiescence window must exceed the largest legitimate gap
+	// between routing-update batches, which is the (jittered) MRAI —
+	// otherwise a lull between exploration rounds reads as
+	// convergence. 1.5x leaves margin for chained propagation delays.
+	settle := cfg.Settle
+	if settle == 0 {
+		mrai := cfg.Timers.MRAI
+		if mrai == 0 {
+			mrai = bgp.DefaultTimers().MRAI
+		}
+		settle = mrai + mrai/2
+		if settle < monitor.DefaultSettle {
+			settle = monitor.DefaultSettle
+		}
+	}
+	e.Detector = monitor.NewDetector(e.K, settle)
+	e.Log = monitor.NewEventLog()
+	e.Probes = monitor.NewProbeEngine(e.K)
+
+	for _, m := range cfg.SDNMembers {
+		if !cfg.Graph.HasNode(m) {
+			return nil, fmt.Errorf("experiment: SDN member %v not in topology", m)
+		}
+		e.members[m] = true
+	}
+
+	plan, err := addressing.NewPlan(cfg.Graph.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	e.Plan = plan
+
+	if err := e.buildNodes(); err != nil {
+		return nil, err
+	}
+	if err := e.buildLinks(); err != nil {
+		return nil, err
+	}
+	if cfg.WithCollector {
+		if err := e.buildCollector(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// trace fans router events into the log and the convergence detector.
+func (e *Experiment) trace(ev bgp.TraceEvent) {
+	e.Log.Append(ev)
+	e.Detector.BGPActivityTrace(ev)
+}
+
+func (e *Experiment) buildNodes() error {
+	hasCluster := len(e.members) > 0
+	var ctrlNode *netem.Node
+	if hasCluster {
+		var err error
+		ctrlNode, err = e.Net.AddNode(ControllerNodeName)
+		if err != nil {
+			return err
+		}
+		e.Ctrl, err = core.New(core.Config{
+			Clock:       e.K,
+			Debounce:    e.cfg.Debounce,
+			HoldTime:    e.cfg.Timers.HoldTime,
+			OnRecompute: func(int) { e.Detector.Touch() },
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, asn := range e.cfg.Graph.Nodes() {
+		node, err := e.Net.AddNode(asn.String())
+		if err != nil {
+			return err
+		}
+		if e.members[asn] {
+			if err := e.buildSwitch(asn, node, ctrlNode); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := e.buildRouter(asn, node); err != nil {
+			return err
+		}
+	}
+
+	if hasCluster {
+		// The controller node dispatches control frames per member
+		// endpoint; the handler is installed when switches are built
+		// via ctrlEndpoints. Install the shared dispatcher now.
+		ctrlNode.OnMessage(func(from *netem.Endpoint, data []byte) {
+			kind, payload, err := frames.Decode(data)
+			if err != nil || kind != frames.KindOpenFlow {
+				return
+			}
+			if asn, ok := e.ctrlPeers[from]; ok {
+				_ = e.Ctrl.HandleControl(asn, payload)
+			}
+		})
+	}
+	return nil
+}
+
+func (e *Experiment) buildRouter(asn idr.ASN, node *netem.Node) error {
+	id, err := e.Plan.RouterID(asn)
+	if err != nil {
+		return err
+	}
+	r, err := bgp.New(bgp.Config{
+		ASN:             asn,
+		RouterID:        id,
+		Clock:           e.K,
+		Rand:            e.K.Rand(),
+		Policy:          e.cfg.Policy,
+		Timers:          e.cfg.Timers,
+		Trace:           e.trace,
+		ProcessingDelay: e.cfg.ProcessingDelay,
+		Damping:         e.cfg.Damping,
+	})
+	if err != nil {
+		return err
+	}
+	e.Routers[asn] = r
+	e.peerEndpoint[asn] = make(map[rib.PeerKey]*netem.Endpoint)
+	node.OnMessage(func(from *netem.Endpoint, data []byte) {
+		kind, payload, err := frames.Decode(data)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case frames.KindBGP:
+			r.Deliver(e.keyOf[from], payload)
+		case frames.KindProbe:
+			p, err := frames.DecodeProbe(payload)
+			if err != nil {
+				return
+			}
+			_ = e.forwardFromRouter(asn, p)
+		}
+	})
+	return nil
+}
+
+func (e *Experiment) buildSwitch(asn idr.ASN, node, ctrlNode *netem.Node) error {
+	// Control channel: a dedicated link to the controller node.
+	link, err := e.Net.Connect(node, ctrlNode, netem.LinkConfig{Delay: e.cfg.ControlDelay})
+	if err != nil {
+		return err
+	}
+	swEP, ctrlEP := link.Endpoints()
+	sw, err := sdn.NewSwitch(asn, func(b []byte) error {
+		return swEP.Send(frames.Encode(frames.KindOpenFlow, b))
+	})
+	if err != nil {
+		return err
+	}
+	origin, err := e.Plan.OriginPrefix(asn)
+	if err != nil {
+		return err
+	}
+	sw.AddLocalPrefix(origin)
+	sw.OnLocalDeliver = e.Probes.OnDelivered
+	e.Switches[asn] = sw
+	if err := e.Ctrl.AddMember(asn, func(b []byte) error {
+		return ctrlEP.Send(frames.Encode(frames.KindOpenFlow, b))
+	}); err != nil {
+		return err
+	}
+	if e.ctrlPeers == nil {
+		e.ctrlPeers = make(map[*netem.Endpoint]idr.ASN)
+	}
+	e.ctrlPeers[ctrlEP] = asn
+
+	node.OnMessage(func(from *netem.Endpoint, data []byte) {
+		if from == swEP {
+			kind, payload, err := frames.Decode(data)
+			if err != nil || kind != frames.KindOpenFlow {
+				return
+			}
+			_ = sw.HandleControl(payload)
+			return
+		}
+		port, ok := e.portOf[from]
+		if !ok {
+			return
+		}
+		_ = sw.HandlePort(port, data)
+	})
+	return nil
+}

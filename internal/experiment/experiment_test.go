@@ -1,0 +1,347 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/idr"
+	"repro/internal/topology"
+)
+
+// fastTimers keeps protocol dynamics but scales MRAI down so tests
+// explore quickly.
+func fastTimers() bgp.Timers {
+	return bgp.Timers{
+		HoldTime:          90 * time.Second,
+		KeepaliveFraction: 3,
+		ConnectRetry:      time.Second,
+		MRAI:              2 * time.Second,
+		MRAIJitter:        false,
+	}
+}
+
+func build(t *testing.T, cfg Config) *Experiment {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WaitEstablished(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustGraph(g *topology.Graph, err error) *topology.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func announceAllAndSettle(t *testing.T, e *Experiment) {
+	t.Helper()
+	for _, asn := range e.ASNs() {
+		if err := e.Announce(asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPureBGPLineReachability(t *testing.T) {
+	g := mustGraph(topology.Line(4))
+	e := build(t, Config{Seed: 1, Graph: g, Timers: fastTimers()})
+	announceAllAndSettle(t, e)
+	for _, from := range e.ASNs() {
+		for _, to := range e.ASNs() {
+			if !e.Reachable(from, to) {
+				t.Fatalf("%v cannot reach %v", from, to)
+			}
+		}
+	}
+	// Path from AS1 to AS4 is the line [2 3 4].
+	path, ok := e.BestPath(1, 4)
+	if !ok || path.String() != "2 3 4" {
+		t.Fatalf("path 1->4 = %v", path)
+	}
+}
+
+func TestPureBGPProbesDeliver(t *testing.T) {
+	g := mustGraph(topology.Line(3))
+	e := build(t, Config{Seed: 1, Graph: g, Timers: fastTimers()})
+	announceAllAndSettle(t, e)
+	for i := 0; i < 5; i++ {
+		if err := e.InjectProbe(1, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.InjectProbe(3, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	total := e.Probes.TotalLoss()
+	if total.Sent != 10 || total.Delivered != 10 {
+		t.Fatalf("probes: %+v", total)
+	}
+}
+
+func TestPureBGPWithdrawalConverges(t *testing.T) {
+	g := mustGraph(topology.Clique(6))
+	e := build(t, Config{Seed: 2, Graph: g, Timers: fastTimers()})
+	announceAllAndSettle(t, e)
+	d, err := e.MeasureConvergence(func() error { return e.Withdraw(1) }, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("convergence time = %v, want > 0", d)
+	}
+	// Nobody should still have a route to AS1's prefix.
+	for _, asn := range e.ASNs() {
+		if asn == 1 {
+			continue
+		}
+		if e.Reachable(asn, 1) {
+			t.Fatalf("%v still has a route to withdrawn prefix", asn)
+		}
+	}
+}
+
+func TestHybridClusterReachability(t *testing.T) {
+	// Line 1-2-3-4 with 2,3 as SDN members: legacy ASes 1 and 4 talk
+	// across the cluster; the cluster originates its own prefixes.
+	g := mustGraph(topology.Line(4))
+	e := build(t, Config{
+		Seed: 3, Graph: g, Timers: fastTimers(),
+		SDNMembers: []idr.ASN{2, 3},
+		Debounce:   200 * time.Millisecond,
+	})
+	announceAllAndSettle(t, e)
+
+	// Legacy -> legacy across the cluster keeps full AS transparency.
+	path, ok := e.BestPath(1, 4)
+	if !ok {
+		t.Fatal("1 cannot reach 4")
+	}
+	if path.String() != "2 3 4" {
+		t.Fatalf("path 1->4 = %q, want \"2 3 4\" (cluster transparent)", path.String())
+	}
+	// Legacy -> member.
+	if !e.Reachable(1, 3) || !e.Reachable(4, 2) {
+		t.Fatal("legacy cannot reach cluster prefixes")
+	}
+	// Member -> legacy (controller-computed path).
+	path, ok = e.BestPath(2, 4)
+	if !ok || path.String() != "3 4" {
+		t.Fatalf("path 2->4 = %v", path)
+	}
+	// Member -> member.
+	if !e.Reachable(2, 3) {
+		t.Fatal("intra-cluster prefix unreachable")
+	}
+	if !e.IsSDNMember(2) || e.IsSDNMember(1) {
+		t.Fatal("IsSDNMember wrong")
+	}
+}
+
+func TestHybridProbesTraverseCluster(t *testing.T) {
+	g := mustGraph(topology.Line(4))
+	e := build(t, Config{
+		Seed: 4, Graph: g, Timers: fastTimers(),
+		SDNMembers: []idr.ASN{2, 3},
+		Debounce:   200 * time.Millisecond,
+	})
+	announceAllAndSettle(t, e)
+	pairs := [][2]idr.ASN{{1, 4}, {4, 1}, {1, 3}, {2, 4}, {2, 3}}
+	for _, p := range pairs {
+		if err := e.InjectProbe(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	total := e.Probes.TotalLoss()
+	if total.Delivered != uint64(len(pairs)) {
+		t.Fatalf("probes: %+v (want %d delivered)", total, len(pairs))
+	}
+}
+
+func TestHybridWithdrawalCleansUp(t *testing.T) {
+	g := mustGraph(topology.Line(4))
+	e := build(t, Config{
+		Seed: 5, Graph: g, Timers: fastTimers(),
+		SDNMembers: []idr.ASN{2, 3},
+		Debounce:   200 * time.Millisecond,
+	})
+	announceAllAndSettle(t, e)
+	// Withdraw the legacy prefix of AS4: everyone, including cluster
+	// members, must lose it.
+	if _, err := e.MeasureConvergence(func() error { return e.Withdraw(4) }, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range []idr.ASN{1, 2, 3} {
+		if e.Reachable(asn, 4) {
+			t.Fatalf("%v still reaches withdrawn AS4 prefix", asn)
+		}
+	}
+	// Withdraw a cluster-originated prefix: legacy must lose it.
+	if _, err := e.MeasureConvergence(func() error { return e.Withdraw(2) }, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if e.Reachable(1, 2) || e.Reachable(4, 2) {
+		t.Fatal("legacy still reaches withdrawn cluster prefix")
+	}
+}
+
+func TestLinkFailureFailover(t *testing.T) {
+	// Ring of 4: fail one link, traffic reroutes the long way.
+	g := mustGraph(topology.Ring(4))
+	e := build(t, Config{Seed: 6, Graph: g, Timers: fastTimers()})
+	announceAllAndSettle(t, e)
+	path, _ := e.BestPath(1, 2)
+	if path.String() != "2" {
+		t.Fatalf("pre-failure path 1->2 = %v", path)
+	}
+	d, err := e.MeasureConvergence(func() error { return e.FailLink(1, 2) }, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 {
+		t.Fatal("negative convergence time")
+	}
+	path, ok := e.BestPath(1, 2)
+	if !ok {
+		t.Fatal("1 lost AS2 entirely after single link failure")
+	}
+	if path.String() != "4 3 2" {
+		t.Fatalf("post-failure path 1->2 = %v, want the long way", path)
+	}
+	// Restore: the direct path returns.
+	if _, err := e.MeasureConvergence(func() error { return e.RestoreLink(1, 2) }, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	path, _ = e.BestPath(1, 2)
+	if path.String() != "2" {
+		t.Fatalf("post-restore path 1->2 = %v", path)
+	}
+	if up, exists := e.Link(1, 2); !exists || !up {
+		t.Fatal("Link accessor wrong")
+	}
+}
+
+func TestCollectorRecords(t *testing.T) {
+	g := mustGraph(topology.Line(3))
+	e := build(t, Config{Seed: 7, Graph: g, Timers: fastTimers(), WithCollector: true})
+	announceAllAndSettle(t, e)
+	if e.Coll == nil {
+		t.Fatal("collector missing")
+	}
+	recs := e.Coll.Records()
+	if len(recs) == 0 {
+		t.Fatal("collector saw no updates")
+	}
+	// Every legacy router should have reported something.
+	seen := map[idr.ASN]bool{}
+	for _, r := range recs {
+		seen[r.From] = true
+	}
+	for _, asn := range e.ASNs() {
+		if !seen[asn] {
+			t.Fatalf("no updates from %v at collector", asn)
+		}
+	}
+	if _, ok := e.Coll.LastUpdate(); !ok {
+		t.Fatal("LastUpdate missing")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() time.Duration {
+		g := mustGraph(topology.Clique(5))
+		timers := fastTimers()
+		timers.MRAIJitter = true
+		e := build(t, Config{Seed: 42, Graph: g, Timers: timers})
+		announceAllAndSettle(t, e)
+		d, err := e.MeasureConvergence(func() error { return e.Withdraw(1) }, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestSDNReducesWithdrawalConvergence(t *testing.T) {
+	// The paper's headline claim in miniature: on a clique, withdrawal
+	// convergence with half the ASes under the controller is faster
+	// than pure BGP.
+	measure := func(members []idr.ASN) time.Duration {
+		g := mustGraph(topology.Clique(8))
+		timers := fastTimers()
+		timers.MRAI = 5 * time.Second
+		e := build(t, Config{
+			Seed: 11, Graph: g, Timers: timers,
+			SDNMembers: members,
+			Debounce:   500 * time.Millisecond,
+		})
+		announceAllAndSettle(t, e)
+		d, err := e.MeasureConvergence(func() error { return e.Withdraw(1) }, 2*time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	pure := measure(nil)
+	hybrid := measure([]idr.ASN{5, 6, 7, 8})
+	t.Logf("withdrawal convergence: pure=%v hybrid(4/8 SDN)=%v", pure, hybrid)
+	if hybrid >= pure {
+		t.Fatalf("SDN deployment did not reduce convergence: pure=%v hybrid=%v", pure, hybrid)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing graph should error")
+	}
+	g := topology.New()
+	g.AddNode(1)
+	g.AddNode(2) // disconnected
+	if _, err := New(Config{Graph: g}); err == nil {
+		t.Fatal("disconnected graph should error")
+	}
+	line := mustGraph(topology.Line(2))
+	if _, err := New(Config{Graph: line, SDNMembers: []idr.ASN{9}}); err == nil {
+		t.Fatal("unknown SDN member should error")
+	}
+	e, err := New(Config{Graph: line, Timers: fastTimers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err == nil {
+		t.Fatal("double start should error")
+	}
+	if err := e.Announce(9); err == nil {
+		t.Fatal("announce for unknown AS should error")
+	}
+	if err := e.FailLink(1, 9); err == nil {
+		t.Fatal("failing unknown link should error")
+	}
+	if _, exists := e.Link(1, 9); exists {
+		t.Fatal("unknown link should not exist")
+	}
+}

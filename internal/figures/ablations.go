@@ -1,0 +1,490 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/experiment"
+	"repro/internal/idr"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// MRAIPoint is one MRAI-sweep result.
+type MRAIPoint struct {
+	MRAI    time.Duration
+	Summary stats.Summary
+}
+
+// MRAISweep measures pure-BGP withdrawal convergence on a clique as a
+// function of the MRAI — the sensitivity ablation behind DESIGN.md's
+// experiment index (BGP's Tdown scales with the advertisement
+// interval).
+func MRAISweep(cliqueSize, runs int, mrais []time.Duration, baseSeed int64) ([]MRAIPoint, error) {
+	if cliqueSize == 0 {
+		cliqueSize = 8
+	}
+	if runs == 0 {
+		runs = 5
+	}
+	if len(mrais) == 0 {
+		mrais = []time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second, 60 * time.Second}
+	}
+	out := make([]MRAIPoint, 0, len(mrais))
+	for _, mrai := range mrais {
+		timers := bgp.DefaultTimers()
+		timers.MRAI = mrai
+		cfg := SweepConfig{
+			Kind:       Withdrawal,
+			CliqueSize: cliqueSize,
+			Runs:       runs,
+			BaseSeed:   baseSeed,
+			Timers:     timers,
+		}
+		durations := make([]time.Duration, 0, runs)
+		for run := 0; run < runs; run++ {
+			d, err := RunOnce(cfg, 0, baseSeed+int64(run))
+			if err != nil {
+				return nil, fmt.Errorf("figures: mrai sweep %v run %d: %w", mrai, run, err)
+			}
+			durations = append(durations, d)
+		}
+		out = append(out, MRAIPoint{MRAI: mrai, Summary: stats.SummarizeDurations(durations)})
+	}
+	return out, nil
+}
+
+// SizePoint is one clique-size sweep result.
+type SizePoint struct {
+	CliqueSize int
+	Summary    stats.Summary
+}
+
+// CliqueSizeSweep measures pure-BGP withdrawal convergence across
+// clique sizes: path exploration grows with the mesh, the effect SDN
+// centralization removes.
+func CliqueSizeSweep(sizes []int, runs int, timers bgp.Timers, baseSeed int64) ([]SizePoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{4, 8, 12, 16}
+	}
+	if runs == 0 {
+		runs = 5
+	}
+	out := make([]SizePoint, 0, len(sizes))
+	for _, n := range sizes {
+		cfg := SweepConfig{
+			Kind:       Withdrawal,
+			CliqueSize: n,
+			Runs:       runs,
+			BaseSeed:   baseSeed,
+			Timers:     timers,
+		}
+		durations := make([]time.Duration, 0, runs)
+		for run := 0; run < runs; run++ {
+			d, err := RunOnce(cfg, 0, baseSeed+int64(run))
+			if err != nil {
+				return nil, fmt.Errorf("figures: size sweep n=%d run %d: %w", n, run, err)
+			}
+			durations = append(durations, d)
+		}
+		out = append(out, SizePoint{CliqueSize: n, Summary: stats.SummarizeDurations(durations)})
+	}
+	return out, nil
+}
+
+// DebouncePoint is one controller-debounce ablation result.
+type DebouncePoint struct {
+	Debounce time.Duration
+	Summary  stats.Summary
+	// Recomputes is the mean number of controller recomputation
+	// batches per run — the stability metric the debounce trades
+	// latency against.
+	Recomputes float64
+}
+
+// DebounceAblation measures the withdrawal experiment at a fixed SDN
+// fraction while varying the controller's delayed-recomputation
+// window (the paper's §3 design insight: delay improves stability and
+// rate-limits flaps). A negative debounce disables the delay.
+func DebounceAblation(cliqueSize, sdnCount, runs int, debounces []time.Duration, timers bgp.Timers, baseSeed int64) ([]DebouncePoint, error) {
+	if cliqueSize == 0 {
+		cliqueSize = 8
+	}
+	if sdnCount == 0 {
+		sdnCount = cliqueSize / 2
+	}
+	if runs == 0 {
+		runs = 5
+	}
+	if len(debounces) == 0 {
+		debounces = []time.Duration{-1, 500 * time.Millisecond, time.Second, 2 * time.Second}
+	}
+	out := make([]DebouncePoint, 0, len(debounces))
+	for _, db := range debounces {
+		durations := make([]time.Duration, 0, runs)
+		var recomputes uint64
+		for run := 0; run < runs; run++ {
+			seed := baseSeed + int64(run)
+			g, err := topology.Clique(cliqueSize)
+			if err != nil {
+				return nil, err
+			}
+			e, err := experiment.New(experiment.Config{
+				Seed:       seed,
+				Graph:      g,
+				SDNMembers: members(cliqueSize, sdnCount),
+				Timers:     timers,
+				Debounce:   db,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := e.Start(); err != nil {
+				return nil, err
+			}
+			if err := e.WaitEstablished(5 * time.Minute); err != nil {
+				return nil, err
+			}
+			for _, asn := range e.ASNs() {
+				if err := e.Announce(asn); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := e.WaitConverged(2 * time.Hour); err != nil {
+				return nil, err
+			}
+			before := e.Ctrl.Stats().Recomputes
+			d, err := e.MeasureConvergence(func() error { return e.Withdraw(topology.BaseASN) }, 2*time.Hour)
+			if err != nil {
+				return nil, err
+			}
+			durations = append(durations, d)
+			recomputes += e.Ctrl.Stats().Recomputes - before
+		}
+		out = append(out, DebouncePoint{
+			Debounce:   db,
+			Summary:    stats.SummarizeDurations(durations),
+			Recomputes: float64(recomputes) / float64(runs),
+		})
+	}
+	return out, nil
+}
+
+// SubClusterResult reports the sub-cluster split experiment (design
+// goal §2: an intra-cluster link failure must not isolate controlled
+// ASes — legacy paths reconnect the sub-clusters).
+type SubClusterResult struct {
+	// ReachableBeforeSplit and ReachableAfterSplit report whether the
+	// two cluster islands could reach each other's prefixes.
+	ReachableBeforeSplit, ReachableAfterSplit bool
+	// ReconvergenceTime is how long routing took to stabilise after
+	// the split.
+	ReconvergenceTime time.Duration
+}
+
+// SubClusterExperiment builds a ring with two cluster members on
+// opposite sides, fails the only intra-cluster link, and verifies the
+// islands still reach each other over the legacy world.
+func SubClusterExperiment(timers bgp.Timers, seed int64) (SubClusterResult, error) {
+	var res SubClusterResult
+	// Topology: 1 - m2 - m3 - 4 ring, members {m2, m3} adjacent.
+	// After failing m2-m3, the path between them runs over legacy
+	// ASes 1 and 4.
+	g, err := topology.Ring(4)
+	if err != nil {
+		return res, err
+	}
+	membersList := []idr.ASN{2, 3}
+	e, err := experiment.New(experiment.Config{
+		Seed:       seed,
+		Graph:      g,
+		SDNMembers: membersList,
+		Timers:     timers,
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := e.Start(); err != nil {
+		return res, err
+	}
+	if err := e.WaitEstablished(5 * time.Minute); err != nil {
+		return res, err
+	}
+	for _, asn := range e.ASNs() {
+		if err := e.Announce(asn); err != nil {
+			return res, err
+		}
+	}
+	if _, err := e.WaitConverged(time.Hour); err != nil {
+		return res, err
+	}
+	res.ReachableBeforeSplit = e.Reachable(2, 3) && e.Reachable(3, 2)
+	d, err := e.MeasureConvergence(func() error { return e.FailLink(2, 3) }, time.Hour)
+	if err != nil {
+		return res, err
+	}
+	res.ReconvergenceTime = d
+	res.ReachableAfterSplit = e.Reachable(2, 3) && e.Reachable(3, 2)
+	return res, nil
+}
+
+// ExplorationPoint pairs an SDN count with the total number of best-
+// path changes observed during withdrawal convergence — the path
+// exploration metric after Oliveira et al. [13].
+type ExplorationPoint struct {
+	SDNCount    int
+	BestChanges int
+	Updates     uint64
+}
+
+// PathExplorationSweep counts routing churn during the withdrawal
+// experiment across SDN fractions.
+func PathExplorationSweep(cliqueSize int, sdnCounts []int, timers bgp.Timers, seed int64) ([]ExplorationPoint, error) {
+	if cliqueSize == 0 {
+		cliqueSize = 8
+	}
+	if len(sdnCounts) == 0 {
+		sdnCounts = []int{0, cliqueSize / 4, cliqueSize / 2, 3 * cliqueSize / 4}
+	}
+	out := make([]ExplorationPoint, 0, len(sdnCounts))
+	for _, k := range sdnCounts {
+		g, err := topology.Clique(cliqueSize)
+		if err != nil {
+			return nil, err
+		}
+		e, err := experiment.New(experiment.Config{
+			Seed:       seed,
+			Graph:      g,
+			SDNMembers: members(cliqueSize, k),
+			Timers:     timers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Start(); err != nil {
+			return nil, err
+		}
+		if err := e.WaitEstablished(5 * time.Minute); err != nil {
+			return nil, err
+		}
+		for _, asn := range e.ASNs() {
+			if err := e.Announce(asn); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := e.WaitConverged(2 * time.Hour); err != nil {
+			return nil, err
+		}
+		origin := topology.BaseASN
+		prefix, err := e.OriginPrefix(origin)
+		if err != nil {
+			return nil, err
+		}
+		startEvents := e.Log.Len()
+		var updatesBefore uint64
+		for _, r := range e.Routers {
+			updatesBefore += r.Stats().UpdatesSent
+		}
+		start := e.K.Now()
+		if _, err := e.MeasureConvergence(func() error { return e.Withdraw(origin) }, 2*time.Hour); err != nil {
+			return nil, err
+		}
+		_ = startEvents
+		changes := 0
+		for _, n := range e.Log.PathExplorationCount(prefix, start) {
+			changes += n
+		}
+		var updatesAfter uint64
+		for _, r := range e.Routers {
+			updatesAfter += r.Stats().UpdatesSent
+		}
+		out = append(out, ExplorationPoint{
+			SDNCount:    k,
+			BestChanges: changes,
+			Updates:     updatesAfter - updatesBefore,
+		})
+	}
+	return out, nil
+}
+
+// WriteMRAITable renders the MRAI sweep.
+func WriteMRAITable(w io.Writer, points []MRAIPoint) error {
+	if _, err := fmt.Fprintf(w, "%-10s %8s %8s %8s\n", "mrai_s", "med_s", "min_s", "max_s"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%-10.0f %8.3f %8.3f %8.3f\n",
+			p.MRAI.Seconds(), p.Summary.Median, p.Summary.Min, p.Summary.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSizeTable renders the clique-size sweep.
+func WriteSizeTable(w io.Writer, points []SizePoint) error {
+	if _, err := fmt.Fprintf(w, "%-8s %8s %8s %8s\n", "clique", "med_s", "min_s", "max_s"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%-8d %8.3f %8.3f %8.3f\n",
+			p.CliqueSize, p.Summary.Median, p.Summary.Min, p.Summary.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDebounceTable renders the debounce ablation.
+func WriteDebounceTable(w io.Writer, points []DebouncePoint) error {
+	if _, err := fmt.Fprintf(w, "%-12s %8s %12s\n", "debounce_s", "med_s", "recomputes"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		db := p.Debounce.Seconds()
+		if p.Debounce < 0 {
+			db = 0
+		}
+		if _, err := fmt.Fprintf(w, "%-12.2f %8.3f %12.1f\n", db, p.Summary.Median, p.Recomputes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlapPoint is one flap-stability ablation result.
+type FlapPoint struct {
+	// Mode names the stability mechanism: "bgp", "damping" or "sdn".
+	Mode string
+	// Updates is the network-wide BGP update count during the flap
+	// storm (controller flow-mods excluded: the metric is legacy
+	// control-plane load, which is what damping and the debounce both
+	// try to contain).
+	Updates uint64
+	// ReachableAfter reports whether the flapping prefix is usable
+	// once the origin finally stabilises.
+	ReachableAfter bool
+}
+
+// FlapStabilityAblation subjects a clique to a flapping origin (the
+// origin announces and withdraws its prefix repeatedly, one cycle per
+// period) and compares the update load under three regimes: plain
+// BGP, BGP with RFC 2439 route-flap damping, and an SDN cluster with
+// debounced recomputation. After the storm the origin stays announced
+// and the run verifies the prefix is (eventually) reachable — under
+// damping this takes until the penalty decays.
+func FlapStabilityAblation(cliqueSize, cycles int, period time.Duration, timers bgp.Timers, seed int64) ([]FlapPoint, error) {
+	if cliqueSize == 0 {
+		cliqueSize = 8
+	}
+	if cycles == 0 {
+		cycles = 6
+	}
+	if period == 0 {
+		period = 20 * time.Second
+	}
+	run := func(mode string) (FlapPoint, error) {
+		cfg := experiment.Config{
+			Seed:   seed,
+			Timers: timers,
+		}
+		g, err := topology.Clique(cliqueSize)
+		if err != nil {
+			return FlapPoint{}, err
+		}
+		cfg.Graph = g
+		switch mode {
+		case "damping":
+			cfg.Damping = &bgp.DampingConfig{HalfLife: 2 * time.Minute}
+		case "sdn":
+			cfg.SDNMembers = members(cliqueSize, cliqueSize/2)
+			cfg.Debounce = time.Second
+		}
+		e, err := experiment.New(cfg)
+		if err != nil {
+			return FlapPoint{}, err
+		}
+		if err := e.Start(); err != nil {
+			return FlapPoint{}, err
+		}
+		if err := e.WaitEstablished(5 * time.Minute); err != nil {
+			return FlapPoint{}, err
+		}
+		for _, asn := range e.ASNs() {
+			if err := e.Announce(asn); err != nil {
+				return FlapPoint{}, err
+			}
+		}
+		if _, err := e.WaitConverged(2 * time.Hour); err != nil {
+			return FlapPoint{}, err
+		}
+		origin := topology.BaseASN
+		countUpdates := func() uint64 {
+			var n uint64
+			for _, r := range e.Routers {
+				n += r.Stats().UpdatesSent
+			}
+			return n
+		}
+		before := countUpdates()
+		// The storm: withdraw/announce each period.
+		for i := 0; i < cycles; i++ {
+			if err := e.Withdraw(origin); err != nil {
+				return FlapPoint{}, err
+			}
+			if err := e.RunFor(period / 2); err != nil {
+				return FlapPoint{}, err
+			}
+			if err := e.Announce(origin); err != nil {
+				return FlapPoint{}, err
+			}
+			if err := e.RunFor(period / 2); err != nil {
+				return FlapPoint{}, err
+			}
+		}
+		// Let everything settle (damping needs decay time).
+		if _, err := e.WaitConverged(2 * time.Hour); err != nil {
+			return FlapPoint{}, err
+		}
+		if err := e.RunFor(10 * time.Minute); err != nil {
+			return FlapPoint{}, err
+		}
+		point := FlapPoint{Mode: mode, Updates: countUpdates() - before}
+		reachable := true
+		for _, asn := range e.ASNs() {
+			if asn == origin {
+				continue
+			}
+			if !e.Reachable(asn, origin) {
+				reachable = false
+				break
+			}
+		}
+		point.ReachableAfter = reachable
+		return point, nil
+	}
+	var out []FlapPoint
+	for _, mode := range []string{"bgp", "damping", "sdn"} {
+		p, err := run(mode)
+		if err != nil {
+			return nil, fmt.Errorf("figures: flap ablation %s: %w", mode, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WriteFlapTable renders the flap-stability ablation.
+func WriteFlapTable(w io.Writer, points []FlapPoint) error {
+	if _, err := fmt.Fprintf(w, "%-10s %10s %16s\n", "mode", "updates", "reachable_after"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%-10s %10d %16v\n", p.Mode, p.Updates, p.ReachableAfter); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+// Package figures regenerates the paper's evaluation results: Figure 2
+// (withdrawal convergence on a 16-AS clique versus SDN deployment
+// fraction, boxplots over 10 runs) and the two experiments reported in
+// prose in §4 (announcement and route fail-over), plus the ablations
+// indexed in DESIGN.md. Each experiment returns the raw per-run
+// durations and a boxplot summary so the harness can print the same
+// series the paper plots.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/experiment"
+	"repro/internal/idr"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Kind selects which §4 experiment a sweep runs.
+type Kind int
+
+// Experiment kinds.
+const (
+	// Withdrawal: the origin AS withdraws an established prefix
+	// (Figure 2).
+	Withdrawal Kind = iota
+	// Announcement: the origin AS announces a fresh prefix (§4).
+	Announcement
+	// Failover: the link between the origin and one neighbor fails
+	// while the prefix stays reachable (§4).
+	Failover
+)
+
+// String names the experiment kind.
+func (k Kind) String() string {
+	switch k {
+	case Withdrawal:
+		return "withdrawal"
+	case Announcement:
+		return "announcement"
+	case Failover:
+		return "failover"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// SweepConfig parameterises one convergence sweep.
+type SweepConfig struct {
+	// Kind selects the triggering event (default Withdrawal).
+	Kind Kind
+	// CliqueSize is the number of ASes (default 16, the paper's).
+	CliqueSize int
+	// SDNCounts lists the cluster sizes to sweep (default 0, 2, ...,
+	// CliqueSize).
+	SDNCounts []int
+	// Runs is the number of seeded repetitions per point (default 10,
+	// the paper's boxplots).
+	Runs int
+	// BaseSeed offsets the per-run seeds.
+	BaseSeed int64
+	// Timers are the BGP timers (default bgp.DefaultTimers: MRAI 30s
+	// with jitter — the jitter is what spreads the boxplots).
+	Timers bgp.Timers
+	// Debounce is the controller's delayed-recomputation window. The
+	// paper does not state its value; the sweeps default to 100ms (the
+	// DebounceAblation explores the trade-off). Negative disables.
+	Debounce time.Duration
+	// Settle is the convergence quiescence window (default derived
+	// from the MRAI by the experiment framework).
+	Settle time.Duration
+	// ProcessingDelay is the per-router per-UPDATE processing cost
+	// (default 25ms, approximating Quagga daemons sharing one
+	// emulation host as in the paper's Mininet setup). Negative
+	// disables it.
+	ProcessingDelay time.Duration
+	// Timeout bounds one run's convergence wait (default 2h virtual).
+	Timeout time.Duration
+}
+
+func (c *SweepConfig) setDefaults() {
+	if c.CliqueSize == 0 {
+		c.CliqueSize = 16
+	}
+	if len(c.SDNCounts) == 0 {
+		for k := 0; k <= c.CliqueSize; k += 2 {
+			c.SDNCounts = append(c.SDNCounts, k)
+		}
+	}
+	if c.Runs == 0 {
+		c.Runs = 10
+	}
+	if c.Timers == (bgp.Timers{}) {
+		c.Timers = bgp.DefaultTimers()
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Hour
+	}
+	if c.Debounce == 0 {
+		c.Debounce = 100 * time.Millisecond
+	}
+	switch {
+	case c.ProcessingDelay < 0:
+		c.ProcessingDelay = 0
+	case c.ProcessingDelay == 0:
+		c.ProcessingDelay = 25 * time.Millisecond
+	}
+}
+
+// Point is one sweep point: a cluster size with its per-run
+// convergence times.
+type Point struct {
+	SDNCount  int
+	Fraction  float64
+	Durations []time.Duration
+	Summary   stats.Summary
+}
+
+// RunSweep executes the sweep and returns one Point per SDN count.
+func RunSweep(cfg SweepConfig) ([]Point, error) {
+	cfg.setDefaults()
+	points := make([]Point, 0, len(cfg.SDNCounts))
+	for _, k := range cfg.SDNCounts {
+		if k < 0 || k > cfg.CliqueSize {
+			return nil, fmt.Errorf("figures: SDN count %d outside 0..%d", k, cfg.CliqueSize)
+		}
+		durations := make([]time.Duration, 0, cfg.Runs)
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.BaseSeed + int64(run)*1000 + int64(k)
+			d, err := RunOnce(cfg, k, seed)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %v k=%d run=%d: %w", cfg.Kind, k, run, err)
+			}
+			durations = append(durations, d)
+		}
+		points = append(points, Point{
+			SDNCount:  k,
+			Fraction:  float64(k) / float64(cfg.CliqueSize),
+			Durations: durations,
+			Summary:   stats.SummarizeDurations(durations),
+		})
+	}
+	return points, nil
+}
+
+// members picks the k cluster members: the highest-numbered ASes, so
+// the origin AS1 stays legacy until k = n (matching the paper's
+// "remaining ASes use standard BGP").
+func members(n, k int) []idr.ASN {
+	out := make([]idr.ASN, 0, k)
+	for i := n - k; i < n; i++ {
+		out = append(out, topology.BaseASN+idr.ASN(i))
+	}
+	return out
+}
+
+// RunOnce executes a single seeded run of the sweep experiment with k
+// cluster members and returns its convergence time.
+func RunOnce(cfg SweepConfig, k int, seed int64) (time.Duration, error) {
+	cfg.setDefaults()
+	g, err := topology.Clique(cfg.CliqueSize)
+	if err != nil {
+		return 0, err
+	}
+	origin := topology.BaseASN // AS1
+	if cfg.Kind == Failover {
+		// The fail-over scenario dual-homes a stub origin onto two
+		// clique members: failing the primary attachment forces every
+		// AS to re-converge onto paths through the backup, with real
+		// path exploration in the legacy part.
+		origin = topology.BaseASN + idr.ASN(cfg.CliqueSize)
+		g.AddNode(origin)
+		if err := g.AddEdge(topology.Edge{A: origin, B: topology.BaseASN + 1, Rel: topology.P2P}); err != nil {
+			return 0, err
+		}
+		if err := g.AddEdge(topology.Edge{A: origin, B: topology.BaseASN + 2, Rel: topology.P2P}); err != nil {
+			return 0, err
+		}
+	}
+	e, err := experiment.New(experiment.Config{
+		Seed:            seed,
+		Graph:           g,
+		SDNMembers:      members(cfg.CliqueSize, k),
+		Timers:          cfg.Timers,
+		Debounce:        cfg.Debounce,
+		Settle:          cfg.Settle,
+		ProcessingDelay: cfg.ProcessingDelay,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := e.Start(); err != nil {
+		return 0, err
+	}
+	if err := e.WaitEstablished(5 * time.Minute); err != nil {
+		return 0, err
+	}
+
+	switch cfg.Kind {
+	case Withdrawal:
+		// Announce everything, settle, then withdraw the origin's
+		// prefix and measure until quiescence (Figure 2).
+		for _, asn := range e.ASNs() {
+			if err := e.Announce(asn); err != nil {
+				return 0, err
+			}
+		}
+		if _, err := e.WaitConverged(cfg.Timeout); err != nil {
+			return 0, err
+		}
+		return e.MeasureConvergence(func() error { return e.Withdraw(origin) }, cfg.Timeout)
+
+	case Announcement:
+		// Announce everything except the origin's prefix, settle, then
+		// measure the fresh announcement (§4).
+		for _, asn := range e.ASNs() {
+			if asn == origin {
+				continue
+			}
+			if err := e.Announce(asn); err != nil {
+				return 0, err
+			}
+		}
+		if _, err := e.WaitConverged(cfg.Timeout); err != nil {
+			return 0, err
+		}
+		return e.MeasureConvergence(func() error { return e.Announce(origin) }, cfg.Timeout)
+
+	case Failover:
+		// Full convergence, then fail the stub origin's primary
+		// attachment (to AS2): all routes to the origin's prefix
+		// re-converge via the backup attachment (AS3) (§4).
+		for _, asn := range e.ASNs() {
+			if err := e.Announce(asn); err != nil {
+				return 0, err
+			}
+		}
+		if _, err := e.WaitConverged(cfg.Timeout); err != nil {
+			return 0, err
+		}
+		primary := topology.BaseASN + 1
+		return e.MeasureConvergence(func() error { return e.FailLink(origin, primary) }, cfg.Timeout)
+
+	default:
+		return 0, fmt.Errorf("figures: unknown experiment kind %v", cfg.Kind)
+	}
+}
+
+// WriteTable renders the sweep as the rows behind Figure 2's boxplots:
+// one line per SDN fraction with the five-number summary in seconds.
+func WriteTable(w io.Writer, kind Kind, cliqueSize int, points []Point) error {
+	if _, err := fmt.Fprintf(w, "# %s convergence on a %d-AS clique vs fraction of SDN ASes\n",
+		kind, cliqueSize); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-9s %4s %8s %8s %8s %8s %8s %8s\n",
+		"sdn_k", "fraction", "n", "min_s", "q1_s", "med_s", "q3_s", "max_s", "mean_s"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		s := p.Summary
+		if _, err := fmt.Fprintf(w, "%-8d %-9.3f %4d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			p.SDNCount, p.Fraction, s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LinearFit fits median convergence time against SDN fraction and
+// returns intercept, slope and r² — the check behind the paper's
+// "convergence time can be linearly reduced" claim.
+func LinearFit(points []Point) (a, b, r2 float64) {
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.Fraction
+		ys[i] = p.Summary.Median
+	}
+	return stats.LinearFit(xs, ys)
+}

@@ -1,0 +1,293 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// fastCfg shrinks the sweeps so the shape checks run in seconds of
+// wall time while keeping the protocol dynamics.
+func fastCfg(kind Kind) SweepConfig {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 10 * time.Second
+	return SweepConfig{
+		Kind:       kind,
+		CliqueSize: 8,
+		SDNCounts:  []int{0, 4, 8},
+		Runs:       3,
+		BaseSeed:   1,
+		Timers:     timers,
+	}
+}
+
+func TestFig2WithdrawalShape(t *testing.T) {
+	points, err := RunSweep(fastCfg(Withdrawal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The paper's headline: convergence falls as the SDN fraction
+	// grows, roughly linearly.
+	med := func(i int) float64 { return points[i].Summary.Median }
+	if !(med(0) > med(1) && med(1) > med(2)) {
+		t.Fatalf("medians not decreasing: %.3f %.3f %.3f", med(0), med(1), med(2))
+	}
+	// Full deployment is dramatically faster than pure BGP.
+	if med(2)*5 > med(0) {
+		t.Fatalf("full SDN should be >5x faster: pure=%.3fs full=%.3fs", med(0), med(2))
+	}
+	// Pure BGP should be in the tens of seconds with MRAI 10s on an
+	// 8-clique (path exploration over multiple rounds).
+	if med(0) < 10 {
+		t.Fatalf("pure BGP converged suspiciously fast: %.3fs", med(0))
+	}
+	_, slope, r2 := LinearFit(points)
+	if slope >= 0 {
+		t.Fatalf("slope = %v, want negative", slope)
+	}
+	if r2 < 0.7 {
+		t.Logf("note: linear fit r2 = %.2f (3-point fast config)", r2)
+	}
+}
+
+func TestFig2BoxplotSpread(t *testing.T) {
+	// MRAI jitter must spread the runs: the boxplot has nonzero IQR
+	// at the pure-BGP point.
+	cfg := fastCfg(Withdrawal)
+	cfg.SDNCounts = []int{0}
+	cfg.Runs = 5
+	points, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := points[0].Summary
+	if s.Max == s.Min {
+		t.Fatalf("no spread across seeded runs: %+v", s)
+	}
+}
+
+func TestAnnouncementSmallerEffect(t *testing.T) {
+	w, err := RunSweep(fastCfg(Withdrawal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunSweep(fastCfg(Announcement))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4: announcement does not show the (large) linear reduction.
+	// Compare absolute savings between 0% and 100% deployment.
+	wSave := w[0].Summary.Median - w[len(w)-1].Summary.Median
+	aSave := a[0].Summary.Median - a[len(a)-1].Summary.Median
+	if aSave >= wSave {
+		t.Fatalf("announcement saving (%.3fs) should be smaller than withdrawal saving (%.3fs)", aSave, wSave)
+	}
+	// Announcements converge fast in absolute terms (flooding, not
+	// path exploration).
+	if a[0].Summary.Median > w[0].Summary.Median/4 {
+		t.Fatalf("announcement (%.3fs) should be much faster than withdrawal (%.3fs)",
+			a[0].Summary.Median, w[0].Summary.Median)
+	}
+}
+
+func TestFailoverSmallerEffect(t *testing.T) {
+	w, err := RunSweep(fastCfg(Withdrawal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := RunSweep(fastCfg(Failover))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wSave := w[0].Summary.Median - w[len(w)-1].Summary.Median
+	fSave := f[0].Summary.Median - f[len(f)-1].Summary.Median
+	if fSave >= wSave {
+		t.Fatalf("failover saving (%.3fs) should be smaller than withdrawal saving (%.3fs)", fSave, wSave)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	cfg := fastCfg(Withdrawal)
+	cfg.SDNCounts = []int{0, 8}
+	cfg.Runs = 2
+	points, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTable(&sb, Withdrawal, 8, points); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"withdrawal", "fraction", "med_s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", lines, out)
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	cfg := fastCfg(Withdrawal)
+	cfg.SDNCounts = []int{99}
+	if _, err := RunSweep(cfg); err == nil {
+		t.Fatal("out-of-range SDN count should error")
+	}
+	if _, err := RunOnce(SweepConfig{Kind: Kind(99), CliqueSize: 4, Runs: 1,
+		Timers: bgp.Timers{MRAI: time.Second}}, 0, 1); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if Withdrawal.String() != "withdrawal" || Kind(9).String() == "" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestMRAISweepScales(t *testing.T) {
+	points, err := MRAISweep(6, 2, []time.Duration{5 * time.Second, 20 * time.Second}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Tdown grows with MRAI.
+	if points[1].Summary.Median <= points[0].Summary.Median {
+		t.Fatalf("larger MRAI should converge slower: %v vs %v",
+			points[0].Summary.Median, points[1].Summary.Median)
+	}
+	var sb strings.Builder
+	if err := WriteMRAITable(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mrai_s") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestCliqueSizeSweepScales(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 5 * time.Second
+	points, err := CliqueSizeSweep([]int{4, 10}, 2, timers, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[1].Summary.Median <= points[0].Summary.Median {
+		t.Fatalf("larger clique should converge slower: %v vs %v",
+			points[0].Summary.Median, points[1].Summary.Median)
+	}
+	var sb strings.Builder
+	if err := WriteSizeTable(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "clique") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestDebounceAblationTradeoff(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 5 * time.Second
+	points, err := DebounceAblation(6, 3, 2,
+		[]time.Duration{-1, 2 * time.Second}, timers, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The debounce rate-limits controller work: fewer recomputation
+	// batches than the no-debounce ablation.
+	if points[1].Recomputes >= points[0].Recomputes {
+		t.Fatalf("debounce should reduce recomputes: %v vs %v",
+			points[0].Recomputes, points[1].Recomputes)
+	}
+	var sb strings.Builder
+	if err := WriteDebounceTable(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "recomputes") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestSubClusterSurvivesSplit(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 2 * time.Second
+	res, err := SubClusterExperiment(timers, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReachableBeforeSplit {
+		t.Fatal("cluster prefixes unreachable before split")
+	}
+	// The paper's design goal: the intra-cluster link failure must
+	// not isolate the sub-clusters — legacy paths reconnect them.
+	if !res.ReachableAfterSplit {
+		t.Fatal("sub-clusters isolated after split; legacy reconnection failed")
+	}
+}
+
+func TestPathExplorationDropsWithSDN(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 5 * time.Second
+	points, err := PathExplorationSweep(8, []int{0, 6}, timers, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[1].BestChanges >= points[0].BestChanges {
+		t.Fatalf("SDN should reduce path exploration: %d vs %d",
+			points[0].BestChanges, points[1].BestChanges)
+	}
+	if points[1].Updates >= points[0].Updates {
+		t.Fatalf("SDN should reduce update count: %d vs %d",
+			points[0].Updates, points[1].Updates)
+	}
+}
+
+func TestFlapStabilityAblation(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 5 * time.Second
+	points, err := FlapStabilityAblation(6, 4, 10*time.Second, timers, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	byMode := map[string]FlapPoint{}
+	for _, p := range points {
+		byMode[p.Mode] = p
+	}
+	// Both stability mechanisms must beat plain BGP on update load.
+	if byMode["damping"].Updates >= byMode["bgp"].Updates {
+		t.Fatalf("damping should reduce updates: %d vs %d",
+			byMode["damping"].Updates, byMode["bgp"].Updates)
+	}
+	if byMode["sdn"].Updates >= byMode["bgp"].Updates {
+		t.Fatalf("sdn should reduce updates: %d vs %d",
+			byMode["sdn"].Updates, byMode["bgp"].Updates)
+	}
+	// The network must be usable once the origin stabilises.
+	for _, mode := range []string{"bgp", "sdn", "damping"} {
+		if !byMode[mode].ReachableAfter {
+			t.Fatalf("%s: prefix unreachable after the storm", mode)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteFlapTable(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "reachable_after") {
+		t.Fatal("table header missing")
+	}
+}

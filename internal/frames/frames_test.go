@@ -1,0 +1,81 @@
+package frames
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	for _, k := range []Kind{KindBGP, KindOpenFlow, KindProbe} {
+		frame := Encode(k, []byte("payload"))
+		kind, payload, err := Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != k || string(payload) != "payload" {
+			t.Fatalf("round trip: kind=%v payload=%q", kind, payload)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty frame should fail")
+	}
+	if _, _, err := Decode([]byte{99, 1, 2}); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindBGP.String() != "bgp" || KindProbe.String() != "probe" ||
+		KindOpenFlow.String() != "openflow" || Kind(9).String() == "" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	in := Probe{
+		ID:  123456789,
+		Src: netip.MustParseAddr("10.0.1.10"),
+		Dst: netip.MustParseAddr("10.0.7.10"),
+		TTL: DefaultTTL,
+	}
+	b, err := EncodeProbe(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v -> %+v", in, out)
+	}
+}
+
+func TestProbeErrors(t *testing.T) {
+	if _, err := EncodeProbe(Probe{Src: netip.MustParseAddr("::1"), Dst: netip.MustParseAddr("10.0.0.1")}); err == nil {
+		t.Fatal("IPv6 src should fail")
+	}
+	if _, err := DecodeProbe([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload should fail")
+	}
+}
+
+// Property: probe encoding round-trips for arbitrary fields.
+func TestPropertyProbeRoundTrip(t *testing.T) {
+	f := func(id uint64, src, dst [4]byte, ttl uint8) bool {
+		in := Probe{ID: id, Src: netip.AddrFrom4(src), Dst: netip.AddrFrom4(dst), TTL: ttl}
+		b, err := EncodeProbe(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeProbe(b)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

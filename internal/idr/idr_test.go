@@ -1,0 +1,81 @@
+package idr
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestASNString(t *testing.T) {
+	if got := ASN(64500).String(); got != "AS64500" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRouterIDRoundTrip(t *testing.T) {
+	addr := netip.MustParseAddr("10.0.0.7")
+	id := RouterIDFromAddr(addr)
+	if id.Addr() != addr {
+		t.Fatalf("Addr() = %v, want %v", id.Addr(), addr)
+	}
+	if id.String() != "10.0.0.7" {
+		t.Fatalf("String() = %q", id.String())
+	}
+	if id.Uint32() != 0x0a000007 {
+		t.Fatalf("Uint32() = %#x", id.Uint32())
+	}
+}
+
+func TestRouterIDFromAddrPanicsOnIPv6(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for IPv6 input")
+		}
+	}()
+	RouterIDFromAddr(netip.MustParseAddr("::1"))
+}
+
+func TestRouterIDLess(t *testing.T) {
+	lo := RouterIDFromAddr(netip.MustParseAddr("10.0.0.1"))
+	hi := RouterIDFromAddr(netip.MustParseAddr("10.0.0.2"))
+	if !lo.Less(hi) || hi.Less(lo) {
+		t.Fatal("Less ordering wrong")
+	}
+}
+
+func TestPrefixLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"10.0.0.0/8", "11.0.0.0/8", true},
+		{"11.0.0.0/8", "10.0.0.0/8", false},
+		{"10.0.0.0/8", "10.0.0.0/16", true},
+		{"10.0.0.0/16", "10.0.0.0/8", false},
+		{"10.0.0.0/8", "10.0.0.0/8", false},
+	}
+	for _, c := range cases {
+		if got := PrefixLess(MustPrefix(c.a), MustPrefix(c.b)); got != c.want {
+			t.Errorf("PrefixLess(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: PrefixLess is a strict weak ordering — irreflexive and
+// asymmetric.
+func TestPropertyPrefixLessStrict(t *testing.T) {
+	f := func(a4, b4 [4]byte, la, lb uint8) bool {
+		pa := netip.PrefixFrom(netip.AddrFrom4(a4), int(la%33))
+		pb := netip.PrefixFrom(netip.AddrFrom4(b4), int(lb%33))
+		if PrefixLess(pa, pa) {
+			return false
+		}
+		if PrefixLess(pa, pb) && PrefixLess(pb, pa) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package netem is the framework's network emulator: the stand-in for
+// Mininet in the paper's stack (see DESIGN.md). It moves opaque
+// control-plane messages between nodes over point-to-point links with
+// configurable latency, jitter and loss, supports dynamic link
+// failure/restore ("dynamically changing the topology", paper §2), and
+// counts traffic for the analysis tools.
+//
+// Delivery semantics: Send is reliable and in-order per direction, like
+// the TCP connections BGP rides on — messages are never reordered and
+// are lost only when the link goes down while they are in flight.
+// SendUnreliable applies jitter and random loss, for probe traffic.
+//
+// All timing runs on a sim.Clock, so the emulator works both in virtual
+// and in wall-clock time.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ErrLinkDown is returned by Send when the link is administratively or
+// operationally down.
+var ErrLinkDown = errors.New("netem: link is down")
+
+// Network owns nodes and links and carries the shared clock.
+type Network struct {
+	clock sim.Clock
+	rng   *rand.Rand
+	nodes map[string]*Node
+	links []*Link
+
+	// Delivered and Dropped count messages network-wide.
+	Delivered, Dropped uint64
+	// BytesDelivered counts payload bytes network-wide.
+	BytesDelivered uint64
+}
+
+// NewNetwork returns an empty network on the given clock. rng is used
+// for jitter and loss decisions; it may be nil if no link uses them.
+func NewNetwork(clock sim.Clock, rng *rand.Rand) *Network {
+	return &Network{
+		clock: clock,
+		rng:   rng,
+		nodes: make(map[string]*Node),
+	}
+}
+
+// Clock returns the network's clock.
+func (n *Network) Clock() sim.Clock { return n.clock }
+
+// AddNode creates a node with a unique name.
+func (n *Network) AddNode(name string) (*Node, error) {
+	if _, ok := n.nodes[name]; ok {
+		return nil, fmt.Errorf("netem: duplicate node %q", name)
+	}
+	node := &Node{name: name, net: n}
+	n.nodes[name] = node
+	return node, nil
+}
+
+// Node returns the named node, if present.
+func (n *Network) Node(name string) (*Node, bool) {
+	nd, ok := n.nodes[name]
+	return nd, ok
+}
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// LinkConfig sets the transmission characteristics of one link.
+type LinkConfig struct {
+	// Delay is the one-way propagation delay (default 1ms if zero and
+	// DefaultDelay not overridden by the caller).
+	Delay time.Duration
+	// Jitter is the maximum extra random delay applied to unreliable
+	// sends (uniform in [0, Jitter]).
+	Jitter time.Duration
+	// Loss is the probability in [0, 1] that an unreliable send is
+	// dropped.
+	Loss float64
+	// BandwidthBps, when non-zero, models link capacity in bits per
+	// second: each frame occupies the link for its serialization time
+	// and frames queue behind each other per direction (an infinite
+	// FIFO; the control-plane loads here never need a drop-tail).
+	BandwidthBps int64
+}
+
+// DefaultDelay is applied when LinkConfig.Delay is zero.
+const DefaultDelay = 1 * time.Millisecond
+
+// Connect creates a bidirectional link between a and b.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) (*Link, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("netem: Connect with nil node")
+	}
+	if a == b {
+		return nil, fmt.Errorf("netem: cannot connect %q to itself", a.name)
+	}
+	if a.net != n || b.net != n {
+		return nil, errors.New("netem: node belongs to a different network")
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = DefaultDelay
+	}
+	if cfg.Delay < 0 || cfg.Jitter < 0 || cfg.Loss < 0 || cfg.Loss > 1 || cfg.BandwidthBps < 0 {
+		return nil, fmt.Errorf("netem: invalid link config %+v", cfg)
+	}
+	if cfg.Loss > 0 || cfg.Jitter > 0 {
+		if n.rng == nil {
+			return nil, errors.New("netem: loss/jitter need a network random source")
+		}
+	}
+	l := &Link{net: n, cfg: cfg, up: true}
+	l.a = &Endpoint{node: a, link: l}
+	l.b = &Endpoint{node: b, link: l}
+	l.a.peer, l.b.peer = l.b, l.a
+	a.endpoints = append(a.endpoints, l.a)
+	b.endpoints = append(b.endpoints, l.b)
+	n.links = append(n.links, l)
+	return l, nil
+}
+
+// Node is a network device: one per AS in the paper's model ("every AS
+// is emulated by a single network device").
+type Node struct {
+	name      string
+	net       *Network
+	endpoints []*Endpoint
+	handler   func(from *Endpoint, data []byte)
+}
+
+// Name returns the node's unique name.
+func (nd *Node) Name() string { return nd.name }
+
+// Endpoints returns the node's link endpoints in attachment order.
+func (nd *Node) Endpoints() []*Endpoint { return nd.endpoints }
+
+// OnMessage installs the node's receive handler. Handlers run on the
+// clock's executor; installing a handler replaces the previous one.
+func (nd *Node) OnMessage(h func(from *Endpoint, data []byte)) { nd.handler = h }
+
+// EndpointTo returns this node's endpoint on a link to the named peer
+// node, if one exists (the first match when parallel links exist).
+func (nd *Node) EndpointTo(peer string) (*Endpoint, bool) {
+	for _, ep := range nd.endpoints {
+		if ep.peer.node.name == peer {
+			return ep, true
+		}
+	}
+	return nil, false
+}
+
+// Link is a bidirectional point-to-point connection.
+type Link struct {
+	net   *Network
+	a, b  *Endpoint
+	cfg   LinkConfig
+	up    bool
+	epoch uint64 // incremented on every down transition; kills in-flight traffic
+	subs  []func(up bool)
+
+	// Stats, per link.
+	Delivered, Dropped uint64
+}
+
+// Endpoints returns the two endpoints of the link.
+func (l *Link) Endpoints() (*Endpoint, *Endpoint) { return l.a, l.b }
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Up reports the link's operational state.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp changes the link state. Taking the link down invalidates all
+// in-flight messages (they are counted as dropped on delivery time).
+// State-change subscribers run immediately, then once more via the
+// clock so protocol code observes the change as an event.
+func (l *Link) SetUp(up bool) {
+	if l.up == up {
+		return
+	}
+	l.up = up
+	if !up {
+		l.epoch++
+	}
+	for _, s := range l.subs {
+		s := s
+		l.net.clock.Go(func() { s(up) })
+	}
+}
+
+// OnStateChange subscribes to link up/down transitions.
+func (l *Link) OnStateChange(f func(up bool)) { l.subs = append(l.subs, f) }
+
+// String names the link after its endpoints.
+func (l *Link) String() string {
+	return fmt.Sprintf("%s<->%s", l.a.node.name, l.b.node.name)
+}
+
+// Endpoint is one side of a link, owned by a node.
+type Endpoint struct {
+	node *Node
+	link *Link
+	peer *Endpoint
+	// lastArrival enforces in-order delivery for reliable sends.
+	lastArrival time.Time
+	// lastDeparture tracks when the link frees up in this direction
+	// (bandwidth queueing).
+	lastDeparture time.Time
+}
+
+// serializationDelay is how long a frame of n bytes occupies the link.
+func (e *Endpoint) serializationDelay(n int) time.Duration {
+	bps := e.link.cfg.BandwidthBps
+	if bps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n*8) / float64(bps) * float64(time.Second))
+}
+
+// departAt reserves the transmitter: the frame starts when the link is
+// free and holds it for its serialization time.
+func (e *Endpoint) departAt(now time.Time, n int) time.Time {
+	start := now
+	if e.lastDeparture.After(start) {
+		start = e.lastDeparture
+	}
+	dep := start.Add(e.serializationDelay(n))
+	e.lastDeparture = dep
+	return dep
+}
+
+// Node returns the owning node.
+func (e *Endpoint) Node() *Node { return e.node }
+
+// Link returns the underlying link.
+func (e *Endpoint) Link() *Link { return e.link }
+
+// Peer returns the endpoint on the other side.
+func (e *Endpoint) Peer() *Endpoint { return e.peer }
+
+// PeerNode returns the node on the other side.
+func (e *Endpoint) PeerNode() *Node { return e.peer.node }
+
+// Send transmits data reliably and in order to the peer node, which
+// receives it via its OnMessage handler after the link delay. It fails
+// immediately if the link is down. If the link goes down while the
+// message is in flight, the message is dropped (like a TCP connection
+// reset mid-transfer).
+func (e *Endpoint) Send(data []byte) error {
+	l := e.link
+	if !l.up {
+		return ErrLinkDown
+	}
+	clock := l.net.clock
+	arrival := e.departAt(clock.Now(), len(data)).Add(l.cfg.Delay)
+	if arrival.Before(e.lastArrival) {
+		arrival = e.lastArrival
+	}
+	e.lastArrival = arrival
+	epoch := l.epoch
+	dst := e.peer
+	clock.AfterFunc(arrival.Sub(clock.Now()), func() {
+		if !l.up || l.epoch != epoch {
+			l.Dropped++
+			l.net.Dropped++
+			return
+		}
+		l.Delivered++
+		l.net.Delivered++
+		l.net.BytesDelivered += uint64(len(data))
+		if dst.node.handler != nil {
+			dst.node.handler(dst, data)
+		}
+	})
+	return nil
+}
+
+// SendUnreliable transmits data with the link's loss probability and
+// jitter and no ordering guarantee. It reports whether the message was
+// put on the wire (false only when the link is down).
+func (e *Endpoint) SendUnreliable(data []byte) bool {
+	l := e.link
+	if !l.up {
+		return false
+	}
+	if l.cfg.Loss > 0 && l.net.rng.Float64() < l.cfg.Loss {
+		l.Dropped++
+		l.net.Dropped++
+		return true
+	}
+	now := l.net.clock.Now()
+	delay := e.departAt(now, len(data)).Sub(now) + l.cfg.Delay
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(l.net.rng.Int63n(int64(l.cfg.Jitter) + 1))
+	}
+	epoch := l.epoch
+	dst := e.peer
+	l.net.clock.AfterFunc(delay, func() {
+		if !l.up || l.epoch != epoch {
+			l.Dropped++
+			l.net.Dropped++
+			return
+		}
+		l.Delivered++
+		l.net.Delivered++
+		l.net.BytesDelivered += uint64(len(data))
+		if dst.node.handler != nil {
+			dst.node.handler(dst, data)
+		}
+	})
+	return true
+}
+
+// String names the endpoint by its node and peer.
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("%s->%s", e.node.name, e.peer.node.name)
+}

@@ -1,0 +1,450 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func newNet(t *testing.T) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	return k, NewNetwork(k, k.Rand())
+}
+
+func twoNodes(t *testing.T, n *Network) (*Node, *Node) {
+	t.Helper()
+	a, err := n.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestSendDeliversAfterDelay(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{Delay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	var at time.Duration
+	b.OnMessage(func(from *Endpoint, data []byte) {
+		got = data
+		at = k.Elapsed()
+	})
+	epA, _ := l.Endpoints()
+	if err := epA.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("delivered at %v, want 10ms", at)
+	}
+	if l.Delivered != 1 || n.Delivered != 1 || n.BytesDelivered != 5 {
+		t.Fatalf("counters: link=%d net=%d bytes=%d", l.Delivered, n.Delivered, n.BytesDelivered)
+	}
+}
+
+func TestSendInOrder(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	b.OnMessage(func(from *Endpoint, data []byte) { got = append(got, string(data)) })
+	epA, _ := l.Endpoints()
+	for _, m := range []string{"1", "2", "3", "4"} {
+		if err := epA.Send([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"1", "2", "3", "4"} {
+		if got[i] != want {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, gotB := "", ""
+	a.OnMessage(func(from *Endpoint, data []byte) { gotA = string(data) })
+	b.OnMessage(func(from *Endpoint, data []byte) { gotB = string(data) })
+	epA, epB := l.Endpoints()
+	if err := epA.Send([]byte("to-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := epB.Send([]byte("to-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotA != "to-a" || gotB != "to-b" {
+		t.Fatalf("gotA=%q gotB=%q", gotA, gotB)
+	}
+}
+
+func TestSendOnDownLink(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetUp(false)
+	epA, _ := l.Endpoints()
+	if err := epA.Send([]byte("x")); err != ErrLinkDown {
+		t.Fatalf("Send on down link = %v, want ErrLinkDown", err)
+	}
+	if epA.SendUnreliable([]byte("x")) {
+		t.Fatal("SendUnreliable on down link should report false")
+	}
+	_ = k
+}
+
+func TestLinkDownDropsInFlight(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{Delay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := false
+	b.OnMessage(func(from *Endpoint, data []byte) { received = true })
+	epA, _ := l.Endpoints()
+	if err := epA.Send([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	// Take the link down before delivery, and bring it back up: the
+	// in-flight message must still die (epoch bump).
+	k.AfterFunc(2*time.Millisecond, func() { l.SetUp(false) })
+	k.AfterFunc(4*time.Millisecond, func() { l.SetUp(true) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received {
+		t.Fatal("message survived a link flap")
+	}
+	if l.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", l.Dropped)
+	}
+}
+
+func TestLinkStateCallbacks(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trans []bool
+	l.OnStateChange(func(up bool) { trans = append(trans, up) })
+	l.SetUp(false)
+	l.SetUp(false) // no-op
+	l.SetUp(true)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(trans) != 2 || trans[0] != false || trans[1] != true {
+		t.Fatalf("transitions = %v", trans)
+	}
+	if !l.Up() {
+		t.Fatal("link should be up")
+	}
+}
+
+func TestUnreliableLoss(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{Loss: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := 0
+	b.OnMessage(func(from *Endpoint, data []byte) { recv++ })
+	epA, _ := l.Endpoints()
+	const total = 1000
+	for i := 0; i < total; i++ {
+		epA.SendUnreliable([]byte{1})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv < 350 || recv > 650 {
+		t.Fatalf("received %d of %d with 50%% loss", recv, total)
+	}
+	if l.Delivered+l.Dropped != total {
+		t.Fatalf("delivered+dropped = %d, want %d", l.Delivered+l.Dropped, total)
+	}
+}
+
+func TestUnreliableJitterBounds(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	base, jitter := 5*time.Millisecond, 10*time.Millisecond
+	l, err := n.Connect(a, b, LinkConfig{Delay: base, Jitter: jitter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	b.OnMessage(func(from *Endpoint, data []byte) { arrivals = append(arrivals, k.Elapsed()) })
+	epA, _ := l.Endpoints()
+	for i := 0; i < 100; i++ {
+		epA.SendUnreliable([]byte{1})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range arrivals {
+		if at < base || at > base+jitter {
+			t.Fatalf("arrival %v outside [%v, %v]", at, base, base+jitter)
+		}
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	if _, err := n.Connect(a, a, LinkConfig{}); err == nil {
+		t.Fatal("self-connect should error")
+	}
+	if _, err := n.Connect(nil, b, LinkConfig{}); err == nil {
+		t.Fatal("nil node should error")
+	}
+	if _, err := n.Connect(a, b, LinkConfig{Loss: 2}); err == nil {
+		t.Fatal("loss > 1 should error")
+	}
+	if _, err := n.Connect(a, b, LinkConfig{Delay: -time.Second}); err == nil {
+		t.Fatal("negative delay should error")
+	}
+	other := NewNetwork(k, nil)
+	c, _ := other.AddNode("c")
+	if _, err := n.Connect(a, c, LinkConfig{}); err == nil {
+		t.Fatal("cross-network connect should error")
+	}
+	// Loss without rng.
+	n2 := NewNetwork(k, nil)
+	x, _ := n2.AddNode("x")
+	y, _ := n2.AddNode("y")
+	if _, err := n2.Connect(x, y, LinkConfig{Loss: 0.1}); err == nil {
+		t.Fatal("loss without rng should error")
+	}
+}
+
+func TestDuplicateNodeName(t *testing.T) {
+	_, n := newNet(t)
+	if _, err := n.AddNode("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddNode("dup"); err == nil {
+		t.Fatal("duplicate name should error")
+	}
+}
+
+func TestEndpointNavigation(t *testing.T) {
+	_, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA, epB := l.Endpoints()
+	if epA.Node() != a || epA.PeerNode() != b || epA.Peer() != epB {
+		t.Fatal("endpoint navigation broken")
+	}
+	if epA.Link() != l {
+		t.Fatal("Link() wrong")
+	}
+	ep, ok := a.EndpointTo("b")
+	if !ok || ep != epA {
+		t.Fatal("EndpointTo wrong")
+	}
+	if _, ok := a.EndpointTo("zz"); ok {
+		t.Fatal("EndpointTo should miss")
+	}
+	if l.String() != "a<->b" || epA.String() != "a->b" {
+		t.Fatalf("String: %q %q", l.String(), epA.String())
+	}
+	nd, ok := n.Node("a")
+	if !ok || nd != a {
+		t.Fatal("Network.Node lookup wrong")
+	}
+	if len(n.Links()) != 1 {
+		t.Fatal("Links() wrong")
+	}
+	if len(a.Endpoints()) != 1 {
+		t.Fatal("Endpoints() wrong")
+	}
+	if a.Name() != "a" {
+		t.Fatal("Name() wrong")
+	}
+	if n.Clock() == nil {
+		t.Fatal("Clock() nil")
+	}
+	if l.Config().Delay != DefaultDelay {
+		t.Fatalf("default delay = %v", l.Config().Delay)
+	}
+}
+
+func TestManyNodesStress(t *testing.T) {
+	k, n := newNet(t)
+	const N = 50
+	nodes := make([]*Node, N)
+	for i := range nodes {
+		var err error
+		nodes[i], err = n.AddNode(string(rune('A'+i/26)) + string(rune('a'+i%26)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := 0
+	for _, nd := range nodes {
+		nd.OnMessage(func(from *Endpoint, data []byte) { recv++ })
+	}
+	rng := rand.New(rand.NewSource(2))
+	var links []*Link
+	for i := 1; i < N; i++ {
+		l, err := n.Connect(nodes[i-1], nodes[i], LinkConfig{
+			Delay: time.Duration(1+rng.Intn(10)) * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		links = append(links, l)
+	}
+	sent := 0
+	for _, l := range links {
+		a, b := l.Endpoints()
+		for i := 0; i < 10; i++ {
+			if err := a.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			sent += 2
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != sent {
+		t.Fatalf("received %d of %d", recv, sent)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	// 8000 bps: a 100-byte frame takes 100ms to serialize.
+	l, err := n.Connect(a, b, LinkConfig{Delay: 10 * time.Millisecond, BandwidthBps: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	b.OnMessage(func(from *Endpoint, data []byte) { arrivals = append(arrivals, k.Elapsed()) })
+	epA, _ := l.Endpoints()
+	frame := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		if err := epA.Send(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	// First frame: 100ms serialization + 10ms propagation; the rest
+	// queue 100ms apart.
+	want := []time.Duration{110 * time.Millisecond, 210 * time.Millisecond, 310 * time.Millisecond}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrival %d = %v, want %v (all: %v)", i, arrivals[i], want[i], arrivals)
+		}
+	}
+}
+
+func TestBandwidthZeroIsInfinite(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{Delay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	b.OnMessage(func(from *Endpoint, data []byte) { arrivals = append(arrivals, k.Elapsed()) })
+	epA, _ := l.Endpoints()
+	for i := 0; i < 3; i++ {
+		if err := epA.Send(make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range arrivals {
+		if at != 5*time.Millisecond {
+			t.Fatalf("infinite bandwidth should deliver all at 5ms: %v", arrivals)
+		}
+	}
+}
+
+func TestBandwidthValidation(t *testing.T) {
+	_, n := newNet(t)
+	a, b := twoNodes(t, n)
+	if _, err := n.Connect(a, b, LinkConfig{BandwidthBps: -1}); err == nil {
+		t.Fatal("negative bandwidth should error")
+	}
+}
+
+func TestBandwidthAppliesToUnreliable(t *testing.T) {
+	k, n := newNet(t)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{Delay: time.Millisecond, BandwidthBps: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	b.OnMessage(func(from *Endpoint, data []byte) { arrivals = append(arrivals, k.Elapsed()) })
+	epA, _ := l.Endpoints()
+	for i := 0; i < 2; i++ {
+		if !epA.SendUnreliable(make([]byte, 100)) {
+			t.Fatal("send failed")
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if gap := arrivals[1] - arrivals[0]; gap < 100*time.Millisecond {
+		t.Fatalf("unreliable frames not queued: gap %v", gap)
+	}
+}

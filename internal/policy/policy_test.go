@@ -1,0 +1,199 @@
+package policy
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/bgp/rib"
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/topology"
+)
+
+var pfx = netip.MustParsePrefix("10.0.1.0/24")
+
+func neighbor(kind topology.NeighborKind) Neighbor {
+	return Neighbor{Key: "p", ASN: 2, Kind: kind}
+}
+
+func testRoute() *rib.Route {
+	return &rib.Route{
+		Prefix: pfx,
+		Attrs: wire.PathAttrs{
+			Origin:  wire.OriginIGP,
+			ASPath:  wire.NewASPath(2),
+			NextHop: netip.MustParseAddr("100.64.0.2"),
+		},
+	}
+}
+
+func TestPermitAll(t *testing.T) {
+	var p Policy = PermitAll{}
+	r := testRoute()
+	if !p.Import(neighbor(topology.KindPeer), r) {
+		t.Fatal("PermitAll should import")
+	}
+	if !p.Export(neighbor(topology.KindPeer), neighbor(topology.KindProvider), r) {
+		t.Fatal("PermitAll should export")
+	}
+	if r.Attrs.LocalPref != nil {
+		t.Fatal("PermitAll must not set LOCAL_PREF")
+	}
+}
+
+func TestGaoRexfordImportPrefs(t *testing.T) {
+	g := GaoRexford{}
+	cases := []struct {
+		kind topology.NeighborKind
+		want uint32
+	}{
+		{topology.KindCustomer, CustomerPref},
+		{topology.KindPeer, PeerPref},
+		{topology.KindProvider, ProviderPref},
+	}
+	for _, c := range cases {
+		r := testRoute()
+		if !g.Import(neighbor(c.kind), r) {
+			t.Fatalf("import from %v rejected", c.kind)
+		}
+		if r.Attrs.LocalPref == nil || *r.Attrs.LocalPref != c.want {
+			t.Fatalf("LOCAL_PREF from %v = %v, want %d", c.kind, r.Attrs.LocalPref, c.want)
+		}
+	}
+}
+
+func TestGaoRexfordCustomPrefs(t *testing.T) {
+	g := GaoRexford{CustomerPref: 500}
+	r := testRoute()
+	g.Import(neighbor(topology.KindCustomer), r)
+	if *r.Attrs.LocalPref != 500 {
+		t.Fatalf("LOCAL_PREF = %d", *r.Attrs.LocalPref)
+	}
+	// Unset kinds keep defaults.
+	r2 := testRoute()
+	g.Import(neighbor(topology.KindPeer), r2)
+	if *r2.Attrs.LocalPref != PeerPref {
+		t.Fatalf("peer LOCAL_PREF = %d", *r2.Attrs.LocalPref)
+	}
+}
+
+func TestGaoRexfordCommunities(t *testing.T) {
+	g := GaoRexford{TagCommunities: true}
+	r := testRoute()
+	g.Import(neighbor(topology.KindCustomer), r)
+	if !r.Attrs.HasCommunity(CommunityFromCustomer) {
+		t.Fatal("customer community missing")
+	}
+	r2 := testRoute()
+	g.Import(neighbor(topology.KindProvider), r2)
+	if !r2.Attrs.HasCommunity(CommunityFromProvider) {
+		t.Fatal("provider community missing")
+	}
+	// Without the flag, no tags.
+	r3 := testRoute()
+	GaoRexford{}.Import(neighbor(topology.KindPeer), r3)
+	if len(r3.Attrs.Communities) != 0 {
+		t.Fatal("untagged policy attached communities")
+	}
+}
+
+func TestGaoRexfordExportValleyFree(t *testing.T) {
+	g := GaoRexford{}
+	r := testRoute()
+	customer := neighbor(topology.KindCustomer)
+	peer := neighbor(topology.KindPeer)
+	provider := neighbor(topology.KindProvider)
+
+	// Customer-learned: export to everyone.
+	for _, to := range []Neighbor{customer, peer, provider} {
+		if !g.Export(to, customer, r) {
+			t.Fatalf("customer route must export to %v", to.Kind)
+		}
+	}
+	// Local: export to everyone.
+	for _, to := range []Neighbor{customer, peer, provider} {
+		if !g.Export(to, Local, r) {
+			t.Fatalf("local route must export to %v", to.Kind)
+		}
+	}
+	// Peer-learned: only to customers.
+	if !g.Export(customer, peer, r) {
+		t.Fatal("peer route must export to customer")
+	}
+	if g.Export(peer, peer, r) || g.Export(provider, peer, r) {
+		t.Fatal("peer route must not export to peer/provider")
+	}
+	// Provider-learned: only to customers.
+	if !g.Export(customer, provider, r) {
+		t.Fatal("provider route must export to customer")
+	}
+	if g.Export(peer, provider, r) || g.Export(provider, provider, r) {
+		t.Fatal("provider route must not export to peer/provider")
+	}
+}
+
+func TestPrefixFilter(t *testing.T) {
+	f := PrefixFilter{
+		Inner:      PermitAll{},
+		DenyImport: map[netip.Prefix]bool{pfx: true},
+	}
+	r := testRoute()
+	if f.Import(neighbor(topology.KindPeer), r) {
+		t.Fatal("denied import accepted")
+	}
+	other := *r
+	other.Prefix = netip.MustParsePrefix("10.0.2.0/24")
+	if !f.Import(neighbor(topology.KindPeer), &other) {
+		t.Fatal("unlisted prefix rejected")
+	}
+	f2 := PrefixFilter{Inner: PermitAll{}, DenyExport: map[netip.Prefix]bool{pfx: true}}
+	if f2.Export(neighbor(topology.KindPeer), Local, r) {
+		t.Fatal("denied export accepted")
+	}
+	if !f2.Import(neighbor(topology.KindPeer), r) {
+		t.Fatal("import should pass through")
+	}
+}
+
+func TestHonorNoExport(t *testing.T) {
+	h := HonorNoExport{Inner: PermitAll{}}
+	r := testRoute()
+	if !h.Export(neighbor(topology.KindPeer), Local, r) {
+		t.Fatal("plain route should export")
+	}
+	r.Attrs = r.Attrs.AddCommunity(wire.CommunityNoExport)
+	if h.Export(neighbor(topology.KindPeer), Local, r) {
+		t.Fatal("NO_EXPORT route must not export")
+	}
+	r2 := testRoute()
+	r2.Attrs = r2.Attrs.AddCommunity(wire.CommunityNoAdvertise)
+	if h.Export(neighbor(topology.KindPeer), Local, r2) {
+		t.Fatal("NO_ADVERTISE route must not export")
+	}
+	if !h.Import(neighbor(topology.KindPeer), r2) {
+		t.Fatal("import should pass through")
+	}
+}
+
+func TestFromTopology(t *testing.T) {
+	g := topology.New()
+	if err := g.AddEdge(topology.Edge{A: 1, B: 2, Rel: topology.P2C}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(topology.Edge{A: 2, B: 3, Rel: topology.P2P}); err != nil {
+		t.Fatal(err)
+	}
+	kinds := FromTopology(g)
+	if kinds[[2]idr.ASN{1, 2}] != topology.KindCustomer {
+		t.Fatal("AS2 should be AS1's customer")
+	}
+	if kinds[[2]idr.ASN{2, 1}] != topology.KindProvider {
+		t.Fatal("AS1 should be AS2's provider")
+	}
+	if kinds[[2]idr.ASN{2, 3}] != topology.KindPeer || kinds[[2]idr.ASN{3, 2}] != topology.KindPeer {
+		t.Fatal("AS2-AS3 should be peers")
+	}
+	if _, ok := kinds[[2]idr.ASN{1, 3}]; ok {
+		t.Fatal("no relationship between AS1 and AS3")
+	}
+}

@@ -1,0 +1,606 @@
+// Package scenario implements the framework's experiment scripting
+// language: the stand-in for the paper's Python experiment setups and
+// "additional Mininet-BGP commands to announce prefixes, wait until
+// BGP has converged, etc.".
+//
+// A scenario is a line-oriented script. Configuration directives come
+// first, then "start", then lifecycle commands:
+//
+//	# configuration
+//	topology clique 16        (also: line/ring/star N, tree N F,
+//	                           grid W H, internet N)
+//	sdn last 8                (or: sdn 9 10 11 12 / sdn none)
+//	seed 42
+//	mrai 30s
+//	no-mrai-jitter
+//	debounce 1s
+//	processing-delay 25ms
+//	policy gao-rexford        (or: permit-all)
+//	collector on
+//
+//	# lifecycle
+//	start
+//	wait-established 5m
+//	announce all              (or: announce 3)
+//	wait-converged 2h
+//	measure withdraw 1 2h     (reset, trigger, wait; prints the time)
+//	measure announce 1 2h
+//	measure fail-link 1 2 2h
+//	fail-link 1 2
+//	restore-link 1 2
+//	run-for 30s
+//	probe 1 4
+//	print summary|timeline <as>|loss|paths <as>|rib <as>
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/bgp/wire"
+	"repro/internal/experiment"
+	"repro/internal/idr"
+	"repro/internal/monitor"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// Script is a parsed scenario.
+type Script struct {
+	statements []statement
+}
+
+type statement struct {
+	line int
+	verb string
+	args []string
+}
+
+// Parse reads a scenario script.
+func Parse(r io.Reader) (*Script, error) {
+	var s Script
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		s.statements = append(s.statements, statement{
+			line: line,
+			verb: strings.ToLower(fields[0]),
+			args: fields[1:],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: reading script: %w", err)
+	}
+	if len(s.statements) == 0 {
+		return nil, fmt.Errorf("scenario: empty script")
+	}
+	return &s, nil
+}
+
+// Runner executes a parsed scenario.
+type Runner struct {
+	out io.Writer
+
+	// configuration being accumulated before "start"
+	graph    *topology.Graph
+	sdn      []idr.ASN
+	cfg      experiment.Config
+	pol      policy.Policy
+	started  bool
+	exp      *experiment.Experiment
+	topoRand *rand.Rand
+}
+
+// NewRunner returns a Runner writing command output to out.
+func NewRunner(out io.Writer) *Runner {
+	return &Runner{out: out}
+}
+
+// Experiment returns the running experiment (nil before "start").
+func (r *Runner) Experiment() *experiment.Experiment { return r.exp }
+
+// Run executes the script, stopping at the first failing statement.
+func (r *Runner) Run(s *Script) error {
+	for _, st := range s.statements {
+		if err := r.exec(st); err != nil {
+			return fmt.Errorf("scenario: line %d (%s): %w", st.line, st.verb, err)
+		}
+	}
+	return nil
+}
+
+func (r *Runner) exec(st statement) error {
+	if r.started {
+		return r.execLifecycle(st)
+	}
+	switch st.verb {
+	case "topology":
+		return r.execTopology(st.args)
+	case "sdn":
+		return r.execSDN(st.args)
+	case "seed":
+		v, err := parseInt(st.args, 0)
+		if err != nil {
+			return err
+		}
+		r.cfg.Seed = int64(v)
+		r.topoRand = rand.New(rand.NewSource(int64(v)))
+		return nil
+	case "mrai":
+		d, err := parseDuration(st.args, 0)
+		if err != nil {
+			return err
+		}
+		r.ensureTimers()
+		r.cfg.Timers.MRAI = d
+		return nil
+	case "no-mrai-jitter":
+		r.ensureTimers()
+		r.cfg.Timers.MRAIJitter = false
+		return nil
+	case "hold-time":
+		d, err := parseDuration(st.args, 0)
+		if err != nil {
+			return err
+		}
+		r.ensureTimers()
+		r.cfg.Timers.HoldTime = d
+		return nil
+	case "debounce":
+		d, err := parseDuration(st.args, 0)
+		if err != nil {
+			return err
+		}
+		r.cfg.Debounce = d
+		return nil
+	case "processing-delay":
+		d, err := parseDuration(st.args, 0)
+		if err != nil {
+			return err
+		}
+		r.cfg.ProcessingDelay = d
+		return nil
+	case "link-delay":
+		d, err := parseDuration(st.args, 0)
+		if err != nil {
+			return err
+		}
+		r.cfg.LinkDelay = d
+		return nil
+	case "settle":
+		d, err := parseDuration(st.args, 0)
+		if err != nil {
+			return err
+		}
+		r.cfg.Settle = d
+		return nil
+	case "damping":
+		if len(st.args) != 1 || (st.args[0] != "on" && st.args[0] != "off") {
+			return fmt.Errorf("want: damping on|off")
+		}
+		if st.args[0] == "on" {
+			r.cfg.Damping = &bgp.DampingConfig{}
+		} else {
+			r.cfg.Damping = nil
+		}
+		return nil
+	case "policy":
+		if len(st.args) != 1 {
+			return fmt.Errorf("want one policy name")
+		}
+		switch st.args[0] {
+		case "permit-all":
+			r.pol = policy.PermitAll{}
+		case "gao-rexford":
+			r.pol = policy.GaoRexford{}
+		default:
+			return fmt.Errorf("unknown policy %q", st.args[0])
+		}
+		return nil
+	case "collector":
+		if len(st.args) != 1 || (st.args[0] != "on" && st.args[0] != "off") {
+			return fmt.Errorf("want: collector on|off")
+		}
+		r.cfg.WithCollector = st.args[0] == "on"
+		return nil
+	case "start":
+		return r.execStart()
+	default:
+		return fmt.Errorf("unknown or out-of-order directive")
+	}
+}
+
+func (r *Runner) ensureTimers() {
+	if r.cfg.Timers == (bgp.Timers{}) {
+		r.cfg.Timers = bgp.DefaultTimers()
+	}
+}
+
+func (r *Runner) execTopology(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("want a topology kind")
+	}
+	kind := args[0]
+	num := func(i int) (int, error) {
+		if len(args) <= i {
+			return 0, fmt.Errorf("topology %s: missing size", kind)
+		}
+		return strconv.Atoi(args[i])
+	}
+	var err error
+	switch kind {
+	case "clique":
+		n, e := num(1)
+		if e != nil {
+			return e
+		}
+		r.graph, err = topology.Clique(n)
+	case "line":
+		n, e := num(1)
+		if e != nil {
+			return e
+		}
+		r.graph, err = topology.Line(n)
+	case "ring":
+		n, e := num(1)
+		if e != nil {
+			return e
+		}
+		r.graph, err = topology.Ring(n)
+	case "star":
+		n, e := num(1)
+		if e != nil {
+			return e
+		}
+		r.graph, err = topology.Star(n)
+	case "tree":
+		n, e := num(1)
+		if e != nil {
+			return e
+		}
+		f, e := num(2)
+		if e != nil {
+			return e
+		}
+		r.graph, err = topology.Tree(n, f)
+	case "grid":
+		w, e := num(1)
+		if e != nil {
+			return e
+		}
+		h, e := num(2)
+		if e != nil {
+			return e
+		}
+		r.graph, err = topology.Grid(w, h)
+	case "internet":
+		n, e := num(1)
+		if e != nil {
+			return e
+		}
+		rng := r.topoRand
+		if rng == nil {
+			rng = rand.New(rand.NewSource(r.cfg.Seed))
+		}
+		r.graph, err = topology.SynthesizeInternetLike(topology.InternetLikeConfig{ASes: n}, rng)
+	default:
+		return fmt.Errorf("unknown topology %q", kind)
+	}
+	return err
+}
+
+func (r *Runner) execSDN(args []string) error {
+	if r.graph == nil {
+		return fmt.Errorf("set a topology before sdn")
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("want: sdn none | sdn last K | sdn <asn...>")
+	}
+	switch args[0] {
+	case "none":
+		r.sdn = nil
+		return nil
+	case "last":
+		k, err := parseInt(args, 1)
+		if err != nil {
+			return err
+		}
+		nodes := r.graph.Nodes()
+		if k < 0 || k > len(nodes) {
+			return fmt.Errorf("sdn last %d outside 0..%d", k, len(nodes))
+		}
+		r.sdn = nodes[len(nodes)-k:]
+		return nil
+	default:
+		r.sdn = nil
+		for _, a := range args {
+			v, err := strconv.ParseUint(a, 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad ASN %q", a)
+			}
+			r.sdn = append(r.sdn, idr.ASN(v))
+		}
+		return nil
+	}
+}
+
+func (r *Runner) execStart() error {
+	if r.graph == nil {
+		return fmt.Errorf("no topology configured")
+	}
+	cfg := r.cfg
+	cfg.Graph = r.graph
+	cfg.SDNMembers = r.sdn
+	cfg.Policy = r.pol
+	exp, err := experiment.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := exp.Start(); err != nil {
+		return err
+	}
+	r.exp = exp
+	r.started = true
+	fmt.Fprintf(r.out, "started: %d ASes (%d SDN), %d links\n",
+		r.graph.NumNodes(), len(r.sdn), r.graph.NumEdges())
+	return nil
+}
+
+func (r *Runner) execLifecycle(st statement) error {
+	e := r.exp
+	switch st.verb {
+	case "wait-established":
+		d, err := parseDuration(st.args, 5*time.Minute)
+		if err != nil {
+			return err
+		}
+		if err := e.WaitEstablished(d); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, "all sessions established")
+		return nil
+	case "announce", "withdraw":
+		if len(st.args) == 1 && st.args[0] == "all" {
+			for _, asn := range e.ASNs() {
+				if err := r.announceOrWithdraw(st.verb, asn); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		asn, err := parseASN(st.args, 0)
+		if err != nil {
+			return err
+		}
+		return r.announceOrWithdraw(st.verb, asn)
+	case "wait-converged":
+		d, err := parseDuration(st.args, 2*time.Hour)
+		if err != nil {
+			return err
+		}
+		took, err := e.WaitConverged(d)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "converged (last activity %.3fs after trigger)\n", took.Seconds())
+		return nil
+	case "measure":
+		return r.execMeasure(st.args)
+	case "fail-link":
+		a, b, err := parseTwoASNs(st.args)
+		if err != nil {
+			return err
+		}
+		return e.FailLink(a, b)
+	case "restore-link":
+		a, b, err := parseTwoASNs(st.args)
+		if err != nil {
+			return err
+		}
+		return e.RestoreLink(a, b)
+	case "run-for":
+		d, err := parseDuration(st.args, 0)
+		if err != nil {
+			return err
+		}
+		return e.RunFor(d)
+	case "probe":
+		a, b, err := parseTwoASNs(st.args)
+		if err != nil {
+			return err
+		}
+		if err := e.InjectProbe(a, b); err != nil {
+			return err
+		}
+		return e.RunFor(time.Second)
+	case "print":
+		return r.execPrint(st.args)
+	default:
+		return fmt.Errorf("unknown command after start")
+	}
+}
+
+func (r *Runner) announceOrWithdraw(verb string, asn idr.ASN) error {
+	if verb == "announce" {
+		return r.exp.Announce(asn)
+	}
+	return r.exp.Withdraw(asn)
+}
+
+func (r *Runner) execMeasure(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("want: measure withdraw|announce <as> [timeout] | measure fail-link <a> <b> [timeout]")
+	}
+	e := r.exp
+	var trigger func() error
+	var rest []string
+	switch args[0] {
+	case "withdraw":
+		asn, err := parseASN(args, 1)
+		if err != nil {
+			return err
+		}
+		trigger = func() error { return e.Withdraw(asn) }
+		rest = args[2:]
+	case "announce":
+		asn, err := parseASN(args, 1)
+		if err != nil {
+			return err
+		}
+		trigger = func() error { return e.Announce(asn) }
+		rest = args[2:]
+	case "fail-link":
+		a, b, err := parseTwoASNs(args[1:3])
+		if err != nil {
+			return err
+		}
+		trigger = func() error { return e.FailLink(a, b) }
+		rest = args[3:]
+	default:
+		return fmt.Errorf("unknown measure trigger %q", args[0])
+	}
+	timeout := 2 * time.Hour
+	if len(rest) > 0 {
+		var err error
+		timeout, err = time.ParseDuration(rest[0])
+		if err != nil {
+			return fmt.Errorf("bad timeout %q", rest[0])
+		}
+	}
+	d, err := e.MeasureConvergence(trigger, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "measure %s: convergence %.3fs\n", args[0], d.Seconds())
+	return nil
+}
+
+func (r *Runner) execPrint(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("want: print summary|timeline <as>|loss|paths <as>")
+	}
+	e := r.exp
+	switch args[0] {
+	case "summary":
+		for _, s := range e.Log.Summarize() {
+			fmt.Fprintf(r.out, "%v: sent=%d recv=%d best-changes=%d state-changes=%d\n",
+				s.Router, s.UpdatesSent, s.UpdatesRecv, s.BestChanges, s.StateChanges)
+		}
+		return nil
+	case "timeline":
+		asn, err := parseASN(args, 1)
+		if err != nil {
+			return err
+		}
+		pfx, err := e.OriginPrefix(asn)
+		if err != nil {
+			return err
+		}
+		return e.Log.WriteTimeline(r.out, pfx)
+	case "loss":
+		return e.Probes.WriteReport(r.out)
+	case "rib":
+		asn, err := parseASN(args, 1)
+		if err != nil {
+			return err
+		}
+		router, ok := e.Routers[asn]
+		if !ok {
+			return fmt.Errorf("%v is not a legacy BGP router (cluster members have no RIB)", asn)
+		}
+		return router.WriteRIB(r.out)
+	case "stats":
+		fmt.Fprintf(r.out, "network: delivered=%d dropped=%d bytes=%d\n",
+			e.Net.Delivered, e.Net.Dropped, e.Net.BytesDelivered)
+		var sent, recv uint64
+		for _, router := range e.Routers {
+			sent += router.Stats().UpdatesSent
+			recv += router.Stats().UpdatesReceived
+		}
+		fmt.Fprintf(r.out, "bgp: updates sent=%d received=%d\n", sent, recv)
+		if e.Ctrl != nil {
+			s := e.Ctrl.Stats()
+			fmt.Fprintf(r.out, "controller: recomputes=%d flowmods=%d route-events=%d announces=%d withdraws=%d\n",
+				s.Recomputes, s.FlowModsSent, s.RouteEvents, s.AnnounceCommands, s.WithdrawCommands)
+		}
+		return nil
+	case "paths":
+		asn, err := parseASN(args, 1)
+		if err != nil {
+			return err
+		}
+		pfx, err := e.OriginPrefix(asn)
+		if err != nil {
+			return err
+		}
+		providers := make(map[idr.ASN]monitor.RouteProvider)
+		for _, a := range e.ASNs() {
+			a := a
+			providers[a] = func(netip.Prefix) (wire.ASPath, bool) {
+				return e.BestPath(a, asn)
+			}
+		}
+		return monitor.WriteForwardingDOT(r.out, pfx, providers)
+	default:
+		return fmt.Errorf("unknown print target %q", args[0])
+	}
+}
+
+func parseInt(args []string, i int) (int, error) {
+	if len(args) <= i {
+		return 0, fmt.Errorf("missing integer argument")
+	}
+	return strconv.Atoi(args[i])
+}
+
+func parseDuration(args []string, def time.Duration) (time.Duration, error) {
+	if len(args) == 0 {
+		if def > 0 {
+			return def, nil
+		}
+		return 0, fmt.Errorf("missing duration argument")
+	}
+	return time.ParseDuration(args[0])
+}
+
+func parseASN(args []string, i int) (idr.ASN, error) {
+	if len(args) <= i {
+		return 0, fmt.Errorf("missing AS number")
+	}
+	v, err := strconv.ParseUint(args[i], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad AS number %q", args[i])
+	}
+	return idr.ASN(v), nil
+}
+
+func parseTwoASNs(args []string) (idr.ASN, idr.ASN, error) {
+	if len(args) < 2 {
+		return 0, 0, fmt.Errorf("want two AS numbers")
+	}
+	a, err := parseASN(args, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := parseASN(args, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}

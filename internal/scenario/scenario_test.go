@@ -1,0 +1,302 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, script string) (string, error) {
+	t.Helper()
+	s, err := Parse(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	r := NewRunner(&out)
+	err = r.Run(s)
+	return out.String(), err
+}
+
+const header = `
+topology line 3
+seed 1
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+`
+
+func TestBasicScenario(t *testing.T) {
+	out, err := run(t, header+`
+announce all
+wait-converged 30m
+probe 1 3
+print loss
+print summary
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"started: 3 ASes (0 SDN), 2 links",
+		"all sessions established", "converged", "AS1 -> AS3", "loss=0.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureWithdraw(t *testing.T) {
+	out, err := run(t, header+`
+announce all
+wait-converged 30m
+measure withdraw 1 1h
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "measure withdraw: convergence") {
+		t.Fatalf("output = %s", out)
+	}
+}
+
+func TestHybridScenario(t *testing.T) {
+	out, err := run(t, `
+topology line 4
+sdn last 2
+seed 3
+mrai 2s
+no-mrai-jitter
+debounce 200ms
+start
+wait-established 2m
+announce all
+wait-converged 30m
+print timeline 1
+print paths 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "started: 4 ASes (2 SDN), 3 links") {
+		t.Fatalf("output = %s", out)
+	}
+	if !strings.Contains(out, "digraph") {
+		t.Fatal("paths DOT missing")
+	}
+}
+
+func TestLinkCommands(t *testing.T) {
+	_, err := run(t, `
+topology ring 4
+seed 1
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+announce all
+wait-converged 30m
+fail-link 1 2
+wait-converged 30m
+restore-link 1 2
+wait-converged 30m
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitSDNMembersAndPolicies(t *testing.T) {
+	_, err := run(t, `
+topology star 4
+sdn 2 3
+policy gao-rexford
+collector on
+seed 1
+mrai 2s
+no-mrai-jitter
+processing-delay 5ms
+link-delay 2ms
+hold-time 60s
+debounce 100ms
+start
+wait-established 2m
+announce all
+wait-converged 30m
+run-for 10s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternetTopology(t *testing.T) {
+	_, err := run(t, `
+seed 5
+topology internet 12
+policy gao-rexford
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+announce all
+wait-converged 30m
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("")); err == nil {
+		t.Fatal("empty script should fail")
+	}
+	if _, err := Parse(strings.NewReader("# only comments\n\n")); err == nil {
+		t.Fatal("comment-only script should fail")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		script string
+	}{
+		{"unknown directive", "bogus 1\n"},
+		{"start without topology", "start\n"},
+		{"sdn before topology", "sdn last 2\n"},
+		{"bad topology kind", "topology mobius 4\n"},
+		{"bad topology size", "topology clique x\n"},
+		{"bad policy", "topology line 2\npolicy anarchy\n"},
+		{"bad collector", "topology line 2\ncollector maybe\n"},
+		{"sdn bad asn", "topology line 2\nsdn x\n"},
+		{"sdn last out of range", "topology line 2\nsdn last 5\n"},
+		{"lifecycle before start", "topology line 2\nannounce 1\n"},
+		{"unknown command after start", header + "dance\n"},
+		{"bad measure trigger", header + "measure explode 1\n"},
+		{"bad print", header + "print everything\n"},
+		{"withdraw before announce", header + "withdraw 1\n"},
+		{"probe unknown", header + "probe 1 9\n"},
+		{"bad duration", header + "run-for xyz\n"},
+		{"fail unknown link", header + "fail-link 1 3\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := run(t, c.script); err == nil {
+				t.Fatalf("script should fail:\n%s", c.script)
+			}
+		})
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	_, err := run(t, `
+# a comment
+topology line 2   # trailing comment
+
+seed 9
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintRIB(t *testing.T) {
+	out, err := run(t, header+`
+announce all
+wait-converged 30m
+print rib 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"AS1 RIB", "10.0.1.0/24", "local", "path=[2 3]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rib output missing %q:\n%s", want, out)
+		}
+	}
+	// Cluster members have no router RIB.
+	if _, err := run(t, `
+topology line 3
+sdn 2
+seed 1
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+print rib 2
+`); err == nil {
+		t.Fatal("print rib for a cluster member should error")
+	}
+}
+
+func TestShippedScenarioFiles(t *testing.T) {
+	// The scenario files under examples/scenarios must stay runnable.
+	for _, name := range []string{"hybrid-tour.lab", "fig2-point.lab"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && name == "fig2-point.lab" {
+				t.Skip("full Figure 2 point is slow")
+			}
+			f, err := os.Open("../../examples/scenarios/" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			s, err := Parse(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			if err := NewRunner(&out).Run(s); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPrintStats(t *testing.T) {
+	out, err := run(t, `
+topology line 3
+sdn 3
+seed 1
+mrai 2s
+no-mrai-jitter
+settle 5s
+start
+wait-established 2m
+announce all
+wait-converged 30m
+print stats
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"network: delivered=", "bgp: updates sent=", "controller: recomputes="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDampingDirective(t *testing.T) {
+	if _, err := run(t, `
+topology line 3
+damping on
+seed 1
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+announce all
+wait-converged 30m
+`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(t, "topology line 2\ndamping maybe\n"); err == nil {
+		t.Fatal("bad damping arg should error")
+	}
+}

@@ -1,0 +1,187 @@
+package ofp
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message, xid uint32) Message {
+	t.Helper()
+	b, err := Marshal(m, xid)
+	if err != nil {
+		t.Fatalf("Marshal(%v): %v", m, err)
+	}
+	out, gotXid, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if gotXid != xid {
+		t.Fatalf("xid = %d, want %d", gotXid, xid)
+	}
+	return out
+}
+
+func TestHelloAndFeatures(t *testing.T) {
+	if m := roundTrip(t, Hello{}, 7); m.Type() != TypeHello {
+		t.Fatal("hello type wrong")
+	}
+	if m := roundTrip(t, FeaturesRequest{}, 8); m.Type() != TypeFeaturesRequest {
+		t.Fatal("features request type wrong")
+	}
+	fr := roundTrip(t, FeaturesReply{DatapathID: 1234567890123, NumPorts: 17}, 9).(FeaturesReply)
+	if fr.DatapathID != 1234567890123 || fr.NumPorts != 17 {
+		t.Fatalf("features reply = %+v", fr)
+	}
+}
+
+func TestEcho(t *testing.T) {
+	req := roundTrip(t, EchoRequest{Data: []byte("ping")}, 1).(EchoRequest)
+	if string(req.Data) != "ping" {
+		t.Fatal("echo request data lost")
+	}
+	rep := roundTrip(t, EchoReply{Data: []byte("pong")}, 2).(EchoReply)
+	if string(rep.Data) != "pong" {
+		t.Fatal("echo reply data lost")
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	in := FlowMod{
+		Command:  FlowAdd,
+		Priority: 24,
+		Match:    netip.MustParsePrefix("10.0.3.0/24"),
+		OutPort:  5,
+	}
+	out := roundTrip(t, in, 42).(FlowMod)
+	if out != in {
+		t.Fatalf("round trip: %+v -> %+v", in, out)
+	}
+	del := roundTrip(t, FlowMod{Command: FlowDeleteAll, Match: netip.MustParsePrefix("0.0.0.0/0")}, 1).(FlowMod)
+	if del.Command != FlowDeleteAll {
+		t.Fatal("delete-all lost")
+	}
+	drop := roundTrip(t, FlowMod{Command: FlowAdd, Match: netip.MustParsePrefix("10.0.0.0/8"), OutPort: PortDrop}, 1).(FlowMod)
+	if drop.OutPort != PortDrop {
+		t.Fatal("drop port lost")
+	}
+}
+
+func TestFlowModValidation(t *testing.T) {
+	if _, err := Marshal(FlowMod{Command: FlowAdd, Match: netip.MustParsePrefix("2001:db8::/32")}, 0); err == nil {
+		t.Fatal("IPv6 match should fail")
+	}
+	if _, err := Marshal(FlowMod{Command: 0, Match: netip.MustParsePrefix("10.0.0.0/8")}, 0); err == nil {
+		t.Fatal("bad command should fail")
+	}
+}
+
+func TestPacketInOut(t *testing.T) {
+	pi := roundTrip(t, PacketIn{InPort: 3, Data: []byte{1, 2, 3}}, 5).(PacketIn)
+	if pi.InPort != 3 || !bytes.Equal(pi.Data, []byte{1, 2, 3}) {
+		t.Fatalf("packet-in = %+v", pi)
+	}
+	po := roundTrip(t, PacketOut{OutPort: 9, Data: []byte{4}}, 6).(PacketOut)
+	if po.OutPort != 9 || !bytes.Equal(po.Data, []byte{4}) {
+		t.Fatalf("packet-out = %+v", po)
+	}
+	// Empty payloads are legal.
+	pi2 := roundTrip(t, PacketIn{InPort: 1}, 7).(PacketIn)
+	if len(pi2.Data) != 0 {
+		t.Fatal("empty data should round trip")
+	}
+}
+
+func TestPortStatus(t *testing.T) {
+	up := roundTrip(t, PortStatus{Port: 2, Up: true}, 1).(PortStatus)
+	if !up.Up || up.Port != 2 {
+		t.Fatalf("port status = %+v", up)
+	}
+	down := roundTrip(t, PortStatus{Port: 4, Up: false}, 1).(PortStatus)
+	if down.Up {
+		t.Fatal("down status lost")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, _ := Marshal(Hello{}, 1)
+	if _, _, err := Unmarshal(good[:4]); err == nil {
+		t.Fatal("short frame should fail")
+	}
+	badVer := append([]byte(nil), good...)
+	badVer[0] = 99
+	if _, _, err := Unmarshal(badVer); err == nil {
+		t.Fatal("bad version should fail")
+	}
+	badLen := append([]byte(nil), good...)
+	badLen[3] = 99
+	if _, _, err := Unmarshal(badLen); err == nil {
+		t.Fatal("bad length should fail")
+	}
+	badType := append([]byte(nil), good...)
+	badType[1] = 200
+	if _, _, err := Unmarshal(badType); err == nil {
+		t.Fatal("bad type should fail")
+	}
+	// Truncated FlowMod body.
+	fm, _ := Marshal(FlowMod{Command: FlowAdd, Match: netip.MustParsePrefix("10.0.0.0/8"), OutPort: 1}, 0)
+	trunc := fm[:len(fm)-2]
+	trunc[2] = byte(len(trunc) >> 8)
+	trunc[3] = byte(len(trunc))
+	if _, _, err := Unmarshal(trunc); err == nil {
+		t.Fatal("truncated flow mod should fail")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, typ := range []Type{TypeHello, TypeEchoRequest, TypeEchoReply, TypeFeaturesRequest,
+		TypeFeaturesReply, TypeFlowMod, TypePacketIn, TypePacketOut, TypePortStatus, Type(99)} {
+		if typ.String() == "" {
+			t.Fatalf("Type(%d).String empty", typ)
+		}
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes.
+func TestPropertyUnmarshalNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("panic")
+			}
+		}()
+		_, _, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FlowMod round-trips for arbitrary valid prefixes.
+func TestPropertyFlowModRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		var a4 [4]byte
+		rng.Read(a4[:])
+		in := FlowMod{
+			Command:  FlowCommand(1 + rng.Intn(3)),
+			Priority: uint16(rng.Intn(1 << 16)),
+			Match:    netip.PrefixFrom(netip.AddrFrom4(a4), rng.Intn(33)).Masked(),
+			OutPort:  rng.Uint32(),
+		}
+		b, err := Marshal(in, uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := Unmarshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(FlowMod) != in {
+			t.Fatalf("round trip: %+v -> %+v", in, out)
+		}
+	}
+}

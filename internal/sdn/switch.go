@@ -1,0 +1,307 @@
+// Package sdn implements the cluster's OpenFlow-like switches: flow
+// tables with prefix matching, packet-in relay of BGP control traffic
+// to the controller (the paper relays "control plane information over
+// the switches" to the cluster BGP speaker), and port status
+// notifications. One Switch emulates one cluster member AS's device.
+package sdn
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/frames"
+	"repro/internal/idr"
+	"repro/internal/sdn/ofp"
+)
+
+// FlowEntry is one programmed flow.
+type FlowEntry struct {
+	Priority uint16
+	Match    netip.Prefix
+	OutPort  uint32
+}
+
+// FlowTable holds flow entries and answers lookups by highest
+// priority, then longest prefix. One entry per match is kept (adds
+// replace).
+type FlowTable struct {
+	entries map[netip.Prefix]FlowEntry
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{entries: make(map[netip.Prefix]FlowEntry)}
+}
+
+// Upsert installs or replaces the entry for e.Match.
+func (t *FlowTable) Upsert(e FlowEntry) { t.entries[e.Match] = e }
+
+// Delete removes the entry for match, reporting whether it existed.
+func (t *FlowTable) Delete(match netip.Prefix) bool {
+	if _, ok := t.entries[match]; !ok {
+		return false
+	}
+	delete(t.entries, match)
+	return true
+}
+
+// Clear removes all entries.
+func (t *FlowTable) Clear() { t.entries = make(map[netip.Prefix]FlowEntry) }
+
+// Len returns the number of entries.
+func (t *FlowTable) Len() int { return len(t.entries) }
+
+// Lookup returns the matching entry for addr: highest priority wins,
+// then longest prefix, then (for determinism) smaller prefix address.
+func (t *FlowTable) Lookup(addr netip.Addr) (FlowEntry, bool) {
+	var best FlowEntry
+	found := false
+	for _, e := range t.entries {
+		if !e.Match.Contains(addr) {
+			continue
+		}
+		if !found || better(e, best) {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+func better(a, b FlowEntry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.Match.Bits() != b.Match.Bits() {
+		return a.Match.Bits() > b.Match.Bits()
+	}
+	return idr.PrefixLess(a.Match, b.Match)
+}
+
+// Entries returns all entries in deterministic order.
+func (t *FlowTable) Entries() []FlowEntry {
+	out := make([]FlowEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i].Match, out[j].Match) })
+	return out
+}
+
+// SwitchStats counts switch activity.
+type SwitchStats struct {
+	Forwarded, Dropped, PuntedToController uint64
+	FlowModsApplied                        uint64
+	DeliveredLocal                         uint64
+}
+
+// Switch is one cluster member's data-plane device.
+type Switch struct {
+	asn   idr.ASN
+	table *FlowTable
+
+	// sendPort transmits a raw link frame on a numbered port.
+	sendPort map[uint32]func([]byte) error
+	// sendControl transmits an OpenFlow frame to the controller.
+	sendControl func([]byte) error
+
+	// localPrefixes are delivered locally (the member AS's own
+	// address space).
+	localPrefixes map[netip.Prefix]bool
+	// OnLocalDeliver receives probes that terminate at this member.
+	OnLocalDeliver func(frames.Probe)
+
+	nextXid uint32
+	stats   SwitchStats
+}
+
+// NewSwitch creates the switch for member asn. sendControl carries
+// OpenFlow frames to the controller; it is required.
+func NewSwitch(asn idr.ASN, sendControl func([]byte) error) (*Switch, error) {
+	if sendControl == nil {
+		return nil, fmt.Errorf("sdn: switch %v needs a control channel", asn)
+	}
+	return &Switch{
+		asn:           asn,
+		table:         NewFlowTable(),
+		sendPort:      make(map[uint32]func([]byte) error),
+		sendControl:   sendControl,
+		localPrefixes: make(map[netip.Prefix]bool),
+	}, nil
+}
+
+// ASN returns the member AS the switch belongs to.
+func (s *Switch) ASN() idr.ASN { return s.asn }
+
+// Table exposes the flow table (monitors read it).
+func (s *Switch) Table() *FlowTable { return s.table }
+
+// Stats returns a snapshot of the counters.
+func (s *Switch) Stats() SwitchStats { return s.stats }
+
+// AddPort registers a data port with its transmit function and
+// returns the assigned port number (1-based, in registration order).
+func (s *Switch) AddPort(send func([]byte) error) (uint32, error) {
+	if send == nil {
+		return 0, fmt.Errorf("sdn: nil port transmit on switch %v", s.asn)
+	}
+	port := uint32(len(s.sendPort) + 1)
+	s.sendPort[port] = send
+	return port, nil
+}
+
+// AddLocalPrefix marks a prefix as terminating at this member.
+func (s *Switch) AddLocalPrefix(p netip.Prefix) { s.localPrefixes[p] = true }
+
+// xid returns the next transaction id.
+func (s *Switch) xid() uint32 {
+	s.nextXid++
+	return s.nextXid
+}
+
+// NotifyPortState reports a port up/down transition to the controller.
+func (s *Switch) NotifyPortState(port uint32, up bool) error {
+	frame, err := ofp.Marshal(ofp.PortStatus{Port: port, Up: up}, s.xid())
+	if err != nil {
+		return err
+	}
+	return s.sendControl(frame)
+}
+
+// HandleControl processes one OpenFlow frame from the controller.
+func (s *Switch) HandleControl(frame []byte) error {
+	msg, xid, err := ofp.Unmarshal(frame)
+	if err != nil {
+		return fmt.Errorf("sdn: switch %v: %w", s.asn, err)
+	}
+	switch m := msg.(type) {
+	case ofp.Hello:
+		reply, err := ofp.Marshal(ofp.Hello{}, xid)
+		if err != nil {
+			return err
+		}
+		return s.sendControl(reply)
+	case ofp.EchoRequest:
+		reply, err := ofp.Marshal(ofp.EchoReply{Data: m.Data}, xid)
+		if err != nil {
+			return err
+		}
+		return s.sendControl(reply)
+	case ofp.FeaturesRequest:
+		reply, err := ofp.Marshal(ofp.FeaturesReply{
+			DatapathID: uint64(s.asn),
+			NumPorts:   uint16(len(s.sendPort)),
+		}, xid)
+		if err != nil {
+			return err
+		}
+		return s.sendControl(reply)
+	case ofp.FlowMod:
+		s.applyFlowMod(m)
+		return nil
+	case ofp.PacketOut:
+		send, ok := s.sendPort[m.OutPort]
+		if !ok {
+			return fmt.Errorf("sdn: switch %v: packet-out on unknown port %d", s.asn, m.OutPort)
+		}
+		return send(m.Data)
+	default:
+		return fmt.Errorf("sdn: switch %v: unexpected control message %v", s.asn, msg.Type())
+	}
+}
+
+func (s *Switch) applyFlowMod(m ofp.FlowMod) {
+	s.stats.FlowModsApplied++
+	switch m.Command {
+	case ofp.FlowAdd:
+		s.table.Upsert(FlowEntry{Priority: m.Priority, Match: m.Match, OutPort: m.OutPort})
+	case ofp.FlowDelete:
+		s.table.Delete(m.Match)
+	case ofp.FlowDeleteAll:
+		s.table.Clear()
+	}
+}
+
+// HandlePort processes one link frame arriving on a data port.
+// BGP control traffic is punted to the controller as PacketIn (the
+// cluster BGP speaker's inbound relay); probes are forwarded by the
+// flow table.
+func (s *Switch) HandlePort(port uint32, frame []byte) error {
+	kind, payload, err := frames.Decode(frame)
+	if err != nil {
+		s.stats.Dropped++
+		return err
+	}
+	switch kind {
+	case frames.KindBGP:
+		s.stats.PuntedToController++
+		pin, err := ofp.Marshal(ofp.PacketIn{InPort: port, Data: payload}, s.xid())
+		if err != nil {
+			return err
+		}
+		return s.sendControl(pin)
+	case frames.KindProbe:
+		return s.forwardProbe(frame, payload)
+	default:
+		s.stats.Dropped++
+		return fmt.Errorf("sdn: switch %v: unexpected %v frame on data port %d", s.asn, kind, port)
+	}
+}
+
+// InjectProbe handles a probe originating at this member (from an
+// attached monitoring host).
+func (s *Switch) InjectProbe(p frames.Probe) error {
+	payload, err := frames.EncodeProbe(p)
+	if err != nil {
+		return err
+	}
+	return s.forwardProbe(frames.Encode(frames.KindProbe, payload), payload)
+}
+
+func (s *Switch) forwardProbe(frame, payload []byte) error {
+	probe, err := frames.DecodeProbe(payload)
+	if err != nil {
+		s.stats.Dropped++
+		return err
+	}
+	// Local delivery?
+	for p := range s.localPrefixes {
+		if p.Contains(probe.Dst) {
+			s.stats.DeliveredLocal++
+			if s.OnLocalDeliver != nil {
+				s.OnLocalDeliver(probe)
+			}
+			return nil
+		}
+	}
+	if probe.TTL == 0 {
+		s.stats.Dropped++
+		return nil
+	}
+	entry, ok := s.table.Lookup(probe.Dst)
+	if !ok || entry.OutPort == ofp.PortDrop {
+		s.stats.Dropped++
+		return nil
+	}
+	if entry.OutPort == ofp.PortController {
+		s.stats.PuntedToController++
+		pin, err := ofp.Marshal(ofp.PacketIn{InPort: 0, Data: payload}, s.xid())
+		if err != nil {
+			return err
+		}
+		return s.sendControl(pin)
+	}
+	send, ok := s.sendPort[entry.OutPort]
+	if !ok {
+		s.stats.Dropped++
+		return fmt.Errorf("sdn: switch %v: flow to unknown port %d", s.asn, entry.OutPort)
+	}
+	probe.TTL--
+	out, err := frames.EncodeProbe(probe)
+	if err != nil {
+		return err
+	}
+	s.stats.Forwarded++
+	return send(frames.Encode(frames.KindProbe, out))
+}

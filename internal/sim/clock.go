@@ -1,0 +1,86 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All protocol code in this repository is written against the Clock
+// interface so that the same BGP and SDN implementations run either in
+// virtual time (fast, reproducible sweeps; see Kernel) or in wall-clock
+// time (live demos over real connections; see WallClock).
+//
+// The virtual-time kernel is single-threaded and cooperative: events run
+// one at a time in timestamp order. This mirrors the cooperative
+// multitasking design the paper adopts ("we can focus more on research
+// questions than on state consistency and concurrency issues") and makes
+// every experiment deterministic given a seed.
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time for protocol code. Implementations: *Kernel
+// (virtual time) and *WallClock (real time).
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+
+	// AfterFunc schedules fn to run once, d from now, and returns a
+	// Timer that can cancel or reschedule it. fn runs on the clock's
+	// executor: for Kernel that is the event loop goroutine; for
+	// WallClock it is a fresh goroutine (as with time.AfterFunc).
+	AfterFunc(d time.Duration, fn func()) Timer
+
+	// Go schedules fn to run as soon as possible (a zero-delay event).
+	// It is the clock's analogue of the go statement.
+	Go(fn func())
+}
+
+// Timer is a cancellable scheduled callback, analogous to *time.Timer
+// created by time.AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// callback from firing.
+	Stop() bool
+
+	// Reset reschedules the callback to fire d from now. It reports
+	// whether the timer had been active.
+	Reset(d time.Duration) bool
+
+	// Active reports whether the callback is still pending.
+	Active() bool
+}
+
+// WallClock implements Clock using the real time package. It is safe for
+// concurrent use.
+type WallClock struct{}
+
+// Now returns time.Now().
+func (WallClock) Now() time.Time { return time.Now() }
+
+// AfterFunc wraps time.AfterFunc.
+func (WallClock) AfterFunc(d time.Duration, fn func()) Timer {
+	t := &wallTimer{d: d, fn: fn}
+	t.t = time.AfterFunc(d, func() {
+		t.fired.Store(true)
+		fn()
+	})
+	return t
+}
+
+// Go runs fn on a new goroutine.
+func (WallClock) Go(fn func()) { go fn() }
+
+type wallTimer struct {
+	t     *time.Timer
+	d     time.Duration
+	fn    func()
+	fired atomic.Bool
+}
+
+func (w *wallTimer) Stop() bool { return w.t.Stop() }
+
+func (w *wallTimer) Reset(d time.Duration) bool {
+	w.fired.Store(false)
+	return w.t.Reset(d)
+}
+
+func (w *wallTimer) Active() bool { return !w.fired.Load() }

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the instant at which every Kernel starts. A fixed epoch keeps
+// runs reproducible and log timestamps comparable across experiments.
+var Epoch = time.Date(2014, 8, 18, 0, 0, 0, 0, time.UTC)
+
+// Kernel is a deterministic discrete-event scheduler implementing Clock.
+//
+// Events execute strictly in (time, sequence) order on the goroutine that
+// calls Run, Step or RunUntil. Two events scheduled for the same instant
+// run in the order they were scheduled. The zero Kernel is not usable;
+// call NewKernel.
+type Kernel struct {
+	now    time.Time
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	events uint64 // total events executed
+
+	// MaxEvents aborts Run with ErrEventBudget once this many events
+	// have executed, guarding against livelock (e.g. mutually
+	// re-scheduling timers). Zero means no limit.
+	MaxEvents uint64
+}
+
+// ErrEventBudget is returned by the Run family when MaxEvents is hit.
+var ErrEventBudget = fmt.Errorf("sim: event budget exhausted")
+
+// NewKernel returns a Kernel whose clock reads Epoch and whose random
+// source is seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		now: Epoch,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. All randomness
+// in an experiment (jitter, loss, tie-breaks) must come from here so a
+// seed fully determines a run.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Elapsed returns how much virtual time has passed since Epoch.
+func (k *Kernel) Elapsed() time.Duration { return k.now.Sub(Epoch) }
+
+// Events returns the number of events executed so far.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Go schedules fn as a zero-delay event.
+func (k *Kernel) Go(fn func()) { k.AfterFunc(0, fn) }
+
+// AfterFunc schedules fn to run d from now. Negative d is treated as 0.
+func (k *Kernel) AfterFunc(d time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("sim: AfterFunc with nil function")
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: k.now.Add(d), kernel: k}
+	ev.fn = func() { ev.fired = true; fn() }
+	k.push(ev)
+	return &simTimer{k: k, ev: ev, fn: fn}
+}
+
+func (k *Kernel) push(ev *event) {
+	k.seq++
+	ev.seq = k.seq
+	heap.Push(&k.queue, ev)
+}
+
+// Step executes the single earliest pending event, advancing the clock
+// to its timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at.After(k.now) {
+			k.now = ev.at
+		}
+		k.events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty (the simulation is
+// quiescent) or the event budget is exhausted.
+func (k *Kernel) Run() error {
+	for k.Step() {
+		if k.MaxEvents > 0 && k.events >= k.MaxEvents {
+			return ErrEventBudget
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t. Events scheduled beyond t remain pending.
+func (k *Kernel) RunUntil(t time.Time) error {
+	for {
+		ev := k.peek()
+		if ev == nil || ev.at.After(t) {
+			break
+		}
+		k.Step()
+		if k.MaxEvents > 0 && k.events >= k.MaxEvents {
+			return ErrEventBudget
+		}
+	}
+	if t.After(k.now) {
+		k.now = t
+	}
+	return nil
+}
+
+// RunFor executes events for the next d of virtual time.
+func (k *Kernel) RunFor(d time.Duration) error { return k.RunUntil(k.now.Add(d)) }
+
+// RunWhile executes events as long as cond returns true and events
+// remain. It evaluates cond after every event.
+func (k *Kernel) RunWhile(cond func() bool) error {
+	for cond() {
+		if !k.Step() {
+			return nil
+		}
+		if k.MaxEvents > 0 && k.events >= k.MaxEvents {
+			return ErrEventBudget
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) peek() *event {
+	for k.queue.Len() > 0 {
+		ev := k.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&k.queue)
+	}
+	return nil
+}
+
+// event is a scheduled callback.
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	kernel    *Kernel
+}
+
+// simTimer implements Timer over a kernel event.
+type simTimer struct {
+	k  *Kernel
+	ev *event
+	fn func()
+}
+
+func (t *simTimer) Stop() bool {
+	if t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+func (t *simTimer) Reset(d time.Duration) bool {
+	was := t.Stop()
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: t.k.now.Add(d), kernel: t.k}
+	ev.fn = func() { ev.fired = true; t.fn() }
+	t.ev = ev
+	t.k.push(ev)
+	return was
+}
+
+func (t *simTimer) Active() bool {
+	return t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

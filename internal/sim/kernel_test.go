@@ -1,0 +1,386 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelStartsAtEpoch(t *testing.T) {
+	k := NewKernel(1)
+	if !k.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", k.Now(), Epoch)
+	}
+	if k.Elapsed() != 0 {
+		t.Fatalf("Elapsed() = %v, want 0", k.Elapsed())
+	}
+}
+
+func TestAfterFuncOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.AfterFunc(3*time.Second, func() { got = append(got, 3) })
+	k.AfterFunc(1*time.Second, func() { got = append(got, 1) })
+	k.AfterFunc(2*time.Second, func() { got = append(got, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.AfterFunc(time.Second, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	k := NewKernel(1)
+	var at time.Time
+	k.AfterFunc(5*time.Second, func() { at = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Epoch.Add(5 * time.Second); !at.Equal(want) {
+		t.Fatalf("event saw Now() = %v, want %v", at, want)
+	}
+}
+
+func TestNegativeDelayRunsImmediately(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	k.AfterFunc(-time.Second, func() { ran = true })
+	k.Step()
+	if !ran {
+		t.Fatal("negative-delay event did not run on first step")
+	}
+	if !k.Now().Equal(Epoch) {
+		t.Fatalf("clock moved backwards: %v", k.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	tm := k.AfterFunc(time.Second, func() { ran = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on active timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Active() {
+		t.Fatal("stopped timer reports active")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.AfterFunc(time.Second, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop() = true after the timer fired")
+	}
+	if tm.Active() {
+		t.Fatal("fired timer reports active")
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	k := NewKernel(1)
+	var fireTimes []time.Duration
+	var tm Timer
+	tm = k.AfterFunc(time.Second, func() {
+		fireTimes = append(fireTimes, k.Elapsed())
+	})
+	// Push it out before it fires.
+	if !tm.Reset(3 * time.Second) {
+		t.Fatal("Reset on pending timer should report true")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fireTimes) != 1 || fireTimes[0] != 3*time.Second {
+		t.Fatalf("fireTimes = %v, want [3s]", fireTimes)
+	}
+	// Reset after firing re-arms it.
+	if tm.Reset(2*time.Second) != false {
+		t.Fatal("Reset on fired timer should report false")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fireTimes) != 2 || fireTimes[1] != 5*time.Second {
+		t.Fatalf("fireTimes = %v, want second firing at 5s", fireTimes)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var fired []int
+	k.AfterFunc(1*time.Second, func() { fired = append(fired, 1) })
+	k.AfterFunc(10*time.Second, func() { fired = append(fired, 10) })
+	if err := k.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if k.Elapsed() != 5*time.Second {
+		t.Fatalf("Elapsed() = %v, want 5s", k.Elapsed())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want both events", fired)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			k.AfterFunc(time.Millisecond, rec)
+		}
+	}
+	k.Go(rec)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if want := 99 * time.Millisecond; k.Elapsed() != want {
+		t.Fatalf("Elapsed() = %v, want %v", k.Elapsed(), want)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	k := NewKernel(1)
+	k.MaxEvents = 50
+	var loop func()
+	loop = func() { k.AfterFunc(time.Millisecond, loop) }
+	k.Go(loop)
+	if err := k.Run(); err != ErrEventBudget {
+		t.Fatalf("Run() = %v, want ErrEventBudget", err)
+	}
+	if k.Events() != 50 {
+		t.Fatalf("Events() = %d, want 50", k.Events())
+	}
+}
+
+func TestDeterminismAcrossKernels(t *testing.T) {
+	run := func(seed int64) []int {
+		k := NewKernel(seed)
+		var out []int
+		for i := 0; i < 50; i++ {
+			d := time.Duration(k.Rand().Intn(1000)) * time.Millisecond
+			v := i
+			k.AfterFunc(d, func() { out = append(out, v) })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	c := run(43)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatal("missing events")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff && same {
+		t.Log("seeds 42 and 43 produced identical order (possible but unlikely)")
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		k.AfterFunc(time.Second, loop)
+	}
+	k.Go(loop)
+	if err := k.RunWhile(func() bool { return n < 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing timestamp order.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		k := NewKernel(7)
+		var fired []time.Time
+		for _, d := range delaysMs {
+			k.AfterFunc(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, k.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].Before(fired[i-1]) {
+				return false
+			}
+		}
+		return len(fired) == len(delaysMs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stopping any subset of timers prevents exactly that subset
+// from firing.
+func TestPropertyStopPreventsFiring(t *testing.T) {
+	f := func(stopMask []bool) bool {
+		k := NewKernel(9)
+		fired := make([]bool, len(stopMask))
+		timers := make([]Timer, len(stopMask))
+		for i := range stopMask {
+			i := i
+			timers[i] = k.AfterFunc(time.Duration(i)*time.Millisecond, func() { fired[i] = true })
+		}
+		for i, stop := range stopMask {
+			if stop {
+				timers[i].Stop()
+			}
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i, stop := range stopMask {
+			if fired[i] == stop {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	var c Clock = WallClock{}
+	if d := time.Since(c.Now()); d > time.Minute || d < -time.Minute {
+		t.Fatalf("WallClock.Now far from time.Now: %v", d)
+	}
+	done := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WallClock timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire = true")
+	}
+	// Go runs the function.
+	ran := make(chan struct{})
+	c.Go(func() { close(ran) })
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WallClock.Go did not run")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	stop := Every(k, time.Second, func() { n++ })
+	if err := k.RunFor(5500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+	stop()
+	stop() // idempotent
+	if err := k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("ticks after stop = %d, want 5", n)
+	}
+}
+
+func TestEveryStopFromWithinCallback(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var stop func()
+	stop = Every(k, time.Second, func() {
+		n++
+		if n == 3 {
+			stop()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}
+
+func TestEveryPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Every(NewKernel(1), 0, func() {})
+}

@@ -1,0 +1,409 @@
+// Package speaker implements the cluster BGP speaker of the paper's
+// architecture (§3): the ExaBGP-equivalent that "relays routing
+// information between external BGP routers and the SDN controller".
+//
+// A Session terminates one eBGP peering with a legacy router on behalf
+// of a cluster border AS — the member keeps its AS identity, so the
+// session speaks with the member's ASN and router ID. The speaker runs
+// no decision process: learned routes are surfaced to the controller
+// via a callback, and announcements are made only when the controller
+// commands them (with fully-formed attributes, including the
+// cluster-internal AS path).
+package speaker
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/sim"
+)
+
+// RouteEvent is one piece of external routing information relayed to
+// the controller.
+type RouteEvent struct {
+	Prefix    netip.Prefix
+	Attrs     wire.PathAttrs
+	Withdrawn bool
+}
+
+// Config configures one speaker session.
+type Config struct {
+	// LocalASN and LocalID identify the border member AS the session
+	// speaks for (cluster transparency: members keep their identity).
+	LocalASN idr.ASN
+	LocalID  idr.RouterID
+	// RemoteASN is the expected legacy neighbor.
+	RemoteASN idr.ASN
+	// NextHop is advertised on announcements from this session.
+	NextHop netip.Addr
+	// HoldTime proposed in OPEN (default 90s).
+	HoldTime time.Duration
+	Clock    sim.Clock
+	// Send transmits one BGP wire frame toward the neighbor (the
+	// controller wires this through PacketOut relays).
+	Send func([]byte) error
+	// OnRoute receives learned/withdrawn external routes.
+	OnRoute func(RouteEvent)
+	// OnState reports session up/down transitions.
+	OnState func(established bool)
+}
+
+// State is the session state, reusing the BGP FSM shape.
+type State int
+
+// Session states.
+const (
+	StateIdle State = iota
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+const defaultHoldTime = 90 * time.Second
+const connectRetry = 5 * time.Second
+
+// Session is one controller-driven eBGP session.
+type Session struct {
+	cfg   Config
+	state State
+
+	transportUp bool
+	holdTime    time.Duration
+	remoteID    idr.RouterID
+
+	holdTimer      sim.Timer
+	keepaliveTimer sim.Timer
+	retryTimer     sim.Timer
+
+	// advertised tracks what the controller has announced on this
+	// session, so withdrawals and idempotent re-announcements work.
+	advertised map[netip.Prefix]wire.PathAttrs
+	// adjIn remembers learned prefixes so a session reset can emit
+	// synthetic withdrawals to the controller.
+	adjIn map[netip.Prefix]bool
+}
+
+// New validates cfg and returns an Idle session.
+func New(cfg Config) (*Session, error) {
+	if cfg.LocalASN == 0 || cfg.RemoteASN == 0 {
+		return nil, fmt.Errorf("speaker: session needs local and remote ASNs")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("speaker: session needs a clock")
+	}
+	if cfg.Send == nil {
+		return nil, fmt.Errorf("speaker: session needs a send function")
+	}
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = defaultHoldTime
+	}
+	return &Session{
+		cfg:        cfg,
+		advertised: make(map[netip.Prefix]wire.PathAttrs),
+		adjIn:      make(map[netip.Prefix]bool),
+	}, nil
+}
+
+// State returns the session state.
+func (s *Session) State() State { return s.state }
+
+// LocalASN returns the border member AS this session speaks for.
+func (s *Session) LocalASN() idr.ASN { return s.cfg.LocalASN }
+
+// RemoteASN returns the legacy neighbor AS.
+func (s *Session) RemoteASN() idr.ASN { return s.cfg.RemoteASN }
+
+// Advertised returns the prefixes currently announced, sorted.
+func (s *Session) Advertised() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(s.advertised))
+	for p := range s.advertised {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
+	return out
+}
+
+// TransportUp starts session establishment.
+func (s *Session) TransportUp() {
+	if s.transportUp {
+		return
+	}
+	s.transportUp = true
+	s.startOpen()
+}
+
+// TransportDown resets the session until the transport returns.
+func (s *Session) TransportDown() {
+	if !s.transportUp {
+		return
+	}
+	s.transportUp = false
+	s.reset(false)
+}
+
+func (s *Session) startOpen() {
+	if !s.transportUp || s.state != StateIdle {
+		return
+	}
+	if err := s.sendOpen(); err != nil {
+		s.armRetry()
+		return
+	}
+	s.state = StateOpenSent
+	guard := 4 * time.Minute
+	if s.cfg.HoldTime > guard {
+		guard = s.cfg.HoldTime
+	}
+	s.stopTimer(&s.holdTimer)
+	s.holdTimer = s.cfg.Clock.AfterFunc(guard, func() { s.reset(true) })
+}
+
+func (s *Session) armRetry() {
+	s.stopTimer(&s.retryTimer)
+	s.retryTimer = s.cfg.Clock.AfterFunc(connectRetry, s.startOpen)
+}
+
+func (s *Session) stopTimer(t *sim.Timer) {
+	if *t != nil {
+		(*t).Stop()
+		*t = nil
+	}
+}
+
+func (s *Session) sendOpen() error {
+	msg := wire.Open{
+		AS:           s.cfg.LocalASN,
+		HoldTimeSecs: uint16(s.cfg.HoldTime / time.Second),
+		ID:           s.cfg.LocalID,
+	}
+	frame, err := wire.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	return s.cfg.Send(frame)
+}
+
+func (s *Session) send(m wire.Message) error {
+	frame, err := wire.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return s.cfg.Send(frame)
+}
+
+// Deliver processes one BGP frame relayed from the border switch.
+func (s *Session) Deliver(frame []byte) {
+	if !s.transportUp {
+		return
+	}
+	msg, err := wire.Unmarshal(frame)
+	if err != nil {
+		if de, ok := err.(*wire.DecodeError); ok {
+			_ = s.send(wire.Notification{Code: de.Code, Subcode: de.Subcode})
+		}
+		s.reset(true)
+		return
+	}
+	switch m := msg.(type) {
+	case wire.Open:
+		s.handleOpen(m)
+	case wire.Keepalive:
+		s.handleKeepalive()
+	case wire.Update:
+		s.handleUpdate(m)
+	case wire.Notification:
+		s.reset(true)
+	}
+}
+
+func (s *Session) handleOpen(m wire.Open) {
+	if m.AS != s.cfg.RemoteASN {
+		_ = s.send(wire.Notification{Code: wire.NotifOpenMessageError, Subcode: 2})
+		s.reset(true)
+		return
+	}
+	switch s.state {
+	case StateIdle:
+		if err := s.sendOpen(); err != nil {
+			s.armRetry()
+			return
+		}
+	case StateOpenSent:
+	default:
+		_ = s.send(wire.Notification{Code: wire.NotifFSMError})
+		s.reset(true)
+		return
+	}
+	s.remoteID = m.ID
+	s.holdTime = s.cfg.HoldTime
+	if remote := time.Duration(m.HoldTimeSecs) * time.Second; remote < s.holdTime {
+		s.holdTime = remote
+	}
+	if err := s.send(wire.Keepalive{}); err != nil {
+		s.reset(true)
+		return
+	}
+	s.state = StateOpenConfirm
+	s.armHoldTimer()
+}
+
+func (s *Session) handleKeepalive() {
+	switch s.state {
+	case StateOpenConfirm:
+		s.state = StateEstablished
+		s.armHoldTimer()
+		s.armKeepalive()
+		if s.cfg.OnState != nil {
+			s.cfg.OnState(true)
+		}
+	case StateEstablished:
+		s.armHoldTimer()
+	default:
+		_ = s.send(wire.Notification{Code: wire.NotifFSMError})
+		s.reset(true)
+	}
+}
+
+func (s *Session) handleUpdate(m wire.Update) {
+	if s.state != StateEstablished {
+		_ = s.send(wire.Notification{Code: wire.NotifFSMError})
+		s.reset(true)
+		return
+	}
+	s.armHoldTimer()
+	if s.cfg.OnRoute == nil {
+		return
+	}
+	for _, p := range m.Withdrawn {
+		delete(s.adjIn, p)
+		s.cfg.OnRoute(RouteEvent{Prefix: p, Withdrawn: true})
+	}
+	if len(m.NLRI) == 0 {
+		return
+	}
+	// Loop check against the border member's own ASN.
+	if m.Attrs.ASPath.Contains(s.cfg.LocalASN) {
+		return
+	}
+	for _, p := range m.NLRI {
+		s.adjIn[p] = true
+		s.cfg.OnRoute(RouteEvent{Prefix: p, Attrs: m.Attrs.Clone()})
+	}
+}
+
+func (s *Session) armHoldTimer() {
+	if s.holdTime == 0 {
+		return
+	}
+	s.stopTimer(&s.holdTimer)
+	s.holdTimer = s.cfg.Clock.AfterFunc(s.holdTime, func() {
+		_ = s.send(wire.Notification{Code: wire.NotifHoldTimerExpired})
+		s.reset(true)
+	})
+}
+
+func (s *Session) armKeepalive() {
+	if s.holdTime == 0 {
+		return
+	}
+	interval := s.holdTime / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.stopTimer(&s.keepaliveTimer)
+	s.keepaliveTimer = s.cfg.Clock.AfterFunc(interval, func() {
+		if s.state != StateEstablished {
+			return
+		}
+		_ = s.send(wire.Keepalive{})
+		s.armKeepalive()
+	})
+}
+
+// Announce advertises prefix with the controller-built attributes.
+// The speaker sets only NEXT_HOP; the AS path must already carry the
+// cluster-internal sequence. Re-announcing identical attributes is a
+// no-op.
+func (s *Session) Announce(prefix netip.Prefix, attrs wire.PathAttrs) error {
+	if s.state != StateEstablished {
+		return fmt.Errorf("speaker: session %v->%v not established", s.cfg.LocalASN, s.cfg.RemoteASN)
+	}
+	attrs = attrs.Clone()
+	attrs.NextHop = s.cfg.NextHop
+	attrs.LocalPref = nil
+	if prev, ok := s.advertised[prefix]; ok && prev.Equal(attrs) {
+		return nil
+	}
+	if err := s.send(wire.Update{Attrs: attrs, NLRI: []netip.Prefix{prefix}}); err != nil {
+		return err
+	}
+	s.advertised[prefix] = attrs
+	return nil
+}
+
+// WithdrawPrefix retracts a previously announced prefix (no-op when it
+// was never advertised).
+func (s *Session) WithdrawPrefix(prefix netip.Prefix) error {
+	if s.state != StateEstablished {
+		return fmt.Errorf("speaker: session %v->%v not established", s.cfg.LocalASN, s.cfg.RemoteASN)
+	}
+	if _, ok := s.advertised[prefix]; !ok {
+		return nil
+	}
+	if err := s.send(wire.Update{Withdrawn: []netip.Prefix{prefix}}); err != nil {
+		return err
+	}
+	delete(s.advertised, prefix)
+	return nil
+}
+
+// reset tears the session down, emitting synthetic withdrawals to the
+// controller for everything learned on it.
+func (s *Session) reset(reconnect bool) {
+	wasEstablished := s.state == StateEstablished
+	s.state = StateIdle
+	s.stopTimer(&s.holdTimer)
+	s.stopTimer(&s.keepaliveTimer)
+	s.stopTimer(&s.retryTimer)
+	s.remoteID = idr.RouterID{}
+	s.advertised = make(map[netip.Prefix]wire.PathAttrs)
+	learned := make([]netip.Prefix, 0, len(s.adjIn))
+	for p := range s.adjIn {
+		learned = append(learned, p)
+	}
+	sort.Slice(learned, func(i, j int) bool { return idr.PrefixLess(learned[i], learned[j]) })
+	s.adjIn = make(map[netip.Prefix]bool)
+	if wasEstablished {
+		if s.cfg.OnRoute != nil {
+			for _, p := range learned {
+				s.cfg.OnRoute(RouteEvent{Prefix: p, Withdrawn: true})
+			}
+		}
+		if s.cfg.OnState != nil {
+			s.cfg.OnState(false)
+		}
+	}
+	if reconnect && s.transportUp {
+		s.armRetry()
+	}
+}

@@ -1,0 +1,307 @@
+package speaker
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// rig wires one speaker session (for border AS 10) against one legacy
+// bgp.Router (AS 2) over a netem link.
+type rig struct {
+	k      *sim.Kernel
+	sess   *Session
+	router *bgp.Router
+	link   *netem.Link
+	events []RouteEvent
+	states []bool
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	net := netem.NewNetwork(k, k.Rand())
+	swNode, err := net.AddNode("sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNode, err := net.AddNode("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := net.Connect(swNode, rNode, netem.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epSw, epR := link.Endpoints()
+
+	g := &rig{k: k, link: link}
+
+	router, err := bgp.New(bgp.Config{
+		ASN:      2,
+		RouterID: idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.2")),
+		Clock:    k,
+		Rand:     k.Rand(),
+		Timers:   bgp.Timers{MRAI: time.Second, MRAIJitter: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := router.AddPeer(bgp.PeerConfig{
+		Key:       "to-AS10",
+		RemoteASN: 10,
+		NextHop:   netip.MustParseAddr("100.64.0.2"),
+		Send:      epR.Send,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNode.OnMessage(func(from *netem.Endpoint, data []byte) {
+		router.Deliver("to-AS10", data)
+	})
+
+	sess, err := New(Config{
+		LocalASN:  10,
+		LocalID:   idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.10")),
+		RemoteASN: 2,
+		NextHop:   netip.MustParseAddr("100.64.0.1"),
+		Clock:     k,
+		Send:      epSw.Send,
+		OnRoute:   func(ev RouteEvent) { g.events = append(g.events, ev) },
+		OnState:   func(up bool) { g.states = append(g.states, up) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swNode.OnMessage(func(from *netem.Endpoint, data []byte) {
+		sess.Deliver(data)
+	})
+	link.OnStateChange(func(up bool) {
+		if up {
+			sess.TransportUp()
+			peer.TransportUp()
+		} else {
+			sess.TransportDown()
+			peer.TransportDown()
+		}
+	})
+	g.sess = sess
+	g.router = router
+	k.Go(func() {
+		sess.TransportUp()
+		peer.TransportUp()
+	})
+	return g
+}
+
+func TestSessionEstablishes(t *testing.T) {
+	g := newRig(t)
+	if err := g.k.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.sess.State() != StateEstablished {
+		t.Fatalf("speaker state = %v", g.sess.State())
+	}
+	if g.router.EstablishedCount() != 1 {
+		t.Fatal("router side not established")
+	}
+	if len(g.states) != 1 || !g.states[0] {
+		t.Fatalf("state events = %v", g.states)
+	}
+	if g.sess.LocalASN() != 10 || g.sess.RemoteASN() != 2 {
+		t.Fatal("session identity wrong")
+	}
+}
+
+func TestLearnsExternalRoutes(t *testing.T) {
+	g := newRig(t)
+	pfx := netip.MustParsePrefix("10.0.2.0/24")
+	g.k.AfterFunc(time.Second, func() { _ = g.router.Announce(pfx) })
+	if err := g.k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.events) != 1 {
+		t.Fatalf("route events = %v", g.events)
+	}
+	ev := g.events[0]
+	if ev.Withdrawn || ev.Prefix != pfx {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !ev.Attrs.ASPath.Equal(wire.NewASPath(2)) {
+		t.Fatalf("path = %v", ev.Attrs.ASPath)
+	}
+	// Withdrawal surfaces too.
+	g.k.Go(func() { _ = g.router.Withdraw(pfx) })
+	if err := g.k.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.events) != 2 || !g.events[1].Withdrawn {
+		t.Fatalf("events = %v", g.events)
+	}
+}
+
+func TestAnnounceToLegacy(t *testing.T) {
+	g := newRig(t)
+	if err := g.k.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pfx := netip.MustParsePrefix("10.0.10.0/24")
+	attrs := wire.PathAttrs{
+		Origin: wire.OriginIGP,
+		ASPath: wire.NewASPath(10, 11), // cluster-internal sequence
+	}
+	g.k.Go(func() {
+		if err := g.sess.Announce(pfx, attrs); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := g.k.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	best, ok := g.router.Table().Best(pfx)
+	if !ok {
+		t.Fatal("legacy router did not learn the cluster prefix")
+	}
+	if !best.Attrs.ASPath.Equal(wire.NewASPath(10, 11)) {
+		t.Fatalf("path = %v", best.Attrs.ASPath)
+	}
+	if best.Attrs.NextHop != netip.MustParseAddr("100.64.0.1") {
+		t.Fatalf("next hop = %v", best.Attrs.NextHop)
+	}
+	if adv := g.sess.Advertised(); len(adv) != 1 || adv[0] != pfx {
+		t.Fatalf("Advertised = %v", adv)
+	}
+	// Idempotent re-announce sends nothing new (no error, state same).
+	g.k.Go(func() {
+		if err := g.sess.Announce(pfx, attrs); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := g.k.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Withdraw.
+	g.k.Go(func() {
+		if err := g.sess.WithdrawPrefix(pfx); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := g.k.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.router.Table().Best(pfx); ok {
+		t.Fatal("withdrawal did not reach the legacy router")
+	}
+	if len(g.sess.Advertised()) != 0 {
+		t.Fatal("Advertised should be empty")
+	}
+	// Withdrawing again is a no-op.
+	g.k.Go(func() {
+		if err := g.sess.WithdrawPrefix(pfx); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := g.k.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnounceRequiresEstablished(t *testing.T) {
+	k := sim.NewKernel(1)
+	sess, err := New(Config{
+		LocalASN: 10, RemoteASN: 2, Clock: k,
+		Send: func([]byte) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Announce(netip.MustParsePrefix("10.0.0.0/24"), wire.PathAttrs{}); err == nil {
+		t.Fatal("announce while Idle should error")
+	}
+	if err := sess.WithdrawPrefix(netip.MustParsePrefix("10.0.0.0/24")); err == nil {
+		t.Fatal("withdraw while Idle should error")
+	}
+}
+
+func TestResetEmitsSyntheticWithdrawals(t *testing.T) {
+	g := newRig(t)
+	pfx := netip.MustParsePrefix("10.0.2.0/24")
+	g.k.AfterFunc(time.Second, func() { _ = g.router.Announce(pfx) })
+	if err := g.k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.events) != 1 {
+		t.Fatalf("setup events = %v", g.events)
+	}
+	g.k.Go(func() { g.link.SetUp(false) })
+	if err := g.k.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.events) != 2 || !g.events[1].Withdrawn || g.events[1].Prefix != pfx {
+		t.Fatalf("expected synthetic withdrawal, events = %v", g.events)
+	}
+	if len(g.states) != 2 || g.states[1] {
+		t.Fatalf("state events = %v", g.states)
+	}
+	// Recovery re-establishes and relearns.
+	g.k.Go(func() { g.link.SetUp(true) })
+	if err := g.k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.sess.State() != StateEstablished {
+		t.Fatal("session should recover")
+	}
+	last := g.events[len(g.events)-1]
+	if last.Withdrawn || last.Prefix != pfx {
+		t.Fatalf("route should be relearned, events = %v", g.events)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	send := func([]byte) error { return nil }
+	if _, err := New(Config{RemoteASN: 2, Clock: k, Send: send}); err == nil {
+		t.Fatal("missing local ASN should error")
+	}
+	if _, err := New(Config{LocalASN: 1, Clock: k, Send: send}); err == nil {
+		t.Fatal("missing remote ASN should error")
+	}
+	if _, err := New(Config{LocalASN: 1, RemoteASN: 2, Send: send}); err == nil {
+		t.Fatal("missing clock should error")
+	}
+	if _, err := New(Config{LocalASN: 1, RemoteASN: 2, Clock: k}); err == nil {
+		t.Fatal("missing send should error")
+	}
+	if StateIdle.String() != "Idle" || State(9).String() == "" {
+		t.Fatal("State.String wrong")
+	}
+}
+
+func TestWrongRemoteASNRejected(t *testing.T) {
+	g := newRig(t)
+	// Sabotage: speaker expects AS 2 but we reconfigure it to expect 99
+	// before transport comes up is hard here; instead check the router
+	// side still works and speaker rejects a wrong OPEN by crafting one.
+	if err := g.k.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver a spoofed OPEN with the wrong ASN on the established
+	// session: FSM error path resets the session.
+	open, err := wire.Marshal(wire.Open{AS: 99, HoldTimeSecs: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.k.Go(func() { g.sess.Deliver(open) })
+	if err := g.k.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.sess.State() == StateEstablished {
+		t.Fatal("spoofed OPEN should reset the session")
+	}
+}

@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/idr"
+)
+
+// ReadCAIDA parses the CAIDA AS-relationship format:
+//
+//	# comment lines
+//	<provider-as>|<customer-as>|-1
+//	<peer-as>|<peer-as>|0
+//
+// Later serialisations add a fourth source field (e.g. "|bgp"), which
+// is accepted and ignored. Duplicate links keep the first occurrence.
+func ReadCAIDA(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "|")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("topology: caida line %d: want at least 3 |-separated fields, got %q", line, text)
+		}
+		a, err := parseASN(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("topology: caida line %d: %v", line, err)
+		}
+		b, err := parseASN(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("topology: caida line %d: %v", line, err)
+		}
+		rel, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+		if err != nil {
+			return nil, fmt.Errorf("topology: caida line %d: bad relationship %q", line, fields[2])
+		}
+		var r Relationship
+		switch rel {
+		case 0:
+			r = P2P
+		case -1:
+			r = P2C
+		default:
+			return nil, fmt.Errorf("topology: caida line %d: unknown relationship code %d", line, rel)
+		}
+		if g.HasEdge(a, b) {
+			continue
+		}
+		if err := g.AddEdge(Edge{A: a, B: b, Rel: r}); err != nil {
+			return nil, fmt.Errorf("topology: caida line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading caida data: %w", err)
+	}
+	return g, nil
+}
+
+func parseASN(s string) (idr.ASN, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad AS number %q", s)
+	}
+	return idr.ASN(v), nil
+}
+
+// WriteCAIDA serialises the graph in the CAIDA AS-relationship format,
+// edges in deterministic order.
+func WriteCAIDA(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# AS relationships (format: <as>|<as>|<rel>; -1 = provider|customer, 0 = peer|peer)"); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		code := 0
+		if e.Rel == P2C {
+			code = -1
+		}
+		if _, err := fmt.Fprintf(bw, "%d|%d|%d\n", uint32(e.A), uint32(e.B), code); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// InternetLikeConfig parameterises SynthesizeInternetLike.
+type InternetLikeConfig struct {
+	// ASes is the total number of ASes (>= 4).
+	ASes int
+	// Tier1s is the size of the fully-meshed top clique (default 3).
+	Tier1s int
+	// AvgProviders is the mean number of providers per non-tier-1 AS
+	// (default 1.8, after measured multihoming rates).
+	AvgProviders float64
+	// PeerProb is the probability that two ASes at similar hierarchy
+	// depth peer (default 0.05).
+	PeerProb float64
+}
+
+func (c *InternetLikeConfig) setDefaults() {
+	if c.Tier1s == 0 {
+		c.Tier1s = 3
+	}
+	if c.AvgProviders == 0 {
+		c.AvgProviders = 1.8
+	}
+	if c.PeerProb == 0 {
+		c.PeerProb = 0.05
+	}
+}
+
+// SynthesizeInternetLike generates a CAIDA-style AS graph: a tier-1
+// clique of peers, a provider hierarchy grown by degree-preferential
+// attachment, and lateral peering between ASes of similar depth. The
+// real CAIDA dataset is no longer redistributable with this repo, so
+// experiments use this generator (see DESIGN.md substitutions); the
+// output round-trips through WriteCAIDA/ReadCAIDA.
+func SynthesizeInternetLike(cfg InternetLikeConfig, rng *rand.Rand) (*Graph, error) {
+	cfg.setDefaults()
+	if cfg.ASes < cfg.Tier1s+1 {
+		return nil, fmt.Errorf("topology: need more than %d ASes, got %d", cfg.Tier1s, cfg.ASes)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topology: SynthesizeInternetLike needs a random source")
+	}
+	g := New()
+	asns := asnRange(cfg.ASes)
+	depth := make(map[idr.ASN]int, cfg.ASes)
+
+	// Tier-1 clique.
+	for i := 0; i < cfg.Tier1s; i++ {
+		g.AddNode(asns[i])
+		depth[asns[i]] = 0
+		for j := 0; j < i; j++ {
+			if err := g.AddEdge(Edge{A: asns[j], B: asns[i], Rel: P2P}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Degree-weighted provider pool (each provider appears once per
+	// customer it already has, plus once so everyone is reachable).
+	pool := append([]idr.ASN(nil), asns[:cfg.Tier1s]...)
+	for i := cfg.Tier1s; i < cfg.ASes; i++ {
+		newcomer := asns[i]
+		// 1 + Poisson-ish extra providers around AvgProviders.
+		n := 1
+		for float64(n) < cfg.AvgProviders && rng.Float64() < cfg.AvgProviders-1 {
+			n++
+		}
+		chosen := make(map[idr.ASN]bool)
+		for len(chosen) < n && len(chosen) < i {
+			p := pool[rng.Intn(len(pool))]
+			if p == newcomer {
+				continue
+			}
+			chosen[p] = true
+		}
+		maxDepth := 0
+		for p := range chosen {
+			if err := g.AddEdge(Edge{A: p, B: newcomer, Rel: P2C}); err != nil {
+				return nil, err
+			}
+			pool = append(pool, p)
+			if d := depth[p] + 1; d > maxDepth {
+				maxDepth = d
+			}
+		}
+		depth[newcomer] = maxDepth
+		pool = append(pool, newcomer)
+	}
+
+	// Lateral peering between similar-depth ASes.
+	for i := cfg.Tier1s; i < cfg.ASes; i++ {
+		for j := i + 1; j < cfg.ASes; j++ {
+			a, b := asns[i], asns[j]
+			if g.HasEdge(a, b) {
+				continue
+			}
+			dd := depth[a] - depth[b]
+			if dd < 0 {
+				dd = -dd
+			}
+			if dd <= 1 && rng.Float64() < cfg.PeerProb {
+				if err := g.AddEdge(Edge{A: a, B: b, Rel: P2P}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: synthesized graph invalid: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,55 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/idr"
+)
+
+// DOTOptions controls WriteDOT output.
+type DOTOptions struct {
+	// Name is the graph name (default "astopo").
+	Name string
+	// Highlight marks a set of ASes (e.g. the SDN cluster) that are
+	// drawn filled; the paper's visualization tool distinguishes
+	// cluster members the same way.
+	Highlight map[idr.ASN]bool
+	// EdgeLabels adds relationship labels to edges.
+	EdgeLabels bool
+}
+
+// WriteDOT renders the graph in Graphviz DOT format, the framework's
+// "network graph creation" output. P2C edges are drawn directed from
+// provider to customer; P2P edges undirected (dir=none).
+func WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error {
+	if opts.Name == "" {
+		opts.Name = "astopo"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", opts.Name)
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	for _, n := range g.Nodes() {
+		if opts.Highlight[n] {
+			fmt.Fprintf(bw, "  %q [style=filled, fillcolor=lightblue];\n", n.String())
+		} else {
+			fmt.Fprintf(bw, "  %q;\n", n.String())
+		}
+	}
+	for _, e := range g.Edges() {
+		attrs := ""
+		if e.Rel == P2P {
+			attrs = " [dir=none"
+			if opts.EdgeLabels {
+				attrs += `, label="p2p"`
+			}
+			attrs += "]"
+		} else if opts.EdgeLabels {
+			attrs = ` [label="p2c"]`
+		}
+		fmt.Fprintf(bw, "  %q -> %q%s;\n", e.A.String(), e.B.String(), attrs)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,224 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/idr"
+)
+
+func TestClique(t *testing.T) {
+	g, err := Clique(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 16 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if want := 16 * 15 / 2; g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	for _, n := range g.Nodes() {
+		if g.Degree(n) != 15 {
+			t.Fatalf("degree(%v) = %d, want 15", n, g.Degree(n))
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Rel != P2P {
+			t.Fatal("clique edges must be P2P")
+		}
+	}
+	if _, err := Clique(0); err == nil {
+		t.Fatal("Clique(0) should error")
+	}
+}
+
+func TestLineRingStar(t *testing.T) {
+	l, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumEdges() != 4 || !l.Connected() {
+		t.Fatalf("line: edges=%d connected=%v", l.NumEdges(), l.Connected())
+	}
+
+	r, err := Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != 5 {
+		t.Fatalf("ring edges = %d", r.NumEdges())
+	}
+	for _, n := range r.Nodes() {
+		if r.Degree(n) != 2 {
+			t.Fatalf("ring degree(%v) = %d", n, r.Degree(n))
+		}
+	}
+	if _, err := Ring(2); err == nil {
+		t.Fatal("Ring(2) should error")
+	}
+
+	s, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree(BaseASN) != 4 {
+		t.Fatalf("star hub degree = %d", s.Degree(BaseASN))
+	}
+	if got := s.Customers(BaseASN); len(got) != 4 {
+		t.Fatalf("star customers = %v", got)
+	}
+	if _, err := Star(1); err == nil {
+		t.Fatal("Star(1) should error")
+	}
+}
+
+func TestTree(t *testing.T) {
+	g, err := Tree(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 6 || !g.Connected() {
+		t.Fatalf("tree: edges=%d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Root has two customers; leaves have one provider.
+	if got := g.Customers(BaseASN); len(got) != 2 {
+		t.Fatalf("root customers = %v", got)
+	}
+	if got := g.Providers(BaseASN + 6); len(got) != 1 {
+		t.Fatalf("leaf providers = %v", got)
+	}
+	if _, err := Tree(3, 0); err == nil {
+		t.Fatal("fanout 0 should error")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Edges: 4 rows * 2 + 3 cols * 3 = 8 + 9 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("edges = %d, want 17", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("grid should be connected")
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Fatal("Grid(0,3) should error")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := ErdosRenyi(20, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 || !g.Connected() {
+		t.Fatal("ER graph wrong")
+	}
+	if _, err := ErdosRenyi(10, 1.5, rng); err == nil {
+		t.Fatal("p > 1 should error")
+	}
+	if _, err := ErdosRenyi(10, 0.5, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+	// p = 0 with n > 1 can never connect.
+	if _, err := ErdosRenyi(5, 0, rng); err == nil {
+		t.Fatal("disconnected draw should eventually error")
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a, err := ErdosRenyi(15, 0.5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErdosRenyi(15, 0.5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("seeded ER graphs differ in size")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("seeded ER graphs differ")
+		}
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := BarabasiAlbert(50, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 || !g.Connected() {
+		t.Fatal("BA graph wrong")
+	}
+	// Seed clique is 3 peers; every later node adds 2 provider edges.
+	if want := 3 + 47*2; g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BarabasiAlbert(3, 3, rng); err == nil {
+		t.Fatal("n <= m should error")
+	}
+	if _, err := BarabasiAlbert(10, 0, rng); err == nil {
+		t.Fatal("m = 0 should error")
+	}
+	if _, err := BarabasiAlbert(10, 2, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+}
+
+// Property: all generators produce connected, validated graphs over the
+// advertised AS number range.
+func TestPropertyGeneratorsWellFormed(t *testing.T) {
+	f := func(rawN uint8) bool {
+		n := int(rawN%20) + 3 // 3..22
+		gens := []*Graph{}
+		if g, err := Clique(n); err == nil {
+			gens = append(gens, g)
+		}
+		if g, err := Line(n); err == nil {
+			gens = append(gens, g)
+		}
+		if g, err := Ring(n); err == nil {
+			gens = append(gens, g)
+		}
+		if g, err := Star(n); err == nil {
+			gens = append(gens, g)
+		}
+		if g, err := Tree(n, 2); err == nil {
+			gens = append(gens, g)
+		}
+		for _, g := range gens {
+			if g.NumNodes() != n || !g.Connected() || g.Validate() != nil {
+				return false
+			}
+			for _, node := range g.Nodes() {
+				if node < BaseASN || node >= BaseASN+idr.ASN(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package topology models AS-level topologies and produces them from
+// theoretical generators (clique, ring, trees, random graphs) or from
+// measured-data formats (CAIDA AS relationships, iPlane inter-PoP
+// links), mirroring the paper's framework (§3): "topologies can be
+// either artificial or built from the iPlane Inter-PoP links and the
+// CAIDA AS Relationship datasets".
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/idr"
+)
+
+// Relationship is the business relationship carried by an inter-AS
+// link, following the CAIDA AS-relationship convention.
+type Relationship int8
+
+const (
+	// P2P marks a settlement-free peering between two ASes
+	// (CAIDA code 0).
+	P2P Relationship = 0
+	// P2C marks a provider-to-customer link; the edge's A side is the
+	// provider and the B side the customer (CAIDA code -1).
+	P2C Relationship = -1
+)
+
+// String returns the conventional name of the relationship.
+func (r Relationship) String() string {
+	switch r {
+	case P2P:
+		return "p2p"
+	case P2C:
+		return "p2c"
+	default:
+		return fmt.Sprintf("Relationship(%d)", int8(r))
+	}
+}
+
+// Edge is an undirected inter-AS adjacency with business semantics.
+// For P2C edges the direction matters: A is the provider of B. For P2P
+// edges A and B are interchangeable.
+type Edge struct {
+	A, B idr.ASN
+	Rel  Relationship
+	// Delay is the one-way propagation delay of the link. Zero means
+	// "use the experiment default".
+	Delay time.Duration
+}
+
+// Other returns the far endpoint of the edge as seen from asn.
+func (e Edge) Other(asn idr.ASN) idr.ASN {
+	if e.A == asn {
+		return e.B
+	}
+	return e.A
+}
+
+// Canonical returns the edge with endpoints ordered so that equal links
+// compare equal: P2P edges are stored with A < B; P2C edges keep their
+// provider→customer orientation.
+func (e Edge) Canonical() Edge {
+	if e.Rel == P2P && e.B < e.A {
+		e.A, e.B = e.B, e.A
+	}
+	return e
+}
+
+// Graph is an AS-level topology: a set of AS numbers plus annotated
+// edges. The zero value is an empty graph ready to use.
+type Graph struct {
+	nodes map[idr.ASN]bool
+	edges map[[2]idr.ASN]Edge // keyed by canonical endpoints
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[idr.ASN]bool),
+		edges: make(map[[2]idr.ASN]Edge),
+	}
+}
+
+func edgeKey(a, b idr.ASN) [2]idr.ASN {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]idr.ASN{a, b}
+}
+
+// AddNode ensures asn is present in the graph.
+func (g *Graph) AddNode(asn idr.ASN) {
+	g.nodes[asn] = true
+}
+
+// AddEdge inserts (or replaces) the link between e.A and e.B, adding
+// the endpoints as needed. Self-loops are rejected.
+func (g *Graph) AddEdge(e Edge) error {
+	if e.A == e.B {
+		return fmt.Errorf("topology: self-loop on %v", e.A)
+	}
+	g.AddNode(e.A)
+	g.AddNode(e.B)
+	g.edges[edgeKey(e.A, e.B)] = e.Canonical()
+	return nil
+}
+
+// RemoveEdge deletes the link between a and b, reporting whether it
+// existed.
+func (g *Graph) RemoveEdge(a, b idr.ASN) bool {
+	k := edgeKey(a, b)
+	if _, ok := g.edges[k]; !ok {
+		return false
+	}
+	delete(g.edges, k)
+	return true
+}
+
+// HasNode reports whether asn is in the graph.
+func (g *Graph) HasNode(asn idr.ASN) bool { return g.nodes[asn] }
+
+// HasEdge reports whether a link exists between a and b.
+func (g *Graph) HasEdge(a, b idr.ASN) bool {
+	_, ok := g.edges[edgeKey(a, b)]
+	return ok
+}
+
+// EdgeBetween returns the link between a and b.
+func (g *Graph) EdgeBetween(a, b idr.ASN) (Edge, bool) {
+	e, ok := g.edges[edgeKey(a, b)]
+	return e, ok
+}
+
+// NumNodes returns the number of ASes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of links.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Nodes returns all AS numbers in ascending order.
+func (g *Graph) Nodes() []idr.ASN {
+	out := make([]idr.ASN, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges, ordered deterministically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := edgeKey(out[i].A, out[i].B), edgeKey(out[j].A, out[j].B)
+		if ki[0] != kj[0] {
+			return ki[0] < kj[0]
+		}
+		return ki[1] < kj[1]
+	})
+	return out
+}
+
+// Neighbors returns the ASes adjacent to asn in ascending order.
+func (g *Graph) Neighbors(asn idr.ASN) []idr.ASN {
+	var out []idr.ASN
+	for _, e := range g.edges {
+		if e.A == asn {
+			out = append(out, e.B)
+		} else if e.B == asn {
+			out = append(out, e.A)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of links attached to asn.
+func (g *Graph) Degree(asn idr.ASN) int {
+	n := 0
+	for _, e := range g.edges {
+		if e.A == asn || e.B == asn {
+			n++
+		}
+	}
+	return n
+}
+
+// Providers returns the providers of asn (ASes on the provider side of
+// a P2C edge whose customer side is asn), ascending.
+func (g *Graph) Providers(asn idr.ASN) []idr.ASN {
+	var out []idr.ASN
+	for _, e := range g.edges {
+		if e.Rel == P2C && e.B == asn {
+			out = append(out, e.A)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Customers returns the customers of asn, ascending.
+func (g *Graph) Customers(asn idr.ASN) []idr.ASN {
+	var out []idr.ASN
+	for _, e := range g.edges {
+		if e.Rel == P2C && e.A == asn {
+			out = append(out, e.B)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Peers returns the settlement-free peers of asn, ascending.
+func (g *Graph) Peers(asn idr.ASN) []idr.ASN {
+	var out []idr.ASN
+	for _, e := range g.edges {
+		if e.Rel != P2P {
+			continue
+		}
+		if e.A == asn {
+			out = append(out, e.B)
+		} else if e.B == asn {
+			out = append(out, e.A)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RelationshipOf returns the relationship of neighbor as seen from asn:
+// what the neighbor is *to* asn.
+func (g *Graph) RelationshipOf(asn, neighbor idr.ASN) (NeighborKind, bool) {
+	e, ok := g.EdgeBetween(asn, neighbor)
+	if !ok {
+		return KindNone, false
+	}
+	switch {
+	case e.Rel == P2P:
+		return KindPeer, true
+	case e.A == asn: // asn is the provider, so the neighbor is a customer
+		return KindCustomer, true
+	default:
+		return KindProvider, true
+	}
+}
+
+// NeighborKind classifies a neighbor from the local AS's point of view.
+type NeighborKind int8
+
+const (
+	// KindNone means no relationship (no link).
+	KindNone NeighborKind = iota
+	// KindCustomer: the neighbor pays us for transit.
+	KindCustomer
+	// KindPeer: settlement-free peer.
+	KindPeer
+	// KindProvider: we pay the neighbor for transit.
+	KindProvider
+)
+
+// String names the neighbor kind.
+func (k NeighborKind) String() string {
+	switch k {
+	case KindCustomer:
+		return "customer"
+	case KindPeer:
+		return "peer"
+	case KindProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+// Connected reports whether the graph is connected (ignoring edge
+// direction and relationships). The empty graph is connected.
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	var start idr.ASN
+	for n := range g.nodes {
+		start = n
+		break
+	}
+	seen := map[idr.ASN]bool{start: true}
+	queue := []idr.ASN{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur) {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(seen) == len(g.nodes)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for n := range g.nodes {
+		c.nodes[n] = true
+	}
+	for k, e := range g.edges {
+		c.edges[k] = e
+	}
+	return c
+}
+
+// Validate checks structural invariants: every edge endpoint is a node
+// and the provider hierarchy (P2C edges) is acyclic, the standard
+// sanity condition for Gao-Rexford topologies.
+func (g *Graph) Validate() error {
+	for _, e := range g.edges {
+		if !g.nodes[e.A] || !g.nodes[e.B] {
+			return fmt.Errorf("topology: edge %v-%v references unknown node", e.A, e.B)
+		}
+	}
+	// Detect a cycle in the directed provider→customer graph.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[idr.ASN]int, len(g.nodes))
+	var visit func(idr.ASN) error
+	visit = func(n idr.ASN) error {
+		color[n] = gray
+		for _, c := range g.Customers(n) {
+			switch color[c] {
+			case gray:
+				return fmt.Errorf("topology: provider-customer cycle through %v and %v", n, c)
+			case white:
+				if err := visit(c); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for n := range g.nodes {
+		if color[n] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/idr"
+)
+
+func TestAddEdgeAndQueries(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(Edge{A: 1, B: 2, Rel: P2C}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(Edge{A: 3, B: 2, Rel: P2P}); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d, want 3/2", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(2, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+	if g.HasEdge(1, 3) {
+		t.Fatal("no edge between 1 and 3")
+	}
+	nbs := g.Neighbors(2)
+	if len(nbs) != 2 || nbs[0] != 1 || nbs[1] != 3 {
+		t.Fatalf("Neighbors(2) = %v", nbs)
+	}
+	if g.Degree(2) != 2 || g.Degree(1) != 1 {
+		t.Fatal("Degree wrong")
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(Edge{A: 5, B: 5}); err == nil {
+		t.Fatal("self-loop should be rejected")
+	}
+}
+
+func TestRelationships(t *testing.T) {
+	g := New()
+	// 1 is provider of 2; 2 peers with 3; 2 is provider of 4.
+	for _, e := range []Edge{
+		{A: 1, B: 2, Rel: P2C},
+		{A: 2, B: 3, Rel: P2P},
+		{A: 2, B: 4, Rel: P2C},
+	} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.Providers(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Providers(2) = %v", got)
+	}
+	if got := g.Customers(2); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("Customers(2) = %v", got)
+	}
+	if got := g.Peers(2); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Peers(2) = %v", got)
+	}
+	kind, ok := g.RelationshipOf(2, 1)
+	if !ok || kind != KindProvider {
+		t.Fatalf("RelationshipOf(2,1) = %v, want provider", kind)
+	}
+	kind, _ = g.RelationshipOf(1, 2)
+	if kind != KindCustomer {
+		t.Fatalf("RelationshipOf(1,2) = %v, want customer", kind)
+	}
+	kind, _ = g.RelationshipOf(2, 3)
+	if kind != KindPeer {
+		t.Fatalf("RelationshipOf(2,3) = %v, want peer", kind)
+	}
+	if _, ok := g.RelationshipOf(1, 4); ok {
+		t.Fatal("no relationship between 1 and 4")
+	}
+	if KindCustomer.String() != "customer" || KindNone.String() != "none" {
+		t.Fatal("NeighborKind.String wrong")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(Edge{A: 1, B: 2, Rel: P2P}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.RemoveEdge(2, 1) {
+		t.Fatal("RemoveEdge should report true")
+	}
+	if g.RemoveEdge(2, 1) {
+		t.Fatal("second RemoveEdge should report false")
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge still present")
+	}
+	if !g.HasNode(1) || !g.HasNode(2) {
+		t.Fatal("nodes should survive edge removal")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New()
+	if !g.Connected() {
+		t.Fatal("empty graph is connected by convention")
+	}
+	g.AddNode(1)
+	g.AddNode(2)
+	if g.Connected() {
+		t.Fatal("two isolated nodes are not connected")
+	}
+	if err := g.AddEdge(Edge{A: 1, B: 2, Rel: P2P}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("1-2 should be connected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(Edge{A: 1, B: 2, Rel: P2C}); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	c.RemoveEdge(1, 2)
+	if !g.HasEdge(1, 2) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	g := New()
+	// 1 -> 2 -> 3 -> 1 provider cycle.
+	for _, e := range []Edge{
+		{A: 1, B: 2, Rel: P2C},
+		{A: 2, B: 3, Rel: P2C},
+		{A: 3, B: 1, Rel: P2C},
+	} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("provider cycle should fail validation")
+	}
+	// Acyclic hierarchy passes.
+	g2 := New()
+	for _, e := range []Edge{
+		{A: 1, B: 2, Rel: P2C},
+		{A: 1, B: 3, Rel: P2C},
+		{A: 2, B: 4, Rel: P2C},
+		{A: 3, B: 4, Rel: P2C}, // multihomed customer, still acyclic
+	} {
+		if err := g2.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("acyclic hierarchy failed validation: %v", err)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{A: 7, B: 9}
+	if e.Other(7) != 9 || e.Other(9) != 7 {
+		t.Fatal("Other wrong")
+	}
+}
+
+func TestEdgeCanonical(t *testing.T) {
+	e := Edge{A: 9, B: 7, Rel: P2P}.Canonical()
+	if e.A != 7 || e.B != 9 {
+		t.Fatalf("P2P canonical = %v-%v, want 7-9", e.A, e.B)
+	}
+	// P2C keeps provider orientation.
+	e = Edge{A: 9, B: 7, Rel: P2C}.Canonical()
+	if e.A != 9 || e.B != 7 {
+		t.Fatalf("P2C canonical reordered: %v-%v", e.A, e.B)
+	}
+}
+
+func TestNodesAndEdgesDeterministic(t *testing.T) {
+	g := New()
+	for i := 20; i >= 1; i-- {
+		g.AddNode(idr.ASN(i))
+	}
+	ns := g.Nodes()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("Nodes not sorted: %v", ns)
+		}
+	}
+	for i := 1; i <= 19; i++ {
+		if err := g.AddEdge(Edge{A: idr.ASN(i), B: idr.ASN(i + 1), Rel: P2P}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1 := g.Edges()
+	e2 := g.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("Edges() not deterministic")
+		}
+	}
+}
+
+func TestRelationshipString(t *testing.T) {
+	if P2P.String() != "p2p" || P2C.String() != "p2c" {
+		t.Fatal("Relationship.String wrong")
+	}
+	if Relationship(5).String() == "" {
+		t.Fatal("unknown relationship should still render")
+	}
+}

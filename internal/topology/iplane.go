@@ -1,0 +1,208 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/idr"
+)
+
+// PoP identifies a point of presence as "<asn>:<index>", following the
+// iPlane convention of PoPs grouped by owning AS.
+type PoP struct {
+	ASN   idr.ASN
+	Index int
+}
+
+// String renders the PoP in the textual dataset form.
+func (p PoP) String() string { return fmt.Sprintf("%d:%d", uint32(p.ASN), p.Index) }
+
+// PoPLink is one measured inter-PoP link with a round-trip latency.
+type PoPLink struct {
+	From, To PoP
+	RTT      time.Duration
+}
+
+// ReadIPlane parses the iPlane inter-PoP links format used by this
+// framework:
+//
+//	# comment
+//	<asn>:<pop> <asn>:<pop> <latency-ms>
+//
+// The latency column is optional (defaults to 0 = experiment default).
+func ReadIPlane(r io.Reader) ([]PoPLink, error) {
+	var out []PoPLink
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("topology: iplane line %d: want 2+ fields, got %q", line, text)
+		}
+		from, err := parsePoP(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("topology: iplane line %d: %v", line, err)
+		}
+		to, err := parsePoP(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("topology: iplane line %d: %v", line, err)
+		}
+		var rtt time.Duration
+		if len(fields) >= 3 {
+			ms, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("topology: iplane line %d: bad latency %q", line, fields[2])
+			}
+			rtt = time.Duration(ms * float64(time.Millisecond))
+		}
+		out = append(out, PoPLink{From: from, To: to, RTT: rtt})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading iplane data: %w", err)
+	}
+	return out, nil
+}
+
+func parsePoP(s string) (PoP, error) {
+	asnStr, popStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return PoP{}, fmt.Errorf("bad PoP %q: want <asn>:<index>", s)
+	}
+	asn, err := parseASN(asnStr)
+	if err != nil {
+		return PoP{}, err
+	}
+	idx, err := strconv.Atoi(popStr)
+	if err != nil || idx < 0 {
+		return PoP{}, fmt.Errorf("bad PoP index in %q", s)
+	}
+	return PoP{ASN: asn, Index: idx}, nil
+}
+
+// WriteIPlane serialises PoP links in the textual format accepted by
+// ReadIPlane.
+func WriteIPlane(w io.Writer, links []PoPLink) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# iPlane inter-PoP links (format: <asn>:<pop> <asn>:<pop> <rtt-ms>)"); err != nil {
+		return err
+	}
+	for _, l := range links {
+		ms := float64(l.RTT) / float64(time.Millisecond)
+		if _, err := fmt.Fprintf(bw, "%s %s %.3f\n", l.From, l.To, ms); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CollapseToASGraph reduces PoP-level links to an AS-level graph, as
+// the paper's framework does when building topologies from iPlane data
+// ("every AS is emulated by a single network device"). Intra-AS links
+// are dropped; parallel inter-AS links keep the minimum latency. Since
+// iPlane carries no business relationships, edges default to P2P; pair
+// it with CAIDA relationships via AnnotateRelationships.
+func CollapseToASGraph(links []PoPLink) *Graph {
+	g := New()
+	for _, l := range links {
+		a, b := l.From.ASN, l.To.ASN
+		if a == b {
+			continue
+		}
+		// One-way delay is half the measured RTT.
+		delay := l.RTT / 2
+		if prev, ok := g.EdgeBetween(a, b); ok {
+			if prev.Delay <= delay && prev.Delay != 0 {
+				continue
+			}
+			if delay == 0 {
+				continue
+			}
+		}
+		// Errors are impossible here: a != b is checked above.
+		_ = g.AddEdge(Edge{A: a, B: b, Rel: P2P, Delay: delay})
+	}
+	return g
+}
+
+// AnnotateRelationships copies business relationships from rel (e.g. a
+// CAIDA graph) onto the edges of g where both graphs have the link,
+// returning how many edges were annotated.
+func AnnotateRelationships(g, rel *Graph) int {
+	n := 0
+	for _, e := range g.Edges() {
+		re, ok := rel.EdgeBetween(e.A, e.B)
+		if !ok {
+			continue
+		}
+		annotated := e
+		annotated.Rel = re.Rel
+		if re.Rel == P2C {
+			// Preserve provider orientation from the relationship graph.
+			annotated.A, annotated.B = re.A, re.B
+		}
+		// AddEdge replaces in place; endpoints unchanged so no error.
+		_ = g.AddEdge(annotated)
+		n++
+	}
+	return n
+}
+
+// SynthesizeIPlane produces a synthetic inter-PoP measurement set for
+// the given AS graph: every AS gets 1..maxPoPs PoPs; every AS edge
+// becomes one or more PoP-level links with geographic-ish latencies
+// (5ms..120ms RTT); intra-AS backbone links connect each AS's PoPs in
+// a chain. Output round-trips through WriteIPlane/ReadIPlane and
+// collapses back to a graph whose edges match g.
+func SynthesizeIPlane(g *Graph, maxPoPs int, rng *rand.Rand) ([]PoPLink, error) {
+	if maxPoPs < 1 {
+		return nil, fmt.Errorf("topology: maxPoPs %d < 1", maxPoPs)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topology: SynthesizeIPlane needs a random source")
+	}
+	popCount := make(map[idr.ASN]int)
+	var links []PoPLink
+	for _, asn := range g.Nodes() {
+		popCount[asn] = 1 + rng.Intn(maxPoPs)
+		// Chain the AS's PoPs with short backbone links.
+		for i := 1; i < popCount[asn]; i++ {
+			links = append(links, PoPLink{
+				From: PoP{ASN: asn, Index: i - 1},
+				To:   PoP{ASN: asn, Index: i},
+				RTT:  time.Duration(1+rng.Intn(5)) * time.Millisecond,
+			})
+		}
+	}
+	for _, e := range g.Edges() {
+		rtt := time.Duration(5+rng.Intn(115)) * time.Millisecond
+		links = append(links, PoPLink{
+			From: PoP{ASN: e.A, Index: rng.Intn(popCount[e.A])},
+			To:   PoP{ASN: e.B, Index: rng.Intn(popCount[e.B])},
+			RTT:  rtt,
+		})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From.ASN != links[j].From.ASN {
+			return links[i].From.ASN < links[j].From.ASN
+		}
+		if links[i].From.Index != links[j].From.Index {
+			return links[i].From.Index < links[j].From.Index
+		}
+		if links[i].To.ASN != links[j].To.ASN {
+			return links[i].To.ASN < links[j].To.ASN
+		}
+		return links[i].To.Index < links[j].To.Index
+	})
+	return links, nil
+}

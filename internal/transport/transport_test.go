@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/bgp/rib"
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/sim"
+)
+
+// serialize funnels all router entry points through one mutex: the bgp
+// package is single-threaded by contract, and in wall-clock mode
+// timers fire on their own goroutines. (The sim.Kernel provides this
+// guarantee automatically in virtual-time mode.)
+type serialize struct{ mu sync.Mutex }
+
+func (s *serialize) do(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
+// lockedClock wraps the wall clock so timer callbacks take the router
+// lock before running.
+type lockedClock struct {
+	inner sim.Clock
+	lock  *serialize
+}
+
+func (c lockedClock) Now() time.Time { return c.inner.Now() }
+func (c lockedClock) AfterFunc(d time.Duration, fn func()) sim.Timer {
+	return c.inner.AfterFunc(d, func() { c.lock.do(fn) })
+}
+func (c lockedClock) Go(fn func()) { c.inner.Go(func() { c.lock.do(fn) }) }
+
+func lockedRouter(t *testing.T, asn idr.ASN, seed int64, lock *serialize) *bgp.Router {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	r, err := bgp.New(bgp.Config{
+		ASN:      asn,
+		RouterID: idr.RouterIDFromAddr(netip.AddrFrom4([4]byte{172, 16, 0, byte(asn)})),
+		Clock:    lockedClock{inner: sim.WallClock{}, lock: lock},
+		Rand:     k.Rand(),
+		Timers: bgp.Timers{
+			HoldTime:          3 * time.Second,
+			KeepaliveFraction: 3,
+			ConnectRetry:      200 * time.Millisecond,
+			MRAI:              50 * time.Millisecond,
+			MRAIJitter:        false,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// wireUp attaches a router peer to one net.Conn end and starts the
+// read pump.
+func wireUp(t *testing.T, r *bgp.Router, remote idr.ASN, conn net.Conn, lock *serialize) (*Stream, *bgp.Peer) {
+	t.Helper()
+	st := NewStream(conn)
+	key := rib.PeerKey("to-" + remote.String())
+	p, err := r.AddPeer(bgp.PeerConfig{
+		Key:       key,
+		RemoteASN: remote,
+		NextHop:   netip.AddrFrom4([4]byte{100, 64, 0, byte(remote)}),
+		Send:      st.Send,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_ = st.Run(func(frame []byte) {
+			lock.do(func() { r.Deliver(key, frame) })
+		})
+	}()
+	lock.do(p.TransportUp)
+	return st, p
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met within", timeout)
+}
+
+// TestBGPOverRealTCP runs two routers over an actual TCP loopback
+// connection in wall-clock time: session establishment, route
+// exchange and withdrawal — the framework's live-demo mode.
+func TestBGPOverRealTCP(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	lock := &serialize{}
+	r1 := lockedRouter(t, 1, 1, lock)
+	r2 := lockedRouter(t, 2, 2, lock)
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dialed, err := Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverConn := <-accepted
+
+	st1, _ := wireUp(t, r1, 2, dialed, lock)
+	st2, _ := wireUp(t, r2, 1, serverConn, lock)
+	defer st1.Close()
+	defer st2.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		lock.mu.Lock()
+		defer lock.mu.Unlock()
+		return r1.EstablishedCount() == 1 && r2.EstablishedCount() == 1
+	})
+
+	pfx := netip.MustParsePrefix("10.0.1.0/24")
+	lock.do(func() {
+		if err := r1.Announce(pfx); err != nil {
+			t.Error(err)
+		}
+	})
+	waitFor(t, 5*time.Second, func() bool {
+		lock.mu.Lock()
+		defer lock.mu.Unlock()
+		_, ok := r2.Table().Best(pfx)
+		return ok
+	})
+	lock.do(func() {
+		best, _ := r2.Table().Best(pfx)
+		if !best.Attrs.ASPath.Equal(wire.NewASPath(1)) {
+			t.Errorf("path = %v", best.Attrs.ASPath)
+		}
+	})
+	lock.do(func() {
+		if err := r1.Withdraw(pfx); err != nil {
+			t.Error(err)
+		}
+	})
+	waitFor(t, 5*time.Second, func() bool {
+		lock.mu.Lock()
+		defer lock.mu.Unlock()
+		_, ok := r2.Table().Best(pfx)
+		return !ok
+	})
+}
+
+func TestBGPOverDelayedPipe(t *testing.T) {
+	lock := &serialize{}
+	r1 := lockedRouter(t, 1, 1, lock)
+	r2 := lockedRouter(t, 2, 2, lock)
+	c1, c2 := DelayedPipe(10 * time.Millisecond)
+	st1, _ := wireUp(t, r1, 2, c1, lock)
+	st2, _ := wireUp(t, r2, 1, c2, lock)
+	defer st1.Close()
+	defer st2.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		lock.mu.Lock()
+		defer lock.mu.Unlock()
+		return r1.EstablishedCount() == 1 && r2.EstablishedCount() == 1
+	})
+}
+
+func TestDelayedPipeLatency(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	a, b := DelayedPipe(delay)
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("hello")
+	start := time.Now()
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := b.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < delay {
+		t.Fatalf("message arrived after %v, want >= %v", elapsed, delay)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("payload = %q", buf)
+	}
+}
+
+func TestDelayedPipeZeroDelay(t *testing.T) {
+	a, b := DelayedPipe(0)
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := b.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamSendAfterClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	st := NewStream(a)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send([]byte{1}); err == nil {
+		t.Fatal("send after close should error")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+}
+
+func TestStreamRunStopsOnClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	st := NewStream(a)
+	done := make(chan error, 1)
+	go func() { done <- st.Run(func([]byte) {}) }()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run should return an error on close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop")
+	}
+}
+
+func TestStreamReframesPartialReads(t *testing.T) {
+	// Write a frame byte by byte: the reader must still assemble it.
+	a, b := net.Pipe()
+	st := NewStream(b)
+	got := make(chan []byte, 1)
+	go func() {
+		_ = st.Run(func(frame []byte) { got <- frame })
+	}()
+	frame, err := wire.Marshal(wire.Keepalive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for _, by := range frame {
+			if _, err := a.Write([]byte{by}); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case f := <-got:
+		if len(f) != len(frame) {
+			t.Fatalf("frame length = %d, want %d", len(f), len(frame))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame not assembled")
+	}
+	a.Close()
+	st.Close()
+}
+
+func TestListenDialErrors(t *testing.T) {
+	if _, err := Listen("256.0.0.1:0"); err == nil {
+		t.Fatal("bad listen address should error")
+	}
+	if _, err := Dial("127.0.0.1:1", 50*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port should error")
+	}
+}
