@@ -22,6 +22,7 @@ import (
 	"repro/internal/idr"
 	"repro/internal/sdn"
 	"repro/internal/sdn/ofp"
+	"repro/internal/sim"
 )
 
 // benchTimers are the paper-faithful protocol timers (MRAI 30s with
@@ -44,12 +45,13 @@ func reportSweep(b *testing.B, points []figures.Point) {
 func BenchmarkFig2Withdrawal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points, err := figures.RunSweep(figures.SweepConfig{
-			Kind:       figures.Withdrawal,
-			CliqueSize: 16,
-			SDNCounts:  []int{0, 4, 8, 12, 16},
-			Runs:       3,
-			BaseSeed:   1,
-			Timers:     benchTimers(),
+			Kind:        figures.Withdrawal,
+			CliqueSize:  16,
+			SDNCounts:   []int{0, 4, 8, 12, 16},
+			Runs:        3,
+			BaseSeed:    1,
+			Timers:      benchTimers(),
+			Parallelism: 0, // GOMAXPROCS: the parallel sweep engine
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -64,12 +66,13 @@ func BenchmarkFig2Withdrawal(b *testing.B) {
 func BenchmarkAnnouncement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points, err := figures.RunSweep(figures.SweepConfig{
-			Kind:       figures.Announcement,
-			CliqueSize: 16,
-			SDNCounts:  []int{0, 4, 8, 12, 16},
-			Runs:       3,
-			BaseSeed:   1,
-			Timers:     benchTimers(),
+			Kind:        figures.Announcement,
+			CliqueSize:  16,
+			SDNCounts:   []int{0, 4, 8, 12, 16},
+			Runs:        3,
+			BaseSeed:    1,
+			Timers:      benchTimers(),
+			Parallelism: 0, // GOMAXPROCS: the parallel sweep engine
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -85,12 +88,13 @@ func BenchmarkAnnouncement(b *testing.B) {
 func BenchmarkFailover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points, err := figures.RunSweep(figures.SweepConfig{
-			Kind:       figures.Failover,
-			CliqueSize: 16,
-			SDNCounts:  []int{0, 4, 8, 12, 16},
-			Runs:       3,
-			BaseSeed:   1,
-			Timers:     benchTimers(),
+			Kind:        figures.Failover,
+			CliqueSize:  16,
+			SDNCounts:   []int{0, 4, 8, 12, 16},
+			Runs:        3,
+			BaseSeed:    1,
+			Timers:      benchTimers(),
+			Parallelism: 0, // GOMAXPROCS: the parallel sweep engine
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -106,7 +110,7 @@ func BenchmarkFailover(b *testing.B) {
 func BenchmarkMRAISweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points, err := figures.MRAISweep(8, 2,
-			[]time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second}, 1)
+			[]time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second}, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +124,7 @@ func BenchmarkMRAISweep(b *testing.B) {
 // BenchmarkCliqueSizeSweep: path exploration grows with mesh size.
 func BenchmarkCliqueSizeSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := figures.CliqueSizeSweep([]int{4, 8, 12, 16}, 2, benchTimers(), 1)
+		points, err := figures.CliqueSizeSweep([]int{4, 8, 12, 16}, 2, benchTimers(), 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +142,7 @@ func BenchmarkDebounceAblation(b *testing.B) {
 	timers.MRAI = 10 * time.Second
 	for i := 0; i < b.N; i++ {
 		points, err := figures.DebounceAblation(8, 4, 2,
-			[]time.Duration{-1, time.Second}, timers, 1)
+			[]time.Duration{-1, time.Second}, timers, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +159,7 @@ func BenchmarkPathExploration(b *testing.B) {
 	timers := benchTimers()
 	timers.MRAI = 10 * time.Second
 	for i := 0; i < b.N; i++ {
-		points, err := figures.PathExplorationSweep(8, []int{0, 6}, timers, 1)
+		points, err := figures.PathExplorationSweep(8, []int{0, 6}, timers, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +194,7 @@ func BenchmarkFlapStability(b *testing.B) {
 	timers := benchTimers()
 	timers.MRAI = 10 * time.Second
 	for i := 0; i < b.N; i++ {
-		points, err := figures.FlapStabilityAblation(8, 6, 20*time.Second, timers, 1)
+		points, err := figures.FlapStabilityAblation(8, 6, 20*time.Second, timers, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -265,6 +269,61 @@ func BenchmarkRIBDecision(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl.SetAdjIn(update)
+	}
+}
+
+// BenchmarkRIBLookup measures longest-prefix match on a populated
+// Loc-RIB — the data-plane forwarding decision behind every probe and
+// reachability check. The by-length bucket index makes it O(#distinct
+// prefix lengths) instead of O(|Loc-RIB|).
+func BenchmarkRIBLookup(b *testing.B) {
+	tbl := rib.NewTable()
+	for i := 0; i < 256; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)
+		tbl.SetAdjIn(&rib.Route{
+			Prefix:  prefix,
+			Peer:    "a",
+			PeerASN: 2,
+			PeerID:  idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.2")),
+			Attrs: wire.PathAttrs{
+				ASPath:  wire.NewASPath(2, 1),
+				NextHop: netip.MustParseAddr("100.64.0.2"),
+			},
+		})
+	}
+	// A handful of more-specifics so multiple length buckets exist.
+	for i := 0; i < 16; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 7, 0}), 24)
+		tbl.SetAdjIn(&rib.Route{
+			Prefix:  prefix,
+			Peer:    "b",
+			PeerASN: 3,
+			PeerID:  idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.3")),
+			Attrs: wire.PathAttrs{
+				ASPath:  wire.NewASPath(3, 1),
+				NextHop: netip.MustParseAddr("100.64.0.3"),
+			},
+		})
+	}
+	addr := netip.MustParseAddr("10.128.7.9")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Lookup(addr); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+// BenchmarkTimerReset measures MRAI-style timer churn: a timer that is
+// repeatedly rescheduled before firing, the dominant event-queue
+// operation during convergence. Reset re-keys the pending event in
+// place instead of allocating a replacement.
+func BenchmarkTimerReset(b *testing.B) {
+	k := sim.NewKernel(1)
+	timer := k.AfterFunc(time.Hour, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		timer.Reset(time.Hour)
 	}
 }
 

@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	mrai := flag.Duration("mrai", 30*time.Second, "BGP MinRouteAdvertisementInterval")
 	debounce := flag.Duration("debounce", 100*time.Millisecond, "controller recomputation delay")
+	parallel := flag.Int("parallel", 0, "concurrent emulation runs (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	svg := flag.String("svg", "", "also render the sweep as an SVG boxplot to this file")
 	flag.Parse()
 
@@ -36,12 +37,13 @@ func main() {
 
 	sweep := func(kind figures.Kind) {
 		cfg := figures.SweepConfig{
-			Kind:       kind,
-			CliqueSize: *clique,
-			Runs:       *runs,
-			BaseSeed:   *seed,
-			Timers:     timers,
-			Debounce:   *debounce,
+			Kind:        kind,
+			CliqueSize:  *clique,
+			Runs:        *runs,
+			BaseSeed:    *seed,
+			Timers:      timers,
+			Debounce:    *debounce,
+			Parallelism: *parallel,
 		}
 		points, err := figures.RunSweep(cfg)
 		if err != nil {
@@ -87,7 +89,7 @@ func main() {
 	case "failover":
 		sweep(figures.Failover)
 	case "mrai":
-		points, err := figures.MRAISweep(*clique, *runs, nil, *seed)
+		points, err := figures.MRAISweep(*clique, *runs, nil, *seed, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,7 +97,7 @@ func main() {
 			fatal(err)
 		}
 	case "size":
-		points, err := figures.CliqueSizeSweep(nil, *runs, timers, *seed)
+		points, err := figures.CliqueSizeSweep(nil, *runs, timers, *seed, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,7 +105,7 @@ func main() {
 			fatal(err)
 		}
 	case "debounce":
-		points, err := figures.DebounceAblation(*clique, *clique/2, *runs, nil, timers, *seed)
+		points, err := figures.DebounceAblation(*clique, *clique/2, *runs, nil, timers, *seed, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -119,7 +121,7 @@ func main() {
 		fmt.Printf("reachable after split:  %v (over legacy paths)\n", res.ReachableAfterSplit)
 		fmt.Printf("re-convergence:         %.3fs\n", res.ReconvergenceTime.Seconds())
 	case "flap":
-		points, err := figures.FlapStabilityAblation(*clique, 6, 20*time.Second, timers, *seed)
+		points, err := figures.FlapStabilityAblation(*clique, 6, 20*time.Second, timers, *seed, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,7 +129,7 @@ func main() {
 			fatal(err)
 		}
 	case "exploration":
-		points, err := figures.PathExplorationSweep(*clique, nil, timers, *seed)
+		points, err := figures.PathExplorationSweep(*clique, nil, timers, *seed, *parallel)
 		if err != nil {
 			fatal(err)
 		}

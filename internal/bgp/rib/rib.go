@@ -121,11 +121,23 @@ func Better(a, b *Route) bool {
 
 // Table is a router's complete RIB state: per-peer Adj-RIB-In, the
 // locally originated routes, and the Loc-RIB (best routes).
+//
+// Two indexes keep the hot paths off the maps: cands holds, per
+// prefix, every Adj-RIB-In candidate sorted by peer key (maintained
+// incrementally, so the decision process neither allocates nor sorts
+// per UPDATE), and byLen buckets the Loc-RIB by prefix length so
+// Lookup probes one masked prefix per populated length instead of
+// scanning the whole Loc-RIB.
 type Table struct {
 	adjIn map[PeerKey]map[netip.Prefix]*Route
 	local map[netip.Prefix]*Route
 	best  map[netip.Prefix]*Route
+	cands map[netip.Prefix][]*Route
+	byLen [maxPrefixBits + 1]map[netip.Prefix]*Route
 }
+
+// maxPrefixBits is the longest prefix length Table can index (IPv6).
+const maxPrefixBits = 128
 
 // NewTable returns an empty RIB.
 func NewTable() *Table {
@@ -133,7 +145,74 @@ func NewTable() *Table {
 		adjIn: make(map[PeerKey]map[netip.Prefix]*Route),
 		local: make(map[netip.Prefix]*Route),
 		best:  make(map[netip.Prefix]*Route),
+		cands: make(map[netip.Prefix][]*Route),
 	}
+}
+
+// searchCands returns the position of peer in the candidate slice
+// (sorted by peer key) and whether it is present. Open-coded so the
+// steady-state decision path stays closure- and allocation-free.
+func searchCands(s []*Route, peer PeerKey) (int, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].Peer < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && s[lo].Peer == peer
+}
+
+// indexCand inserts or replaces r in the prefix's candidate slice.
+func (t *Table) indexCand(r *Route) {
+	s := t.cands[r.Prefix]
+	i, ok := searchCands(s, r.Peer)
+	if ok {
+		s[i] = r
+		return
+	}
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = r
+	t.cands[r.Prefix] = s
+}
+
+// unindexCand removes the peer's route from the prefix's candidates.
+func (t *Table) unindexCand(peer PeerKey, prefix netip.Prefix) {
+	s := t.cands[prefix]
+	i, ok := searchCands(s, peer)
+	if !ok {
+		return
+	}
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	// Keep the (possibly empty) slice so a withdraw/re-announce cycle
+	// reuses its capacity instead of reallocating.
+	t.cands[prefix] = s[:len(s)-1]
+}
+
+// setBest installs r as the Loc-RIB entry for prefix, maintaining the
+// by-length lookup buckets; nil r removes the entry.
+func (t *Table) setBest(prefix netip.Prefix, r *Route) {
+	if prefix.Bits() < 0 || prefix.Bits() > maxPrefixBits {
+		panic(fmt.Sprintf("rib: invalid prefix %v", prefix))
+	}
+	if r == nil {
+		delete(t.best, prefix)
+		if m := t.byLen[prefix.Bits()]; m != nil {
+			delete(m, prefix)
+		}
+		return
+	}
+	t.best[prefix] = r
+	m := t.byLen[prefix.Bits()]
+	if m == nil {
+		m = make(map[netip.Prefix]*Route)
+		t.byLen[prefix.Bits()] = m
+	}
+	m[prefix] = r
 }
 
 // Change describes one Loc-RIB transition for a prefix.
@@ -169,6 +248,7 @@ func (t *Table) SetAdjIn(r *Route) Change {
 		t.adjIn[r.Peer] = m
 	}
 	m[r.Prefix] = r
+	t.indexCand(r)
 	return t.decide(r.Prefix)
 }
 
@@ -177,6 +257,7 @@ func (t *Table) WithdrawAdjIn(peer PeerKey, prefix netip.Prefix) Change {
 	if m := t.adjIn[peer]; m != nil {
 		delete(m, prefix)
 	}
+	t.unindexCand(peer, prefix)
 	return t.decide(prefix)
 }
 
@@ -213,6 +294,7 @@ func (t *Table) DropPeer(peer PeerKey) []Change {
 	delete(t.adjIn, peer)
 	var out []Change
 	for _, p := range prefixes {
+		t.unindexCand(peer, p)
 		if c := t.decide(p); c.Changed() {
 			out = append(out, c)
 		}
@@ -250,12 +332,12 @@ func (t *Table) BestRoutes() []*Route {
 
 // Prefixes returns every prefix known to any RIB, sorted.
 func (t *Table) Prefixes() []netip.Prefix {
-	set := make(map[netip.Prefix]bool)
+	set := make(map[netip.Prefix]bool, len(t.cands)+len(t.local))
 	for p := range t.local {
 		set[p] = true
 	}
-	for _, m := range t.adjIn {
-		for p := range m {
+	for p, s := range t.cands {
+		if len(s) > 0 {
 			set[p] = true
 		}
 	}
@@ -269,45 +351,44 @@ func (t *Table) Prefixes() []netip.Prefix {
 
 // Lookup returns the Loc-RIB route whose prefix contains addr,
 // preferring the longest match — the data-plane forwarding decision.
+// It walks the by-length buckets from most to least specific, probing
+// the single masked prefix that could contain addr at each populated
+// length, so cost scales with the number of distinct prefix lengths
+// rather than the Loc-RIB size.
 func (t *Table) Lookup(addr netip.Addr) (*Route, bool) {
-	var best *Route
-	for _, r := range t.best {
-		if !r.Prefix.Contains(addr) {
+	for bits := addr.BitLen(); bits >= 0; bits-- {
+		m := t.byLen[bits]
+		if len(m) == 0 {
 			continue
 		}
-		if best == nil || r.Prefix.Bits() > best.Prefix.Bits() ||
-			(r.Prefix.Bits() == best.Prefix.Bits() && idr.PrefixLess(r.Prefix, best.Prefix)) {
-			best = r
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if r, ok := m[p]; ok {
+			return r, true
 		}
 	}
-	return best, best != nil
+	return nil, false
 }
 
-// decide re-runs the decision process for prefix, iterating candidates
-// in deterministic order.
+// decide re-runs the decision process for prefix by walking the
+// prefix's candidate index — already sorted by peer key, so the
+// iteration order (and therefore every MED tie-break) is deterministic
+// and identical to the historical sorted-peers scan, without
+// allocating or sorting per UPDATE.
 func (t *Table) decide(prefix netip.Prefix) Change {
 	old := t.best[prefix]
 	var best *Route
 	if lr, ok := t.local[prefix]; ok {
 		best = lr
 	}
-	peers := make([]PeerKey, 0, len(t.adjIn))
-	for pk := range t.adjIn {
-		peers = append(peers, pk)
-	}
-	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
-	for _, pk := range peers {
-		if r, ok := t.adjIn[pk][prefix]; ok {
-			if Better(r, best) {
-				best = r
-			}
+	for _, r := range t.cands[prefix] {
+		if Better(r, best) {
+			best = r
 		}
 	}
-	if best == nil {
-		delete(t.best, prefix)
-	} else {
-		t.best[prefix] = best
-	}
+	t.setBest(prefix, best)
 	return Change{Prefix: prefix, Old: old, New: best}
 }
 

@@ -435,3 +435,31 @@ func TestPropertyLookupMatchesBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// TestDecideZeroAllocSteadyState pins the decision-path optimisation:
+// re-announcing a route from an already-known peer (the steady-state
+// UPDATE path during convergence) must not allocate — the candidate
+// index is updated in place and no per-decision peer sort happens.
+func TestDecideZeroAllocSteadyState(t *testing.T) {
+	tbl := NewTable()
+	for i := 0; i < 16; i++ {
+		tbl.SetAdjIn(route(PeerKey(string(rune('a'+i))), idr.ASN(i+2), pfxA, idr.ASN(i+2), 1))
+	}
+	update := route("z", 99, pfxA, 99, 1)
+	tbl.SetAdjIn(update) // prime: first install may grow the index
+	allocs := testing.AllocsPerRun(1000, func() {
+		tbl.SetAdjIn(update)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SetAdjIn allocates %.1f times per call, want 0", allocs)
+	}
+	withdrawn := route("z", 99, pfxB, 99, 1)
+	tbl.SetAdjIn(withdrawn)
+	allocs = testing.AllocsPerRun(1000, func() {
+		tbl.WithdrawAdjIn("z", pfxB)
+		tbl.SetAdjIn(withdrawn)
+	})
+	if allocs != 0 {
+		t.Fatalf("withdraw/re-announce cycle allocates %.1f times per call, want 0", allocs)
+	}
+}

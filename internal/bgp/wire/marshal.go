@@ -8,43 +8,73 @@ import (
 	"repro/internal/idr"
 )
 
-// Marshal encodes one BGP message, header included.
+// Marshal encodes one BGP message, header included. The body is
+// appended directly after a reserved header and the length fixed up
+// afterwards, so the hot UPDATE path performs a single allocation
+// instead of building intermediate withdrawn/attribute/NLRI slices.
 func Marshal(m Message) ([]byte, error) {
-	var body []byte
+	out := make([]byte, HeaderLen, HeaderLen+estimateBody(m))
+	for i := 0; i < MarkerLen; i++ {
+		out[i] = 0xFF
+	}
 	var err error
 	switch v := m.(type) {
 	case Open:
-		body, err = marshalOpen(v)
+		out, err = appendOpen(out, v)
 	case *Open:
-		body, err = marshalOpen(*v)
+		out, err = appendOpen(out, *v)
 	case Update:
-		body, err = marshalUpdate(v)
+		out, err = appendUpdate(out, v)
 	case *Update:
-		body, err = marshalUpdate(*v)
+		out, err = appendUpdate(out, *v)
 	case Keepalive, *Keepalive:
-		body = nil
 	case Notification:
-		body, err = marshalNotification(v)
+		out, err = appendNotification(out, v)
 	case *Notification:
-		body, err = marshalNotification(*v)
+		out, err = appendNotification(out, *v)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %T", m)
 	}
 	if err != nil {
 		return nil, err
 	}
-	total := HeaderLen + len(body)
-	if total > MaxMsgLen {
-		return nil, fmt.Errorf("wire: message length %d exceeds %d", total, MaxMsgLen)
+	if len(out) > MaxMsgLen {
+		return nil, fmt.Errorf("wire: message length %d exceeds %d", len(out), MaxMsgLen)
 	}
-	out := make([]byte, total)
-	for i := 0; i < MarkerLen; i++ {
-		out[i] = 0xFF
-	}
-	binary.BigEndian.PutUint16(out[MarkerLen:], uint16(total))
+	binary.BigEndian.PutUint16(out[MarkerLen:], uint16(len(out)))
 	out[MarkerLen+2] = byte(m.Type())
-	copy(out[HeaderLen:], body)
 	return out, nil
+}
+
+// estimateBody sizes the initial buffer so typical messages marshal
+// without regrowth; an undershoot only costs an append reallocation.
+func estimateBody(m Message) int {
+	switch v := m.(type) {
+	case Update:
+		return estimateUpdate(v)
+	case *Update:
+		return estimateUpdate(*v)
+	case Open, *Open:
+		return 64
+	default:
+		return 16
+	}
+}
+
+func estimateUpdate(u Update) int {
+	n := 4 + 5*(len(u.Withdrawn)+len(u.NLRI))
+	if len(u.NLRI) > 0 {
+		n += 32 + 4*u.Attrs.ASPath.Length() + 4*len(u.Attrs.Communities)
+	}
+	return n
+}
+
+func appendOpen(out []byte, o Open) ([]byte, error) {
+	body, err := marshalOpen(o)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, body...), nil
 }
 
 func marshalOpen(o Open) ([]byte, error) {
@@ -91,40 +121,36 @@ func marshalOpen(o Open) ([]byte, error) {
 	return body, nil
 }
 
-func marshalNotification(n Notification) ([]byte, error) {
-	body := make([]byte, 0, 2+len(n.Data))
-	body = append(body, n.Code, n.Subcode)
-	body = append(body, n.Data...)
-	return body, nil
+func appendNotification(out []byte, n Notification) ([]byte, error) {
+	out = append(out, n.Code, n.Subcode)
+	return append(out, n.Data...), nil
 }
 
-func marshalUpdate(u Update) ([]byte, error) {
-	withdrawn, err := marshalPrefixes(u.Withdrawn)
+func appendUpdate(out []byte, u Update) ([]byte, error) {
+	wlenAt := len(out)
+	out = append(out, 0, 0)
+	out, err := appendPrefixes(out, u.Withdrawn)
 	if err != nil {
 		return nil, fmt.Errorf("wire: withdrawn routes: %w", err)
 	}
-	var attrs []byte
+	binary.BigEndian.PutUint16(out[wlenAt:], uint16(len(out)-wlenAt-2))
+	alenAt := len(out)
+	out = append(out, 0, 0)
 	if len(u.NLRI) > 0 {
-		attrs, err = marshalAttrs(u.Attrs)
+		out, err = appendAttrs(out, u.Attrs)
 		if err != nil {
 			return nil, err
 		}
 	}
-	nlri, err := marshalPrefixes(u.NLRI)
+	binary.BigEndian.PutUint16(out[alenAt:], uint16(len(out)-alenAt-2))
+	out, err = appendPrefixes(out, u.NLRI)
 	if err != nil {
 		return nil, fmt.Errorf("wire: nlri: %w", err)
 	}
-	body := make([]byte, 0, 4+len(withdrawn)+len(attrs)+len(nlri))
-	body = binary.BigEndian.AppendUint16(body, uint16(len(withdrawn)))
-	body = append(body, withdrawn...)
-	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
-	body = append(body, attrs...)
-	body = append(body, nlri...)
-	return body, nil
+	return out, nil
 }
 
-func marshalPrefixes(ps []netip.Prefix) ([]byte, error) {
-	var out []byte
+func appendPrefixes(out []byte, ps []netip.Prefix) ([]byte, error) {
 	for _, p := range ps {
 		if !p.Addr().Is4() {
 			return nil, fmt.Errorf("prefix %v is not IPv4", p)
@@ -139,36 +165,36 @@ func marshalPrefixes(ps []netip.Prefix) ([]byte, error) {
 	return out, nil
 }
 
-func appendAttr(out []byte, flags, typ uint8, value []byte) ([]byte, error) {
-	if len(value) > 0xFFFF {
-		return nil, fmt.Errorf("wire: attribute %d too long (%d)", typ, len(value))
+// appendAttrHeader writes one path-attribute header for a value of
+// vlen bytes; the caller appends the value bytes in place afterwards.
+func appendAttrHeader(out []byte, flags, typ uint8, vlen int) ([]byte, error) {
+	if vlen > 0xFFFF {
+		return nil, fmt.Errorf("wire: attribute %d too long (%d)", typ, vlen)
 	}
-	if len(value) > 0xFF {
+	if vlen > 0xFF {
 		flags |= flagExtLen
 		out = append(out, flags, typ)
-		out = binary.BigEndian.AppendUint16(out, uint16(len(value)))
-	} else {
-		out = append(out, flags, typ, byte(len(value)))
+		return binary.BigEndian.AppendUint16(out, uint16(vlen)), nil
 	}
-	return append(out, value...), nil
+	return append(out, flags, typ, byte(vlen)), nil
 }
 
-func marshalAttrs(a PathAttrs) ([]byte, error) {
-	var out []byte
+func appendAttrs(out []byte, a PathAttrs) ([]byte, error) {
 	var err error
 
 	// ORIGIN: well-known mandatory.
 	if a.Origin > OriginIncomplete {
 		return nil, fmt.Errorf("wire: invalid origin %d", a.Origin)
 	}
-	out, err = appendAttr(out, flagTransitive, AttrOrigin, []byte{byte(a.Origin)})
+	out, err = appendAttrHeader(out, flagTransitive, AttrOrigin, 1)
 	if err != nil {
 		return nil, err
 	}
+	out = append(out, byte(a.Origin))
 
 	// AS_PATH: well-known mandatory; 4-octet ASNs (RFC 6793 encoding
 	// on a session with the Four-Octet-AS capability).
-	var path []byte
+	pathLen := 0
 	for _, s := range a.ASPath {
 		if s.Type != ASSet && s.Type != ASSequence {
 			return nil, fmt.Errorf("wire: invalid AS_PATH segment type %d", s.Type)
@@ -176,44 +202,46 @@ func marshalAttrs(a PathAttrs) ([]byte, error) {
 		if len(s.ASNs) == 0 || len(s.ASNs) > 255 {
 			return nil, fmt.Errorf("wire: AS_PATH segment with %d ASNs", len(s.ASNs))
 		}
-		path = append(path, byte(s.Type), byte(len(s.ASNs)))
-		for _, asn := range s.ASNs {
-			path = binary.BigEndian.AppendUint32(path, uint32(asn))
-		}
+		pathLen += 2 + 4*len(s.ASNs)
 	}
-	out, err = appendAttr(out, flagTransitive, AttrASPath, path)
+	out, err = appendAttrHeader(out, flagTransitive, AttrASPath, pathLen)
 	if err != nil {
 		return nil, err
+	}
+	for _, s := range a.ASPath {
+		out = append(out, byte(s.Type), byte(len(s.ASNs)))
+		for _, asn := range s.ASNs {
+			out = binary.BigEndian.AppendUint32(out, uint32(asn))
+		}
 	}
 
 	// NEXT_HOP: well-known mandatory.
 	if !a.NextHop.Is4() {
 		return nil, fmt.Errorf("wire: next hop %v is not IPv4", a.NextHop)
 	}
-	nh := a.NextHop.As4()
-	out, err = appendAttr(out, flagTransitive, AttrNextHop, nh[:])
+	out, err = appendAttrHeader(out, flagTransitive, AttrNextHop, 4)
 	if err != nil {
 		return nil, err
 	}
+	nh := a.NextHop.As4()
+	out = append(out, nh[:]...)
 
 	if a.MED != nil {
-		v := make([]byte, 4)
-		binary.BigEndian.PutUint32(v, *a.MED)
-		out, err = appendAttr(out, flagOptional, AttrMED, v)
+		out, err = appendAttrHeader(out, flagOptional, AttrMED, 4)
 		if err != nil {
 			return nil, err
 		}
+		out = binary.BigEndian.AppendUint32(out, *a.MED)
 	}
 	if a.LocalPref != nil {
-		v := make([]byte, 4)
-		binary.BigEndian.PutUint32(v, *a.LocalPref)
-		out, err = appendAttr(out, flagTransitive, AttrLocalPref, v)
+		out, err = appendAttrHeader(out, flagTransitive, AttrLocalPref, 4)
 		if err != nil {
 			return nil, err
 		}
+		out = binary.BigEndian.AppendUint32(out, *a.LocalPref)
 	}
 	if a.AtomicAggregate {
-		out, err = appendAttr(out, flagTransitive, AttrAtomicAggregate, nil)
+		out, err = appendAttrHeader(out, flagTransitive, AttrAtomicAggregate, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -222,23 +250,21 @@ func marshalAttrs(a PathAttrs) ([]byte, error) {
 		if !a.Aggregator.ID.Is4() {
 			return nil, fmt.Errorf("wire: aggregator ID %v is not IPv4", a.Aggregator.ID)
 		}
-		v := make([]byte, 8)
-		binary.BigEndian.PutUint32(v, uint32(a.Aggregator.AS))
-		id := a.Aggregator.ID.As4()
-		copy(v[4:], id[:])
-		out, err = appendAttr(out, flagOptional|flagTransitive, AttrAggregator, v)
+		out, err = appendAttrHeader(out, flagOptional|flagTransitive, AttrAggregator, 8)
 		if err != nil {
 			return nil, err
 		}
+		out = binary.BigEndian.AppendUint32(out, uint32(a.Aggregator.AS))
+		id := a.Aggregator.ID.As4()
+		out = append(out, id[:]...)
 	}
 	if len(a.Communities) > 0 {
-		v := make([]byte, 0, 4*len(a.Communities))
-		for _, c := range a.Communities {
-			v = binary.BigEndian.AppendUint32(v, uint32(c))
-		}
-		out, err = appendAttr(out, flagOptional|flagTransitive, AttrCommunities, v)
+		out, err = appendAttrHeader(out, flagOptional|flagTransitive, AttrCommunities, 4*len(a.Communities))
 		if err != nil {
 			return nil, err
+		}
+		for _, c := range a.Communities {
+			out = binary.BigEndian.AppendUint32(out, uint32(c))
 		}
 	}
 	return out, nil

@@ -21,8 +21,9 @@ type MRAIPoint struct {
 // MRAISweep measures pure-BGP withdrawal convergence on a clique as a
 // function of the MRAI — the sensitivity ablation behind DESIGN.md's
 // experiment index (BGP's Tdown scales with the advertisement
-// interval).
-func MRAISweep(cliqueSize, runs int, mrais []time.Duration, baseSeed int64) ([]MRAIPoint, error) {
+// interval). The (MRAI, run) cells fan out across parallelism workers
+// (0 = GOMAXPROCS, 1 = sequential) with deterministic results.
+func MRAISweep(cliqueSize, runs int, mrais []time.Duration, baseSeed int64, parallelism int) ([]MRAIPoint, error) {
 	if cliqueSize == 0 {
 		cliqueSize = 8
 	}
@@ -32,10 +33,14 @@ func MRAISweep(cliqueSize, runs int, mrais []time.Duration, baseSeed int64) ([]M
 	if len(mrais) == 0 {
 		mrais = []time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second, 60 * time.Second}
 	}
-	out := make([]MRAIPoint, 0, len(mrais))
-	for _, mrai := range mrais {
+	durations := make([][]time.Duration, len(mrais))
+	for i := range durations {
+		durations[i] = make([]time.Duration, runs)
+	}
+	err := Runner{Parallelism: parallelism}.Do(len(mrais)*runs, func(i int) error {
+		mi, run := i/runs, i%runs
 		timers := bgp.DefaultTimers()
-		timers.MRAI = mrai
+		timers.MRAI = mrais[mi]
 		cfg := SweepConfig{
 			Kind:       Withdrawal,
 			CliqueSize: cliqueSize,
@@ -43,15 +48,19 @@ func MRAISweep(cliqueSize, runs int, mrais []time.Duration, baseSeed int64) ([]M
 			BaseSeed:   baseSeed,
 			Timers:     timers,
 		}
-		durations := make([]time.Duration, 0, runs)
-		for run := 0; run < runs; run++ {
-			d, err := RunOnce(cfg, 0, baseSeed+int64(run))
-			if err != nil {
-				return nil, fmt.Errorf("figures: mrai sweep %v run %d: %w", mrai, run, err)
-			}
-			durations = append(durations, d)
+		d, err := RunOnce(cfg, 0, baseSeed+int64(run))
+		if err != nil {
+			return fmt.Errorf("figures: mrai sweep %v run %d: %w", mrais[mi], run, err)
 		}
-		out = append(out, MRAIPoint{MRAI: mrai, Summary: stats.SummarizeDurations(durations)})
+		durations[mi][run] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MRAIPoint, 0, len(mrais))
+	for i, mrai := range mrais {
+		out = append(out, MRAIPoint{MRAI: mrai, Summary: stats.SummarizeDurations(durations[i])})
 	}
 	return out, nil
 }
@@ -64,32 +73,41 @@ type SizePoint struct {
 
 // CliqueSizeSweep measures pure-BGP withdrawal convergence across
 // clique sizes: path exploration grows with the mesh, the effect SDN
-// centralization removes.
-func CliqueSizeSweep(sizes []int, runs int, timers bgp.Timers, baseSeed int64) ([]SizePoint, error) {
+// centralization removes. The (size, run) cells fan out across
+// parallelism workers with deterministic results.
+func CliqueSizeSweep(sizes []int, runs int, timers bgp.Timers, baseSeed int64, parallelism int) ([]SizePoint, error) {
 	if len(sizes) == 0 {
 		sizes = []int{4, 8, 12, 16}
 	}
 	if runs == 0 {
 		runs = 5
 	}
-	out := make([]SizePoint, 0, len(sizes))
-	for _, n := range sizes {
+	durations := make([][]time.Duration, len(sizes))
+	for i := range durations {
+		durations[i] = make([]time.Duration, runs)
+	}
+	err := Runner{Parallelism: parallelism}.Do(len(sizes)*runs, func(i int) error {
+		si, run := i/runs, i%runs
 		cfg := SweepConfig{
 			Kind:       Withdrawal,
-			CliqueSize: n,
+			CliqueSize: sizes[si],
 			Runs:       runs,
 			BaseSeed:   baseSeed,
 			Timers:     timers,
 		}
-		durations := make([]time.Duration, 0, runs)
-		for run := 0; run < runs; run++ {
-			d, err := RunOnce(cfg, 0, baseSeed+int64(run))
-			if err != nil {
-				return nil, fmt.Errorf("figures: size sweep n=%d run %d: %w", n, run, err)
-			}
-			durations = append(durations, d)
+		d, err := RunOnce(cfg, 0, baseSeed+int64(run))
+		if err != nil {
+			return fmt.Errorf("figures: size sweep n=%d run %d: %w", sizes[si], run, err)
 		}
-		out = append(out, SizePoint{CliqueSize: n, Summary: stats.SummarizeDurations(durations)})
+		durations[si][run] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SizePoint, 0, len(sizes))
+	for i, n := range sizes {
+		out = append(out, SizePoint{CliqueSize: n, Summary: stats.SummarizeDurations(durations[i])})
 	}
 	return out, nil
 }
@@ -108,7 +126,7 @@ type DebouncePoint struct {
 // fraction while varying the controller's delayed-recomputation
 // window (the paper's §3 design insight: delay improves stability and
 // rate-limits flaps). A negative debounce disables the delay.
-func DebounceAblation(cliqueSize, sdnCount, runs int, debounces []time.Duration, timers bgp.Timers, baseSeed int64) ([]DebouncePoint, error) {
+func DebounceAblation(cliqueSize, sdnCount, runs int, debounces []time.Duration, timers bgp.Timers, baseSeed int64, parallelism int) ([]DebouncePoint, error) {
 	if cliqueSize == 0 {
 		cliqueSize = 8
 	}
@@ -121,47 +139,33 @@ func DebounceAblation(cliqueSize, sdnCount, runs int, debounces []time.Duration,
 	if len(debounces) == 0 {
 		debounces = []time.Duration{-1, 500 * time.Millisecond, time.Second, 2 * time.Second}
 	}
+	type runResult struct {
+		d          time.Duration
+		recomputes uint64
+	}
+	results := make([][]runResult, len(debounces))
+	for i := range results {
+		results[i] = make([]runResult, runs)
+	}
+	err := Runner{Parallelism: parallelism}.Do(len(debounces)*runs, func(i int) error {
+		di, run := i/runs, i%runs
+		d, rc, err := debounceRun(cliqueSize, sdnCount, debounces[di], timers, baseSeed+int64(run))
+		if err != nil {
+			return err
+		}
+		results[di][run] = runResult{d: d, recomputes: rc}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]DebouncePoint, 0, len(debounces))
-	for _, db := range debounces {
+	for i, db := range debounces {
 		durations := make([]time.Duration, 0, runs)
 		var recomputes uint64
-		for run := 0; run < runs; run++ {
-			seed := baseSeed + int64(run)
-			g, err := topology.Clique(cliqueSize)
-			if err != nil {
-				return nil, err
-			}
-			e, err := experiment.New(experiment.Config{
-				Seed:       seed,
-				Graph:      g,
-				SDNMembers: members(cliqueSize, sdnCount),
-				Timers:     timers,
-				Debounce:   db,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if err := e.Start(); err != nil {
-				return nil, err
-			}
-			if err := e.WaitEstablished(5 * time.Minute); err != nil {
-				return nil, err
-			}
-			for _, asn := range e.ASNs() {
-				if err := e.Announce(asn); err != nil {
-					return nil, err
-				}
-			}
-			if _, err := e.WaitConverged(2 * time.Hour); err != nil {
-				return nil, err
-			}
-			before := e.Ctrl.Stats().Recomputes
-			d, err := e.MeasureConvergence(func() error { return e.Withdraw(topology.BaseASN) }, 2*time.Hour)
-			if err != nil {
-				return nil, err
-			}
-			durations = append(durations, d)
-			recomputes += e.Ctrl.Stats().Recomputes - before
+		for _, r := range results[i] {
+			durations = append(durations, r.d)
+			recomputes += r.recomputes
 		}
 		out = append(out, DebouncePoint{
 			Debounce:   db,
@@ -170,6 +174,46 @@ func DebounceAblation(cliqueSize, sdnCount, runs int, debounces []time.Duration,
 		})
 	}
 	return out, nil
+}
+
+// debounceRun executes one seeded withdrawal run at the given debounce
+// window, returning its convergence time and controller recomputation
+// count.
+func debounceRun(cliqueSize, sdnCount int, db time.Duration, timers bgp.Timers, seed int64) (time.Duration, uint64, error) {
+	g, err := topology.Clique(cliqueSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	e, err := experiment.New(experiment.Config{
+		Seed:       seed,
+		Graph:      g,
+		SDNMembers: members(cliqueSize, sdnCount),
+		Timers:     timers,
+		Debounce:   db,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := e.Start(); err != nil {
+		return 0, 0, err
+	}
+	if err := e.WaitEstablished(5 * time.Minute); err != nil {
+		return 0, 0, err
+	}
+	for _, asn := range e.ASNs() {
+		if err := e.Announce(asn); err != nil {
+			return 0, 0, err
+		}
+	}
+	if _, err := e.WaitConverged(2 * time.Hour); err != nil {
+		return 0, 0, err
+	}
+	before := e.Ctrl.Stats().Recomputes
+	d, err := e.MeasureConvergence(func() error { return e.Withdraw(topology.BaseASN) }, 2*time.Hour)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d, e.Ctrl.Stats().Recomputes - before, nil
 }
 
 // SubClusterResult reports the sub-cluster split experiment (design
@@ -240,73 +284,85 @@ type ExplorationPoint struct {
 }
 
 // PathExplorationSweep counts routing churn during the withdrawal
-// experiment across SDN fractions.
-func PathExplorationSweep(cliqueSize int, sdnCounts []int, timers bgp.Timers, seed int64) ([]ExplorationPoint, error) {
+// experiment across SDN fractions, one concurrent run per fraction.
+func PathExplorationSweep(cliqueSize int, sdnCounts []int, timers bgp.Timers, seed int64, parallelism int) ([]ExplorationPoint, error) {
 	if cliqueSize == 0 {
 		cliqueSize = 8
 	}
 	if len(sdnCounts) == 0 {
 		sdnCounts = []int{0, cliqueSize / 4, cliqueSize / 2, 3 * cliqueSize / 4}
 	}
-	out := make([]ExplorationPoint, 0, len(sdnCounts))
-	for _, k := range sdnCounts {
-		g, err := topology.Clique(cliqueSize)
+	out := make([]ExplorationPoint, len(sdnCounts))
+	err := Runner{Parallelism: parallelism}.Do(len(sdnCounts), func(i int) error {
+		p, err := explorationRun(cliqueSize, sdnCounts[i], timers, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		e, err := experiment.New(experiment.Config{
-			Seed:       seed,
-			Graph:      g,
-			SDNMembers: members(cliqueSize, k),
-			Timers:     timers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := e.Start(); err != nil {
-			return nil, err
-		}
-		if err := e.WaitEstablished(5 * time.Minute); err != nil {
-			return nil, err
-		}
-		for _, asn := range e.ASNs() {
-			if err := e.Announce(asn); err != nil {
-				return nil, err
-			}
-		}
-		if _, err := e.WaitConverged(2 * time.Hour); err != nil {
-			return nil, err
-		}
-		origin := topology.BaseASN
-		prefix, err := e.OriginPrefix(origin)
-		if err != nil {
-			return nil, err
-		}
-		startEvents := e.Log.Len()
-		var updatesBefore uint64
-		for _, r := range e.Routers {
-			updatesBefore += r.Stats().UpdatesSent
-		}
-		start := e.K.Now()
-		if _, err := e.MeasureConvergence(func() error { return e.Withdraw(origin) }, 2*time.Hour); err != nil {
-			return nil, err
-		}
-		_ = startEvents
-		changes := 0
-		for _, n := range e.Log.PathExplorationCount(prefix, start) {
-			changes += n
-		}
-		var updatesAfter uint64
-		for _, r := range e.Routers {
-			updatesAfter += r.Stats().UpdatesSent
-		}
-		out = append(out, ExplorationPoint{
-			SDNCount:    k,
-			BestChanges: changes,
-			Updates:     updatesAfter - updatesBefore,
-		})
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// explorationRun executes one withdrawal run at k SDN members,
+// counting best-path changes and UPDATE load.
+func explorationRun(cliqueSize, k int, timers bgp.Timers, seed int64) (ExplorationPoint, error) {
+	g, err := topology.Clique(cliqueSize)
+	if err != nil {
+		return ExplorationPoint{}, err
+	}
+	e, err := experiment.New(experiment.Config{
+		Seed:       seed,
+		Graph:      g,
+		SDNMembers: members(cliqueSize, k),
+		Timers:     timers,
+	})
+	if err != nil {
+		return ExplorationPoint{}, err
+	}
+	if err := e.Start(); err != nil {
+		return ExplorationPoint{}, err
+	}
+	if err := e.WaitEstablished(5 * time.Minute); err != nil {
+		return ExplorationPoint{}, err
+	}
+	for _, asn := range e.ASNs() {
+		if err := e.Announce(asn); err != nil {
+			return ExplorationPoint{}, err
+		}
+	}
+	if _, err := e.WaitConverged(2 * time.Hour); err != nil {
+		return ExplorationPoint{}, err
+	}
+	origin := topology.BaseASN
+	prefix, err := e.OriginPrefix(origin)
+	if err != nil {
+		return ExplorationPoint{}, err
+	}
+	var updatesBefore uint64
+	for _, r := range e.Routers {
+		updatesBefore += r.Stats().UpdatesSent
+	}
+	start := e.K.Now()
+	if _, err := e.MeasureConvergence(func() error { return e.Withdraw(origin) }, 2*time.Hour); err != nil {
+		return ExplorationPoint{}, err
+	}
+	changes := 0
+	for _, n := range e.Log.PathExplorationCount(prefix, start) {
+		changes += n
+	}
+	var updatesAfter uint64
+	for _, r := range e.Routers {
+		updatesAfter += r.Stats().UpdatesSent
+	}
+	return ExplorationPoint{
+		SDNCount:    k,
+		BestChanges: changes,
+		Updates:     updatesAfter - updatesBefore,
+	}, nil
 }
 
 // WriteMRAITable renders the MRAI sweep.
@@ -375,7 +431,7 @@ type FlapPoint struct {
 // debounced recomputation. After the storm the origin stays announced
 // and the run verifies the prefix is (eventually) reachable — under
 // damping this takes until the penalty decays.
-func FlapStabilityAblation(cliqueSize, cycles int, period time.Duration, timers bgp.Timers, seed int64) ([]FlapPoint, error) {
+func FlapStabilityAblation(cliqueSize, cycles int, period time.Duration, timers bgp.Timers, seed int64, parallelism int) ([]FlapPoint, error) {
 	if cliqueSize == 0 {
 		cliqueSize = 8
 	}
@@ -465,13 +521,18 @@ func FlapStabilityAblation(cliqueSize, cycles int, period time.Duration, timers 
 		point.ReachableAfter = reachable
 		return point, nil
 	}
-	var out []FlapPoint
-	for _, mode := range []string{"bgp", "damping", "sdn"} {
-		p, err := run(mode)
+	modes := []string{"bgp", "damping", "sdn"}
+	out := make([]FlapPoint, len(modes))
+	err := Runner{Parallelism: parallelism}.Do(len(modes), func(i int) error {
+		p, err := run(modes[i])
 		if err != nil {
-			return nil, fmt.Errorf("figures: flap ablation %s: %w", mode, err)
+			return fmt.Errorf("figures: flap ablation %s: %w", modes[i], err)
 		}
-		out = append(out, p)
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -79,6 +79,11 @@ type SweepConfig struct {
 	ProcessingDelay time.Duration
 	// Timeout bounds one run's convergence wait (default 2h virtual).
 	Timeout time.Duration
+	// Parallelism bounds how many seeded runs execute concurrently
+	// (each run owns a private sim.Kernel, so runs are share-nothing).
+	// 0 means GOMAXPROCS; 1 is fully sequential. Results are identical
+	// either way: every run is placed by its (SDN count, run) cell.
+	Parallelism int
 }
 
 func (c *SweepConfig) setDefaults() {
@@ -120,27 +125,41 @@ type Point struct {
 }
 
 // RunSweep executes the sweep and returns one Point per SDN count.
+// The (SDN count, run) cells fan out across the configured
+// parallelism; results are gathered in cell order, so the returned
+// series is identical for any Parallelism.
 func RunSweep(cfg SweepConfig) ([]Point, error) {
 	cfg.setDefaults()
-	points := make([]Point, 0, len(cfg.SDNCounts))
 	for _, k := range cfg.SDNCounts {
 		if k < 0 || k > cfg.CliqueSize {
 			return nil, fmt.Errorf("figures: SDN count %d outside 0..%d", k, cfg.CliqueSize)
 		}
-		durations := make([]time.Duration, 0, cfg.Runs)
-		for run := 0; run < cfg.Runs; run++ {
-			seed := cfg.BaseSeed + int64(run)*1000 + int64(k)
-			d, err := RunOnce(cfg, k, seed)
-			if err != nil {
-				return nil, fmt.Errorf("figures: %v k=%d run=%d: %w", cfg.Kind, k, run, err)
-			}
-			durations = append(durations, d)
+	}
+	durations := make([][]time.Duration, len(cfg.SDNCounts))
+	for i := range durations {
+		durations[i] = make([]time.Duration, cfg.Runs)
+	}
+	err := Runner{Parallelism: cfg.Parallelism}.Do(len(cfg.SDNCounts)*cfg.Runs, func(i int) error {
+		ki, run := i/cfg.Runs, i%cfg.Runs
+		k := cfg.SDNCounts[ki]
+		seed := cfg.BaseSeed + int64(run)*1000 + int64(k)
+		d, err := RunOnce(cfg, k, seed)
+		if err != nil {
+			return fmt.Errorf("figures: %v k=%d run=%d: %w", cfg.Kind, k, run, err)
 		}
+		durations[ki][run] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, 0, len(cfg.SDNCounts))
+	for i, k := range cfg.SDNCounts {
 		points = append(points, Point{
 			SDNCount:  k,
 			Fraction:  float64(k) / float64(cfg.CliqueSize),
-			Durations: durations,
-			Summary:   stats.SummarizeDurations(durations),
+			Durations: durations[i],
+			Summary:   stats.SummarizeDurations(durations[i]),
 		})
 	}
 	return points, nil

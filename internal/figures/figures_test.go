@@ -150,7 +150,7 @@ func TestRunSweepValidation(t *testing.T) {
 }
 
 func TestMRAISweepScales(t *testing.T) {
-	points, err := MRAISweep(6, 2, []time.Duration{5 * time.Second, 20 * time.Second}, 3)
+	points, err := MRAISweep(6, 2, []time.Duration{5 * time.Second, 20 * time.Second}, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestMRAISweepScales(t *testing.T) {
 func TestCliqueSizeSweepScales(t *testing.T) {
 	timers := bgp.DefaultTimers()
 	timers.MRAI = 5 * time.Second
-	points, err := CliqueSizeSweep([]int{4, 10}, 2, timers, 5)
+	points, err := CliqueSizeSweep([]int{4, 10}, 2, timers, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestDebounceAblationTradeoff(t *testing.T) {
 	timers := bgp.DefaultTimers()
 	timers.MRAI = 5 * time.Second
 	points, err := DebounceAblation(6, 3, 2,
-		[]time.Duration{-1, 2 * time.Second}, timers, 7)
+		[]time.Duration{-1, 2 * time.Second}, timers, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestSubClusterSurvivesSplit(t *testing.T) {
 func TestPathExplorationDropsWithSDN(t *testing.T) {
 	timers := bgp.DefaultTimers()
 	timers.MRAI = 5 * time.Second
-	points, err := PathExplorationSweep(8, []int{0, 6}, timers, 11)
+	points, err := PathExplorationSweep(8, []int{0, 6}, timers, 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestPathExplorationDropsWithSDN(t *testing.T) {
 func TestFlapStabilityAblation(t *testing.T) {
 	timers := bgp.DefaultTimers()
 	timers.MRAI = 5 * time.Second
-	points, err := FlapStabilityAblation(6, 4, 10*time.Second, timers, 13)
+	points, err := FlapStabilityAblation(6, 4, 10*time.Second, timers, 13, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

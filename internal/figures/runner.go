@@ -1,0 +1,79 @@
+package figures
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner executes the independent seeded emulation runs of a sweep
+// across a bounded pool of worker goroutines. Every run owns a private
+// sim.Kernel (and everything hanging off it: routers, controller,
+// network), so runs are share-nothing and the only coordination is the
+// work counter. Each task writes its result into a slot identified by
+// its index, which makes parallel output byte-identical to sequential
+// execution regardless of completion order.
+type Runner struct {
+	// Parallelism bounds the number of concurrently executing runs.
+	// 0 (or negative) means runtime.GOMAXPROCS(0); 1 runs strictly
+	// sequentially on the calling goroutine.
+	Parallelism int
+}
+
+// Do invokes task(i) for every i in [0, n). Tasks run concurrently up
+// to the configured parallelism; Do returns after all spawned tasks
+// finish. Errors are collected per index and the lowest-index error is
+// returned, so the reported failure is deterministic no matter how the
+// schedule interleaves.
+func (r Runner) Do(n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	p := r.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Stop claiming new work once any task has failed, so a
+				// broken sweep fails fast like the sequential path.
+				// Indices are dispensed monotonically, so every skipped
+				// index exceeds the recorded failure and the
+				// lowest-index error below is unaffected.
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := task(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

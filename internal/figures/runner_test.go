@@ -1,0 +1,171 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func TestRunnerDoCoversAllIndices(t *testing.T) {
+	for _, p := range []int{0, 1, 3, 16} {
+		n := 37
+		hits := make([]atomic.Int32, n)
+		err := Runner{Parallelism: p}.Do(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallelism %d: task %d ran %d times", p, i, got)
+			}
+		}
+	}
+	if err := (Runner{}).Do(0, func(int) error { panic("no tasks") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerDoReturnsLowestIndexError(t *testing.T) {
+	// Whatever the schedule, the reported error must be the
+	// lowest-index failure, so parallel error output is deterministic.
+	for _, p := range []int{1, 8} {
+		err := Runner{Parallelism: p}.Do(20, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "task 1 failed") {
+			t.Fatalf("parallelism %d: err = %v, want task 1's", p, err)
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism is the regression guard for
+// the parallel sweep engine: the same SweepConfig must produce an
+// identical Point series whether the runs execute sequentially or
+// across 8 workers — same seeds, same durations, byte-identical
+// rendered table.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 10 * time.Second
+	base := SweepConfig{
+		Kind:       Withdrawal,
+		CliqueSize: 6,
+		SDNCounts:  []int{0, 3, 6},
+		Runs:       3,
+		BaseSeed:   21,
+		Timers:     timers,
+	}
+
+	seq := base
+	seq.Parallelism = 1
+	seqPoints, err := RunSweep(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Parallelism = 8
+	parPoints, err := RunSweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seqPoints) != len(parPoints) {
+		t.Fatalf("point counts differ: %d vs %d", len(seqPoints), len(parPoints))
+	}
+	for i := range seqPoints {
+		s, p := seqPoints[i], parPoints[i]
+		if s.SDNCount != p.SDNCount || s.Fraction != p.Fraction {
+			t.Fatalf("point %d differs: %+v vs %+v", i, s, p)
+		}
+		if len(s.Durations) != len(p.Durations) {
+			t.Fatalf("point %d run counts differ: %d vs %d", i, len(s.Durations), len(p.Durations))
+		}
+		for j := range s.Durations {
+			if s.Durations[j] != p.Durations[j] {
+				t.Fatalf("point %d run %d: %v (sequential) != %v (parallel)",
+					i, j, s.Durations[j], p.Durations[j])
+			}
+		}
+		if s.Summary != p.Summary {
+			t.Fatalf("point %d summaries differ: %+v vs %+v", i, s.Summary, p.Summary)
+		}
+	}
+
+	var seqTab, parTab strings.Builder
+	if err := WriteTable(&seqTab, base.Kind, base.CliqueSize, seqPoints); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTable(&parTab, base.Kind, base.CliqueSize, parPoints); err != nil {
+		t.Fatal(err)
+	}
+	if seqTab.String() != parTab.String() {
+		t.Fatalf("rendered tables differ:\n--- sequential ---\n%s--- parallel ---\n%s",
+			seqTab.String(), parTab.String())
+	}
+}
+
+// TestAblationsDeterministicAcrossParallelism extends the guard to the
+// ablation sweeps, which share the Runner.
+func TestAblationsDeterministicAcrossParallelism(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 5 * time.Second
+	mrais := []time.Duration{5 * time.Second, 15 * time.Second}
+
+	seqM, err := MRAISweep(4, 2, mrais, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parM, err := MRAISweep(4, 2, mrais, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqM) != len(parM) {
+		t.Fatalf("MRAI point counts differ")
+	}
+	for i := range seqM {
+		if seqM[i] != parM[i] {
+			t.Fatalf("MRAI point %d differs: %+v vs %+v", i, seqM[i], parM[i])
+		}
+	}
+
+	seqS, err := CliqueSizeSweep([]int{4, 6}, 2, timers, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parS, err := CliqueSizeSweep([]int{4, 6}, 2, timers, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqS {
+		if seqS[i] != parS[i] {
+			t.Fatalf("size point %d differs: %+v vs %+v", i, seqS[i], parS[i])
+		}
+	}
+}
+
+func TestRunSweepErrorDeterministic(t *testing.T) {
+	cfg := SweepConfig{
+		Kind:       Withdrawal,
+		CliqueSize: 6,
+		SDNCounts:  []int{0, 99},
+	}
+	_, errSeq := RunSweep(cfg)
+	cfg.Parallelism = 8
+	_, errPar := RunSweep(cfg)
+	if errSeq == nil || errPar == nil {
+		t.Fatal("out-of-range SDN count should error at any parallelism")
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Fatalf("error text differs: %q vs %q", errSeq, errPar)
+	}
+}

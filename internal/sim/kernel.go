@@ -158,7 +158,9 @@ func (k *Kernel) peek() *event {
 	return nil
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. index is the event's position in the
+// kernel's heap (-1 once popped), which lets timers reschedule an
+// event in place instead of allocating a replacement per Reset.
 type event struct {
 	at        time.Time
 	seq       uint64
@@ -166,6 +168,7 @@ type event struct {
 	cancelled bool
 	fired     bool
 	kernel    *Kernel
+	index     int
 }
 
 // simTimer implements Timer over a kernel event.
@@ -183,15 +186,27 @@ func (t *simTimer) Stop() bool {
 	return true
 }
 
+// Reset reschedules the timer, reusing its event: if the event is
+// still in the heap (pending or lazily cancelled) it is re-keyed in
+// place with heap.Fix; if it already fired or was popped, the same
+// struct is reset and pushed again. Either way the MRAI-churn path
+// allocates nothing.
 func (t *simTimer) Reset(d time.Duration) bool {
-	was := t.Stop()
+	ev := t.ev
+	was := ev != nil && !ev.cancelled && !ev.fired
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: t.k.now.Add(d), kernel: t.k}
-	ev.fn = func() { ev.fired = true; t.fn() }
-	t.ev = ev
-	t.k.push(ev)
+	ev.cancelled = false
+	ev.fired = false
+	ev.at = t.k.now.Add(d)
+	if ev.index >= 0 {
+		t.k.seq++
+		ev.seq = t.k.seq
+		heap.Fix(&t.k.queue, ev.index)
+	} else {
+		t.k.push(ev)
+	}
 	return was
 }
 
@@ -211,15 +226,24 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
 
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1
 	*h = old[:n-1]
 	return ev
 }
