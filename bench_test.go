@@ -2,10 +2,11 @@
 // reported experiment (see EXPERIMENTS.md for the mapping), plus
 // ablations and micro-benchmarks of the hot paths.
 //
-// The figure benches run the actual emulation sweeps in virtual time;
-// each iteration regenerates the full series. Reported metrics:
-// median convergence seconds at 0% and 100% SDN deployment and the
-// linear-fit slope. Run with:
+// The figure benches run the actual emulation sweeps in virtual time
+// through the internal/figures registry and the internal/lab sweep
+// engine; each iteration regenerates the full series. Reported
+// metrics: median convergence seconds at 0% and 100% SDN deployment
+// and the linear-fit slope. Run with:
 //
 //	go test -bench=. -benchmem
 package repro
@@ -20,117 +21,96 @@ import (
 	"repro/internal/bgp/wire"
 	"repro/internal/figures"
 	"repro/internal/idr"
+	"repro/internal/lab"
 	"repro/internal/sdn"
 	"repro/internal/sdn/ofp"
 	"repro/internal/sim"
 )
 
-// benchTimers are the paper-faithful protocol timers (MRAI 30s with
-// jitter) — the sweeps below keep them and reduce only the number of
-// runs per point, so virtual-time results match the full evaluation.
-func benchTimers() bgp.Timers { return bgp.DefaultTimers() }
-
-func reportSweep(b *testing.B, points []figures.Point) {
+// buildSweep resolves a registry spec with the benchmark's overrides.
+func buildSweep(b *testing.B, name string, o figures.Options) lab.Sweep {
 	b.Helper()
-	first, last := points[0].Summary, points[len(points)-1].Summary
+	spec, ok := figures.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	sw, err := spec.Build(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sw
+}
+
+func reportSweep(b *testing.B, res *lab.SweepResult) {
+	b.Helper()
+	first, last := res.Cells[0].Summary, res.Cells[len(res.Cells)-1].Summary
 	b.ReportMetric(first.Median, "s-pure-median")
 	b.ReportMetric(last.Median, "s-full-median")
-	_, slope, r2 := figures.LinearFit(points)
+	_, slope, r2, _ := res.Fit()
 	b.ReportMetric(slope, "s-per-fraction-slope")
 	b.ReportMetric(r2, "fit-r2")
 }
 
-// BenchmarkFig2Withdrawal regenerates Figure 2: withdrawal convergence
-// on a 16-AS clique versus SDN deployment fraction.
-func BenchmarkFig2Withdrawal(b *testing.B) {
+// benchConvergence runs one Figure 2-family sweep (16-AS clique,
+// SDN 0..100%, 3 seeded runs/point, the paper-faithful MRAI 30s with
+// jitter) through the declarative registry.
+func benchConvergence(b *testing.B, name string) {
+	b.Helper()
+	sw := buildSweep(b, name, figures.Options{
+		SDNCounts: []int{0, 4, 8, 12, 16},
+		Runs:      3,
+		BaseSeed:  1,
+	})
 	for i := 0; i < b.N; i++ {
-		points, err := figures.RunSweep(figures.SweepConfig{
-			Kind:        figures.Withdrawal,
-			CliqueSize:  16,
-			SDNCounts:   []int{0, 4, 8, 12, 16},
-			Runs:        3,
-			BaseSeed:    1,
-			Timers:      benchTimers(),
-			Parallelism: 0, // GOMAXPROCS: the parallel sweep engine
-		})
+		res, err := sw.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			reportSweep(b, points)
+			reportSweep(b, res)
 		}
 	}
 }
 
+// BenchmarkFig2Withdrawal regenerates Figure 2: withdrawal convergence
+// on a 16-AS clique versus SDN deployment fraction.
+func BenchmarkFig2Withdrawal(b *testing.B) { benchConvergence(b, "fig2") }
+
 // BenchmarkAnnouncement regenerates the §4 announcement experiment.
-func BenchmarkAnnouncement(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := figures.RunSweep(figures.SweepConfig{
-			Kind:        figures.Announcement,
-			CliqueSize:  16,
-			SDNCounts:   []int{0, 4, 8, 12, 16},
-			Runs:        3,
-			BaseSeed:    1,
-			Timers:      benchTimers(),
-			Parallelism: 0, // GOMAXPROCS: the parallel sweep engine
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportSweep(b, points)
-		}
-	}
-}
+func BenchmarkAnnouncement(b *testing.B) { benchConvergence(b, "announce") }
 
 // BenchmarkFailover regenerates the §4 route fail-over experiment
 // (dual-homed stub origin losing its primary attachment).
-func BenchmarkFailover(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := figures.RunSweep(figures.SweepConfig{
-			Kind:        figures.Failover,
-			CliqueSize:  16,
-			SDNCounts:   []int{0, 4, 8, 12, 16},
-			Runs:        3,
-			BaseSeed:    1,
-			Timers:      benchTimers(),
-			Parallelism: 0, // GOMAXPROCS: the parallel sweep engine
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportSweep(b, points)
-		}
-	}
-}
+func BenchmarkFailover(b *testing.B) { benchConvergence(b, "failover") }
 
 // BenchmarkMRAISweep is the ablation behind the withdrawal dynamics:
 // pure-BGP Tdown scales with the advertisement interval.
 func BenchmarkMRAISweep(b *testing.B) {
+	sw := buildSweep(b, "mrai", figures.Options{Runs: 2, BaseSeed: 1})
+	sw.Axis = lab.MRAIs(5*time.Second, 15*time.Second, 30*time.Second)
 	for i := 0; i < b.N; i++ {
-		points, err := figures.MRAISweep(8, 2,
-			[]time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second}, 1, 0)
+		res, err := sw.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.ReportMetric(points[0].Summary.Median, "s-mrai5")
-			b.ReportMetric(points[len(points)-1].Summary.Median, "s-mrai30")
+			b.ReportMetric(res.Cells[0].Summary.Median, "s-mrai5")
+			b.ReportMetric(res.Cells[len(res.Cells)-1].Summary.Median, "s-mrai30")
 		}
 	}
 }
 
 // BenchmarkCliqueSizeSweep: path exploration grows with mesh size.
 func BenchmarkCliqueSizeSweep(b *testing.B) {
+	sw := buildSweep(b, "size", figures.Options{Runs: 2, BaseSeed: 1})
 	for i := 0; i < b.N; i++ {
-		points, err := figures.CliqueSizeSweep([]int{4, 8, 12, 16}, 2, benchTimers(), 1, 0)
+		res, err := sw.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.ReportMetric(points[0].Summary.Median, "s-n4")
-			b.ReportMetric(points[len(points)-1].Summary.Median, "s-n16")
+			b.ReportMetric(res.Cells[0].Summary.Median, "s-n4")
+			b.ReportMetric(res.Cells[len(res.Cells)-1].Summary.Median, "s-n16")
 		}
 	}
 }
@@ -138,17 +118,16 @@ func BenchmarkCliqueSizeSweep(b *testing.B) {
 // BenchmarkDebounceAblation measures the delayed-recomputation design
 // insight: recomputation batches versus added convergence latency.
 func BenchmarkDebounceAblation(b *testing.B) {
-	timers := benchTimers()
-	timers.MRAI = 10 * time.Second
+	sw := buildSweep(b, "debounce", figures.Options{Runs: 2, BaseSeed: 1, MRAI: 10 * time.Second})
+	sw.Axis = lab.Debounces(-1, time.Second)
 	for i := 0; i < b.N; i++ {
-		points, err := figures.DebounceAblation(8, 4, 2,
-			[]time.Duration{-1, time.Second}, timers, 1, 0)
+		res, err := sw.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.ReportMetric(points[0].Recomputes, "recomputes-nodebounce")
-			b.ReportMetric(points[1].Recomputes, "recomputes-1s")
+			b.ReportMetric(res.Cells[0].MeanRecomputes(), "recomputes-nodebounce")
+			b.ReportMetric(res.Cells[1].MeanRecomputes(), "recomputes-1s")
 		}
 	}
 }
@@ -156,23 +135,24 @@ func BenchmarkDebounceAblation(b *testing.B) {
 // BenchmarkPathExploration counts routing churn (Oliveira et al. [13])
 // with and without the cluster.
 func BenchmarkPathExploration(b *testing.B) {
-	timers := benchTimers()
-	timers.MRAI = 10 * time.Second
+	sw := buildSweep(b, "exploration", figures.Options{
+		SDNCounts: []int{0, 6}, BaseSeed: 1, MRAI: 10 * time.Second,
+	})
 	for i := 0; i < b.N; i++ {
-		points, err := figures.PathExplorationSweep(8, []int{0, 6}, timers, 1, 0)
+		res, err := sw.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.ReportMetric(float64(points[0].BestChanges), "changes-pure")
-			b.ReportMetric(float64(points[1].BestChanges), "changes-sdn")
+			b.ReportMetric(res.Cells[0].MeanBestPathChanges(), "changes-pure")
+			b.ReportMetric(res.Cells[1].MeanBestPathChanges(), "changes-sdn")
 		}
 	}
 }
 
 // BenchmarkSubCluster exercises the disjoint sub-cluster design goal.
 func BenchmarkSubCluster(b *testing.B) {
-	timers := benchTimers()
+	timers := bgp.DefaultTimers()
 	timers.MRAI = 5 * time.Second
 	for i := 0; i < b.N; i++ {
 		res, err := figures.SubClusterExperiment(timers, 1)
@@ -191,16 +171,15 @@ func BenchmarkSubCluster(b *testing.B) {
 // BenchmarkFlapStability compares the flap-containment mechanisms:
 // plain BGP vs RFC 2439 damping vs the controller's debounce.
 func BenchmarkFlapStability(b *testing.B) {
-	timers := benchTimers()
-	timers.MRAI = 10 * time.Second
+	sw := buildSweep(b, "flap", figures.Options{BaseSeed: 1, MRAI: 10 * time.Second})
 	for i := 0; i < b.N; i++ {
-		points, err := figures.FlapStabilityAblation(8, 6, 20*time.Second, timers, 1, 0)
+		res, err := sw.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			for _, p := range points {
-				b.ReportMetric(float64(p.Updates), "updates-"+p.Mode)
+			for _, c := range res.Cells {
+				b.ReportMetric(c.MeanUpdatesSent(), "updates-"+c.Label)
 			}
 		}
 	}
@@ -365,10 +344,17 @@ func BenchmarkOFPFlowModRoundTrip(b *testing.B) {
 // (establishment, announcement convergence, withdrawal convergence) —
 // the unit of work behind every figure point.
 func BenchmarkSingleRun(b *testing.B) {
-	cfg := figures.SweepConfig{Kind: figures.Withdrawal, Timers: benchTimers()}
+	trial := lab.Trial{
+		Topo:            lab.TopoSpec{Kind: "clique", N: 16},
+		Placement:       lab.Placement{Strategy: lab.PlaceLast, K: 8},
+		Event:           lab.Withdrawal,
+		Debounce:        100 * time.Millisecond,
+		ProcessingDelay: 25 * time.Millisecond,
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := figures.RunOnce(cfg, 8, int64(i)); err != nil {
+		trial.Seed = int64(i)
+		if _, err := trial.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,145 +1,171 @@
 // Command convergence regenerates the paper's evaluation series (see
-// EXPERIMENTS.md): Figure 2's withdrawal sweep, the §4 announcement
-// and fail-over experiments, and the repository's ablations.
+// EXPERIMENTS.md) through the experiment registry in internal/figures:
+// Figure 2's withdrawal sweep, the §4 announcement, fail-over and
+// sub-cluster experiments, and the repository's ablations (MRAI,
+// topology size, controller debounce, path exploration, flap
+// stability), on any topology the generators produce and in any of
+// the structured output formats.
 //
 // Usage:
 //
-//	convergence -exp fig2                     # the paper's Figure 2
+//	convergence -list                          # the experiment registry
+//	convergence -exp fig2                      # the paper's Figure 2
 //	convergence -exp announce -runs 5
-//	convergence -exp failover -clique 8
-//	convergence -exp mrai|size|debounce|subcluster|exploration
+//	convergence -exp failover -format json
+//	convergence -exp fig2 -topology grid 4 4   # any generator: clique, line,
+//	                                           # ring, star, tree, grid,
+//	                                           # internet, er, ba
+//	convergence -exp fig2 -placement degree    # SDN placement: last (paper),
+//	                                           # first, degree, none, as 2,3
+//	convergence -exp mrai|size|debounce|exploration|flap
+//	convergence -exp subcluster                # scripted split experiment
+//	convergence -exp fig2 -format csv|json|table [-svg fig2.svg]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bgp"
 	"repro/internal/figures"
+	"repro/internal/lab"
 	"repro/internal/plot"
 )
 
 func main() {
-	exp := flag.String("exp", "fig2", "fig2|announce|failover|mrai|size|debounce|subcluster|exploration|flap")
-	clique := flag.Int("clique", 16, "clique size")
-	runs := flag.Int("runs", 10, "runs per point (the paper's boxplots use 10)")
+	exp := flag.String("exp", "fig2", "experiment name (see -list)")
+	list := flag.Bool("list", false, "list the experiment registry and exit")
+	topo := flag.String("topology", "", `topology spec, e.g. "clique 16" or "grid 4 4" (default per experiment; trailing args join the spec)`)
+	placement := flag.String("placement", "", "SDN placement strategy: last|first|degree for sdn-count sweeps (default last, the paper's deployment); none or as 2,3,... only where the experiment fixes the cluster (e.g. debounce)")
+	runs := flag.Int("runs", 0, "runs per point (0 = experiment default; the paper's boxplots use 10)")
 	seed := flag.Int64("seed", 1, "base seed")
 	mrai := flag.Duration("mrai", 30*time.Second, "BGP MinRouteAdvertisementInterval")
-	debounce := flag.Duration("debounce", 100*time.Millisecond, "controller recomputation delay")
+	debounce := flag.Duration("debounce", 100*time.Millisecond, "controller recomputation delay (an explicit 0 disables the delay entirely)")
 	parallel := flag.Int("parallel", 0, "concurrent emulation runs (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+	format := flag.String("format", "table", "output format: table|csv|json")
 	svg := flag.String("svg", "", "also render the sweep as an SVG boxplot to this file")
 	flag.Parse()
 
+	if *list {
+		for _, s := range figures.Registry() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Title)
+		}
+		fmt.Printf("%-12s %s\n", "subcluster", "§2 design goal: intra-cluster split survives over legacy paths")
+		return
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	f, err := lab.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *exp == "subcluster" {
+		// The split experiment is a scripted sequence, not a sweep:
+		// only -mrai and -seed apply, so reject the sweep flags
+		// instead of silently dropping them.
+		for _, name := range []string{"format", "topology", "placement", "runs", "debounce", "parallel", "svg"} {
+			if set[name] {
+				fatal(fmt.Errorf("-%s does not apply to the subcluster experiment (it is a scripted sequence, not a sweep)", name))
+			}
+		}
+		runSubCluster(*mrai, *seed)
+		return
+	}
+
+	opts := figures.Options{
+		BaseSeed:    *seed,
+		Runs:        *runs,
+		Parallelism: *parallel,
+	}
+	if set["mrai"] {
+		opts.MRAI = *mrai
+	}
+	if set["debounce"] {
+		db := *debounce
+		if db == 0 {
+			// A zero-length window is no debounce at all; the config
+			// convention reserves 0 for "default", so map an explicit
+			// -debounce 0 to disabled.
+			db = -1
+		}
+		opts.Debounce = &db
+	}
+	if set["topology"] {
+		// Accept both -topology "grid 4 4" and -topology grid 4 4 (the
+		// spec's trailing integers arrive as positional arguments, so
+		// an unquoted spec must be the last flag: flag parsing stops at
+		// the first positional argument).
+		fields := strings.Fields(*topo)
+		rest := flag.Args()
+		for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			fields = append(fields, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) > 0 {
+			fatal(fmt.Errorf("arguments after the topology spec are not parsed as flags: %q — quote the spec (-topology %q) or put -topology last", rest, strings.Join(fields, " ")))
+		}
+		spec, err := lab.ParseTopo(fields)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Topo = &spec
+	} else if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+	if set["placement"] {
+		p, err := lab.ParsePlacementString(*placement)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Placement = &p
+	}
+
+	res, err := figures.Run(*exp, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := lab.Write(os.Stdout, f, res); err != nil {
+		fatal(err)
+	}
+	if *svg != "" {
+		out, err := os.Create(*svg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := plot.BoxplotConfig{
+			Title:  fmt.Sprintf("%s convergence on %s", res.Event, res.TopoLabel()),
+			XLabel: res.Axis.Name(),
+			YLabel: "convergence time (s)",
+		}
+		if res.Axis.Kind == lab.AxisSDNCount {
+			cfg.XLabel = "fraction of ASes with centralized route control"
+		}
+		if err := plot.WriteBoxplot(out, cfg, res.Boxes()); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# boxplot written to %s\n", *svg)
+	}
+}
+
+func runSubCluster(mrai time.Duration, seed int64) {
 	timers := bgp.DefaultTimers()
-	timers.MRAI = *mrai
-
-	sweep := func(kind figures.Kind) {
-		cfg := figures.SweepConfig{
-			Kind:        kind,
-			CliqueSize:  *clique,
-			Runs:        *runs,
-			BaseSeed:    *seed,
-			Timers:      timers,
-			Debounce:    *debounce,
-			Parallelism: *parallel,
-		}
-		points, err := figures.RunSweep(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if err := figures.WriteTable(os.Stdout, kind, *clique, points); err != nil {
-			fatal(err)
-		}
-		a, b, r2 := figures.LinearFit(points)
-		fmt.Printf("# linear fit: t = %.1fs %+.1fs*fraction (r2=%.3f)\n", a, b, r2)
-		if *svg != "" {
-			boxes := make([]plot.Box, len(points))
-			for i, p := range points {
-				boxes[i] = plot.Box{
-					Label:   fmt.Sprintf("%.0f%%", 100*p.Fraction),
-					Summary: p.Summary,
-				}
-			}
-			f, err := os.Create(*svg)
-			if err != nil {
-				fatal(err)
-			}
-			cfg := plot.BoxplotConfig{
-				Title:  fmt.Sprintf("%s convergence on a %d-AS clique", kind, *clique),
-				XLabel: "fraction of ASes with centralized route control",
-				YLabel: "convergence time (s)",
-			}
-			if err := plot.WriteBoxplot(f, cfg, boxes); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("# boxplot written to %s\n", *svg)
-		}
+	timers.MRAI = mrai
+	res, err := figures.SubClusterExperiment(timers, seed)
+	if err != nil {
+		fatal(err)
 	}
-
-	switch *exp {
-	case "fig2":
-		sweep(figures.Withdrawal)
-	case "announce":
-		sweep(figures.Announcement)
-	case "failover":
-		sweep(figures.Failover)
-	case "mrai":
-		points, err := figures.MRAISweep(*clique, *runs, nil, *seed, *parallel)
-		if err != nil {
-			fatal(err)
-		}
-		if err := figures.WriteMRAITable(os.Stdout, points); err != nil {
-			fatal(err)
-		}
-	case "size":
-		points, err := figures.CliqueSizeSweep(nil, *runs, timers, *seed, *parallel)
-		if err != nil {
-			fatal(err)
-		}
-		if err := figures.WriteSizeTable(os.Stdout, points); err != nil {
-			fatal(err)
-		}
-	case "debounce":
-		points, err := figures.DebounceAblation(*clique, *clique/2, *runs, nil, timers, *seed, *parallel)
-		if err != nil {
-			fatal(err)
-		}
-		if err := figures.WriteDebounceTable(os.Stdout, points); err != nil {
-			fatal(err)
-		}
-	case "subcluster":
-		res, err := figures.SubClusterExperiment(timers, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("reachable before split: %v\n", res.ReachableBeforeSplit)
-		fmt.Printf("reachable after split:  %v (over legacy paths)\n", res.ReachableAfterSplit)
-		fmt.Printf("re-convergence:         %.3fs\n", res.ReconvergenceTime.Seconds())
-	case "flap":
-		points, err := figures.FlapStabilityAblation(*clique, 6, 20*time.Second, timers, *seed, *parallel)
-		if err != nil {
-			fatal(err)
-		}
-		if err := figures.WriteFlapTable(os.Stdout, points); err != nil {
-			fatal(err)
-		}
-	case "exploration":
-		points, err := figures.PathExplorationSweep(*clique, nil, timers, *seed, *parallel)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%-8s %12s %10s\n", "sdn_k", "best_changes", "updates")
-		for _, p := range points {
-			fmt.Printf("%-8d %12d %10d\n", p.SDNCount, p.BestChanges, p.Updates)
-		}
-	default:
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
-	}
+	fmt.Printf("reachable before split: %v\n", res.ReachableBeforeSplit)
+	fmt.Printf("reachable after split:  %v (over legacy paths)\n", res.ReachableAfterSplit)
+	fmt.Printf("re-convergence:         %.3fs\n", res.ReconvergenceTime.Seconds())
 }
 
 func fatal(err error) {

@@ -8,8 +8,18 @@
 // bgp/wire, bgp/rib, policy), the SDN cluster substrate (sdn, sdn/ofp,
 // speaker) and the paper's IDR controller (core), plus topology
 // generation and dataset formats (topology, addressing), measurement
-// tooling (monitor, collector, stats), experiment orchestration
-// (experiment, scenario) and the evaluation harness (figures).
+// tooling (monitor, collector, stats) and experiment orchestration
+// (experiment, scenario).
+//
+// Evaluation runs through internal/lab, the unified entry point: a
+// lab.Trial names any topology generator (lab.TopoSpec), an SDN
+// placement strategy (lab.Placement), timers and a triggering event,
+// and returns a uniform lab.Result; a lab.Sweep varies one declared
+// axis (SDN count, MRAI, topology size, debounce, flap period or
+// regime) across seeded parallel runs; and one encoder layer renders
+// every sweep as a table, CSV, JSON or an SVG boxplot. The paper's
+// figures and ablations are declarative lab sweep specs registered in
+// internal/figures and exposed by cmd/convergence.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-versus-measured results. The root-level

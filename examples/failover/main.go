@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/figures"
+	"repro/internal/lab"
 )
 
 func main() {
@@ -25,16 +26,20 @@ func main() {
 
 	fmt.Println("== route fail-over on an 8-AS clique with a dual-homed stub origin ==")
 	for _, k := range []int{0, 4, 8} {
-		cfg := figures.SweepConfig{
-			Kind:       figures.Failover,
-			CliqueSize: 8,
-			Timers:     timers,
+		trial := lab.Trial{
+			Topo:            lab.TopoSpec{Kind: "clique", N: 8},
+			Placement:       lab.Placement{Strategy: lab.PlaceLast, K: k},
+			Event:           lab.Failover,
+			Timers:          timers,
+			Debounce:        100 * time.Millisecond,
+			ProcessingDelay: 25 * time.Millisecond,
+			Seed:            7,
 		}
-		d, err := figures.RunOnce(cfg, k, 7)
+		res, err := trial.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  SDN members %d/8: re-convergence %.3fs\n", k, d.Seconds())
+		fmt.Printf("  SDN members %d/8: re-convergence %.3fs\n", k, res.Convergence.Seconds())
 	}
 
 	fmt.Println("== sub-cluster split: intra-cluster link failure ==")

@@ -5,6 +5,12 @@
 // paths for minutes (MRAI-paced), while controlled ASes follow the
 // controller's single consistent decision.
 //
+// The sweep comes from the declarative experiment registry
+// (internal/figures) and runs on the unified evaluation API
+// (internal/lab); swap Options.Topo for any other generator — e.g.
+// lab.TopoSpec{Kind: "grid", N: 4, M: 4} — to sweep a non-clique
+// network with the same harness.
+//
 // The full-fidelity sweep (16 ASes, 9 fractions, 10 runs, MRAI 30s)
 // takes a minute or two of wall time; pass -quick for a reduced demo.
 package main
@@ -16,37 +22,29 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/bgp"
 	"repro/internal/figures"
+	"repro/internal/lab"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller clique and fewer runs")
 	flag.Parse()
 
-	cfg := figures.SweepConfig{Kind: figures.Withdrawal, BaseSeed: 1}
+	opts := figures.Options{BaseSeed: 1}
 	if *quick {
-		timers := bgp.DefaultTimers()
-		timers.MRAI = 10 * time.Second
-		cfg.CliqueSize = 8
-		cfg.SDNCounts = []int{0, 2, 4, 6, 8}
-		cfg.Runs = 3
-		cfg.Timers = timers
+		opts.Topo = &lab.TopoSpec{Kind: "clique", N: 8}
+		opts.SDNCounts = []int{0, 2, 4, 6, 8}
+		opts.Runs = 3
+		opts.MRAI = 10 * time.Second
 	}
 
 	start := time.Now()
-	points, err := figures.RunSweep(cfg)
+	res, err := figures.Run("fig2", opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	size := cfg.CliqueSize
-	if size == 0 {
-		size = 16
-	}
-	if err := figures.WriteTable(os.Stdout, figures.Withdrawal, size, points); err != nil {
+	if err := lab.Write(os.Stdout, lab.FormatTable, res); err != nil {
 		log.Fatal(err)
 	}
-	a, b, r2 := figures.LinearFit(points)
-	fmt.Printf("# linear fit: t = %.1fs %+.1fs*fraction (r2 = %.3f)\n", a, b, r2)
 	fmt.Printf("# swept in %v wall time\n", time.Since(start).Round(time.Millisecond))
 }

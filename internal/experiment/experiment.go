@@ -51,8 +51,14 @@ type Config struct {
 	Policy policy.Policy
 	// Timers are the BGP protocol timers (default bgp.DefaultTimers).
 	Timers bgp.Timers
-	// Debounce is the controller's delayed-recomputation window
-	// (default core.DefaultDebounce; negative disables).
+	// Debounce is the controller's delayed-recomputation window.
+	// Zero selects the controller default (core.DefaultDebounce); a
+	// negative value disables the delay entirely (recompute
+	// immediately). This zero/negative convention is shared verbatim
+	// with lab.Trial.Debounce and core.Config.Debounce — a zero-length
+	// window is the same thing as disabled, so express "no debounce"
+	// with a negative value (the convergence CLI maps an explicit
+	// -debounce 0 to disabled).
 	Debounce time.Duration
 	// LinkDelay is the default inter-AS link delay (default
 	// netem.DefaultDelay); per-edge delays from the topology override.

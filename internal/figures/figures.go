@@ -1,303 +1,320 @@
-// Package figures regenerates the paper's evaluation results: Figure 2
-// (withdrawal convergence on a 16-AS clique versus SDN deployment
-// fraction, boxplots over 10 runs) and the two experiments reported in
-// prose in §4 (announcement and route fail-over), plus the ablations
-// indexed in DESIGN.md. Each experiment returns the raw per-run
-// durations and a boxplot summary so the harness can print the same
-// series the paper plots.
+// Package figures declares the paper's evaluation as lab sweep specs:
+// Figure 2 (withdrawal convergence on a 16-AS clique versus SDN
+// deployment fraction, boxplots over 10 runs), the two experiments
+// reported in prose in §4 (announcement and route fail-over), and the
+// ablations indexed in DESIGN.md (MRAI, clique size, controller
+// debounce, path exploration, flap stability). Each spec is a
+// declarative description — topology, placement, event, axis, seeds —
+// that Build turns into a lab.Sweep; the lab package runs it and
+// encodes the structured result. cmd/convergence exposes the registry
+// on the command line.
 package figures
 
 import (
 	"fmt"
-	"io"
 	"time"
 
 	"repro/internal/bgp"
-	"repro/internal/experiment"
-	"repro/internal/idr"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"repro/internal/lab"
 )
 
-// Kind selects which §4 experiment a sweep runs.
-type Kind int
-
-// Experiment kinds.
-const (
-	// Withdrawal: the origin AS withdraws an established prefix
-	// (Figure 2).
-	Withdrawal Kind = iota
-	// Announcement: the origin AS announces a fresh prefix (§4).
-	Announcement
-	// Failover: the link between the origin and one neighbor fails
-	// while the prefix stays reachable (§4).
-	Failover
-)
-
-// String names the experiment kind.
-func (k Kind) String() string {
-	switch k {
-	case Withdrawal:
-		return "withdrawal"
-	case Announcement:
-		return "announcement"
-	case Failover:
-		return "failover"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
-// SweepConfig parameterises one convergence sweep.
-type SweepConfig struct {
-	// Kind selects the triggering event (default Withdrawal).
-	Kind Kind
-	// CliqueSize is the number of ASes (default 16, the paper's).
-	CliqueSize int
-	// SDNCounts lists the cluster sizes to sweep (default 0, 2, ...,
-	// CliqueSize).
+// Options carries the caller's (typically CLI) overrides into a spec.
+// Zero-valued fields keep the spec's documented defaults.
+type Options struct {
+	// Topo overrides the experiment's topology (nil keeps the spec
+	// default, e.g. the paper's 16-AS clique for fig2).
+	Topo *lab.TopoSpec
+	// Placement overrides the SDN placement strategy (nil keeps the
+	// spec default, the paper's last-K deployment). The sdn-count axis
+	// still sets K per cell.
+	Placement *lab.Placement
+	// SDNCounts overrides the sdn-count axis values (fig2-family and
+	// exploration; default 0..N in steps of 2, or the spec's list).
 	SDNCounts []int
-	// Runs is the number of seeded repetitions per point (default 10,
-	// the paper's boxplots).
+	// Runs overrides the per-point repetition count.
 	Runs int
 	// BaseSeed offsets the per-run seeds.
 	BaseSeed int64
-	// Timers are the BGP timers (default bgp.DefaultTimers: MRAI 30s
-	// with jitter — the jitter is what spreads the boxplots).
-	Timers bgp.Timers
-	// Debounce is the controller's delayed-recomputation window. The
-	// paper does not state its value; the sweeps default to 100ms (the
-	// DebounceAblation explores the trade-off). Negative disables.
-	Debounce time.Duration
-	// Settle is the convergence quiescence window (default derived
-	// from the MRAI by the experiment framework).
-	Settle time.Duration
-	// ProcessingDelay is the per-router per-UPDATE processing cost
-	// (default 25ms, approximating Quagga daemons sharing one
-	// emulation host as in the paper's Mininet setup). Negative
-	// disables it.
-	ProcessingDelay time.Duration
-	// Timeout bounds one run's convergence wait (default 2h virtual).
-	Timeout time.Duration
-	// Parallelism bounds how many seeded runs execute concurrently
-	// (each run owns a private sim.Kernel, so runs are share-nothing).
-	// 0 means GOMAXPROCS; 1 is fully sequential. Results are identical
-	// either way: every run is placed by its (SDN count, run) cell.
+	// MRAI overrides the BGP MinRouteAdvertisementInterval on sweeps
+	// that do not sweep it themselves (zero keeps the default 30s).
+	MRAI time.Duration
+	// Debounce overrides the controller recomputation delay (nil
+	// keeps the spec default; negative disables the delay — see
+	// lab.Trial.Debounce for the zero/negative convention).
+	Debounce *time.Duration
+	// Parallelism bounds concurrent emulation runs (0 = GOMAXPROCS).
 	Parallelism int
 }
 
-func (c *SweepConfig) setDefaults() {
-	if c.CliqueSize == 0 {
-		c.CliqueSize = 16
+func (o Options) topoOr(def lab.TopoSpec) lab.TopoSpec {
+	if o.Topo != nil {
+		return *o.Topo
 	}
-	if len(c.SDNCounts) == 0 {
-		for k := 0; k <= c.CliqueSize; k += 2 {
-			c.SDNCounts = append(c.SDNCounts, k)
-		}
-	}
-	if c.Runs == 0 {
-		c.Runs = 10
-	}
-	if c.Timers == (bgp.Timers{}) {
-		c.Timers = bgp.DefaultTimers()
-	}
-	if c.Timeout == 0 {
-		c.Timeout = 2 * time.Hour
-	}
-	if c.Debounce == 0 {
-		c.Debounce = 100 * time.Millisecond
-	}
-	switch {
-	case c.ProcessingDelay < 0:
-		c.ProcessingDelay = 0
-	case c.ProcessingDelay == 0:
-		c.ProcessingDelay = 25 * time.Millisecond
-	}
+	return def
 }
 
-// Point is one sweep point: a cluster size with its per-run
-// convergence times.
-type Point struct {
-	SDNCount  int
-	Fraction  float64
-	Durations []time.Duration
-	Summary   stats.Summary
+func (o Options) placementOr(def lab.Placement) lab.Placement {
+	if o.Placement != nil {
+		return *o.Placement
+	}
+	return def
 }
 
-// RunSweep executes the sweep and returns one Point per SDN count.
-// The (SDN count, run) cells fan out across the configured
-// parallelism; results are gathered in cell order, so the returned
-// series is identical for any Parallelism.
-func RunSweep(cfg SweepConfig) ([]Point, error) {
-	cfg.setDefaults()
-	for _, k := range cfg.SDNCounts {
-		if k < 0 || k > cfg.CliqueSize {
-			return nil, fmt.Errorf("figures: SDN count %d outside 0..%d", k, cfg.CliqueSize)
-		}
+func (o Options) runsOr(def int) int {
+	if o.Runs > 0 {
+		return o.Runs
 	}
-	durations := make([][]time.Duration, len(cfg.SDNCounts))
-	for i := range durations {
-		durations[i] = make([]time.Duration, cfg.Runs)
-	}
-	err := Runner{Parallelism: cfg.Parallelism}.Do(len(cfg.SDNCounts)*cfg.Runs, func(i int) error {
-		ki, run := i/cfg.Runs, i%cfg.Runs
-		k := cfg.SDNCounts[ki]
-		seed := cfg.BaseSeed + int64(run)*1000 + int64(k)
-		d, err := RunOnce(cfg, k, seed)
-		if err != nil {
-			return fmt.Errorf("figures: %v k=%d run=%d: %w", cfg.Kind, k, run, err)
-		}
-		durations[ki][run] = d
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	points := make([]Point, 0, len(cfg.SDNCounts))
-	for i, k := range cfg.SDNCounts {
-		points = append(points, Point{
-			SDNCount:  k,
-			Fraction:  float64(k) / float64(cfg.CliqueSize),
-			Durations: durations[i],
-			Summary:   stats.SummarizeDurations(durations[i]),
-		})
-	}
-	return points, nil
+	return def
 }
 
-// members picks the k cluster members: the highest-numbered ASes, so
-// the origin AS1 stays legacy until k = n (matching the paper's
-// "remaining ASes use standard BGP").
-func members(n, k int) []idr.ASN {
-	out := make([]idr.ASN, 0, k)
-	for i := n - k; i < n; i++ {
-		out = append(out, topology.BaseASN+idr.ASN(i))
+func (o Options) debounceOr(def time.Duration) time.Duration {
+	if o.Debounce != nil {
+		return *o.Debounce
 	}
-	return out
+	return def
 }
 
-// RunOnce executes a single seeded run of the sweep experiment with k
-// cluster members and returns its convergence time.
-func RunOnce(cfg SweepConfig, k int, seed int64) (time.Duration, error) {
-	cfg.setDefaults()
-	g, err := topology.Clique(cfg.CliqueSize)
-	if err != nil {
-		return 0, err
+// rejectUnused errors when the caller set an override this spec
+// cannot honor — silently ignoring a -placement or SDN-count list
+// would hand back numbers from a different experiment than requested.
+func (o Options) rejectUnused(name, why string) error {
+	if o.Placement != nil {
+		return fmt.Errorf("figures: %s is %s; -placement does not apply", name, why)
 	}
-	origin := topology.BaseASN // AS1
-	if cfg.Kind == Failover {
-		// The fail-over scenario dual-homes a stub origin onto two
-		// clique members: failing the primary attachment forces every
-		// AS to re-converge onto paths through the backup, with real
-		// path exploration in the legacy part.
-		origin = topology.BaseASN + idr.ASN(cfg.CliqueSize)
-		g.AddNode(origin)
-		if err := g.AddEdge(topology.Edge{A: origin, B: topology.BaseASN + 1, Rel: topology.P2P}); err != nil {
-			return 0, err
-		}
-		if err := g.AddEdge(topology.Edge{A: origin, B: topology.BaseASN + 2, Rel: topology.P2P}); err != nil {
-			return 0, err
-		}
-	}
-	e, err := experiment.New(experiment.Config{
-		Seed:            seed,
-		Graph:           g,
-		SDNMembers:      members(cfg.CliqueSize, k),
-		Timers:          cfg.Timers,
-		Debounce:        cfg.Debounce,
-		Settle:          cfg.Settle,
-		ProcessingDelay: cfg.ProcessingDelay,
-	})
-	if err != nil {
-		return 0, err
-	}
-	if err := e.Start(); err != nil {
-		return 0, err
-	}
-	if err := e.WaitEstablished(5 * time.Minute); err != nil {
-		return 0, err
-	}
-
-	switch cfg.Kind {
-	case Withdrawal:
-		// Announce everything, settle, then withdraw the origin's
-		// prefix and measure until quiescence (Figure 2).
-		for _, asn := range e.ASNs() {
-			if err := e.Announce(asn); err != nil {
-				return 0, err
-			}
-		}
-		if _, err := e.WaitConverged(cfg.Timeout); err != nil {
-			return 0, err
-		}
-		return e.MeasureConvergence(func() error { return e.Withdraw(origin) }, cfg.Timeout)
-
-	case Announcement:
-		// Announce everything except the origin's prefix, settle, then
-		// measure the fresh announcement (§4).
-		for _, asn := range e.ASNs() {
-			if asn == origin {
-				continue
-			}
-			if err := e.Announce(asn); err != nil {
-				return 0, err
-			}
-		}
-		if _, err := e.WaitConverged(cfg.Timeout); err != nil {
-			return 0, err
-		}
-		return e.MeasureConvergence(func() error { return e.Announce(origin) }, cfg.Timeout)
-
-	case Failover:
-		// Full convergence, then fail the stub origin's primary
-		// attachment (to AS2): all routes to the origin's prefix
-		// re-converge via the backup attachment (AS3) (§4).
-		for _, asn := range e.ASNs() {
-			if err := e.Announce(asn); err != nil {
-				return 0, err
-			}
-		}
-		if _, err := e.WaitConverged(cfg.Timeout); err != nil {
-			return 0, err
-		}
-		primary := topology.BaseASN + 1
-		return e.MeasureConvergence(func() error { return e.FailLink(origin, primary) }, cfg.Timeout)
-
-	default:
-		return 0, fmt.Errorf("figures: unknown experiment kind %v", cfg.Kind)
-	}
-}
-
-// WriteTable renders the sweep as the rows behind Figure 2's boxplots:
-// one line per SDN fraction with the five-number summary in seconds.
-func WriteTable(w io.Writer, kind Kind, cliqueSize int, points []Point) error {
-	if _, err := fmt.Fprintf(w, "# %s convergence on a %d-AS clique vs fraction of SDN ASes\n",
-		kind, cliqueSize); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%-8s %-9s %4s %8s %8s %8s %8s %8s %8s\n",
-		"sdn_k", "fraction", "n", "min_s", "q1_s", "med_s", "q3_s", "max_s", "mean_s"); err != nil {
-		return err
-	}
-	for _, p := range points {
-		s := p.Summary
-		if _, err := fmt.Fprintf(w, "%-8d %-9.3f %4d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
-			p.SDNCount, p.Fraction, s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean); err != nil {
-			return err
-		}
+	if len(o.SDNCounts) > 0 {
+		return fmt.Errorf("figures: %s is %s; an SDN-count list does not apply", name, why)
 	}
 	return nil
 }
 
-// LinearFit fits median convergence time against SDN fraction and
-// returns intercept, slope and r² — the check behind the paper's
-// "convergence time can be linearly reduced" claim.
-func LinearFit(points []Point) (a, b, r2 float64) {
-	xs := make([]float64, len(points))
-	ys := make([]float64, len(points))
-	for i, p := range points {
-		xs[i] = p.Fraction
-		ys[i] = p.Summary.Median
+// timers returns the protocol timers with the MRAI override applied.
+func (o Options) timers() bgp.Timers {
+	t := bgp.DefaultTimers()
+	if o.MRAI != 0 {
+		t.MRAI = o.MRAI
 	}
-	return stats.LinearFit(xs, ys)
+	return t
+}
+
+// sdnCountsOr returns the sdn-count axis values: the caller's
+// override, or 0..n in steps of 2 (the paper's Figure 2 x-axis).
+func (o Options) sdnCountsOr(n int) []int {
+	if len(o.SDNCounts) > 0 {
+		return o.SDNCounts
+	}
+	counts := make([]int, 0, n/2+1)
+	for k := 0; k <= n; k += 2 {
+		counts = append(counts, k)
+	}
+	return counts
+}
+
+// Spec is one registry entry: a named, declarative sweep description.
+type Spec struct {
+	// Name is the registry key (the CLI's -exp value).
+	Name string
+	// Title is a one-line description for listings.
+	Title string
+	// Build resolves the spec and the caller's overrides into a
+	// runnable lab.Sweep.
+	Build func(Options) (lab.Sweep, error)
+}
+
+// convergenceSpec is the Figure 2 family: one triggering event swept
+// over the SDN deployment fraction of a 16-AS clique (or any
+// -topology), 10 runs per point, per-cell seeds, 100ms debounce and
+// the 25ms per-UPDATE processing delay approximating the paper's
+// shared-host Quagga daemons.
+func convergenceSpec(name, title string, ev lab.Event) Spec {
+	return Spec{Name: name, Title: title, Build: func(o Options) (lab.Sweep, error) {
+		topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 16})
+		return lab.Sweep{
+			Name: name,
+			Base: lab.Trial{
+				Topo:            topo,
+				Placement:       o.placementOr(lab.Placement{Strategy: lab.PlaceLast}),
+				Event:           ev,
+				Timers:          o.timers(),
+				Debounce:        o.debounceOr(100 * time.Millisecond),
+				ProcessingDelay: 25 * time.Millisecond,
+			},
+			Axis:        lab.SDNCounts(o.sdnCountsOr(topo.Nodes())...),
+			Runs:        o.runsOr(10),
+			BaseSeed:    o.BaseSeed,
+			SeedPolicy:  lab.SeedCellRun,
+			Parallelism: o.Parallelism,
+		}, nil
+	}}
+}
+
+// registry is the experiment index, in presentation order.
+var registry = []Spec{
+	convergenceSpec("fig2", "Figure 2: withdrawal convergence vs SDN deployment fraction", lab.Withdrawal),
+	convergenceSpec("announce", "§4: fresh-prefix announcement vs SDN deployment fraction", lab.Announcement),
+	convergenceSpec("failover", "§4: dual-homed stub fail-over vs SDN deployment fraction", lab.Failover),
+
+	{Name: "mrai", Title: "ablation: pure-BGP withdrawal convergence vs MRAI",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectUnused("mrai", "a pure-BGP ablation"); err != nil {
+				return lab.Sweep{}, err
+			}
+			if o.MRAI != 0 {
+				return lab.Sweep{}, fmt.Errorf("figures: mrai sweeps the MRAI itself; -mrai does not apply")
+			}
+			return lab.Sweep{
+				Name: "mrai",
+				Base: lab.Trial{
+					Topo:            o.topoOr(lab.TopoSpec{Kind: "clique", N: 8}),
+					Placement:       lab.Placement{Strategy: lab.PlaceNone},
+					Event:           lab.Withdrawal,
+					Timers:          bgp.DefaultTimers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+				},
+				Axis:        lab.MRAIs(5*time.Second, 15*time.Second, 30*time.Second, 60*time.Second),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+			}, nil
+		}},
+
+	{Name: "size", Title: "ablation: pure-BGP withdrawal convergence vs topology size",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectUnused("size", "a pure-BGP ablation"); err != nil {
+				return lab.Sweep{}, err
+			}
+			return lab.Sweep{
+				Name: "size",
+				Base: lab.Trial{
+					Topo:            o.topoOr(lab.TopoSpec{Kind: "clique", N: 8}),
+					Placement:       lab.Placement{Strategy: lab.PlaceNone},
+					Event:           lab.Withdrawal,
+					Timers:          o.timers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+				},
+				Axis:        lab.TopoSizes(4, 8, 12, 16),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+			}, nil
+		}},
+
+	{Name: "debounce", Title: "ablation: controller delayed recomputation (latency vs batches)",
+		Build: func(o Options) (lab.Sweep, error) {
+			if len(o.SDNCounts) > 0 {
+				return lab.Sweep{}, fmt.Errorf("figures: debounce sweeps the recomputation window at a fixed placement; an SDN-count list does not apply")
+			}
+			if o.Debounce != nil {
+				return lab.Sweep{}, fmt.Errorf("figures: debounce sweeps the recomputation window itself; -debounce does not apply")
+			}
+			topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 8})
+			placement := o.placementOr(lab.Placement{Strategy: lab.PlaceLast, K: topo.Nodes() / 2})
+			if placement.Strategy == lab.PlaceNone {
+				return lab.Sweep{}, fmt.Errorf("figures: debounce needs a controller cluster; -placement none does not apply")
+			}
+			if placement.Strategy != lab.PlaceExplicit && placement.K == 0 {
+				// A bare strategy override ("-placement degree") chooses
+				// *which* ASes form the cluster; keep the spec's
+				// half-the-network cluster size.
+				placement.K = topo.Nodes() / 2
+			}
+			return lab.Sweep{
+				Name: "debounce",
+				Base: lab.Trial{
+					Topo:      topo,
+					Placement: placement,
+					Event:     lab.Withdrawal,
+					Timers:    o.timers(),
+				},
+				Axis:        lab.Debounces(-1, 500*time.Millisecond, time.Second, 2*time.Second),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+			}, nil
+		}},
+
+	{Name: "exploration", Title: "ablation: best-path churn and update load vs SDN count",
+		Build: func(o Options) (lab.Sweep, error) {
+			topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 8})
+			n := topo.Nodes()
+			counts := o.SDNCounts
+			if len(counts) == 0 {
+				counts = []int{0, n / 4, n / 2, 3 * n / 4}
+			}
+			return lab.Sweep{
+				Name: "exploration",
+				Base: lab.Trial{
+					Topo:      topo,
+					Placement: o.placementOr(lab.Placement{Strategy: lab.PlaceLast}),
+					Event:     lab.Withdrawal,
+					Timers:    o.timers(),
+					Debounce:  o.debounceOr(0),
+				},
+				Axis:        lab.SDNCounts(counts...),
+				Runs:        o.runsOr(1),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+			}, nil
+		}},
+
+	{Name: "flap", Title: "ablation: flap storm under plain BGP vs damping vs SDN debounce",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectUnused("flap", "a mode-axis ablation whose regimes set the placement"); err != nil {
+				return lab.Sweep{}, err
+			}
+			if o.Debounce != nil {
+				return lab.Sweep{}, fmt.Errorf("figures: flap's regimes set the debounce (the sdn mode uses 1s); -debounce does not apply")
+			}
+			return lab.Sweep{
+				Name: "flap",
+				Base: lab.Trial{
+					Topo:   o.topoOr(lab.TopoSpec{Kind: "clique", N: 8}),
+					Event:  lab.Flap,
+					Timers: o.timers(),
+				},
+				Axis:        lab.Modes(lab.ModeBGP, lab.ModeDamping, lab.ModeSDN),
+				Runs:        o.runsOr(1),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+			}, nil
+		}},
+}
+
+// Registry returns the experiment specs in presentation order.
+func Registry() []Spec {
+	return append([]Spec(nil), registry...)
+}
+
+// Lookup finds a spec by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists the registry names in order (for usage strings).
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Run is the one-call convenience: resolve the named spec with the
+// given options and execute the sweep.
+func Run(name string, o Options) (*lab.SweepResult, error) {
+	spec, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("figures: unknown experiment %q (have %v)", name, Names())
+	}
+	sweep, err := spec.Build(o)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run()
 }

@@ -1,219 +1,292 @@
 package figures
 
 import (
-	"strings"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/lab"
 )
 
-// fastCfg shrinks the sweeps so the shape checks run in seconds of
-// wall time while keeping the protocol dynamics.
-func fastCfg(kind Kind) SweepConfig {
-	timers := bgp.DefaultTimers()
-	timers.MRAI = 10 * time.Second
-	return SweepConfig{
-		Kind:       kind,
-		CliqueSize: 8,
-		SDNCounts:  []int{0, 4, 8},
-		Runs:       3,
-		BaseSeed:   1,
-		Timers:     timers,
+// build resolves a registry spec, applies the test's mutation, and
+// runs the sweep.
+func build(t *testing.T, name string, o Options, mutate func(*lab.Sweep)) *lab.SweepResult {
+	t.Helper()
+	spec, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown experiment %q", name)
 	}
-}
-
-func TestFig2WithdrawalShape(t *testing.T) {
-	points, err := RunSweep(fastCfg(Withdrawal))
+	sw, err := spec.Build(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 3 {
-		t.Fatalf("points = %d", len(points))
+	if mutate != nil {
+		mutate(&sw)
 	}
+	res, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// fastOpts shrinks the Figure 2 family so the shape checks run in
+// seconds of wall time while keeping the protocol dynamics — the same
+// configuration the pre-refactor test suite used, so the pinned
+// durations below are the pre-refactor numbers.
+func fastOpts() Options {
+	topo := lab.TopoSpec{Kind: "clique", N: 8}
+	return Options{
+		Topo:      &topo,
+		SDNCounts: []int{0, 4, 8},
+		Runs:      3,
+		BaseSeed:  1,
+		MRAI:      10 * time.Second,
+	}
+}
+
+// fastWithdrawal caches the shared fast Figure 2 sweep across tests.
+var fastWithdrawal = sync.OnceValues(func() (*lab.SweepResult, error) {
+	spec, _ := Lookup("fig2")
+	sw, err := spec.Build(fastOpts())
+	if err != nil {
+		return nil, err
+	}
+	return sw.Run()
+})
+
+func mustFastWithdrawal(t *testing.T) *lab.SweepResult {
+	t.Helper()
+	res, err := fastWithdrawal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func pinDurations(t *testing.T, c lab.Cell, want []time.Duration) {
+	t.Helper()
+	got := c.Durations()
+	if len(got) != len(want) {
+		t.Fatalf("cell %s: %d runs, want %d", c.Label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %s run %d: %v, want the pre-refactor %v (same seeds must reproduce identical results)",
+				c.Label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFig2FastEquivalence pins that the declarative fig2 spec
+// reproduces the pre-refactor sweep exactly for the same seeds, and
+// keeps the paper's headline shape.
+func TestFig2FastEquivalence(t *testing.T) {
+	res := mustFastWithdrawal(t)
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Exact per-run durations captured from the pre-refactor
+	// figures.RunSweep for the identical configuration and seeds.
+	pinDurations(t, res.Cells[0], []time.Duration{49775537696, 45376201332, 45091586428})
+	pinDurations(t, res.Cells[1], []time.Duration{19211445023, 18655303436, 19149975571})
+	pinDurations(t, res.Cells[2], []time.Duration{100 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond})
+
 	// The paper's headline: convergence falls as the SDN fraction
-	// grows, roughly linearly.
-	med := func(i int) float64 { return points[i].Summary.Median }
+	// grows, and full deployment is dramatically faster.
+	med := func(i int) float64 { return res.Cells[i].Summary.Median }
 	if !(med(0) > med(1) && med(1) > med(2)) {
 		t.Fatalf("medians not decreasing: %.3f %.3f %.3f", med(0), med(1), med(2))
 	}
-	// Full deployment is dramatically faster than pure BGP.
 	if med(2)*5 > med(0) {
 		t.Fatalf("full SDN should be >5x faster: pure=%.3fs full=%.3fs", med(0), med(2))
 	}
-	// Pure BGP should be in the tens of seconds with MRAI 10s on an
-	// 8-clique (path exploration over multiple rounds).
-	if med(0) < 10 {
-		t.Fatalf("pure BGP converged suspiciously fast: %.3fs", med(0))
-	}
-	_, slope, r2 := LinearFit(points)
-	if slope >= 0 {
-		t.Fatalf("slope = %v, want negative", slope)
-	}
-	if r2 < 0.7 {
-		t.Logf("note: linear fit r2 = %.2f (3-point fast config)", r2)
+	if _, slope, _, ok := res.Fit(); !ok || slope >= 0 {
+		t.Fatalf("slope = %v (ok=%v), want negative", slope, ok)
 	}
 }
 
-func TestFig2BoxplotSpread(t *testing.T) {
-	// MRAI jitter must spread the runs: the boxplot has nonzero IQR
-	// at the pure-BGP point.
-	cfg := fastCfg(Withdrawal)
-	cfg.SDNCounts = []int{0}
-	cfg.Runs = 5
-	points, err := RunSweep(cfg)
-	if err != nil {
-		t.Fatal(err)
+// TestFig2PaperConfigEquivalence pins the benchmark configuration
+// (16-AS clique, paper timers, seeds 1..) to the EXPERIMENTS.md
+// scientific metrics: s-pure-median 350.3, slope -369.8, r² 0.9885.
+func TestFig2PaperConfigEquivalence(t *testing.T) {
+	res := build(t, "fig2", Options{SDNCounts: []int{0, 4, 8, 12, 16}, Runs: 3, BaseSeed: 1}, nil)
+	pinDurations(t, res.Cells[0], []time.Duration{352108071933, 346901627464, 350283820015})
+	pinDurations(t, res.Cells[4], []time.Duration{100 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond})
+	a, b, r2, ok := res.Fit()
+	if !ok {
+		t.Fatal("fit unavailable")
 	}
-	s := points[0].Summary
-	if s.Max == s.Min {
-		t.Fatalf("no spread across seeded runs: %+v", s)
+	for _, c := range []struct {
+		name string
+		got  float64
+		want string
+	}{
+		{"s-pure-median", res.Cells[0].Summary.Median, "350.284"},
+		{"intercept", a, "358.154"},
+		{"slope", b, "-369.785"},
+		{"r2", r2, "0.989"},
+	} {
+		if got := fmt.Sprintf("%.3f", c.got); got != c.want {
+			t.Fatalf("%s = %s, want the pre-refactor %s", c.name, got, c.want)
+		}
 	}
 }
 
 func TestAnnouncementSmallerEffect(t *testing.T) {
-	w, err := RunSweep(fastCfg(Withdrawal))
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := RunSweep(fastCfg(Announcement))
-	if err != nil {
-		t.Fatal(err)
-	}
+	w := mustFastWithdrawal(t)
+	a := build(t, "announce", fastOpts(), nil)
+	// Pre-refactor pins for the same seeds.
+	pinDurations(t, a.Cells[0], []time.Duration{187854442, 212627597, 201954950})
 	// §4: announcement does not show the (large) linear reduction.
 	// Compare absolute savings between 0% and 100% deployment.
-	wSave := w[0].Summary.Median - w[len(w)-1].Summary.Median
-	aSave := a[0].Summary.Median - a[len(a)-1].Summary.Median
+	wSave := w.Cells[0].Summary.Median - w.Cells[len(w.Cells)-1].Summary.Median
+	aSave := a.Cells[0].Summary.Median - a.Cells[len(a.Cells)-1].Summary.Median
 	if aSave >= wSave {
 		t.Fatalf("announcement saving (%.3fs) should be smaller than withdrawal saving (%.3fs)", aSave, wSave)
 	}
 	// Announcements converge fast in absolute terms (flooding, not
 	// path exploration).
-	if a[0].Summary.Median > w[0].Summary.Median/4 {
+	if a.Cells[0].Summary.Median > w.Cells[0].Summary.Median/4 {
 		t.Fatalf("announcement (%.3fs) should be much faster than withdrawal (%.3fs)",
-			a[0].Summary.Median, w[0].Summary.Median)
+			a.Cells[0].Summary.Median, w.Cells[0].Summary.Median)
 	}
 }
 
 func TestFailoverSmallerEffect(t *testing.T) {
-	w, err := RunSweep(fastCfg(Withdrawal))
-	if err != nil {
-		t.Fatal(err)
-	}
-	f, err := RunSweep(fastCfg(Failover))
-	if err != nil {
-		t.Fatal(err)
-	}
-	wSave := w[0].Summary.Median - w[len(w)-1].Summary.Median
-	fSave := f[0].Summary.Median - f[len(f)-1].Summary.Median
+	w := mustFastWithdrawal(t)
+	f := build(t, "failover", fastOpts(), nil)
+	pinDurations(t, f.Cells[0], []time.Duration{205762468, 195346724, 183601288})
+	wSave := w.Cells[0].Summary.Median - w.Cells[len(w.Cells)-1].Summary.Median
+	fSave := f.Cells[0].Summary.Median - f.Cells[len(f.Cells)-1].Summary.Median
 	if fSave >= wSave {
 		t.Fatalf("failover saving (%.3fs) should be smaller than withdrawal saving (%.3fs)", fSave, wSave)
 	}
-}
-
-func TestWriteTable(t *testing.T) {
-	cfg := fastCfg(Withdrawal)
-	cfg.SDNCounts = []int{0, 8}
-	cfg.Runs = 2
-	points, err := RunSweep(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var sb strings.Builder
-	if err := WriteTable(&sb, Withdrawal, 8, points); err != nil {
-		t.Fatal(err)
-	}
-	out := sb.String()
-	for _, want := range []string{"withdrawal", "fraction", "med_s"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("table missing %q:\n%s", want, out)
+	// After the fail-over the prefix must stay reachable via the
+	// backup attachment — the uniform Result exposes the check.
+	for _, c := range f.Cells {
+		if !c.AllReachable() {
+			t.Fatalf("cell %s: origin unreachable after fail-over", c.Label)
 		}
 	}
-	if lines := strings.Count(out, "\n"); lines != 4 {
-		t.Fatalf("table lines = %d, want 4:\n%s", lines, out)
-	}
 }
 
-func TestRunSweepValidation(t *testing.T) {
-	cfg := fastCfg(Withdrawal)
-	cfg.SDNCounts = []int{99}
-	if _, err := RunSweep(cfg); err == nil {
-		t.Fatal("out-of-range SDN count should error")
+func TestMRAIAblationScales(t *testing.T) {
+	topo := lab.TopoSpec{Kind: "clique", N: 6}
+	res := build(t, "mrai", Options{Topo: &topo, Runs: 2, BaseSeed: 3}, func(sw *lab.Sweep) {
+		sw.Axis = lab.MRAIs(5*time.Second, 20*time.Second)
+	})
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
 	}
-	if _, err := RunOnce(SweepConfig{Kind: Kind(99), CliqueSize: 4, Runs: 1,
-		Timers: bgp.Timers{MRAI: time.Second}}, 0, 1); err == nil {
-		t.Fatal("unknown kind should error")
-	}
-	if Withdrawal.String() != "withdrawal" || Kind(9).String() == "" {
-		t.Fatal("Kind.String wrong")
-	}
-}
-
-func TestMRAISweepScales(t *testing.T) {
-	points, err := MRAISweep(6, 2, []time.Duration{5 * time.Second, 20 * time.Second}, 3, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(points) != 2 {
-		t.Fatalf("points = %d", len(points))
+	// Pre-refactor medians: 16.621s and 68.459s.
+	for i, want := range []string{"16.621", "68.459"} {
+		if got := fmt.Sprintf("%.3f", res.Cells[i].Summary.Median); got != want {
+			t.Fatalf("cell %d median = %s, want the pre-refactor %s", i, got, want)
+		}
 	}
 	// Tdown grows with MRAI.
-	if points[1].Summary.Median <= points[0].Summary.Median {
+	if res.Cells[1].Summary.Median <= res.Cells[0].Summary.Median {
 		t.Fatalf("larger MRAI should converge slower: %v vs %v",
-			points[0].Summary.Median, points[1].Summary.Median)
-	}
-	var sb strings.Builder
-	if err := WriteMRAITable(&sb, points); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(sb.String(), "mrai_s") {
-		t.Fatal("table header missing")
+			res.Cells[0].Summary.Median, res.Cells[1].Summary.Median)
 	}
 }
 
-func TestCliqueSizeSweepScales(t *testing.T) {
-	timers := bgp.DefaultTimers()
-	timers.MRAI = 5 * time.Second
-	points, err := CliqueSizeSweep([]int{4, 10}, 2, timers, 5, 0)
-	if err != nil {
-		t.Fatal(err)
+func TestSizeAblationScales(t *testing.T) {
+	res := build(t, "size", Options{Runs: 2, BaseSeed: 5, MRAI: 5 * time.Second}, func(sw *lab.Sweep) {
+		sw.Axis = lab.TopoSizes(4, 10)
+	})
+	// Pre-refactor medians: 8.756s and 34.909s.
+	for i, want := range []string{"8.756", "34.909"} {
+		if got := fmt.Sprintf("%.3f", res.Cells[i].Summary.Median); got != want {
+			t.Fatalf("cell %d median = %s, want the pre-refactor %s", i, got, want)
+		}
 	}
-	if points[1].Summary.Median <= points[0].Summary.Median {
+	if res.Cells[1].Summary.Median <= res.Cells[0].Summary.Median {
 		t.Fatalf("larger clique should converge slower: %v vs %v",
-			points[0].Summary.Median, points[1].Summary.Median)
-	}
-	var sb strings.Builder
-	if err := WriteSizeTable(&sb, points); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(sb.String(), "clique") {
-		t.Fatal("table header missing")
+			res.Cells[0].Summary.Median, res.Cells[1].Summary.Median)
 	}
 }
 
-func TestDebounceAblationTradeoff(t *testing.T) {
-	timers := bgp.DefaultTimers()
-	timers.MRAI = 5 * time.Second
-	points, err := DebounceAblation(6, 3, 2,
-		[]time.Duration{-1, 2 * time.Second}, timers, 7, 0)
-	if err != nil {
-		t.Fatal(err)
+func TestDebounceTradeoff(t *testing.T) {
+	topo := lab.TopoSpec{Kind: "clique", N: 6}
+	placement := lab.Placement{Strategy: lab.PlaceLast, K: 3}
+	res := build(t, "debounce",
+		Options{Topo: &topo, Placement: &placement, Runs: 2, BaseSeed: 7, MRAI: 5 * time.Second},
+		func(sw *lab.Sweep) { sw.Axis = lab.Debounces(-1, 2*time.Second) })
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
 	}
-	if len(points) != 2 {
-		t.Fatalf("points = %d", len(points))
+	// Pre-refactor recomputation means: 15 without debounce, 2 with.
+	if got := res.Cells[0].MeanRecomputes(); got != 15 {
+		t.Fatalf("no-debounce recomputes = %v, want the pre-refactor 15", got)
 	}
-	// The debounce rate-limits controller work: fewer recomputation
-	// batches than the no-debounce ablation.
-	if points[1].Recomputes >= points[0].Recomputes {
+	if got := res.Cells[1].MeanRecomputes(); got != 2 {
+		t.Fatalf("2s-debounce recomputes = %v, want the pre-refactor 2", got)
+	}
+	// The debounce rate-limits controller work.
+	if res.Cells[1].MeanRecomputes() >= res.Cells[0].MeanRecomputes() {
 		t.Fatalf("debounce should reduce recomputes: %v vs %v",
-			points[0].Recomputes, points[1].Recomputes)
+			res.Cells[0].MeanRecomputes(), res.Cells[1].MeanRecomputes())
 	}
-	var sb strings.Builder
-	if err := WriteDebounceTable(&sb, points); err != nil {
-		t.Fatal(err)
+}
+
+func TestExplorationDropsWithSDN(t *testing.T) {
+	res := build(t, "exploration",
+		Options{SDNCounts: []int{0, 6}, BaseSeed: 11, MRAI: 5 * time.Second}, nil)
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
 	}
-	if !strings.Contains(sb.String(), "recomputes") {
-		t.Fatal("table header missing")
+	// Pre-refactor pins: 94/8 best-path changes, 222/20 updates.
+	for i, want := range []struct{ changes, updates float64 }{{94, 222}, {8, 20}} {
+		if got := res.Cells[i].MeanBestPathChanges(); got != want.changes {
+			t.Fatalf("cell %d best changes = %v, want the pre-refactor %v", i, got, want.changes)
+		}
+		if got := res.Cells[i].MeanUpdatesSent(); got != want.updates {
+			t.Fatalf("cell %d updates = %v, want the pre-refactor %v", i, got, want.updates)
+		}
+	}
+	if res.Cells[1].MeanBestPathChanges() >= res.Cells[0].MeanBestPathChanges() {
+		t.Fatal("SDN should reduce path exploration")
+	}
+	if res.Cells[1].MeanUpdatesSent() >= res.Cells[0].MeanUpdatesSent() {
+		t.Fatal("SDN should reduce update count")
+	}
+}
+
+func TestFlapStabilityAblation(t *testing.T) {
+	topo := lab.TopoSpec{Kind: "clique", N: 6}
+	res := build(t, "flap", Options{Topo: &topo, BaseSeed: 13, MRAI: 5 * time.Second},
+		func(sw *lab.Sweep) {
+			sw.Base.FlapCycles = 4
+			sw.Base.FlapPeriod = 10 * time.Second
+		})
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	byMode := map[string]lab.Cell{}
+	for _, c := range res.Cells {
+		byMode[c.Label] = c
+	}
+	// Pre-refactor update counts for the same seeds.
+	for mode, want := range map[string]float64{"bgp": 277, "damping": 211, "sdn": 134} {
+		if got := byMode[mode].MeanUpdatesSent(); got != want {
+			t.Fatalf("%s updates = %v, want the pre-refactor %v", mode, got, want)
+		}
+	}
+	// Both stability mechanisms must beat plain BGP on update load,
+	// and the network must be usable once the origin stabilises.
+	for _, mode := range []string{"damping", "sdn"} {
+		if byMode[mode].MeanUpdatesSent() >= byMode["bgp"].MeanUpdatesSent() {
+			t.Fatalf("%s should reduce updates below plain BGP", mode)
+		}
+	}
+	for mode, c := range byMode {
+		if !c.AllReachable() {
+			t.Fatalf("%s: prefix unreachable after the storm", mode)
+		}
 	}
 }
 
@@ -234,60 +307,104 @@ func TestSubClusterSurvivesSplit(t *testing.T) {
 	}
 }
 
-func TestPathExplorationDropsWithSDN(t *testing.T) {
-	timers := bgp.DefaultTimers()
-	timers.MRAI = 5 * time.Second
-	points, err := PathExplorationSweep(8, []int{0, 6}, timers, 11, 0)
-	if err != nil {
-		t.Fatal(err)
+func TestRegistry(t *testing.T) {
+	want := []string{"fig2", "announce", "failover", "mrai", "size", "debounce", "exploration", "flap"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry names = %v, want %v", got, want)
 	}
-	if len(points) != 2 {
-		t.Fatalf("points = %d", len(points))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry names = %v, want %v", got, want)
+		}
+		if _, ok := Lookup(want[i]); !ok {
+			t.Fatalf("Lookup(%q) failed", want[i])
+		}
 	}
-	if points[1].BestChanges >= points[0].BestChanges {
-		t.Fatalf("SDN should reduce path exploration: %d vs %d",
-			points[0].BestChanges, points[1].BestChanges)
-	}
-	if points[1].Updates >= points[0].Updates {
-		t.Fatalf("SDN should reduce update count: %d vs %d",
-			points[0].Updates, points[1].Updates)
+	if _, err := Run("warp-drive", Options{}); err == nil {
+		t.Fatal("unknown experiment should error")
 	}
 }
 
-func TestFlapStabilityAblation(t *testing.T) {
-	timers := bgp.DefaultTimers()
-	timers.MRAI = 5 * time.Second
-	points, err := FlapStabilityAblation(6, 4, 10*time.Second, timers, 13, 0)
+func TestRegistryValidatesSDNCounts(t *testing.T) {
+	if _, err := Run("fig2", Options{SDNCounts: []int{99}, Runs: 1}); err == nil {
+		t.Fatal("out-of-range SDN count should error before running")
+	}
+}
+
+// TestDebounceDisabledExpressible pins the satellite fix: a disabled
+// debounce (negative) flows from Options through the spec into the
+// trial, where the shared zero/negative convention applies.
+func TestDebounceDisabledExpressible(t *testing.T) {
+	off := time.Duration(-1)
+	spec, _ := Lookup("fig2")
+	sw, err := spec.Build(Options{Debounce: &off})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 3 {
-		t.Fatalf("points = %d", len(points))
+	if sw.Base.Debounce >= 0 {
+		t.Fatalf("Base.Debounce = %v, want negative (disabled)", sw.Base.Debounce)
 	}
-	byMode := map[string]FlapPoint{}
-	for _, p := range points {
-		byMode[p.Mode] = p
-	}
-	// Both stability mechanisms must beat plain BGP on update load.
-	if byMode["damping"].Updates >= byMode["bgp"].Updates {
-		t.Fatalf("damping should reduce updates: %d vs %d",
-			byMode["damping"].Updates, byMode["bgp"].Updates)
-	}
-	if byMode["sdn"].Updates >= byMode["bgp"].Updates {
-		t.Fatalf("sdn should reduce updates: %d vs %d",
-			byMode["sdn"].Updates, byMode["bgp"].Updates)
-	}
-	// The network must be usable once the origin stabilises.
-	for _, mode := range []string{"bgp", "sdn", "damping"} {
-		if !byMode[mode].ReachableAfter {
-			t.Fatalf("%s: prefix unreachable after the storm", mode)
-		}
-	}
-	var sb strings.Builder
-	if err := WriteFlapTable(&sb, points); err != nil {
+	// And the default stays the paper sweeps' 100ms.
+	sw, err = spec.Build(Options{})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "reachable_after") {
-		t.Fatal("table header missing")
+	if sw.Base.Debounce != 100*time.Millisecond {
+		t.Fatalf("default Base.Debounce = %v, want 100ms", sw.Base.Debounce)
+	}
+}
+
+// TestSpecsRejectInapplicableOverrides pins that overrides a spec
+// cannot honor error out instead of being silently dropped.
+func TestSpecsRejectInapplicableOverrides(t *testing.T) {
+	p := lab.Placement{Strategy: lab.PlaceLast, K: 2}
+	for _, name := range []string{"mrai", "size", "flap"} {
+		spec, _ := Lookup(name)
+		if _, err := spec.Build(Options{Placement: &p}); err == nil {
+			t.Fatalf("%s: placement override should error", name)
+		}
+		if _, err := spec.Build(Options{SDNCounts: []int{0, 2}}); err == nil {
+			t.Fatalf("%s: SDN-count override should error", name)
+		}
+	}
+	spec, _ := Lookup("debounce")
+	if _, err := spec.Build(Options{SDNCounts: []int{0, 2}}); err == nil {
+		t.Fatal("debounce: SDN-count override should error")
+	}
+	if _, err := spec.Build(Options{Placement: &p}); err != nil {
+		t.Fatalf("debounce honors placement, got error: %v", err)
+	}
+	// Axis-parameter overrides on the axis itself are rejected too.
+	mraiSpec, _ := Lookup("mrai")
+	if _, err := mraiSpec.Build(Options{MRAI: time.Second}); err == nil {
+		t.Fatal("mrai: -mrai override should error")
+	}
+	off := time.Duration(-1)
+	if _, err := spec.Build(Options{Debounce: &off}); err == nil {
+		t.Fatal("debounce: -debounce override should error")
+	}
+	flapSpec, _ := Lookup("flap")
+	if _, err := flapSpec.Build(Options{Debounce: &off}); err == nil {
+		t.Fatal("flap: -debounce override should error")
+	}
+	none := lab.Placement{Strategy: lab.PlaceNone}
+	if _, err := spec.Build(Options{Placement: &none}); err == nil {
+		t.Fatal("debounce: -placement none should error (no controller to debounce)")
+	}
+	// A bare strategy override keeps the spec's half-network cluster
+	// size instead of silently selecting zero members.
+	bare := lab.Placement{Strategy: lab.PlaceDegree}
+	sw, err := spec.Build(Options{Placement: &bare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Base.Placement.Strategy != lab.PlaceDegree || sw.Base.Placement.K != 4 {
+		t.Fatalf("bare degree placement on debounce = %+v, want K=4", sw.Base.Placement)
+	}
+	// The size axis over a grid would mislabel widths as AS counts.
+	grid := lab.TopoSpec{Kind: "grid", N: 2, M: 2}
+	if _, err := Run("size", Options{Topo: &grid, Runs: 1}); err == nil {
+		t.Fatal("size: grid topology should be rejected")
 	}
 }

@@ -1,0 +1,200 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Format selects a sweep output encoding.
+type Format string
+
+// Supported formats.
+const (
+	FormatTable Format = "table"
+	FormatCSV   Format = "csv"
+	FormatJSON  Format = "json"
+)
+
+// ParseFormat parses a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatTable, FormatCSV, FormatJSON:
+		return Format(s), nil
+	default:
+		return "", fmt.Errorf("lab: unknown format %q (want table, csv or json)", s)
+	}
+}
+
+// Write encodes the sweep result in the requested format. Every
+// format carries the same uniform record — axis value, the
+// five-number convergence summary in seconds, and the per-cell mean
+// update / best-path-change / recomputation counters — keyed by the
+// sweep's axis metadata instead of per-experiment writers.
+func Write(w io.Writer, f Format, res *SweepResult) error {
+	switch f {
+	case FormatTable:
+		return writeTable(w, res)
+	case FormatCSV:
+		return writeCSV(w, res)
+	case FormatJSON:
+		return writeJSON(w, res)
+	default:
+		return fmt.Errorf("lab: unknown format %q", f)
+	}
+}
+
+func writeTable(w io.Writer, res *SweepResult) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s convergence on %s vs %s (%d runs/point, seed %d)\n",
+		res.Name, res.Event, res.TopoLabel(), res.Axis.Name(), res.Runs, res.BaseSeed); err != nil {
+		return err
+	}
+	sdn := res.Axis.Kind == AxisSDNCount
+	header := fmt.Sprintf("%-10s ", res.Axis.Name())
+	if sdn {
+		header += fmt.Sprintf("%-9s ", "fraction")
+	}
+	header += fmt.Sprintf("%4s %8s %8s %8s %8s %8s %8s %9s %9s %10s %9s",
+		"n", "min_s", "q1_s", "med_s", "q3_s", "max_s", "mean_s",
+		"updates", "best_chg", "recomputes", "reachable")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		row := fmt.Sprintf("%-10s ", c.Label)
+		if sdn {
+			row += fmt.Sprintf("%-9.3f ", c.Fraction)
+		}
+		s := c.Summary
+		row += fmt.Sprintf("%4d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %9.1f %9.1f %10.1f %9v",
+			s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean,
+			c.MeanUpdatesSent(), c.MeanBestPathChanges(), c.MeanRecomputes(), c.AllReachable())
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	if a, b, r2, ok := res.Fit(); ok {
+		x := res.Axis.Name()
+		if sdn {
+			x = "fraction"
+		}
+		if _, err := fmt.Fprintf(w, "# linear fit: t = %.1fs %+.1fs*%s (r2=%.3f)\n", a, b, x, r2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fstr formats a float compactly for CSV ("" for NaN).
+func fstr(x float64) string {
+	if math.IsNaN(x) {
+		return ""
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+func writeCSV(w io.Writer, res *SweepResult) error {
+	if _, err := fmt.Fprintf(w, "%s,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,reachable_after\n",
+		res.Axis.Name()); err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		s := c.Summary
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%v\n",
+			c.Label, fstr(c.Value), fstr(c.Fraction), s.N,
+			fstr(s.Min), fstr(s.Q1), fstr(s.Median), fstr(s.Q3), fstr(s.Max), fstr(s.Mean),
+			fstr(c.MeanUpdatesSent()), fstr(c.MeanUpdatesReceived()),
+			fstr(c.MeanBestPathChanges()), fstr(c.MeanRecomputes()), c.AllReachable()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type jsonFit struct {
+	InterceptS float64 `json:"intercept_s"`
+	SlopeS     float64 `json:"slope_s"`
+	R2         float64 `json:"r2"`
+}
+
+type jsonCell struct {
+	Label           string    `json:"label"`
+	Value           *float64  `json:"value,omitempty"`
+	Fraction        *float64  `json:"fraction,omitempty"`
+	N               int       `json:"n"`
+	MinS            float64   `json:"min_s"`
+	Q1S             float64   `json:"q1_s"`
+	MedS            float64   `json:"med_s"`
+	Q3S             float64   `json:"q3_s"`
+	MaxS            float64   `json:"max_s"`
+	MeanS           float64   `json:"mean_s"`
+	DurationsS      []float64 `json:"durations_s"`
+	UpdatesSent     float64   `json:"updates_sent"`
+	UpdatesRecv     float64   `json:"updates_recv"`
+	BestPathChanges float64   `json:"best_path_changes"`
+	Recomputes      float64   `json:"recomputes"`
+	ReachableAfter  bool      `json:"reachable_after"`
+}
+
+type jsonSweep struct {
+	Experiment string     `json:"experiment"`
+	Event      string     `json:"event"`
+	Topology   string     `json:"topology"`
+	Axis       string     `json:"axis"`
+	Runs       int        `json:"runs"`
+	BaseSeed   int64      `json:"base_seed"`
+	Cells      []jsonCell `json:"cells"`
+	Fit        *jsonFit   `json:"fit,omitempty"`
+}
+
+func fptr(x float64) *float64 {
+	if math.IsNaN(x) {
+		return nil
+	}
+	return &x
+}
+
+func writeJSON(w io.Writer, res *SweepResult) error {
+	out := jsonSweep{
+		Experiment: res.Name,
+		Event:      res.Event.String(),
+		Topology:   res.TopoLabel(),
+		Axis:       res.Axis.Name(),
+		Runs:       res.Runs,
+		BaseSeed:   res.BaseSeed,
+		Cells:      make([]jsonCell, len(res.Cells)),
+	}
+	for i, c := range res.Cells {
+		s := c.Summary
+		durs := make([]float64, len(c.Results))
+		for j, r := range c.Results {
+			durs[j] = r.Convergence.Seconds()
+		}
+		out.Cells[i] = jsonCell{
+			Label:           c.Label,
+			Value:           fptr(c.Value),
+			Fraction:        fptr(c.Fraction),
+			N:               s.N,
+			MinS:            s.Min,
+			Q1S:             s.Q1,
+			MedS:            s.Median,
+			Q3S:             s.Q3,
+			MaxS:            s.Max,
+			MeanS:           s.Mean,
+			DurationsS:      durs,
+			UpdatesSent:     c.MeanUpdatesSent(),
+			UpdatesRecv:     c.MeanUpdatesReceived(),
+			BestPathChanges: c.MeanBestPathChanges(),
+			Recomputes:      c.MeanRecomputes(),
+			ReachableAfter:  c.AllReachable(),
+		}
+	}
+	if a, b, r2, ok := res.Fit(); ok {
+		out.Fit = &jsonFit{InterceptS: a, SlopeS: b, R2: r2}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,192 @@
+package lab
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// fixedResult builds a small synthetic sweep result with hand-picked
+// numbers so the encoder goldens are exact and fast (no emulation).
+func fixedResult() *SweepResult {
+	mk := func(durs []time.Duration, updates uint64, changes int, recomp uint64, reach bool) Cell {
+		results := make([]Result, len(durs))
+		for i, d := range durs {
+			results[i] = Result{
+				Convergence:     d,
+				UpdatesSent:     updates,
+				UpdatesReceived: updates,
+				BestPathChanges: changes,
+				Recomputes:      recomp,
+				ReachableAfter:  reach,
+			}
+		}
+		return Cell{Results: results, Summary: stats.SummarizeDurations(durs)}
+	}
+	sweep := Sweep{
+		Name: "fig2",
+		Base: Trial{Topo: TopoSpec{Kind: "clique", N: 4}, Event: Withdrawal},
+		Axis: SDNCounts(0, 2),
+		Runs: 2, BaseSeed: 1,
+	}
+	c0 := mk([]time.Duration{40 * time.Second, 50 * time.Second}, 120, 30, 0, false)
+	c1 := mk([]time.Duration{10 * time.Second, 20 * time.Second}, 40, 10, 4, false)
+	cells := []Cell{c0, c1}
+	for i := range cells {
+		cells[i].Label = sweep.Axis.Label(i)
+		cells[i].Value = sweep.Axis.Value(i)
+		cells[i].Fraction = cells[i].Value / float64(sweep.Base.Topo.Nodes())
+	}
+	return &SweepResult{
+		Name: sweep.Name, Event: sweep.Base.Event, Topo: sweep.Base.Topo,
+		Axis: sweep.Axis, Runs: sweep.Runs, BaseSeed: sweep.BaseSeed, Cells: cells,
+	}
+}
+
+func encode(t *testing.T, f Format, res *SweepResult) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Write(&sb, f, res); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestWriteTableGolden(t *testing.T) {
+	got := encode(t, FormatTable, fixedResult())
+	want := `# fig2: withdrawal convergence on clique 4 vs sdn_k (2 runs/point, seed 1)
+sdn_k      fraction     n    min_s     q1_s    med_s     q3_s    max_s   mean_s   updates  best_chg recomputes reachable
+0          0.000        2   40.000   42.500   45.000   47.500   50.000   45.000     120.0      30.0        0.0     false
+2          0.500        2   10.000   12.500   15.000   17.500   20.000   15.000      40.0      10.0        4.0     false
+# linear fit: t = 45.0s -60.0s*fraction (r2=1.000)
+`
+	if got != want {
+		t.Fatalf("table golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	got := encode(t, FormatCSV, fixedResult())
+	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,reachable_after
+0,0,0,2,40,42.5,45,47.5,50,45,120,120,30,0,false
+2,2,0.5,2,10,12.5,15,17.5,20,15,40,40,10,4,false
+`
+	if got != want {
+		t.Fatalf("csv golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	got := encode(t, FormatJSON, fixedResult())
+	want := `{
+  "experiment": "fig2",
+  "event": "withdrawal",
+  "topology": "clique 4",
+  "axis": "sdn_k",
+  "runs": 2,
+  "base_seed": 1,
+  "cells": [
+    {
+      "label": "0",
+      "value": 0,
+      "fraction": 0,
+      "n": 2,
+      "min_s": 40,
+      "q1_s": 42.5,
+      "med_s": 45,
+      "q3_s": 47.5,
+      "max_s": 50,
+      "mean_s": 45,
+      "durations_s": [
+        40,
+        50
+      ],
+      "updates_sent": 120,
+      "updates_recv": 120,
+      "best_path_changes": 30,
+      "recomputes": 0,
+      "reachable_after": false
+    },
+    {
+      "label": "2",
+      "value": 2,
+      "fraction": 0.5,
+      "n": 2,
+      "min_s": 10,
+      "q1_s": 12.5,
+      "med_s": 15,
+      "q3_s": 17.5,
+      "max_s": 20,
+      "mean_s": 15,
+      "durations_s": [
+        10,
+        20
+      ],
+      "updates_sent": 40,
+      "updates_recv": 40,
+      "best_path_changes": 10,
+      "recomputes": 4,
+      "reachable_after": false
+    }
+  ],
+  "fit": {
+    "intercept_s": 45,
+    "slope_s": -60,
+    "r2": 1
+  }
+}
+`
+	if got != want {
+		t.Fatalf("json golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// And it must be valid JSON, machine-readably.
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(got), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+}
+
+// TestWriteModeAxis covers the non-numeric axis: no value/fraction
+// columns, no fit.
+func TestWriteModeAxis(t *testing.T) {
+	res := fixedResult()
+	res.Name, res.Event = "flap", Flap
+	res.Axis = Modes(ModeBGP, ModeSDN)
+	for i := range res.Cells {
+		res.Cells[i].Label = res.Axis.Label(i)
+		res.Cells[i].Value = res.Axis.Value(i)
+		res.Cells[i].Fraction = res.Axis.Value(i) // NaN
+	}
+	table := encode(t, FormatTable, res)
+	if strings.Contains(table, "linear fit") {
+		t.Fatalf("mode axis must not be fitted:\n%s", table)
+	}
+	if !strings.Contains(table, "mode") || !strings.Contains(table, "bgp") {
+		t.Fatalf("mode labels missing:\n%s", table)
+	}
+	csv := encode(t, FormatCSV, res)
+	if !strings.Contains(csv, "\nbgp,,,") {
+		t.Fatalf("mode csv should leave value/fraction empty:\n%s", csv)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(encode(t, FormatJSON, res)), &parsed); err != nil {
+		t.Fatalf("mode json invalid: %v", err)
+	}
+	if _, hasFit := parsed["fit"]; hasFit {
+		t.Fatal("mode json must omit fit")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, s := range []string{"table", "csv", "json"} {
+		if _, err := ParseFormat(s); err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}

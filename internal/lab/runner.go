@@ -1,4 +1,4 @@
-package figures
+package lab
 
 import (
 	"runtime"

@@ -1,0 +1,46 @@
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunnerDoCoversAllIndices(t *testing.T) {
+	for _, p := range []int{0, 1, 3, 16} {
+		n := 37
+		hits := make([]atomic.Int32, n)
+		err := Runner{Parallelism: p}.Do(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallelism %d: task %d ran %d times", p, i, got)
+			}
+		}
+	}
+	if err := (Runner{}).Do(0, func(int) error { panic("no tasks") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerDoReturnsLowestIndexError(t *testing.T) {
+	// Whatever the schedule, the reported error must be the
+	// lowest-index failure, so parallel error output is deterministic.
+	for _, p := range []int{1, 8} {
+		err := Runner{Parallelism: p}.Do(20, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "task 1 failed") {
+			t.Fatalf("parallelism %d: err = %v, want task 1's", p, err)
+		}
+	}
+}

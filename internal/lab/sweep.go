@@ -1,0 +1,439 @@
+package lab
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+// AxisKind enumerates the trial parameter a sweep varies.
+type AxisKind int
+
+// Axis kinds.
+const (
+	// AxisSDNCount varies the cluster size K of the trial's placement.
+	AxisSDNCount AxisKind = iota
+	// AxisMRAI varies the BGP MinRouteAdvertisementInterval.
+	AxisMRAI
+	// AxisTopoSize varies the topology's primary size parameter N.
+	AxisTopoSize
+	// AxisDebounce varies the controller's delayed-recomputation
+	// window (negative disables the delay — the ablation case).
+	AxisDebounce
+	// AxisFlapPeriod varies the flap storm's cycle period.
+	AxisFlapPeriod
+	// AxisMode varies the flap-containment regime: ModeBGP (plain),
+	// ModeDamping (RFC 2439) or ModeSDN (half the ASes clustered with
+	// a 1s debounce).
+	AxisMode
+)
+
+// Flap-stability regimes for AxisMode.
+const (
+	ModeBGP     = "bgp"
+	ModeDamping = "damping"
+	ModeSDN     = "sdn"
+)
+
+// Axis declares the swept parameter and its values. Construct with
+// SDNCounts, MRAIs, TopoSizes, Debounces, FlapPeriods or Modes.
+type Axis struct {
+	Kind AxisKind
+	// Ints holds the values for AxisSDNCount and AxisTopoSize.
+	Ints []int
+	// Durations holds the values for AxisMRAI, AxisDebounce and
+	// AxisFlapPeriod.
+	Durations []time.Duration
+	// Modes holds the values for AxisMode.
+	Modes []string
+}
+
+// SDNCounts declares an sdn-count axis.
+func SDNCounts(ks ...int) Axis { return Axis{Kind: AxisSDNCount, Ints: ks} }
+
+// MRAIs declares an MRAI axis.
+func MRAIs(ds ...time.Duration) Axis { return Axis{Kind: AxisMRAI, Durations: ds} }
+
+// TopoSizes declares a topology-size axis.
+func TopoSizes(ns ...int) Axis { return Axis{Kind: AxisTopoSize, Ints: ns} }
+
+// Debounces declares a controller-debounce axis (negative disables).
+func Debounces(ds ...time.Duration) Axis { return Axis{Kind: AxisDebounce, Durations: ds} }
+
+// FlapPeriods declares a flap-period axis.
+func FlapPeriods(ds ...time.Duration) Axis { return Axis{Kind: AxisFlapPeriod, Durations: ds} }
+
+// Modes declares a flap-containment regime axis.
+func Modes(ms ...string) Axis { return Axis{Kind: AxisMode, Modes: ms} }
+
+// Len returns the number of sweep cells along the axis.
+func (a Axis) Len() int {
+	switch a.Kind {
+	case AxisSDNCount, AxisTopoSize:
+		return len(a.Ints)
+	case AxisMode:
+		return len(a.Modes)
+	default:
+		return len(a.Durations)
+	}
+}
+
+// Name returns the axis column name used by every encoder.
+func (a Axis) Name() string {
+	switch a.Kind {
+	case AxisSDNCount:
+		return "sdn_k"
+	case AxisMRAI:
+		return "mrai_s"
+	case AxisTopoSize:
+		return "size"
+	case AxisDebounce:
+		return "debounce_s"
+	case AxisFlapPeriod:
+		return "period_s"
+	case AxisMode:
+		return "mode"
+	default:
+		return fmt.Sprintf("axis(%d)", int(a.Kind))
+	}
+}
+
+// Label formats cell i's axis value for humans ("8", "30s", "off",
+// "damping").
+func (a Axis) Label(i int) string {
+	switch a.Kind {
+	case AxisSDNCount, AxisTopoSize:
+		return strconv.Itoa(a.Ints[i])
+	case AxisMode:
+		return a.Modes[i]
+	default:
+		d := a.Durations[i]
+		if d < 0 {
+			return "off"
+		}
+		return d.String()
+	}
+}
+
+// Value returns cell i's numeric axis value (duration axes in
+// seconds, a disabled debounce as 0) or NaN for the mode axis.
+func (a Axis) Value(i int) float64 {
+	switch a.Kind {
+	case AxisSDNCount, AxisTopoSize:
+		return float64(a.Ints[i])
+	case AxisMode:
+		return math.NaN()
+	default:
+		d := a.Durations[i]
+		if d < 0 {
+			return 0
+		}
+		return d.Seconds()
+	}
+}
+
+// Apply configures trial t as sweep cell i.
+func (a Axis) Apply(t *Trial, i int) {
+	switch a.Kind {
+	case AxisSDNCount:
+		t.Placement.K = a.Ints[i]
+	case AxisMRAI:
+		if t.Timers == (bgp.Timers{}) {
+			t.Timers = bgp.DefaultTimers()
+		}
+		t.Timers.MRAI = a.Durations[i]
+	case AxisTopoSize:
+		t.Topo.N = a.Ints[i]
+	case AxisDebounce:
+		t.Debounce = a.Durations[i]
+	case AxisFlapPeriod:
+		t.FlapPeriod = a.Durations[i]
+	case AxisMode:
+		switch a.Modes[i] {
+		case ModeBGP:
+			t.Placement = Placement{Strategy: PlaceNone}
+			t.Damping = nil
+		case ModeDamping:
+			t.Placement = Placement{Strategy: PlaceNone}
+			t.Damping = &bgp.DampingConfig{HalfLife: 2 * time.Minute}
+		case ModeSDN:
+			t.Placement = Placement{Strategy: PlaceLast, K: t.Topo.Nodes() / 2}
+			t.Debounce = time.Second
+			t.Damping = nil
+		}
+	}
+}
+
+// validate rejects axis values that cannot run against the base trial.
+func (a Axis) validate(base Trial) error {
+	if a.Len() == 0 {
+		return fmt.Errorf("lab: empty axis")
+	}
+	switch a.Kind {
+	case AxisSDNCount:
+		// The axis sets Placement.K per cell; a placement that
+		// ignores K would run the identical trial in every cell and
+		// render the sweep a silent no-op.
+		if s := base.Placement.Strategy; s == PlaceNone || s == PlaceExplicit {
+			return fmt.Errorf("lab: an sdn-count axis needs a K-driven placement (%s/%s/%s), not %q",
+				PlaceLast, PlaceFirst, PlaceDegree, s)
+		}
+		max := base.Topo.Nodes()
+		for _, k := range a.Ints {
+			if k < 0 || k > max {
+				return fmt.Errorf("lab: SDN count %d outside 0..%d", k, max)
+			}
+		}
+	case AxisTopoSize:
+		// The axis sets TopoSpec.N, documented as the AS count; for a
+		// grid N is only the width, so the labels would lie about the
+		// network size.
+		if base.Topo.Kind == "grid" {
+			return fmt.Errorf("lab: the size axis sweeps the AS count; grid has two dimensions — use a single-parameter topology")
+		}
+	case AxisMode:
+		for _, m := range a.Modes {
+			if m != ModeBGP && m != ModeDamping && m != ModeSDN {
+				return fmt.Errorf("lab: unknown mode %q", m)
+			}
+		}
+	}
+	return nil
+}
+
+// SeedPolicy names how a sweep derives each run's seed from BaseSeed.
+type SeedPolicy int
+
+const (
+	// SeedRun seeds run r of every cell with BaseSeed + r, so cells
+	// differing only in the swept parameter share seeds (the ablation
+	// convention: the axis is the only varying input).
+	SeedRun SeedPolicy = iota
+	// SeedCellRun seeds run r of the cell with integer axis value v
+	// with BaseSeed + 1000r + v — the Figure 2 convention, giving
+	// every (fraction, run) cell an independent jitter draw.
+	SeedCellRun
+)
+
+// Sweep varies one Axis of a base Trial over Runs seeded repetitions
+// per cell, fanned across the parallel Runner. Results are placed by
+// (cell, run) index, so the output is identical at any parallelism.
+type Sweep struct {
+	// Name labels the sweep in encoded output (the registry name).
+	Name string
+	// Base is the trial template every cell starts from.
+	Base Trial
+	// Axis declares the swept parameter and its values.
+	Axis Axis
+	// Runs is the number of seeded repetitions per cell (default 1).
+	Runs int
+	// BaseSeed offsets the per-run seeds (see SeedPolicy).
+	BaseSeed int64
+	// SeedPolicy selects the seed derivation (default SeedRun).
+	SeedPolicy SeedPolicy
+	// Parallelism bounds concurrent runs (0 = GOMAXPROCS, 1 =
+	// sequential; results are identical either way).
+	Parallelism int
+}
+
+// Cell is one sweep point: an axis value with its per-run results.
+type Cell struct {
+	// Label and Value render the axis value (Value is NaN for the
+	// mode axis).
+	Label string
+	Value float64
+	// Fraction is Value over the topology size for the sdn-count axis
+	// (NaN otherwise) — the paper's x-axis.
+	Fraction float64
+	// Results holds one record per seeded run, in run order.
+	Results []Result
+	// Summary is the five-number summary of the per-run convergence
+	// times in seconds (the boxplot behind Figure 2).
+	Summary stats.Summary
+}
+
+// Durations returns the per-run convergence times.
+func (c Cell) Durations() []time.Duration {
+	out := make([]time.Duration, len(c.Results))
+	for i, r := range c.Results {
+		out[i] = r.Convergence
+	}
+	return out
+}
+
+func (c Cell) mean(f func(Result) float64) float64 {
+	if len(c.Results) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range c.Results {
+		s += f(r)
+	}
+	return s / float64(len(c.Results))
+}
+
+// MeanUpdatesSent is the mean per-run UPDATE count.
+func (c Cell) MeanUpdatesSent() float64 {
+	return c.mean(func(r Result) float64 { return float64(r.UpdatesSent) })
+}
+
+// MeanUpdatesReceived is the mean per-run received-UPDATE count.
+func (c Cell) MeanUpdatesReceived() float64 {
+	return c.mean(func(r Result) float64 { return float64(r.UpdatesReceived) })
+}
+
+// MeanBestPathChanges is the mean per-run best-path-change count.
+func (c Cell) MeanBestPathChanges() float64 {
+	return c.mean(func(r Result) float64 { return float64(r.BestPathChanges) })
+}
+
+// MeanRecomputes is the mean per-run controller recomputation count.
+func (c Cell) MeanRecomputes() float64 {
+	return c.mean(func(r Result) float64 { return float64(r.Recomputes) })
+}
+
+// AllReachable reports whether every run ended with the origin prefix
+// reachable.
+func (c Cell) AllReachable() bool {
+	for _, r := range c.Results {
+		if !r.ReachableAfter {
+			return false
+		}
+	}
+	return true
+}
+
+// SweepResult is a completed sweep: the configuration echo plus one
+// Cell per axis value, in axis order.
+type SweepResult struct {
+	Name     string
+	Event    Event
+	Topo     TopoSpec
+	Axis     Axis
+	Runs     int
+	BaseSeed int64
+	Cells    []Cell
+}
+
+// seed derives the seed for (cell, run) under the sweep's policy.
+func (s Sweep) seed(cell, run int) int64 {
+	if s.SeedPolicy == SeedCellRun {
+		return s.BaseSeed + int64(run)*1000 + int64(s.Axis.Value(cell))
+	}
+	return s.BaseSeed + int64(run)
+}
+
+// trialFor instantiates sweep cell ci, run r: the base trial with the
+// axis applied, the derived run seed, and the topology pinned to the
+// sweep's BaseSeed so every cell measures the same graph.
+func (s Sweep) trialFor(ci, run int) Trial {
+	trial := s.Base
+	s.Axis.Apply(&trial, ci)
+	trial.Seed = s.seed(ci, run)
+	trial.TopoSeed = s.BaseSeed
+	return trial
+}
+
+// Run executes the sweep. The (cell, run) grid fans out across the
+// configured parallelism; results are gathered in cell order, so the
+// returned series is identical for any Parallelism.
+func (s Sweep) Run() (*SweepResult, error) {
+	if s.Runs <= 0 {
+		s.Runs = 1
+	}
+	if err := s.Axis.validate(s.Base); err != nil {
+		return nil, err
+	}
+	n := s.Axis.Len()
+	results := make([][]Result, n)
+	for i := range results {
+		results[i] = make([]Result, s.Runs)
+	}
+	err := Runner{Parallelism: s.Parallelism}.Do(n*s.Runs, func(i int) error {
+		ci, run := i/s.Runs, i%s.Runs
+		r, err := s.trialFor(ci, run).Run()
+		if err != nil {
+			return fmt.Errorf("lab: %s %s=%s run %d: %w", s.Name, s.Axis.Name(), s.Axis.Label(ci), run, err)
+		}
+		results[ci][run] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Name:     s.Name,
+		Event:    s.Base.Event,
+		Topo:     s.Base.Topo,
+		Axis:     s.Axis,
+		Runs:     s.Runs,
+		BaseSeed: s.BaseSeed,
+		Cells:    make([]Cell, n),
+	}
+	for ci := 0; ci < n; ci++ {
+		cell := Cell{
+			Label:    s.Axis.Label(ci),
+			Value:    s.Axis.Value(ci),
+			Fraction: math.NaN(),
+			Results:  results[ci],
+		}
+		if s.Axis.Kind == AxisSDNCount && s.Base.Topo.Nodes() > 0 {
+			cell.Fraction = cell.Value / float64(s.Base.Topo.Nodes())
+		}
+		cell.Summary = stats.SummarizeDurations(cell.Durations())
+		res.Cells[ci] = cell
+	}
+	return res, nil
+}
+
+// TopoLabel renders the sweep's topology for output. When the axis
+// sweeps the topology size, the base spec's N is overridden per cell,
+// so only the generator kind is echoed.
+func (r *SweepResult) TopoLabel() string {
+	if r.Axis.Kind == AxisTopoSize {
+		return r.Topo.Kind + " (size swept)"
+	}
+	return r.Topo.String()
+}
+
+// Fit fits median convergence time against the axis (the SDN fraction
+// for the sdn-count axis, the numeric value otherwise) and returns
+// intercept, slope and r² — the check behind the paper's "convergence
+// time can be linearly reduced" claim. ok is false for non-numeric
+// axes.
+func (r *SweepResult) Fit() (a, b, r2 float64, ok bool) {
+	if r.Axis.Kind == AxisMode || len(r.Cells) < 2 {
+		return 0, 0, 0, false
+	}
+	xs := make([]float64, len(r.Cells))
+	ys := make([]float64, len(r.Cells))
+	for i, c := range r.Cells {
+		x := c.Value
+		if r.Axis.Kind == AxisSDNCount {
+			x = c.Fraction
+		}
+		xs[i] = x
+		ys[i] = c.Summary.Median
+	}
+	a, b, r2 = stats.LinearFit(xs, ys)
+	return a, b, r2, true
+}
+
+// Boxes adapts the sweep to the SVG boxplot renderer, one box per
+// cell (percent labels on the sdn-count axis, Figure 2 style).
+func (r *SweepResult) Boxes() []plot.Box {
+	boxes := make([]plot.Box, len(r.Cells))
+	for i, c := range r.Cells {
+		label := c.Label
+		if r.Axis.Kind == AxisSDNCount && !math.IsNaN(c.Fraction) {
+			label = fmt.Sprintf("%.0f%%", 100*c.Fraction)
+		}
+		boxes[i] = plot.Box{Label: label, Summary: c.Summary}
+	}
+	return boxes
+}

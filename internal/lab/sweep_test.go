@@ -1,0 +1,240 @@
+package lab
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// baseSweep is the shared small-but-real sweep the engine tests run.
+func baseSweep() Sweep {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 10 * time.Second
+	return Sweep{
+		Name: "fig2",
+		Base: Trial{
+			Topo:            TopoSpec{Kind: "clique", N: 6},
+			Event:           Withdrawal,
+			Timers:          timers,
+			Debounce:        100 * time.Millisecond,
+			ProcessingDelay: 25 * time.Millisecond,
+		},
+		Axis:       SDNCounts(0, 3, 6),
+		Runs:       3,
+		BaseSeed:   21,
+		SeedPolicy: SeedCellRun,
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism is the regression guard for
+// the parallel sweep engine: the same Sweep must produce identical
+// cells — and byte-identical encoded output in every format — whether
+// the runs execute sequentially or across 8 workers.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	seq := baseSweep()
+	seq.Parallelism = 1
+	seqRes, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := baseSweep()
+	par.Parallelism = 8
+	parRes, err := par.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatalf("results differ:\nsequential: %+v\nparallel:   %+v", seqRes, parRes)
+	}
+	for _, f := range []Format{FormatTable, FormatCSV, FormatJSON} {
+		var a, b strings.Builder
+		if err := Write(&a, f, seqRes); err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(&b, f, parRes); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s output differs:\n--- sequential ---\n%s--- parallel ---\n%s", f, a.String(), b.String())
+		}
+	}
+	// The sweep's own shape: medians fall as the SDN fraction grows.
+	med := func(i int) float64 { return seqRes.Cells[i].Summary.Median }
+	if !(med(0) > med(1) && med(1) > med(2)) {
+		t.Fatalf("medians not decreasing: %.3f %.3f %.3f", med(0), med(1), med(2))
+	}
+}
+
+// TestSweepErrorDeterministic pins that a failing cell reports the
+// same error at any parallelism.
+func TestSweepErrorDeterministic(t *testing.T) {
+	mk := func(p int) error {
+		sw := baseSweep()
+		sw.Axis = SDNCounts(0, 99)
+		sw.Parallelism = p
+		_, err := sw.Run()
+		return err
+	}
+	errSeq, errPar := mk(1), mk(8)
+	if errSeq == nil || errPar == nil {
+		t.Fatal("out-of-range SDN count should error at any parallelism")
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Fatalf("error text differs: %q vs %q", errSeq, errPar)
+	}
+}
+
+// TestSweepNonCliqueTopology is the acceptance check that the unified
+// engine runs end-to-end on a non-clique generator with structured
+// output: a grid sweep whose JSON round-trips.
+func TestSweepNonCliqueTopology(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 5 * time.Second
+	sw := Sweep{
+		Name: "fig2",
+		Base: Trial{
+			Topo:     TopoSpec{Kind: "grid", N: 2, M: 3},
+			Event:    Withdrawal,
+			Timers:   timers,
+			Debounce: 100 * time.Millisecond,
+		},
+		Axis:       SDNCounts(0, 3),
+		Runs:       1,
+		BaseSeed:   1,
+		SeedPolicy: SeedCellRun,
+	}
+	res, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Results[0].Convergence <= 0 {
+			t.Fatalf("cell %s: no convergence measured", c.Label)
+		}
+		if c.Results[0].UpdatesSent == 0 {
+			t.Fatalf("cell %s: no update load measured", c.Label)
+		}
+	}
+	// Centralizing half the grid must not slow the withdrawal down.
+	if res.Cells[1].Summary.Median > res.Cells[0].Summary.Median {
+		t.Fatalf("SDN slower than pure BGP on the grid: %.3f vs %.3f",
+			res.Cells[1].Summary.Median, res.Cells[0].Summary.Median)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, FormatJSON, res); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Topology string `json:"topology"`
+		Cells    []struct {
+			Label string  `json:"label"`
+			MedS  float64 `json:"med_s"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("json output invalid: %v", err)
+	}
+	if parsed.Topology != "grid 2 3" || len(parsed.Cells) != 2 {
+		t.Fatalf("json echo wrong: %+v", parsed)
+	}
+}
+
+// TestTrialEventsRunOnAnyTopology smoke-runs the other events on
+// non-clique generators through the uniform Trial API.
+func TestTrialEventsRunOnAnyTopology(t *testing.T) {
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 2 * time.Second
+	for _, tc := range []struct {
+		topo  TopoSpec
+		event Event
+	}{
+		{TopoSpec{Kind: "ring", N: 4}, Announcement},
+		{TopoSpec{Kind: "line", N: 4}, Failover},
+	} {
+		trial := Trial{
+			Topo:      tc.topo,
+			Placement: Placement{Strategy: PlaceLast, K: 2},
+			Event:     tc.event,
+			Timers:    timers,
+			Seed:      3,
+		}
+		res, err := trial.Run()
+		if err != nil {
+			t.Fatalf("%s on %s: %v", tc.event, tc.topo, err)
+		}
+		if res.Convergence <= 0 {
+			t.Fatalf("%s on %s: no convergence measured", tc.event, tc.topo)
+		}
+		if !res.ReachableAfter {
+			t.Fatalf("%s on %s: origin prefix unreachable after the event", tc.event, tc.topo)
+		}
+	}
+}
+
+func TestSeedPolicies(t *testing.T) {
+	sw := Sweep{
+		Base:       Trial{Topo: TopoSpec{Kind: "ba", N: 8, M: 2}, Placement: Placement{Strategy: PlaceLast}},
+		Axis:       SDNCounts(0, 4),
+		BaseSeed:   10,
+		SeedPolicy: SeedCellRun,
+	}
+	if got := sw.seed(1, 2); got != 10+2000+4 {
+		t.Fatalf("SeedCellRun seed = %d", got)
+	}
+	trial := sw.trialFor(1, 2)
+	if trial.Seed != 10+2000+4 || trial.Placement.K != 4 {
+		t.Fatalf("trialFor = seed %d K %d", trial.Seed, trial.Placement.K)
+	}
+	// Random topologies must stay fixed across the whole sweep: every
+	// cell and run builds from the sweep's BaseSeed, never the run
+	// seed, so the swept axis is the only varying input.
+	for ci := 0; ci < 2; ci++ {
+		for run := 0; run < 3; run++ {
+			if got := sw.trialFor(ci, run).TopoSeed; got != sw.BaseSeed {
+				t.Fatalf("cell %d run %d: TopoSeed = %d, want BaseSeed %d", ci, run, got, sw.BaseSeed)
+			}
+		}
+	}
+	sw.SeedPolicy = SeedRun
+	if got := sw.seed(1, 2); got != 12 {
+		t.Fatalf("SeedRun seed = %d", got)
+	}
+}
+
+// TestSDNAxisNeedsKDrivenPlacement pins that an sdn-count axis over a
+// placement that ignores K is rejected instead of silently running
+// the identical trial in every cell.
+func TestSDNAxisNeedsKDrivenPlacement(t *testing.T) {
+	for _, p := range []Placement{
+		{Strategy: PlaceNone},
+		{Strategy: PlaceExplicit, ASNs: nil},
+	} {
+		sw := baseSweep()
+		sw.Base.Placement = p
+		if _, err := sw.Run(); err == nil {
+			t.Fatalf("placement %q with sdn-count axis should error", p.Strategy)
+		}
+	}
+}
+
+func TestEventParse(t *testing.T) {
+	for _, ev := range []Event{Withdrawal, Announcement, Failover, Flap} {
+		got, err := ParseEvent(ev.String())
+		if err != nil || got != ev {
+			t.Fatalf("ParseEvent(%q) = %v, %v", ev.String(), got, err)
+		}
+	}
+	if _, err := ParseEvent("earthquake"); err == nil {
+		t.Fatal("unknown event should error")
+	}
+	if Event(9).String() == "" {
+		t.Fatal("unknown Event.String empty")
+	}
+}

@@ -1,0 +1,160 @@
+package lab
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/idr"
+	"repro/internal/topology"
+)
+
+// TestTopoSpecRoundTrip pins the shared parser on every spec string
+// the scenario DSL documents (plus the er/ba generators): parse,
+// render, re-parse, and build a connected graph of the right size.
+func TestTopoSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in    string
+		nodes int
+	}{
+		{"clique 16", 16},
+		{"line 4", 4},
+		{"ring 6", 6},
+		{"star 5", 5},
+		{"tree 7 2", 7},
+		{"grid 4 4", 16},
+		{"internet 20", 20},
+		{"er 10 0.4", 10},
+		{"ba 12 2", 12},
+	}
+	for _, c := range cases {
+		spec, err := ParseTopoString(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if got := spec.String(); got != c.in {
+			t.Fatalf("%q: String() = %q, does not round-trip", c.in, got)
+		}
+		again, err := ParseTopoString(spec.String())
+		if err != nil || !reflect.DeepEqual(spec, again) {
+			t.Fatalf("%q: re-parse = %+v (%v), want %+v", c.in, again, err, spec)
+		}
+		if spec.Nodes() != c.nodes {
+			t.Fatalf("%q: Nodes() = %d, want %d", c.in, spec.Nodes(), c.nodes)
+		}
+		g, err := spec.Build(rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%q: Build: %v", c.in, err)
+		}
+		if g.NumNodes() != c.nodes {
+			t.Fatalf("%q: built %d nodes, want %d", c.in, g.NumNodes(), c.nodes)
+		}
+		if !g.Connected() {
+			t.Fatalf("%q: built graph not connected", c.in)
+		}
+	}
+}
+
+// TestTopoSpecSeededBuildDeterministic pins that random generators
+// re-draw the same graph for the same seed (the property Trial relies
+// on for reproducibility).
+func TestTopoSpecSeededBuildDeterministic(t *testing.T) {
+	for _, in := range []string{"internet 20", "er 10 0.4", "ba 12 2"} {
+		spec, err := ParseTopoString(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := spec.Build(rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := spec.Build(rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+			t.Fatalf("%q: same seed drew different graphs", in)
+		}
+	}
+}
+
+func TestTopoSpecParseErrors(t *testing.T) {
+	for _, in := range []string{"", "mobius 4", "clique", "clique x", "grid 4", "er 10", "er 10 zero", "ba 12",
+		"clique 8 16", "grid 4 4 9", "er 10 0.4 7"} {
+		if _, err := ParseTopoString(in); err == nil {
+			t.Fatalf("%q: want parse error", in)
+		}
+	}
+	if _, err := (TopoSpec{Kind: "internet", N: 8}).Build(nil); err == nil {
+		t.Fatal("random topology without rng should error")
+	}
+}
+
+func TestPlacementSelect(t *testing.T) {
+	g, err := topology.Star(5) // AS1 hub (degree 4), AS2..AS5 leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   string
+		want []idr.ASN
+	}{
+		{"none", nil},
+		{"last 2", []idr.ASN{4, 5}},
+		{"first 2", []idr.ASN{1, 2}},
+		{"degree 1", []idr.ASN{1}},
+		{"degree 3", []idr.ASN{1, 2, 3}},
+		{"as 2,4", []idr.ASN{2, 4}},
+		{"3,5", []idr.ASN{3, 5}},
+	}
+	for _, c := range cases {
+		p, err := ParsePlacementString(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		got, err := p.Select(g)
+		if err != nil {
+			t.Fatalf("%q: Select: %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("%q: Select = %v, want %v", c.in, got, c.want)
+		}
+		// The rendered form must select the same members.
+		back, err := ParsePlacementString(p.String())
+		if err != nil {
+			t.Fatalf("%q: re-parse %q: %v", c.in, p.String(), err)
+		}
+		got2, err := back.Select(g)
+		if err != nil || !reflect.DeepEqual(got2, c.want) {
+			t.Fatalf("%q: round-trip via %q selected %v (%v)", c.in, p.String(), got2, err)
+		}
+	}
+
+	// The zero value is the paper's deployment: last K.
+	zero := Placement{K: 2}
+	got, err := zero.Select(g)
+	if err != nil || !reflect.DeepEqual(got, []idr.ASN{4, 5}) {
+		t.Fatalf("zero-value placement = %v (%v), want last 2", got, err)
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	g, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"", "as", "as x", "last x"} {
+		if _, err := ParsePlacementString(in); err == nil {
+			t.Fatalf("%q: want parse error", in)
+		}
+	}
+	if _, err := (Placement{Strategy: PlaceLast, K: 5}).Select(g); err == nil {
+		t.Fatal("K beyond topology should error")
+	}
+	if _, err := (Placement{Strategy: PlaceExplicit, ASNs: []idr.ASN{9}}).Select(g); err == nil {
+		t.Fatal("explicit member outside topology should error")
+	}
+	if _, err := (Placement{Strategy: "random", K: 1}).Select(g); err == nil {
+		t.Fatal("unknown strategy should error")
+	}
+}

@@ -1,0 +1,320 @@
+// Package lab is the unified evaluation API: one fully-specified
+// emulation run (Trial) returning one uniform metrics record (Result),
+// swept along one declared Axis by a generic parallel Sweep, with one
+// encoder layer (table, csv, json, SVG boxplot adapter) over the
+// structured output.
+//
+// The paper's pitch is that users script arbitrary hybrid BGP/SDN
+// experiments while the framework handles configuration and
+// measurement; lab is the measurement half of that promise. A Trial
+// names any topology generator (TopoSpec), an SDN placement strategy
+// (Placement), the protocol timers, the triggering event and a seed —
+// and Run executes the full emulation (build, establish, announce,
+// converge, trigger, measure) on a private sim.Kernel, so trials are
+// share-nothing and deterministic per seed. internal/figures declares
+// the paper's figures and ablations as Sweep specs over this API;
+// cmd/convergence exposes the same specs on the command line.
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/experiment"
+	"repro/internal/idr"
+	"repro/internal/topology"
+)
+
+// Event selects the triggering routing event a trial measures.
+type Event int
+
+// Trial events.
+const (
+	// Withdrawal: the origin AS withdraws an established prefix — the
+	// paper's Figure 2 experiment.
+	Withdrawal Event = iota
+	// Announcement: the origin AS announces a fresh prefix (§4).
+	Announcement
+	// Failover: a dual-homed stub origin loses its primary attachment
+	// while the prefix stays reachable over the backup (§4).
+	Failover
+	// Flap: the origin withdraws and re-announces its prefix for
+	// FlapCycles periods of FlapPeriod — the stability-ablation storm.
+	Flap
+)
+
+// String names the event.
+func (ev Event) String() string {
+	switch ev {
+	case Withdrawal:
+		return "withdrawal"
+	case Announcement:
+		return "announcement"
+	case Failover:
+		return "failover"
+	case Flap:
+		return "flap"
+	default:
+		return fmt.Sprintf("Event(%d)", int(ev))
+	}
+}
+
+// ParseEvent parses an event name.
+func ParseEvent(s string) (Event, error) {
+	for _, ev := range []Event{Withdrawal, Announcement, Failover, Flap} {
+		if ev.String() == s {
+			return ev, nil
+		}
+	}
+	return 0, fmt.Errorf("lab: unknown event %q", s)
+}
+
+// Trial fully specifies one seeded emulation run. The zero value plus
+// a Topo is runnable: default timers, pure BGP, withdrawal event.
+type Trial struct {
+	// Topo names the topology generator and its parameters.
+	Topo TopoSpec
+	// Placement decides the SDN cluster membership.
+	Placement Placement
+	// Event is the triggering routing event to measure.
+	Event Event
+	// Timers are the BGP protocol timers (zero value selects
+	// bgp.DefaultTimers: MRAI 30s with jitter).
+	Timers bgp.Timers
+	// Debounce is the controller's delayed-recomputation window,
+	// passed to experiment.Config verbatim. Zero selects the
+	// controller default (core.DefaultDebounce); a negative value
+	// disables the delay entirely (recompute immediately). This is the
+	// one convention across lab, experiment and core — a zero-length
+	// window is the same thing as disabled, so express it with a
+	// negative value.
+	Debounce time.Duration
+	// Settle is the convergence quiescence window (zero derives it
+	// from the MRAI; see experiment.Config.Settle).
+	Settle time.Duration
+	// ProcessingDelay is each router's per-UPDATE processing cost,
+	// passed to experiment.Config verbatim (zero disables the model;
+	// the clique sweep specs set 25ms, approximating the paper's
+	// shared-host Quagga daemons).
+	ProcessingDelay time.Duration
+	// Damping enables RFC 2439 route-flap damping on legacy routers.
+	Damping *bgp.DampingConfig
+	// FlapCycles and FlapPeriod parameterise the Flap event (defaults
+	// 6 cycles of 20s).
+	FlapCycles int
+	FlapPeriod time.Duration
+	// Seed drives the run's protocol randomness (MRAI jitter, loss
+	// draws); same trial + same seed = identical run.
+	Seed int64
+	// TopoSeed seeds the random topology generators (internet, er,
+	// ba); deterministic generators ignore it. It is separate from
+	// Seed so a sweep measures one fixed graph across every cell and
+	// run instead of confounding the swept axis with topology
+	// variation — Sweep.Run pins it to the sweep's BaseSeed.
+	TopoSeed int64
+	// Timeout bounds each convergence wait (default 2h virtual).
+	Timeout time.Duration
+	// EstablishTimeout bounds session establishment (default 5m).
+	EstablishTimeout time.Duration
+}
+
+// Result is the uniform metrics record of one trial, gathered from the
+// monitor instrumentation. All counters cover the measurement phase
+// (from the triggering event on), not the warm-up convergence.
+type Result struct {
+	// Convergence is the time from the triggering event to the last
+	// routing activity it caused (zero for the Flap storm, which has
+	// no single convergence instant).
+	Convergence time.Duration
+	// UpdatesSent and UpdatesReceived count legacy BGP UPDATE load
+	// network-wide during the measurement phase.
+	UpdatesSent, UpdatesReceived uint64
+	// BestPathChanges counts best-route changes for the origin prefix
+	// across all routers (the path-exploration metric after Oliveira
+	// et al.).
+	BestPathChanges int
+	// Recomputes counts controller recomputation batches (zero in
+	// pure-BGP trials).
+	Recomputes uint64
+	// ProbesSent and ProbesDelivered report data-plane probe outcomes
+	// (zero unless the trial injects probes).
+	ProbesSent, ProbesDelivered uint64
+	// ReachableAfter reports whether every other AS can reach the
+	// origin prefix once the run settles (false after a withdrawal by
+	// construction; the fail-over and flap checks).
+	ReachableAfter bool
+}
+
+// withDefaults fills the documented defaults.
+func (t Trial) withDefaults() Trial {
+	if t.Timers == (bgp.Timers{}) {
+		t.Timers = bgp.DefaultTimers()
+	}
+	if t.Timeout == 0 {
+		t.Timeout = 2 * time.Hour
+	}
+	if t.EstablishTimeout == 0 {
+		t.EstablishTimeout = 5 * time.Minute
+	}
+	if t.FlapCycles == 0 {
+		t.FlapCycles = 6
+	}
+	if t.FlapPeriod == 0 {
+		t.FlapPeriod = 20 * time.Second
+	}
+	return t
+}
+
+// Run executes the trial: build the topology, select the cluster,
+// bring the network up, announce every prefix, converge, then trigger
+// the event and measure. It returns the uniform metrics record.
+func (t Trial) Run() (Result, error) {
+	t = t.withDefaults()
+	g, err := t.Topo.Build(rand.New(rand.NewSource(t.TopoSeed)))
+	if err != nil {
+		return Result{}, err
+	}
+	members, err := t.Placement.Select(g)
+	if err != nil {
+		return Result{}, err
+	}
+	origin := topology.BaseASN
+	if t.Event == Failover {
+		// The fail-over scenario dual-homes a stub origin onto the
+		// first two non-origin ASes: failing the primary attachment
+		// forces every AS to re-converge onto paths through the
+		// backup, with real path exploration in the legacy part.
+		if g.NumNodes() < 3 {
+			return Result{}, fmt.Errorf("lab: failover needs >= 3 ASes, topology %q has %d", t.Topo, g.NumNodes())
+		}
+		origin = topology.BaseASN + idr.ASN(g.NumNodes())
+		g.AddNode(origin)
+		if err := g.AddEdge(topology.Edge{A: origin, B: topology.BaseASN + 1, Rel: topology.P2P}); err != nil {
+			return Result{}, err
+		}
+		if err := g.AddEdge(topology.Edge{A: origin, B: topology.BaseASN + 2, Rel: topology.P2P}); err != nil {
+			return Result{}, err
+		}
+	}
+	e, err := experiment.New(experiment.Config{
+		Seed:            t.Seed,
+		Graph:           g,
+		SDNMembers:      members,
+		Timers:          t.Timers,
+		Debounce:        t.Debounce,
+		Settle:          t.Settle,
+		ProcessingDelay: t.ProcessingDelay,
+		Damping:         t.Damping,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := e.Start(); err != nil {
+		return Result{}, err
+	}
+	if err := e.WaitEstablished(t.EstablishTimeout); err != nil {
+		return Result{}, err
+	}
+
+	// Warm-up: announce every prefix (except the origin's for the
+	// fresh-announcement event) and let routing settle.
+	for _, asn := range e.ASNs() {
+		if t.Event == Announcement && asn == origin {
+			continue
+		}
+		if err := e.Announce(asn); err != nil {
+			return Result{}, err
+		}
+	}
+	if _, err := e.WaitConverged(t.Timeout); err != nil {
+		return Result{}, err
+	}
+
+	prefix, err := e.OriginPrefix(origin)
+	if err != nil {
+		return Result{}, err
+	}
+	sentBefore, recvBefore := updateCounts(e)
+	recompBefore := recomputes(e)
+	start := e.K.Now()
+
+	var res Result
+	switch t.Event {
+	case Withdrawal:
+		res.Convergence, err = e.MeasureConvergence(func() error { return e.Withdraw(origin) }, t.Timeout)
+	case Announcement:
+		res.Convergence, err = e.MeasureConvergence(func() error { return e.Announce(origin) }, t.Timeout)
+	case Failover:
+		primary := topology.BaseASN + 1
+		res.Convergence, err = e.MeasureConvergence(func() error { return e.FailLink(origin, primary) }, t.Timeout)
+	case Flap:
+		err = runFlapStorm(e, origin, t)
+	default:
+		err = fmt.Errorf("lab: unknown event %v", t.Event)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	sentAfter, recvAfter := updateCounts(e)
+	res.UpdatesSent = sentAfter - sentBefore
+	res.UpdatesReceived = recvAfter - recvBefore
+	res.Recomputes = recomputes(e) - recompBefore
+	for _, n := range e.Log.PathExplorationCount(prefix, start) {
+		res.BestPathChanges += n
+	}
+	loss := e.Probes.TotalLoss()
+	res.ProbesSent, res.ProbesDelivered = loss.Sent, loss.Delivered
+	res.ReachableAfter = true
+	for _, asn := range e.ASNs() {
+		if asn == origin {
+			continue
+		}
+		if !e.Reachable(asn, origin) {
+			res.ReachableAfter = false
+			break
+		}
+	}
+	return res, nil
+}
+
+// runFlapStorm drives the Flap event: FlapCycles withdraw/announce
+// cycles, then full settling (damping needs decay time).
+func runFlapStorm(e *experiment.Experiment, origin idr.ASN, t Trial) error {
+	for i := 0; i < t.FlapCycles; i++ {
+		if err := e.Withdraw(origin); err != nil {
+			return err
+		}
+		if err := e.RunFor(t.FlapPeriod / 2); err != nil {
+			return err
+		}
+		if err := e.Announce(origin); err != nil {
+			return err
+		}
+		if err := e.RunFor(t.FlapPeriod / 2); err != nil {
+			return err
+		}
+	}
+	if _, err := e.WaitConverged(t.Timeout); err != nil {
+		return err
+	}
+	return e.RunFor(10 * time.Minute)
+}
+
+func updateCounts(e *experiment.Experiment) (sent, recv uint64) {
+	for _, r := range e.Routers {
+		s := r.Stats()
+		sent += s.UpdatesSent
+		recv += s.UpdatesReceived
+	}
+	return sent, recv
+}
+
+func recomputes(e *experiment.Experiment) uint64 {
+	if e.Ctrl == nil {
+		return 0
+	}
+	return e.Ctrl.Stats().Recomputes
+}

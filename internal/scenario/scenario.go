@@ -8,8 +8,12 @@
 //
 //	# configuration
 //	topology clique 16        (also: line/ring/star N, tree N F,
-//	                           grid W H, internet N)
-//	sdn last 8                (or: sdn 9 10 11 12 / sdn none)
+//	                           grid W H, internet N, er N P, ba N M —
+//	                           the shared lab.TopoSpec syntax, identical
+//	                           to the convergence CLI's -topology flag)
+//	sdn last 8                (also: first K / degree K / sdn 9 10 11 12
+//	                           / sdn none — the shared lab.Placement
+//	                           strategies)
 //	seed 42
 //	mrai 30s
 //	no-mrai-jitter
@@ -47,6 +51,7 @@ import (
 	"repro/internal/bgp/wire"
 	"repro/internal/experiment"
 	"repro/internal/idr"
+	"repro/internal/lab"
 	"repro/internal/monitor"
 	"repro/internal/policy"
 	"repro/internal/topology"
@@ -232,112 +237,42 @@ func (r *Runner) ensureTimers() {
 	}
 }
 
+// execTopology parses the spec with the shared lab parser (the same
+// one behind the convergence CLI's -topology flag) and builds the
+// graph; random generators draw from the script's seed.
 func (r *Runner) execTopology(args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("want a topology kind")
+	spec, err := lab.ParseTopo(args)
+	if err != nil {
+		return err
 	}
-	kind := args[0]
-	num := func(i int) (int, error) {
-		if len(args) <= i {
-			return 0, fmt.Errorf("topology %s: missing size", kind)
-		}
-		return strconv.Atoi(args[i])
+	rng := r.topoRand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(r.cfg.Seed))
 	}
-	var err error
-	switch kind {
-	case "clique":
-		n, e := num(1)
-		if e != nil {
-			return e
-		}
-		r.graph, err = topology.Clique(n)
-	case "line":
-		n, e := num(1)
-		if e != nil {
-			return e
-		}
-		r.graph, err = topology.Line(n)
-	case "ring":
-		n, e := num(1)
-		if e != nil {
-			return e
-		}
-		r.graph, err = topology.Ring(n)
-	case "star":
-		n, e := num(1)
-		if e != nil {
-			return e
-		}
-		r.graph, err = topology.Star(n)
-	case "tree":
-		n, e := num(1)
-		if e != nil {
-			return e
-		}
-		f, e := num(2)
-		if e != nil {
-			return e
-		}
-		r.graph, err = topology.Tree(n, f)
-	case "grid":
-		w, e := num(1)
-		if e != nil {
-			return e
-		}
-		h, e := num(2)
-		if e != nil {
-			return e
-		}
-		r.graph, err = topology.Grid(w, h)
-	case "internet":
-		n, e := num(1)
-		if e != nil {
-			return e
-		}
-		rng := r.topoRand
-		if rng == nil {
-			rng = rand.New(rand.NewSource(r.cfg.Seed))
-		}
-		r.graph, err = topology.SynthesizeInternetLike(topology.InternetLikeConfig{ASes: n}, rng)
-	default:
-		return fmt.Errorf("unknown topology %q", kind)
-	}
+	r.graph, err = spec.Build(rng)
 	return err
 }
 
+// execSDN resolves cluster membership through the shared lab
+// placement strategies, so "sdn last 8", "sdn first 4", "sdn degree 3"
+// and explicit member lists mean the same thing as the CLI's
+// -placement flag.
 func (r *Runner) execSDN(args []string) error {
 	if r.graph == nil {
 		return fmt.Errorf("set a topology before sdn")
 	}
-	if len(args) == 0 {
-		return fmt.Errorf("want: sdn none | sdn last K | sdn <asn...>")
+	p, err := lab.ParsePlacement(args)
+	if err != nil {
+		return err
 	}
-	switch args[0] {
-	case "none":
-		r.sdn = nil
-		return nil
-	case "last":
-		k, err := parseInt(args, 1)
-		if err != nil {
-			return err
+	switch p.Strategy {
+	case lab.PlaceLast, lab.PlaceFirst, lab.PlaceDegree:
+		if len(args) < 2 {
+			return fmt.Errorf("want: sdn %s K", p.Strategy)
 		}
-		nodes := r.graph.Nodes()
-		if k < 0 || k > len(nodes) {
-			return fmt.Errorf("sdn last %d outside 0..%d", k, len(nodes))
-		}
-		r.sdn = nodes[len(nodes)-k:]
-		return nil
-	default:
-		r.sdn = nil
-		for _, a := range args {
-			v, err := strconv.ParseUint(a, 10, 32)
-			if err != nil {
-				return fmt.Errorf("bad ASN %q", a)
-			}
-			r.sdn = append(r.sdn, idr.ASN(v))
-		}
-		return nil
 	}
+	r.sdn, err = p.Select(r.graph)
+	return err
 }
 
 func (r *Runner) execStart() error {

@@ -300,3 +300,33 @@ wait-converged 30m
 		t.Fatal("bad damping arg should error")
 	}
 }
+
+// TestSharedTopologyParser pins that the scenario DSL rides the shared
+// lab.TopoSpec parser: every documented spec string — including the
+// er/ba generators and multi-argument forms like "grid 4 4" — builds
+// and starts, and placement strategies beyond "last" work.
+func TestSharedTopologyParser(t *testing.T) {
+	for _, topo := range []string{
+		"clique 4", "line 4", "ring 4", "star 4", "tree 5 2",
+		"grid 2 2", "internet 8", "er 6 0.8", "ba 6 2",
+	} {
+		out, err := run(t, "seed 5\ntopology "+topo+"\nstart\n")
+		if err != nil {
+			t.Fatalf("topology %q: %v", topo, err)
+		}
+		if !strings.Contains(out, "started:") {
+			t.Fatalf("topology %q: no start banner:\n%s", topo, out)
+		}
+	}
+}
+
+func TestPlacementStrategies(t *testing.T) {
+	for _, sdn := range []string{"first 2", "degree 2", "last 2", "none", "2 3"} {
+		if _, err := run(t, "topology ring 4\nsdn "+sdn+"\nstart\n"); err != nil {
+			t.Fatalf("sdn %q: %v", sdn, err)
+		}
+	}
+	if _, err := run(t, "topology ring 4\nsdn degree\nstart\n"); err == nil {
+		t.Fatal("strategy without K should error")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -167,8 +168,16 @@ func SynthesizeInternetLike(cfg InternetLikeConfig, rng *rand.Rand) (*Graph, err
 			}
 			chosen[p] = true
 		}
-		maxDepth := 0
+		// Iterate the chosen set in sorted order: map iteration order
+		// would otherwise leak into the provider pool and make the
+		// same seed draw different graphs across runs.
+		providers := make([]idr.ASN, 0, len(chosen))
 		for p := range chosen {
+			providers = append(providers, p)
+		}
+		sort.Slice(providers, func(a, b int) bool { return providers[a] < providers[b] })
+		maxDepth := 0
+		for _, p := range providers {
 			if err := g.AddEdge(Edge{A: p, B: newcomer, Rel: P2C}); err != nil {
 				return nil, err
 			}

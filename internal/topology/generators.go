@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/idr"
 )
@@ -219,14 +220,22 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
 			t := targets[rng.Intn(len(targets))]
 			chosen[t] = true
 		}
+		// Iterate the chosen set in sorted order: map iteration order
+		// would otherwise leak into the sampling pool and make the
+		// same seed draw different graphs across runs.
+		picked := make([]idr.ASN, 0, len(chosen))
 		for t := range chosen {
+			picked = append(picked, t)
+		}
+		sort.Slice(picked, func(a, b int) bool { return picked[a] < picked[b] })
+		for _, t := range picked {
 			if err := g.AddEdge(Edge{A: t, B: newcomer, Rel: P2C}); err != nil {
 				return nil, err
 			}
 		}
 		// Extend sampling pool after the fact so this node's picks were
 		// not biased toward itself.
-		for t := range chosen {
+		for _, t := range picked {
 			targets = append(targets, t, newcomer)
 		}
 	}
