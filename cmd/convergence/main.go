@@ -17,8 +17,14 @@
 //	                                           # internet, er, ba
 //	convergence -exp fig2 -placement degree    # SDN placement: last (paper),
 //	                                           # first, degree, none, as 2,3
+//	convergence -exp fig2 -policy gao-rexford  # routing policy: permit-all
+//	                                           # (default), gao-rexford,
+//	                                           # prefix-filter
+//	convergence -exp vf|policyload|hijack      # the policy figure family
 //	convergence -exp mrai|size|debounce|exploration|flap
 //	convergence -exp subcluster                # scripted split experiment
+//	convergence -exp fig2 -sdn-counts 0,8,16 -runs 3
+//	convergence -exp fig2 -progress            # stream per-run completion
 //	convergence -exp fig2 -format csv|json|table [-svg fig2.svg]
 package main
 
@@ -26,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +47,9 @@ func main() {
 	list := flag.Bool("list", false, "list the experiment registry and exit")
 	topo := flag.String("topology", "", `topology spec, e.g. "clique 16" or "grid 4 4" (default per experiment; trailing args join the spec)`)
 	placement := flag.String("placement", "", "SDN placement strategy: last|first|degree for sdn-count sweeps (default last, the paper's deployment); none or as 2,3,... only where the experiment fixes the cluster (e.g. debounce)")
+	policyName := flag.String("policy", "", "routing policy template: permit-all|gao-rexford|prefix-filter (default per experiment: permit-all for the classic figures, gao-rexford for vf/hijack)")
+	sdnCounts := flag.String("sdn-counts", "", "comma-separated SDN cluster sizes for sdn-count sweeps, e.g. 0,8,16 (default per experiment)")
+	progress := flag.Bool("progress", false, "stream per-run completion to stderr while the sweep runs")
 	runs := flag.Int("runs", 0, "runs per point (0 = experiment default; the paper's boxplots use 10)")
 	seed := flag.Int64("seed", 1, "base seed")
 	mrai := flag.Duration("mrai", 30*time.Second, "BGP MinRouteAdvertisementInterval")
@@ -69,7 +79,7 @@ func main() {
 		// The split experiment is a scripted sequence, not a sweep:
 		// only -mrai and -seed apply, so reject the sweep flags
 		// instead of silently dropping them.
-		for _, name := range []string{"format", "topology", "placement", "runs", "debounce", "parallel", "svg"} {
+		for _, name := range []string{"format", "topology", "placement", "policy", "sdn-counts", "progress", "runs", "debounce", "parallel", "svg"} {
 			if set[name] {
 				fatal(fmt.Errorf("-%s does not apply to the subcluster experiment (it is a scripted sequence, not a sweep)", name))
 			}
@@ -124,6 +134,34 @@ func main() {
 			fatal(err)
 		}
 		opts.Placement = &p
+	}
+	if set["policy"] {
+		p, err := lab.ParsePolicy(*policyName)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Policy = p
+	}
+	if set["sdn-counts"] {
+		for _, tok := range strings.Split(*sdnCounts, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			k, err := strconv.Atoi(tok)
+			if err != nil {
+				fatal(fmt.Errorf("bad -sdn-counts entry %q", tok))
+			}
+			opts.SDNCounts = append(opts.SDNCounts, k)
+		}
+		if len(opts.SDNCounts) == 0 {
+			fatal(fmt.Errorf("-sdn-counts lists no cluster sizes"))
+		}
+	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "progress: %d/%d runs\n", done, total)
+		}
 	}
 
 	res, err := figures.Run(*exp, opts)

@@ -13,15 +13,19 @@
 //
 // Evaluation runs through internal/lab, the unified entry point: a
 // lab.Trial names any topology generator (lab.TopoSpec), an SDN
-// placement strategy (lab.Placement), timers and a triggering event,
-// and returns a uniform lab.Result; a lab.Sweep varies one declared
-// axis (SDN count, MRAI, topology size, debounce, flap period or
-// regime) across seeded parallel runs; and one encoder layer renders
-// every sweep as a table, CSV, JSON or an SVG boxplot. The paper's
-// figures and ablations are declarative lab sweep specs registered in
-// internal/figures and exposed by cmd/convergence.
+// placement strategy (lab.Placement), a routing-policy template
+// (lab.PolicySpec: permit-all, gao-rexford, prefix-filter), timers
+// and a triggering event, and returns a uniform lab.Result; a
+// lab.Sweep varies one declared axis (SDN count, MRAI, topology size,
+// debounce, flap period, regime or policy) across seeded parallel
+// runs; and one encoder layer renders every sweep as a table, CSV,
+// JSON or an SVG boxplot. The paper's figures, the policy family on
+// internet-like AS graphs and the ablations are declarative lab sweep
+// specs registered in internal/figures and exposed by
+// cmd/convergence.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-versus-measured results. The root-level
-// benchmarks (bench_test.go) regenerate every figure and table.
+// See README.md for the quickstart, ARCHITECTURE.md for the package
+// map and layering rules, and EXPERIMENTS.md for the
+// paper-versus-measured results. The root-level benchmarks
+// (bench_test.go) regenerate every figure and table.
 package repro

@@ -169,6 +169,10 @@ type Router struct {
 	table  *rib.Table
 	adjOut *rib.AdjOut
 	peers  map[rib.PeerKey]*Peer
+	// peerList holds the sessions sorted by key — the deterministic
+	// fan-out order of onChange, maintained at AddPeer time so the
+	// per-UPDATE path never re-sorts.
+	peerList []*Peer
 	// originated remembers locally-announced prefixes.
 	originated map[netip.Prefix]wire.PathAttrs
 	stats      Stats
@@ -277,6 +281,8 @@ func (r *Router) AddPeer(pc PeerConfig) (*Peer, error) {
 		pendingWithdraw: make(map[netip.Prefix]bool),
 	}
 	r.peers[pc.Key] = p
+	r.peerList = append(r.peerList, p)
+	sort.Slice(r.peerList, func(i, j int) bool { return r.peerList[i].cfg.Key < r.peerList[j].cfg.Key })
 	return p, nil
 }
 
@@ -333,27 +339,25 @@ func (r *Router) Originated() []netip.Prefix {
 }
 
 // onChange reacts to one Loc-RIB transition: trace it and schedule
-// updates toward every established peer (in deterministic order, so a
-// seed fully determines a run).
+// updates toward every established peer (in deterministic key order,
+// so a seed fully determines a run). The best route and its
+// learned-from neighbor are resolved once here instead of once per
+// peer — on a router with P sessions that turns each routing change
+// from P map probes into one.
 func (r *Router) onChange(change rib.Change) {
 	if !change.Changed() {
 		return
 	}
 	c := change
 	r.trace(TraceEvent{Kind: TraceBest, Change: &c})
-	for _, key := range r.peerKeys() {
-		r.peers[key].scheduleRoute(change.Prefix)
+	best, ok := r.table.Best(change.Prefix)
+	var learnedFrom policy.Neighbor
+	if ok {
+		learnedFrom = r.learnedFromNeighbor(best)
 	}
-}
-
-// peerKeys returns the session keys in sorted order.
-func (r *Router) peerKeys() []rib.PeerKey {
-	keys := make([]rib.PeerKey, 0, len(r.peers))
-	for k := range r.peers {
-		keys = append(keys, k)
+	for _, p := range r.peerList {
+		p.scheduleRoute(change.Prefix, best, ok, learnedFrom)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
 }
 
 // learnedFromNeighbor resolves the policy neighbor a route was learned
@@ -371,9 +375,11 @@ func (r *Router) learnedFromNeighbor(rt *rib.Route) policy.Neighbor {
 // exportAttrs builds the eBGP attributes for advertising rt to p:
 // prepend the local ASN, set NEXT_HOP to the session address, strip
 // LOCAL_PREF (eBGP), and strip MED on re-advertisement of learned
-// routes.
+// routes. Prepend already copies the AS path, so the route's attrs
+// are shared structurally rather than deep-cloned a second time; the
+// export side treats attribute sets as immutable (see Policy).
 func (r *Router) exportAttrs(p *Peer, rt *rib.Route) wire.PathAttrs {
-	attrs := rt.Attrs.Clone()
+	attrs := rt.Attrs
 	attrs.ASPath = attrs.ASPath.Prepend(r.cfg.ASN)
 	attrs.NextHop = p.cfg.NextHop
 	attrs.LocalPref = nil

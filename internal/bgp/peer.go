@@ -8,6 +8,7 @@ import (
 	"repro/internal/bgp/rib"
 	"repro/internal/bgp/wire"
 	"repro/internal/idr"
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -218,7 +219,7 @@ func (p *Peer) establish() {
 	p.armKeepalive()
 	// Initial routing table dump: schedule every Loc-RIB route.
 	for _, rt := range p.router.table.BestRoutes() {
-		p.scheduleRoute(rt.Prefix)
+		p.scheduleRoute(rt.Prefix, rt, true, p.router.learnedFromNeighbor(rt))
 	}
 	// First advertisement batch may go immediately.
 	p.nextAdvAllowed = time.Time{}
@@ -294,10 +295,21 @@ func (p *Peer) handleUpdate(m wire.Update) {
 		}
 		return
 	}
+	// Attribute interning: an UPDATE with a single NLRI prefix (the
+	// dominant shape in these emulations) installs the decoded
+	// attribute set directly instead of deep-cloning it; only
+	// multi-prefix updates clone per route so the routes stay
+	// independent. Policies replace attribute fields rather than
+	// mutating shared slices (see Policy), which keeps the sharing safe.
+	shared := len(m.NLRI) == 1
 	for _, prefix := range m.NLRI {
+		attrs := m.Attrs
+		if !shared {
+			attrs = m.Attrs.Clone()
+		}
 		rt := &rib.Route{
 			Prefix:  prefix,
-			Attrs:   m.Attrs.Clone(),
+			Attrs:   attrs,
 			Peer:    p.cfg.Key,
 			PeerASN: p.cfg.RemoteASN,
 			PeerID:  p.remoteID,
@@ -327,20 +339,19 @@ func (p *Peer) handleUpdate(m wire.Update) {
 	}
 }
 
-// scheduleRoute queues the router's current best route for prefix
-// toward this peer (or its withdrawal), applying export policy and
-// split horizon. Called for every material Loc-RIB change and on
-// session establishment.
-func (p *Peer) scheduleRoute(prefix netip.Prefix) {
+// scheduleRoute queues the router's best route for prefix toward this
+// peer (or its withdrawal), applying export policy and split horizon.
+// Called for every material Loc-RIB change and on session
+// establishment; the caller resolves the best route (ok false = no
+// route) and its learned-from neighbor once for all peers.
+func (p *Peer) scheduleRoute(prefix netip.Prefix, best *rib.Route, ok bool, learnedFrom policy.Neighbor) {
 	if p.state != StateEstablished {
 		return
 	}
 	r := p.router
-	best, ok := r.table.Best(prefix)
 	advertise := false
 	var attrs wire.PathAttrs
 	if ok {
-		learnedFrom := r.learnedFromNeighbor(best)
 		switch {
 		case best.Peer == p.cfg.Key:
 			// Split horizon: never advertise a route back to the
@@ -447,27 +458,45 @@ func (p *Peer) flushAnnouncements() {
 	}
 	r := p.router
 	// Group prefixes by identical attributes for honest UPDATE packing.
+	// Scanning the pending prefixes in address order and comparing
+	// attribute sets structurally keeps the grouping deterministic
+	// without rendering attrs.String() once per prefix; the final
+	// emission order (sorted by the attribute rendering) matches the
+	// historical encoder exactly, with address order breaking ties.
 	type group struct {
 		attrs    wire.PathAttrs
+		key      string
 		prefixes []netip.Prefix
 	}
-	groups := make(map[string]*group)
-	var order []string
-	for prefix, attrs := range p.pendingAnnounce {
-		key := attrs.String()
-		g, ok := groups[key]
-		if !ok {
+	prefixes := make([]netip.Prefix, 0, len(p.pendingAnnounce))
+	for prefix := range p.pendingAnnounce {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return idr.PrefixLess(prefixes[i], prefixes[j]) })
+	var groups []*group
+	for _, prefix := range prefixes {
+		attrs := p.pendingAnnounce[prefix]
+		var g *group
+		for _, have := range groups {
+			if have.attrs.Equal(attrs) {
+				g = have
+				break
+			}
+		}
+		if g == nil {
 			g = &group{attrs: attrs}
-			groups[key] = g
-			order = append(order, key)
+			groups = append(groups, g)
 		}
 		g.prefixes = append(g.prefixes, prefix)
 	}
-	sort.Strings(order)
+	if len(groups) > 1 {
+		for _, g := range groups {
+			g.key = g.attrs.String()
+		}
+		sort.SliceStable(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	}
 	p.pendingAnnounce = make(map[netip.Prefix]wire.PathAttrs)
-	for _, key := range order {
-		g := groups[key]
-		sort.Slice(g.prefixes, func(i, j int) bool { return idr.PrefixLess(g.prefixes[i], g.prefixes[j]) })
+	for _, g := range groups {
 		for _, prefix := range g.prefixes {
 			r.adjOut.Set(p.cfg.Key, prefix, g.attrs)
 		}

@@ -4,8 +4,29 @@
 //
 // The collector is a real BGP speaker: it accepts sessions, imports
 // everything into its RIB and exports nothing, while recording every
-// UPDATE with a timestamp for offline analysis (a lightweight MRT-like
-// feed, serialisable as JSON lines).
+// UPDATE with a timestamp for offline analysis — a lightweight
+// MRT-like feed in the spirit of RFC 6396's BGP4MP records, traded
+// down to a self-describing JSON Lines serialisation.
+//
+// # Dump schema
+//
+// WriteJSONL emits one JSON object per collected UPDATE, in arrival
+// order, with the following fields (see Record):
+//
+//	{
+//	  "time": "2000-01-01T00:05:42.103Z",       // RFC 3339, virtual clock
+//	  "from": 7,                                 // monitored router's ASN
+//	  "announced": {"10.0.3.0/24": "7 3"},       // prefix -> AS path,
+//	                                             //   omitted when empty
+//	  "withdrawn": ["10.0.9.0/24"]               // omitted when empty
+//	}
+//
+// "time" is the emulation's virtual clock (sim.Epoch-based), so dumps
+// from the same seed are byte-identical. "announced" maps every NLRI
+// prefix of the UPDATE to the advertised AS_PATH in the conventional
+// "1 2 {3,4}" rendering; "withdrawn" lists withdrawn prefixes in
+// UPDATE order. ReadJSONL parses the format back into Records, so a
+// dump round-trips for offline analysis.
 package collector
 
 import (
@@ -27,14 +48,17 @@ import (
 // DefaultASN is the collector's conventional private AS number.
 const DefaultASN idr.ASN = 65000
 
-// Record is one collected routing update.
+// Record is one collected routing update — one line of the JSONL dump
+// (see the package doc for the full schema).
 type Record struct {
+	// Time is the virtual-clock arrival instant of the UPDATE.
 	Time time.Time `json:"time"`
 	// From is the router the update came from.
 	From idr.ASN `json:"from"`
-	// Announced maps prefix -> AS path for the NLRI in the update.
+	// Announced maps prefix -> AS path for the NLRI in the update
+	// (omitted when the UPDATE announced nothing).
 	Announced map[string]string `json:"announced,omitempty"`
-	// Withdrawn lists withdrawn prefixes.
+	// Withdrawn lists withdrawn prefixes (omitted when none).
 	Withdrawn []string `json:"withdrawn,omitempty"`
 }
 
@@ -172,7 +196,8 @@ func (c *Collector) Buckets(start time.Time, width time.Duration, n int) []int {
 	return out
 }
 
-// WriteJSONL streams the collected records as JSON lines.
+// WriteJSONL streams the collected records as JSON lines in the
+// package doc's dump schema, one record per line, in arrival order.
 func (c *Collector) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, r := range c.records {
@@ -181,4 +206,21 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ReadJSONL parses a dump written by WriteJSONL back into records,
+// preserving order — the offline-analysis half of the round trip.
+// Blank lines are skipped; a malformed line errors with its number.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("collector: record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
 }

@@ -152,6 +152,60 @@ func TestCollectorJSONL(t *testing.T) {
 	}
 }
 
+// TestCollectorJSONLRoundTrip pins the dump schema: a feed written
+// with WriteJSONL parses back into the identical records, so offline
+// analysis can consume dumps without touching the emulator.
+func TestCollectorJSONLRoundTrip(t *testing.T) {
+	k, coll, r := rig(t)
+	pfx := netip.MustParsePrefix("10.0.7.0/24")
+	k.AfterFunc(time.Second, func() { _ = r.Announce(pfx) })
+	k.AfterFunc(10*time.Second, func() { _ = r.Withdraw(pfx) })
+	if err := k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := coll.Records()
+	if len(want) != 2 {
+		t.Fatalf("records = %d, want 2", len(want))
+	}
+	var buf bytes.Buffer
+	if err := coll.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost records: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Time.Equal(want[i].Time) || got[i].From != want[i].From {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+		if len(got[i].Announced) != len(want[i].Announced) {
+			t.Fatalf("record %d announced: got %v, want %v", i, got[i].Announced, want[i].Announced)
+		}
+		for p, path := range want[i].Announced {
+			if got[i].Announced[p] != path {
+				t.Fatalf("record %d prefix %s: got path %q, want %q", i, p, got[i].Announced[p], path)
+			}
+		}
+		if len(got[i].Withdrawn) != len(want[i].Withdrawn) {
+			t.Fatalf("record %d withdrawn: got %v, want %v", i, got[i].Withdrawn, want[i].Withdrawn)
+		}
+		for j := range want[i].Withdrawn {
+			if got[i].Withdrawn[j] != want[i].Withdrawn[j] {
+				t.Fatalf("record %d withdrawn[%d]: got %q, want %q", i, j, got[i].Withdrawn[j], want[i].Withdrawn[j])
+			}
+		}
+	}
+	// Malformed input errors with the record number instead of
+	// silently truncating the feed.
+	if _, err := ReadJSONL(strings.NewReader("{\"time\":\"2000-01-01T00:00:00Z\"}\n{broken")); err == nil {
+		t.Fatal("malformed line should error")
+	}
+}
+
 func TestPeerKeyRoundTrip(t *testing.T) {
 	if got := peerASNFromKey(PeerKeyFor(64500)); got != 64500 {
 		t.Fatalf("round trip = %v", got)

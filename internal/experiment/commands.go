@@ -51,6 +51,20 @@ func (e *Experiment) Withdraw(asn idr.ASN) error {
 	return r.Withdraw(prefix)
 }
 
+// AnnounceForeign originates prefix at asn even though the address
+// plan assigns the prefix to a different AS — the prefix-hijack
+// trigger. Only legacy routers can originate foreign prefixes;
+// cluster members announce through the controller's planned
+// origination (Announce).
+func (e *Experiment) AnnounceForeign(asn idr.ASN, prefix netip.Prefix) error {
+	r, ok := e.Routers[asn]
+	if !ok {
+		return fmt.Errorf("experiment: %v is not a legacy BGP router", asn)
+	}
+	e.Detector.Touch()
+	return r.Announce(prefix)
+}
+
 // Link returns the emulated link between two ASes.
 func (e *Experiment) Link(a, b idr.ASN) (linkUp bool, exists bool) {
 	l, ok := e.links[linkKey(a, b)]

@@ -96,6 +96,10 @@ type Experiment struct {
 
 	members map[idr.ASN]bool
 	links   map[[2]idr.ASN]*netem.Link
+	// kinds is the per-speaker neighbor-kind table, computed once from
+	// the topology at build time (policy.FromTopology) so session
+	// setup and policy evaluation never probe the graph again.
+	kinds map[[2]idr.ASN]topology.NeighborKind
 	// peerEndpoint maps a legacy router's session key to the endpoint
 	// it rides on (probe forwarding).
 	peerEndpoint map[idr.ASN]map[rib.PeerKey]*netem.Endpoint
@@ -148,6 +152,7 @@ func New(cfg Config) (*Experiment, error) {
 		peerEndpoint: make(map[idr.ASN]map[rib.PeerKey]*netem.Endpoint),
 		keyOf:        make(map[*netem.Endpoint]rib.PeerKey),
 		portOf:       make(map[*netem.Endpoint]uint32),
+		kinds:        policy.FromTopology(cfg.Graph),
 	}
 	e.Net = netem.NewNetwork(e.K, e.K.Rand())
 	// The quiescence window must exceed the largest legitimate gap

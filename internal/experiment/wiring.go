@@ -67,10 +67,11 @@ func (e *Experiment) buildLink(edge topology.Edge) error {
 }
 
 // neighborOf builds the policy neighbor descriptor for remote as seen
-// from local, using the topology's business relationship.
+// from local, using the neighbor-kind table precomputed at build time
+// (pairs without a topology edge — e.g. the collector — resolve to
+// KindNone).
 func (e *Experiment) neighborOf(local, remote idr.ASN) policy.Neighbor {
-	kind, _ := e.cfg.Graph.RelationshipOf(local, remote)
-	return policy.Neighbor{Key: peerKeyTo(remote), ASN: remote, Kind: kind}
+	return policy.Neighbor{Key: peerKeyTo(remote), ASN: remote, Kind: e.kinds[[2]idr.ASN{local, remote}]}
 }
 
 func (e *Experiment) addRouterPeer(local, remote idr.ASN, ep *netem.Endpoint, addr netip.Addr) (*bgp.Peer, error) {

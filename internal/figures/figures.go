@@ -1,13 +1,15 @@
 // Package figures declares the paper's evaluation as lab sweep specs:
 // Figure 2 (withdrawal convergence on a 16-AS clique versus SDN
 // deployment fraction, boxplots over 10 runs), the two experiments
-// reported in prose in §4 (announcement and route fail-over), and the
-// ablations indexed in DESIGN.md (MRAI, clique size, controller
+// reported in prose in §4 (announcement and route fail-over), the
+// policy family on internet-like AS graphs (valley-free convergence,
+// policy-vs-policy-free update load, prefix-hijack containment), and
+// the ablations indexed in DESIGN.md (MRAI, clique size, controller
 // debounce, path exploration, flap stability). Each spec is a
-// declarative description — topology, placement, event, axis, seeds —
-// that Build turns into a lab.Sweep; the lab package runs it and
-// encodes the structured result. cmd/convergence exposes the registry
-// on the command line.
+// declarative description — topology, placement, policy, event, axis,
+// seeds — that Build turns into a lab.Sweep; the lab package runs it
+// and encodes the structured result. cmd/convergence exposes the
+// registry on the command line.
 package figures
 
 import (
@@ -42,8 +44,16 @@ type Options struct {
 	// keeps the spec default; negative disables the delay — see
 	// lab.Trial.Debounce for the zero/negative convention).
 	Debounce *time.Duration
+	// Policy overrides the routing-policy template (zero keeps the
+	// spec default: permit-all for the classic figures, gao-rexford
+	// for the policy family). See lab.PolicySpec.
+	Policy lab.PolicySpec
 	// Parallelism bounds concurrent emulation runs (0 = GOMAXPROCS).
 	Parallelism int
+	// Progress, when non-nil, receives (done, total) after every
+	// completed run (lab.Sweep.Progress; called concurrently when
+	// Parallelism != 1).
+	Progress func(done, total int)
 }
 
 func (o Options) topoOr(def lab.TopoSpec) lab.TopoSpec {
@@ -73,6 +83,23 @@ func (o Options) debounceOr(def time.Duration) time.Duration {
 	}
 	return def
 }
+
+func (o Options) policyOr(def lab.PolicySpec) lab.PolicySpec {
+	if o.Policy.Kind != "" {
+		return o.Policy
+	}
+	return def
+}
+
+// originOnlyAt is the topology size (AS count) above which the
+// figure specs switch the warm-up to origin-only announcements: a
+// full-table warm-up holds O(N²) routes network-wide (and drives
+// controller flow-mod load with the member×prefix product), which is
+// what makes internet-scale sweeps infeasible, while every measured
+// event concerns only the origin prefix. See lab.Trial.OriginOnly.
+const originOnlyAt = 128
+
+func originOnly(topo lab.TopoSpec) bool { return topo.Nodes() >= originOnlyAt }
 
 // rejectUnused errors when the caller set an override this spec
 // cannot honor — silently ignoring a -placement or SDN-count list
@@ -133,18 +160,42 @@ func convergenceSpec(name, title string, ev lab.Event) Spec {
 			Base: lab.Trial{
 				Topo:            topo,
 				Placement:       o.placementOr(lab.Placement{Strategy: lab.PlaceLast}),
+				Policy:          o.policyOr(lab.PolicySpec{}),
 				Event:           ev,
 				Timers:          o.timers(),
 				Debounce:        o.debounceOr(100 * time.Millisecond),
 				ProcessingDelay: 25 * time.Millisecond,
+				OriginOnly:      originOnly(topo),
 			},
 			Axis:        lab.SDNCounts(o.sdnCountsOr(topo.Nodes())...),
 			Runs:        o.runsOr(10),
 			BaseSeed:    o.BaseSeed,
 			SeedPolicy:  lab.SeedCellRun,
 			Parallelism: o.Parallelism,
+			Progress:    o.Progress,
 		}, nil
 	}}
+}
+
+// policySteps returns the default sdn-count axis of the policy
+// figures: 0..n in n/8 steps (deduplicated, always ending at a
+// not-fully-clustered point plus full deployment where valid).
+func policySteps(n int, includeFull bool) []int {
+	step := n / 8
+	if step < 1 {
+		step = 1
+	}
+	var counts []int
+	for k := 0; k <= n; k += step {
+		if k == n && !includeFull {
+			break
+		}
+		counts = append(counts, k)
+	}
+	if includeFull && (len(counts) == 0 || counts[len(counts)-1] != n) {
+		counts = append(counts, n)
+	}
+	return counts
 }
 
 // registry is the experiment index, in presentation order.
@@ -152,6 +203,102 @@ var registry = []Spec{
 	convergenceSpec("fig2", "Figure 2: withdrawal convergence vs SDN deployment fraction", lab.Withdrawal),
 	convergenceSpec("announce", "§4: fresh-prefix announcement vs SDN deployment fraction", lab.Announcement),
 	convergenceSpec("failover", "§4: dual-homed stub fail-over vs SDN deployment fraction", lab.Failover),
+
+	{Name: "vf", Title: "policy: valley-free withdrawal convergence vs SDN cluster size (internet-like graph)",
+		Build: func(o Options) (lab.Sweep, error) {
+			topo := o.topoOr(lab.TopoSpec{Kind: "internet", N: 64})
+			counts := o.SDNCounts
+			if len(counts) == 0 {
+				counts = policySteps(topo.Nodes(), true)
+			}
+			return lab.Sweep{
+				Name: "vf",
+				Base: lab.Trial{
+					Topo:            topo,
+					Placement:       o.placementOr(lab.Placement{Strategy: lab.PlaceDegree}),
+					Policy:          o.policyOr(lab.PolicySpec{Kind: lab.PolicyGaoRexford}),
+					Event:           lab.Withdrawal,
+					Timers:          o.timers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+					OriginOnly:      originOnly(topo),
+				},
+				Axis:        lab.SDNCounts(counts...),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
+			}, nil
+		}},
+
+	{Name: "policyload", Title: "policy: withdrawal update load under permit-all vs gao-rexford vs prefix-filter (pure BGP)",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectUnused("policyload", "a policy-axis comparison at pure BGP"); err != nil {
+				return lab.Sweep{}, err
+			}
+			if o.Policy.Kind != "" {
+				return lab.Sweep{}, fmt.Errorf("figures: policyload sweeps the policy itself; -policy does not apply")
+			}
+			topo := o.topoOr(lab.TopoSpec{Kind: "internet", N: 32})
+			return lab.Sweep{
+				Name: "policyload",
+				Base: lab.Trial{
+					Topo:            topo,
+					Placement:       lab.Placement{Strategy: lab.PlaceNone},
+					Event:           lab.Withdrawal,
+					Timers:          o.timers(),
+					ProcessingDelay: 25 * time.Millisecond,
+					OriginOnly:      originOnly(topo),
+				},
+				Axis: lab.Policies(
+					lab.PolicySpec{Kind: lab.PolicyPermitAll},
+					lab.PolicySpec{Kind: lab.PolicyGaoRexford},
+					lab.PolicySpec{Kind: lab.PolicyPrefixFilter},
+				),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
+			}, nil
+		}},
+
+	{Name: "hijack", Title: "policy: prefix-hijack containment vs SDN cluster size (bogus-announcement reach)",
+		Build: func(o Options) (lab.Sweep, error) {
+			topo := o.topoOr(lab.TopoSpec{Kind: "internet", N: 32})
+			counts := o.SDNCounts
+			if len(counts) == 0 {
+				// Stop short of full deployment: a hijack needs at
+				// least one AS still running legacy BGP to originate
+				// the bogus announcement.
+				counts = policySteps(topo.Nodes(), false)
+			}
+			for _, k := range counts {
+				// Reject full deployment up front instead of after an
+				// internet-scale warm-up: with every AS clustered no
+				// legacy attacker exists (lab.Hijack).
+				if k >= topo.Nodes() {
+					return lab.Sweep{}, fmt.Errorf("figures: hijack needs a legacy attacker; SDN count %d covers all %d ASes", k, topo.Nodes())
+				}
+			}
+			return lab.Sweep{
+				Name: "hijack",
+				Base: lab.Trial{
+					Topo:            topo,
+					Placement:       o.placementOr(lab.Placement{Strategy: lab.PlaceDegree}),
+					Policy:          o.policyOr(lab.PolicySpec{Kind: lab.PolicyGaoRexford}),
+					Event:           lab.Hijack,
+					Timers:          o.timers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+					OriginOnly:      originOnly(topo),
+				},
+				Axis:        lab.SDNCounts(counts...),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
+			}, nil
+		}},
 
 	{Name: "mrai", Title: "ablation: pure-BGP withdrawal convergence vs MRAI",
 		Build: func(o Options) (lab.Sweep, error) {
@@ -166,6 +313,7 @@ var registry = []Spec{
 				Base: lab.Trial{
 					Topo:            o.topoOr(lab.TopoSpec{Kind: "clique", N: 8}),
 					Placement:       lab.Placement{Strategy: lab.PlaceNone},
+					Policy:          o.policyOr(lab.PolicySpec{}),
 					Event:           lab.Withdrawal,
 					Timers:          bgp.DefaultTimers(),
 					Debounce:        o.debounceOr(100 * time.Millisecond),
@@ -175,6 +323,7 @@ var registry = []Spec{
 				Runs:        o.runsOr(5),
 				BaseSeed:    o.BaseSeed,
 				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
 			}, nil
 		}},
 
@@ -188,6 +337,7 @@ var registry = []Spec{
 				Base: lab.Trial{
 					Topo:            o.topoOr(lab.TopoSpec{Kind: "clique", N: 8}),
 					Placement:       lab.Placement{Strategy: lab.PlaceNone},
+					Policy:          o.policyOr(lab.PolicySpec{}),
 					Event:           lab.Withdrawal,
 					Timers:          o.timers(),
 					Debounce:        o.debounceOr(100 * time.Millisecond),
@@ -197,6 +347,7 @@ var registry = []Spec{
 				Runs:        o.runsOr(5),
 				BaseSeed:    o.BaseSeed,
 				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
 			}, nil
 		}},
 
@@ -224,6 +375,7 @@ var registry = []Spec{
 				Base: lab.Trial{
 					Topo:      topo,
 					Placement: placement,
+					Policy:    o.policyOr(lab.PolicySpec{}),
 					Event:     lab.Withdrawal,
 					Timers:    o.timers(),
 				},
@@ -231,6 +383,7 @@ var registry = []Spec{
 				Runs:        o.runsOr(5),
 				BaseSeed:    o.BaseSeed,
 				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
 			}, nil
 		}},
 
@@ -247,6 +400,7 @@ var registry = []Spec{
 				Base: lab.Trial{
 					Topo:      topo,
 					Placement: o.placementOr(lab.Placement{Strategy: lab.PlaceLast}),
+					Policy:    o.policyOr(lab.PolicySpec{}),
 					Event:     lab.Withdrawal,
 					Timers:    o.timers(),
 					Debounce:  o.debounceOr(0),
@@ -255,6 +409,7 @@ var registry = []Spec{
 				Runs:        o.runsOr(1),
 				BaseSeed:    o.BaseSeed,
 				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
 			}, nil
 		}},
 
@@ -270,6 +425,7 @@ var registry = []Spec{
 				Name: "flap",
 				Base: lab.Trial{
 					Topo:   o.topoOr(lab.TopoSpec{Kind: "clique", N: 8}),
+					Policy: o.policyOr(lab.PolicySpec{}),
 					Event:  lab.Flap,
 					Timers: o.timers(),
 				},
@@ -277,6 +433,7 @@ var registry = []Spec{
 				Runs:        o.runsOr(1),
 				BaseSeed:    o.BaseSeed,
 				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
 			}, nil
 		}},
 }

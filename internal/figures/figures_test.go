@@ -135,6 +135,45 @@ func TestFig2PaperConfigEquivalence(t *testing.T) {
 	}
 }
 
+// TestFig2PolicyPermitAllEquivalence pins that an explicit
+// -policy permit-all is the identity: the same paper configuration
+// with the permit-all template spelled out reproduces the pre-policy
+// fig2 numbers exactly — s-pure-median 350.284, slope −369.785,
+// r² 0.989 — so wiring policies through the evaluation API changed
+// nothing for policy-free trials.
+func TestFig2PolicyPermitAllEquivalence(t *testing.T) {
+	opts := Options{
+		SDNCounts: []int{0, 4, 8, 12, 16},
+		Runs:      3,
+		BaseSeed:  1,
+		Policy:    lab.PolicySpec{Kind: lab.PolicyPermitAll},
+	}
+	res := build(t, "fig2", opts, nil)
+	if got := res.Policy.String(); got != lab.PolicyPermitAll {
+		t.Fatalf("result policy echo = %q, want %q", got, lab.PolicyPermitAll)
+	}
+	pinDurations(t, res.Cells[0], []time.Duration{352108071933, 346901627464, 350283820015})
+	pinDurations(t, res.Cells[4], []time.Duration{100 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond})
+	a, b, r2, ok := res.Fit()
+	if !ok {
+		t.Fatal("fit unavailable")
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+		want string
+	}{
+		{"s-pure-median", res.Cells[0].Summary.Median, "350.284"},
+		{"intercept", a, "358.154"},
+		{"slope", b, "-369.785"},
+		{"r2", r2, "0.989"},
+	} {
+		if got := fmt.Sprintf("%.3f", c.got); got != c.want {
+			t.Fatalf("%s = %s under explicit permit-all, want the policy-free %s", c.name, got, c.want)
+		}
+	}
+}
+
 func TestAnnouncementSmallerEffect(t *testing.T) {
 	w := mustFastWithdrawal(t)
 	a := build(t, "announce", fastOpts(), nil)
@@ -308,7 +347,7 @@ func TestSubClusterSurvivesSplit(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"fig2", "announce", "failover", "mrai", "size", "debounce", "exploration", "flap"}
+	want := []string{"fig2", "announce", "failover", "vf", "policyload", "hijack", "mrai", "size", "debounce", "exploration", "flap"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry names = %v, want %v", got, want)
@@ -323,6 +362,55 @@ func TestRegistry(t *testing.T) {
 	}
 	if _, err := Run("warp-drive", Options{}); err == nil {
 		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestPolicyFamilySpecs pins the declarative shape of the policy
+// registry entries without running their (internet-scale) sweeps.
+func TestPolicyFamilySpecs(t *testing.T) {
+	vf, _ := Lookup("vf")
+	sw, err := vf.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Base.Policy.Kind != lab.PolicyGaoRexford {
+		t.Fatalf("vf default policy = %q, want gao-rexford", sw.Base.Policy.Kind)
+	}
+	if sw.Base.Topo.Kind != "internet" {
+		t.Fatalf("vf default topology = %q, want internet", sw.Base.Topo.Kind)
+	}
+	if sw.Axis.Kind != lab.AxisSDNCount {
+		t.Fatalf("vf axis = %v, want sdn-count", sw.Axis.Kind)
+	}
+
+	pl, _ := Lookup("policyload")
+	sw, err = pl.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Axis.Kind != lab.AxisPolicy || sw.Axis.Len() != 3 {
+		t.Fatalf("policyload axis = %v len %d, want a 3-value policy axis", sw.Axis.Kind, sw.Axis.Len())
+	}
+	if _, err := pl.Build(Options{Policy: lab.PolicySpec{Kind: lab.PolicyGaoRexford}}); err == nil {
+		t.Fatal("policyload must reject -policy (it sweeps the policy itself)")
+	}
+	if _, err := pl.Build(Options{SDNCounts: []int{1}}); err == nil {
+		t.Fatal("policyload must reject an SDN-count list")
+	}
+
+	hj, _ := Lookup("hijack")
+	sw, err = hj.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Base.Event != lab.Hijack {
+		t.Fatalf("hijack event = %v", sw.Base.Event)
+	}
+	// The default axis must stop short of full deployment: a hijack
+	// needs a legacy attacker.
+	last := sw.Axis.Ints[len(sw.Axis.Ints)-1]
+	if last >= sw.Base.Topo.Nodes() {
+		t.Fatalf("hijack default axis reaches full deployment (K=%d of %d)", last, sw.Base.Topo.Nodes())
 	}
 }
 

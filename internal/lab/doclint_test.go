@@ -1,0 +1,73 @@
+package lab
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented is the repository's stand-in for a
+// `revive exported` lint step (the container has no third-party
+// linters): every exported top-level type, function, method, constant,
+// variable and struct field in internal/lab and internal/policy must
+// carry a doc comment, so the evaluation API documents its units and
+// zero-value behavior the way lab.Trial.Debounce does. CI runs this
+// through the ordinary `go test` invocation.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	for _, dir := range []string{".", "../policy"} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					checkDecl(t, fset, decl)
+				}
+			}
+		}
+	}
+}
+
+func checkDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	report := func(pos token.Pos, name string) {
+		t.Errorf("%s: exported %s has no doc comment", fset.Position(pos), name)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			report(d.Pos(), "func "+d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type "+s.Name.Name)
+				}
+				if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							if name.IsExported() && field.Doc == nil && field.Comment == nil {
+								report(name.Pos(), "field "+s.Name.Name+"."+name.Name)
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(name.Pos(), "value "+name.Name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -47,30 +47,39 @@ func Write(w io.Writer, f Format, res *SweepResult) error {
 }
 
 func writeTable(w io.Writer, res *SweepResult) error {
-	if _, err := fmt.Fprintf(w, "# %s: %s convergence on %s vs %s (%d runs/point, seed %d)\n",
-		res.Name, res.Event, res.TopoLabel(), res.Axis.Name(), res.Runs, res.BaseSeed); err != nil {
+	if _, err := fmt.Fprintf(w, "# %s: %s convergence on %s vs %s (policy %s, %d runs/point, seed %d)\n",
+		res.Name, res.Event, res.TopoLabel(), res.Axis.Name(), res.PolicyLabel(), res.Runs, res.BaseSeed); err != nil {
 		return err
 	}
 	sdn := res.Axis.Kind == AxisSDNCount
-	header := fmt.Sprintf("%-10s ", res.Axis.Name())
+	hijack := res.Event == Hijack
+	header := fmt.Sprintf("%-12s ", res.Axis.Name())
 	if sdn {
 		header += fmt.Sprintf("%-9s ", "fraction")
 	}
-	header += fmt.Sprintf("%4s %8s %8s %8s %8s %8s %8s %9s %9s %10s %9s",
+	header += fmt.Sprintf("%4s %8s %8s %8s %8s %8s %8s %9s %9s %10s",
 		"n", "min_s", "q1_s", "med_s", "q3_s", "max_s", "mean_s",
-		"updates", "best_chg", "recomputes", "reachable")
+		"updates", "best_chg", "recomputes")
+	if hijack {
+		header += fmt.Sprintf(" %9s", "hijacked")
+	}
+	header += fmt.Sprintf(" %9s", "reachable")
 	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, c := range res.Cells {
-		row := fmt.Sprintf("%-10s ", c.Label)
+		row := fmt.Sprintf("%-12s ", c.Label)
 		if sdn {
 			row += fmt.Sprintf("%-9.3f ", c.Fraction)
 		}
 		s := c.Summary
-		row += fmt.Sprintf("%4d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %9.1f %9.1f %10.1f %9v",
+		row += fmt.Sprintf("%4d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %9.1f %9.1f %10.1f",
 			s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean,
-			c.MeanUpdatesSent(), c.MeanBestPathChanges(), c.MeanRecomputes(), c.AllReachable())
+			c.MeanUpdatesSent(), c.MeanBestPathChanges(), c.MeanRecomputes())
+		if hijack {
+			row += fmt.Sprintf(" %9.1f", c.MeanHijacked())
+		}
+		row += fmt.Sprintf(" %9v", c.AllReachable())
 		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err
 		}
@@ -96,17 +105,18 @@ func fstr(x float64) string {
 }
 
 func writeCSV(w io.Writer, res *SweepResult) error {
-	if _, err := fmt.Fprintf(w, "%s,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,reachable_after\n",
+	if _, err := fmt.Fprintf(w, "%s,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after\n",
 		res.Axis.Name()); err != nil {
 		return err
 	}
 	for _, c := range res.Cells {
 		s := c.Summary
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%v\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%v\n",
 			c.Label, fstr(c.Value), fstr(c.Fraction), s.N,
 			fstr(s.Min), fstr(s.Q1), fstr(s.Median), fstr(s.Q3), fstr(s.Max), fstr(s.Mean),
 			fstr(c.MeanUpdatesSent()), fstr(c.MeanUpdatesReceived()),
-			fstr(c.MeanBestPathChanges()), fstr(c.MeanRecomputes()), c.AllReachable()); err != nil {
+			fstr(c.MeanBestPathChanges()), fstr(c.MeanRecomputes()),
+			fstr(c.MeanHijacked()), c.AllReachable()); err != nil {
 			return err
 		}
 	}
@@ -135,6 +145,7 @@ type jsonCell struct {
 	UpdatesRecv     float64   `json:"updates_recv"`
 	BestPathChanges float64   `json:"best_path_changes"`
 	Recomputes      float64   `json:"recomputes"`
+	Hijacked        float64   `json:"hijacked"`
 	ReachableAfter  bool      `json:"reachable_after"`
 }
 
@@ -142,6 +153,7 @@ type jsonSweep struct {
 	Experiment string     `json:"experiment"`
 	Event      string     `json:"event"`
 	Topology   string     `json:"topology"`
+	Policy     string     `json:"policy"`
 	Axis       string     `json:"axis"`
 	Runs       int        `json:"runs"`
 	BaseSeed   int64      `json:"base_seed"`
@@ -161,6 +173,7 @@ func writeJSON(w io.Writer, res *SweepResult) error {
 		Experiment: res.Name,
 		Event:      res.Event.String(),
 		Topology:   res.TopoLabel(),
+		Policy:     res.PolicyLabel(),
 		Axis:       res.Axis.Name(),
 		Runs:       res.Runs,
 		BaseSeed:   res.BaseSeed,
@@ -188,6 +201,7 @@ func writeJSON(w io.Writer, res *SweepResult) error {
 			UpdatesRecv:     c.MeanUpdatesReceived(),
 			BestPathChanges: c.MeanBestPathChanges(),
 			Recomputes:      c.MeanRecomputes(),
+			Hijacked:        c.MeanHijacked(),
 			ReachableAfter:  c.AllReachable(),
 		}
 	}

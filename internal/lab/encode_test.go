@@ -57,10 +57,10 @@ func encode(t *testing.T, f Format, res *SweepResult) string {
 
 func TestWriteTableGolden(t *testing.T) {
 	got := encode(t, FormatTable, fixedResult())
-	want := `# fig2: withdrawal convergence on clique 4 vs sdn_k (2 runs/point, seed 1)
-sdn_k      fraction     n    min_s     q1_s    med_s     q3_s    max_s   mean_s   updates  best_chg recomputes reachable
-0          0.000        2   40.000   42.500   45.000   47.500   50.000   45.000     120.0      30.0        0.0     false
-2          0.500        2   10.000   12.500   15.000   17.500   20.000   15.000      40.0      10.0        4.0     false
+	want := `# fig2: withdrawal convergence on clique 4 vs sdn_k (policy permit-all, 2 runs/point, seed 1)
+sdn_k        fraction     n    min_s     q1_s    med_s     q3_s    max_s   mean_s   updates  best_chg recomputes reachable
+0            0.000        2   40.000   42.500   45.000   47.500   50.000   45.000     120.0      30.0        0.0     false
+2            0.500        2   10.000   12.500   15.000   17.500   20.000   15.000      40.0      10.0        4.0     false
 # linear fit: t = 45.0s -60.0s*fraction (r2=1.000)
 `
 	if got != want {
@@ -70,9 +70,9 @@ sdn_k      fraction     n    min_s     q1_s    med_s     q3_s    max_s   mean_s 
 
 func TestWriteCSVGolden(t *testing.T) {
 	got := encode(t, FormatCSV, fixedResult())
-	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,reachable_after
-0,0,0,2,40,42.5,45,47.5,50,45,120,120,30,0,false
-2,2,0.5,2,10,12.5,15,17.5,20,15,40,40,10,4,false
+	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after
+0,0,0,2,40,42.5,45,47.5,50,45,120,120,30,0,0,false
+2,2,0.5,2,10,12.5,15,17.5,20,15,40,40,10,4,0,false
 `
 	if got != want {
 		t.Fatalf("csv golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -85,6 +85,7 @@ func TestWriteJSONGolden(t *testing.T) {
   "experiment": "fig2",
   "event": "withdrawal",
   "topology": "clique 4",
+  "policy": "permit-all",
   "axis": "sdn_k",
   "runs": 2,
   "base_seed": 1,
@@ -108,6 +109,7 @@ func TestWriteJSONGolden(t *testing.T) {
       "updates_recv": 120,
       "best_path_changes": 30,
       "recomputes": 0,
+      "hijacked": 0,
       "reachable_after": false
     },
     {
@@ -129,6 +131,7 @@ func TestWriteJSONGolden(t *testing.T) {
       "updates_recv": 40,
       "best_path_changes": 10,
       "recomputes": 4,
+      "hijacked": 0,
       "reachable_after": false
     }
   ],

@@ -1,0 +1,90 @@
+package lab
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"repro/internal/addressing"
+	"repro/internal/idr"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// Policy template names accepted by ParsePolicy. The same names are
+// accepted by the scenario DSL's "policy" directive and the
+// convergence CLI's -policy flag, so "gao-rexford" means the same
+// routing policy everywhere.
+const (
+	// PolicyPermitAll is free transit between all neighbors — the
+	// classic setting for artificial topologies, and the default.
+	PolicyPermitAll = "permit-all"
+	// PolicyGaoRexford is valley-free business routing: prefer
+	// customer routes; export customer routes to everyone, peer and
+	// provider routes only to customers.
+	PolicyGaoRexford = "gao-rexford"
+	// PolicyPrefixFilter is Gao-Rexford plus IRR-style customer-cone
+	// prefix lists: imports from customers and peers are accepted only
+	// for prefixes legitimately originated inside the neighbor's
+	// customer cone (policy.ConeFilter).
+	PolicyPrefixFilter = "prefix-filter"
+)
+
+// PolicySpec names one routing-policy template. The zero value selects
+// PolicyPermitAll, so a zero lab.Trial reproduces the policy-free
+// experiments exactly.
+type PolicySpec struct {
+	// Kind is one of the Policy* constants; empty means PolicyPermitAll.
+	Kind string
+}
+
+// ParsePolicy parses a policy template name as accepted by the CLI's
+// -policy flag and the scenario DSL's policy directive.
+func ParsePolicy(s string) (PolicySpec, error) {
+	switch strings.ToLower(s) {
+	case PolicyPermitAll, PolicyGaoRexford, PolicyPrefixFilter:
+		return PolicySpec{Kind: strings.ToLower(s)}, nil
+	default:
+		return PolicySpec{}, fmt.Errorf("lab: unknown policy %q (want %s, %s or %s)",
+			s, PolicyPermitAll, PolicyGaoRexford, PolicyPrefixFilter)
+	}
+}
+
+// String renders the spec in the form ParsePolicy accepts; the zero
+// value renders as "permit-all".
+func (s PolicySpec) String() string {
+	if s.Kind == "" {
+		return PolicyPermitAll
+	}
+	return s.Kind
+}
+
+// Build resolves the template against a concrete topology. The
+// prefix-filter template derives each AS's legitimate origin prefix
+// from the deterministic address plan (the same plan the experiment
+// builds) and each neighbor's customer cone from the topology's
+// provider-customer edges; the other templates ignore the graph.
+func (s PolicySpec) Build(g *topology.Graph) (policy.Policy, error) {
+	switch s.Kind {
+	case "", PolicyPermitAll:
+		return policy.PermitAll{}, nil
+	case PolicyGaoRexford:
+		return policy.GaoRexford{}, nil
+	case PolicyPrefixFilter:
+		plan, err := addressing.NewPlan(g.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		origins := make(map[netip.Prefix]idr.ASN, g.NumNodes())
+		for _, asn := range g.Nodes() {
+			prefix, err := plan.OriginPrefix(asn)
+			if err != nil {
+				return nil, err
+			}
+			origins[prefix] = asn
+		}
+		return policy.NewConeFilter(policy.GaoRexford{}, g, origins), nil
+	default:
+		return nil, fmt.Errorf("lab: unknown policy %q", s.Kind)
+	}
+}

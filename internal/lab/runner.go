@@ -18,6 +18,15 @@ type Runner struct {
 	// 0 (or negative) means runtime.GOMAXPROCS(0); 1 runs strictly
 	// sequentially on the calling goroutine.
 	Parallelism int
+	// Progress, when non-nil, is invoked after every task finishes
+	// (successfully or not) with the number of completed tasks so far
+	// and the total — the hook long sweeps use to stream per-run
+	// completion. With Parallelism > 1 it is called concurrently from
+	// worker goroutines and must be safe for concurrent use; each
+	// done value 1..total is delivered exactly once, but calls may be
+	// observed out of order, so a forward-only consumer (e.g. a
+	// progress bar) should keep the maximum seen.
+	Progress func(done, total int)
 }
 
 // Do invokes task(i) for every i in [0, n). Tasks run concurrently up
@@ -36,9 +45,18 @@ func (r Runner) Do(n int, task func(i int) error) error {
 	if p > n {
 		p = n
 	}
+	var done atomic.Int64
+	report := func() {
+		d := int(done.Add(1))
+		if r.Progress != nil {
+			r.Progress(d, n)
+		}
+	}
 	if p == 1 {
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil {
+			err := task(i)
+			report()
+			if err != nil {
 				return err
 			}
 		}
@@ -66,6 +84,7 @@ func (r Runner) Do(n int, task func(i int) error) error {
 					errs[i] = err
 					failed.Store(true)
 				}
+				report()
 			}
 		}()
 	}

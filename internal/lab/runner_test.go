@@ -29,6 +29,66 @@ func TestRunnerDoCoversAllIndices(t *testing.T) {
 	}
 }
 
+func TestRunnerProgress(t *testing.T) {
+	// Sequential: one call per task, done counts strictly 1..n.
+	var seq []int
+	err := Runner{Parallelism: 1, Progress: func(done, total int) {
+		if total != 10 {
+			t.Fatalf("total = %d, want 10", total)
+		}
+		seq = append(seq, done)
+	}}.Do(10, func(int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 10 {
+		t.Fatalf("progress calls = %d, want 10", len(seq))
+	}
+	for i, d := range seq {
+		if d != i+1 {
+			t.Fatalf("sequential progress[%d] = %d, want %d", i, d, i+1)
+		}
+	}
+
+	// Parallel: exactly one call per task; the final done count must
+	// reach n even though calls may interleave.
+	var calls, max atomic.Int32
+	err = Runner{Parallelism: 4, Progress: func(done, total int) {
+		calls.Add(1)
+		for {
+			cur := max.Load()
+			if int32(done) <= cur || max.CompareAndSwap(cur, int32(done)) {
+				break
+			}
+		}
+	}}.Do(25, func(int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 25 || max.Load() != 25 {
+		t.Fatalf("parallel progress: %d calls, max done %d, want 25/25", calls.Load(), max.Load())
+	}
+}
+
+// TestSweepProgressStreams wires the callback through a real sweep.
+func TestSweepProgressStreams(t *testing.T) {
+	var done atomic.Int32
+	s := Sweep{
+		Name:        "progress",
+		Base:        Trial{Topo: TopoSpec{Kind: "line", N: 3}},
+		Axis:        SDNCounts(0, 1),
+		Runs:        2,
+		Parallelism: 1,
+		Progress:    func(d, total int) { done.Store(int32(d)); _ = total },
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != 4 {
+		t.Fatalf("final progress done = %d, want 4 (2 cells x 2 runs)", done.Load())
+	}
+}
+
 func TestRunnerDoReturnsLowestIndexError(t *testing.T) {
 	// Whatever the schedule, the reported error must be the
 	// lowest-index failure, so parallel error output is deterministic.

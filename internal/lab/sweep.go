@@ -31,6 +31,10 @@ const (
 	// ModeDamping (RFC 2439) or ModeSDN (half the ASes clustered with
 	// a 1s debounce).
 	AxisMode
+	// AxisPolicy varies the routing-policy template (permit-all,
+	// gao-rexford, prefix-filter) — the policy-vs-policy-free
+	// update-load comparison.
+	AxisPolicy
 )
 
 // Flap-stability regimes for AxisMode.
@@ -41,8 +45,10 @@ const (
 )
 
 // Axis declares the swept parameter and its values. Construct with
-// SDNCounts, MRAIs, TopoSizes, Debounces, FlapPeriods or Modes.
+// SDNCounts, MRAIs, TopoSizes, Debounces, FlapPeriods, Modes or
+// Policies.
 type Axis struct {
+	// Kind selects which trial parameter the axis varies.
 	Kind AxisKind
 	// Ints holds the values for AxisSDNCount and AxisTopoSize.
 	Ints []int
@@ -51,6 +57,8 @@ type Axis struct {
 	Durations []time.Duration
 	// Modes holds the values for AxisMode.
 	Modes []string
+	// PolicySpecs holds the values for AxisPolicy.
+	PolicySpecs []PolicySpec
 }
 
 // SDNCounts declares an sdn-count axis.
@@ -71,6 +79,9 @@ func FlapPeriods(ds ...time.Duration) Axis { return Axis{Kind: AxisFlapPeriod, D
 // Modes declares a flap-containment regime axis.
 func Modes(ms ...string) Axis { return Axis{Kind: AxisMode, Modes: ms} }
 
+// Policies declares a routing-policy axis.
+func Policies(ps ...PolicySpec) Axis { return Axis{Kind: AxisPolicy, PolicySpecs: ps} }
+
 // Len returns the number of sweep cells along the axis.
 func (a Axis) Len() int {
 	switch a.Kind {
@@ -78,6 +89,8 @@ func (a Axis) Len() int {
 		return len(a.Ints)
 	case AxisMode:
 		return len(a.Modes)
+	case AxisPolicy:
+		return len(a.PolicySpecs)
 	default:
 		return len(a.Durations)
 	}
@@ -98,6 +111,8 @@ func (a Axis) Name() string {
 		return "period_s"
 	case AxisMode:
 		return "mode"
+	case AxisPolicy:
+		return "policy"
 	default:
 		return fmt.Sprintf("axis(%d)", int(a.Kind))
 	}
@@ -111,6 +126,8 @@ func (a Axis) Label(i int) string {
 		return strconv.Itoa(a.Ints[i])
 	case AxisMode:
 		return a.Modes[i]
+	case AxisPolicy:
+		return a.PolicySpecs[i].String()
 	default:
 		d := a.Durations[i]
 		if d < 0 {
@@ -121,12 +138,13 @@ func (a Axis) Label(i int) string {
 }
 
 // Value returns cell i's numeric axis value (duration axes in
-// seconds, a disabled debounce as 0) or NaN for the mode axis.
+// seconds, a disabled debounce as 0) or NaN for the non-numeric mode
+// and policy axes.
 func (a Axis) Value(i int) float64 {
 	switch a.Kind {
 	case AxisSDNCount, AxisTopoSize:
 		return float64(a.Ints[i])
-	case AxisMode:
+	case AxisMode, AxisPolicy:
 		return math.NaN()
 	default:
 		d := a.Durations[i]
@@ -166,6 +184,8 @@ func (a Axis) Apply(t *Trial, i int) {
 			t.Debounce = time.Second
 			t.Damping = nil
 		}
+	case AxisPolicy:
+		t.Policy = a.PolicySpecs[i]
 	}
 }
 
@@ -200,6 +220,12 @@ func (a Axis) validate(base Trial) error {
 		for _, m := range a.Modes {
 			if m != ModeBGP && m != ModeDamping && m != ModeSDN {
 				return fmt.Errorf("lab: unknown mode %q", m)
+			}
+		}
+	case AxisPolicy:
+		for _, p := range a.PolicySpecs {
+			if _, err := ParsePolicy(p.String()); err != nil {
+				return err
 			}
 		}
 	}
@@ -239,13 +265,21 @@ type Sweep struct {
 	// Parallelism bounds concurrent runs (0 = GOMAXPROCS, 1 =
 	// sequential; results are identical either way).
 	Parallelism int
+	// Progress, when non-nil, receives (done, total) after every
+	// completed run so long sweeps can stream completion. It is
+	// forwarded to the Runner verbatim and shares its contract: with
+	// Parallelism > 1 it is called concurrently from worker
+	// goroutines.
+	Progress func(done, total int)
 }
 
 // Cell is one sweep point: an axis value with its per-run results.
 type Cell struct {
-	// Label and Value render the axis value (Value is NaN for the
-	// mode axis).
+	// Label renders the cell's axis value for humans ("8", "30s",
+	// "gao-rexford").
 	Label string
+	// Value is the cell's numeric axis value (NaN for the mode and
+	// policy axes).
 	Value float64
 	// Fraction is Value over the topology size for the sdn-count axis
 	// (NaN otherwise) — the paper's x-axis.
@@ -297,6 +331,12 @@ func (c Cell) MeanRecomputes() float64 {
 	return c.mean(func(r Result) float64 { return float64(r.Recomputes) })
 }
 
+// MeanHijacked is the mean per-run count of ASes routing toward the
+// hijack attacker (zero for every non-hijack event).
+func (c Cell) MeanHijacked() float64 {
+	return c.mean(func(r Result) float64 { return float64(r.HijackedASes) })
+}
+
 // AllReachable reports whether every run ended with the origin prefix
 // reachable.
 func (c Cell) AllReachable() bool {
@@ -311,13 +351,23 @@ func (c Cell) AllReachable() bool {
 // SweepResult is a completed sweep: the configuration echo plus one
 // Cell per axis value, in axis order.
 type SweepResult struct {
-	Name     string
-	Event    Event
-	Topo     TopoSpec
-	Axis     Axis
-	Runs     int
+	// Name is the sweep's registry name.
+	Name string
+	// Event is the base trial's triggering event.
+	Event Event
+	// Topo is the base trial's topology spec.
+	Topo TopoSpec
+	// Policy is the base trial's routing-policy template (overridden
+	// per cell when Axis sweeps the policy — see PolicyLabel).
+	Policy PolicySpec
+	// Axis echoes the swept axis declaration.
+	Axis Axis
+	// Runs is the number of seeded repetitions per cell.
+	Runs int
+	// BaseSeed is the seed offset the runs derived from.
 	BaseSeed int64
-	Cells    []Cell
+	// Cells holds one entry per axis value, in axis order.
+	Cells []Cell
 }
 
 // seed derives the seed for (cell, run) under the sweep's policy.
@@ -354,7 +404,7 @@ func (s Sweep) Run() (*SweepResult, error) {
 	for i := range results {
 		results[i] = make([]Result, s.Runs)
 	}
-	err := Runner{Parallelism: s.Parallelism}.Do(n*s.Runs, func(i int) error {
+	err := Runner{Parallelism: s.Parallelism, Progress: s.Progress}.Do(n*s.Runs, func(i int) error {
 		ci, run := i/s.Runs, i%s.Runs
 		r, err := s.trialFor(ci, run).Run()
 		if err != nil {
@@ -370,6 +420,7 @@ func (s Sweep) Run() (*SweepResult, error) {
 		Name:     s.Name,
 		Event:    s.Base.Event,
 		Topo:     s.Base.Topo,
+		Policy:   s.Base.Policy,
 		Axis:     s.Axis,
 		Runs:     s.Runs,
 		BaseSeed: s.BaseSeed,
@@ -401,13 +452,23 @@ func (r *SweepResult) TopoLabel() string {
 	return r.Topo.String()
 }
 
+// PolicyLabel renders the sweep's routing policy for output. When the
+// axis sweeps the policy itself, the base template is overridden per
+// cell, so "(swept)" is echoed instead.
+func (r *SweepResult) PolicyLabel() string {
+	if r.Axis.Kind == AxisPolicy {
+		return "(swept)"
+	}
+	return r.Policy.String()
+}
+
 // Fit fits median convergence time against the axis (the SDN fraction
 // for the sdn-count axis, the numeric value otherwise) and returns
 // intercept, slope and r² — the check behind the paper's "convergence
-// time can be linearly reduced" claim. ok is false for non-numeric
-// axes.
+// time can be linearly reduced" claim. ok is false for the
+// non-numeric mode and policy axes.
 func (r *SweepResult) Fit() (a, b, r2 float64, ok bool) {
-	if r.Axis.Kind == AxisMode || len(r.Cells) < 2 {
+	if r.Axis.Kind == AxisMode || r.Axis.Kind == AxisPolicy || len(r.Cells) < 2 {
 		return 0, 0, 0, false
 	}
 	xs := make([]float64, len(r.Cells))

@@ -43,6 +43,12 @@ const (
 	// Flap: the origin withdraws and re-announces its prefix for
 	// FlapCycles periods of FlapPeriod — the stability-ablation storm.
 	Flap
+	// Hijack: the highest-numbered AS still running legacy BGP
+	// announces the origin's prefix (a bogus origination). The result
+	// reports how many ASes end up routing toward the attacker
+	// (Result.HijackedASes) — the containment question behind the
+	// policy figure family.
+	Hijack
 )
 
 // String names the event.
@@ -56,6 +62,8 @@ func (ev Event) String() string {
 		return "failover"
 	case Flap:
 		return "flap"
+	case Hijack:
+		return "hijack"
 	default:
 		return fmt.Sprintf("Event(%d)", int(ev))
 	}
@@ -63,7 +71,7 @@ func (ev Event) String() string {
 
 // ParseEvent parses an event name.
 func ParseEvent(s string) (Event, error) {
-	for _, ev := range []Event{Withdrawal, Announcement, Failover, Flap} {
+	for _, ev := range []Event{Withdrawal, Announcement, Failover, Flap, Hijack} {
 		if ev.String() == s {
 			return ev, nil
 		}
@@ -78,6 +86,11 @@ type Trial struct {
 	Topo TopoSpec
 	// Placement decides the SDN cluster membership.
 	Placement Placement
+	// Policy selects the routing-policy template applied at every
+	// legacy router (and the collector, when attached). The zero value
+	// is permit-all — free transit — so existing policy-free trials
+	// are unchanged; see PolicySpec for gao-rexford and prefix-filter.
+	Policy PolicySpec
 	// Event is the triggering routing event to measure.
 	Event Event
 	// Timers are the BGP protocol timers (zero value selects
@@ -101,10 +114,20 @@ type Trial struct {
 	ProcessingDelay time.Duration
 	// Damping enables RFC 2439 route-flap damping on legacy routers.
 	Damping *bgp.DampingConfig
-	// FlapCycles and FlapPeriod parameterise the Flap event (defaults
-	// 6 cycles of 20s).
+	// FlapCycles is the number of withdraw/announce cycles of the Flap
+	// event (default 6).
 	FlapCycles int
+	// FlapPeriod is the duration of one flap cycle (default 20s).
 	FlapPeriod time.Duration
+	// OriginOnly restricts the warm-up to announcing only the trial
+	// origin's prefix instead of every AS's. At internet-like scale a
+	// full-table warm-up costs O(N²) RIB entries (every router holds a
+	// route to every AS) which dominates both memory and run time;
+	// every trial event only ever measures the origin prefix, so
+	// origin-only warm-up preserves the measured dynamics while making
+	// multi-thousand-AS trials feasible. False (the default) keeps the
+	// historical full-table warm-up.
+	OriginOnly bool
 	// Seed drives the run's protocol randomness (MRAI jitter, loss
 	// draws); same trial + same seed = identical run.
 	Seed int64
@@ -141,6 +164,11 @@ type Result struct {
 	// ProbesSent and ProbesDelivered report data-plane probe outcomes
 	// (zero unless the trial injects probes).
 	ProbesSent, ProbesDelivered uint64
+	// HijackedASes counts the ASes whose best route for the origin
+	// prefix leads to the attacker once a Hijack trial settles (zero
+	// for every other event). The origin and the attacker themselves
+	// are not counted.
+	HijackedASes int
 	// ReachableAfter reports whether every other AS can reach the
 	// origin prefix once the run settles (false after a withdrawal by
 	// construction; the fail-over and flap checks).
@@ -198,10 +226,18 @@ func (t Trial) Run() (Result, error) {
 			return Result{}, err
 		}
 	}
+	// Resolve the policy template against the final graph (after the
+	// fail-over origin was added, so the prefix-filter's address plan
+	// matches the experiment's).
+	pol, err := t.Policy.Build(g)
+	if err != nil {
+		return Result{}, err
+	}
 	e, err := experiment.New(experiment.Config{
 		Seed:            t.Seed,
 		Graph:           g,
 		SDNMembers:      members,
+		Policy:          pol,
 		Timers:          t.Timers,
 		Debounce:        t.Debounce,
 		Settle:          t.Settle,
@@ -219,9 +255,13 @@ func (t Trial) Run() (Result, error) {
 	}
 
 	// Warm-up: announce every prefix (except the origin's for the
-	// fresh-announcement event) and let routing settle.
+	// fresh-announcement event; only the origin's when OriginOnly
+	// trims the warm-up table) and let routing settle.
 	for _, asn := range e.ASNs() {
 		if t.Event == Announcement && asn == origin {
+			continue
+		}
+		if t.OriginOnly && asn != origin {
 			continue
 		}
 		if err := e.Announce(asn); err != nil {
@@ -241,6 +281,7 @@ func (t Trial) Run() (Result, error) {
 	start := e.K.Now()
 
 	var res Result
+	var attacker idr.ASN
 	switch t.Event {
 	case Withdrawal:
 		res.Convergence, err = e.MeasureConvergence(func() error { return e.Withdraw(origin) }, t.Timeout)
@@ -251,11 +292,20 @@ func (t Trial) Run() (Result, error) {
 		res.Convergence, err = e.MeasureConvergence(func() error { return e.FailLink(origin, primary) }, t.Timeout)
 	case Flap:
 		err = runFlapStorm(e, origin, t)
+	case Hijack:
+		attacker, err = hijackAttacker(e, origin)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Convergence, err = e.MeasureConvergence(func() error { return e.AnnounceForeign(attacker, prefix) }, t.Timeout)
 	default:
 		err = fmt.Errorf("lab: unknown event %v", t.Event)
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	if t.Event == Hijack {
+		res.HijackedASes = countHijacked(e, origin, attacker)
 	}
 
 	sentAfter, recvAfter := updateCounts(e)
@@ -301,6 +351,39 @@ func runFlapStorm(e *experiment.Experiment, origin idr.ASN, t Trial) error {
 		return err
 	}
 	return e.RunFor(10 * time.Minute)
+}
+
+// hijackAttacker picks the bogus originator for a Hijack trial: the
+// highest-numbered AS that still runs legacy BGP and is not the
+// victim. A fully-clustered network has no legacy attacker and the
+// trial errors out (sweep the cluster size below N).
+func hijackAttacker(e *experiment.Experiment, origin idr.ASN) (idr.ASN, error) {
+	asns := e.ASNs()
+	for i := len(asns) - 1; i >= 0; i-- {
+		if asns[i] != origin && !e.IsSDNMember(asns[i]) {
+			return asns[i], nil
+		}
+	}
+	return 0, fmt.Errorf("lab: hijack needs at least one legacy AS besides the origin")
+}
+
+// countHijacked counts the ASes (origin and attacker excluded) whose
+// settled best route for the origin prefix terminates at the attacker.
+func countHijacked(e *experiment.Experiment, origin, attacker idr.ASN) int {
+	n := 0
+	for _, asn := range e.ASNs() {
+		if asn == origin || asn == attacker {
+			continue
+		}
+		path, ok := e.BestPath(asn, origin)
+		if !ok {
+			continue
+		}
+		if last, has := path.Origin(); has && last == attacker {
+			n++
+		}
+	}
+	return n
 }
 
 func updateCounts(e *experiment.Experiment) (sent, recv uint64) {

@@ -2,7 +2,7 @@
 // (paper §3: the framework "configures network devices, including
 // customer-to-provider and peer-to-peer relationships").
 //
-// Two templates ship with the framework:
+// Three templates ship with the framework:
 //
 //   - PermitAll: free transit between all neighbors, the classic
 //     setting for artificial topologies such as the Figure 2 clique,
@@ -10,7 +10,16 @@
 //     full path exploration;
 //   - GaoRexford: valley-free business routing for measured
 //     topologies — prefer customer routes, export customer routes to
-//     everyone, export peer/provider routes only to customers.
+//     everyone, export peer/provider routes only to customers;
+//   - ConeFilter: IRR-style prefix-list filtering layered over any
+//     inner policy — imports from customers and peers are accepted
+//     only for prefixes whose legitimate origin lies inside that
+//     neighbor's customer cone (the classic hijack defense).
+//
+// The evaluation API names these templates through lab.PolicySpec
+// ("permit-all", "gao-rexford", "prefix-filter"); the scenario DSL's
+// policy directive and the convergence CLI's -policy flag accept the
+// same names.
 package policy
 
 import (
@@ -24,8 +33,12 @@ import (
 
 // Neighbor describes one BGP neighbor for policy evaluation.
 type Neighbor struct {
-	Key  rib.PeerKey
-	ASN  idr.ASN
+	// Key is the session's identifier on the local router.
+	Key rib.PeerKey
+	// ASN is the neighbor's AS number.
+	ASN idr.ASN
+	// Kind is the neighbor's business relationship as seen from the
+	// local AS (customer, peer, provider; KindNone when unrelated).
 	Kind topology.NeighborKind
 }
 
@@ -34,8 +47,11 @@ type Neighbor struct {
 var Local = Neighbor{Kind: topology.KindNone}
 
 // Policy decides route admission and propagation. Import may modify
-// the route in place (set LOCAL_PREF, attach communities); Export must
-// not modify it.
+// the route in place by replacing attribute fields (set LOCAL_PREF,
+// attach communities via PathAttrs.AddCommunity, assign a fresh
+// ASPath); it must not mutate slice contents or pointed-to values,
+// because attribute sets are shared structurally across the import
+// and export paths. Export must not modify the route at all.
 type Policy interface {
 	// Import filters a route learned from 'from'; returning false
 	// rejects it before it reaches the Adj-RIB-In.
@@ -135,8 +151,9 @@ func (g GaoRexford) Export(to, learnedFrom Neighbor, r *rib.Route) bool {
 type PrefixFilter struct {
 	// Inner is the wrapped policy (required).
 	Inner Policy
-	// DenyImport and DenyExport list exact prefixes to block.
+	// DenyImport lists exact prefixes to reject on import.
 	DenyImport map[netip.Prefix]bool
+	// DenyExport lists exact prefixes to suppress on export.
 	DenyExport map[netip.Prefix]bool
 }
 
@@ -160,6 +177,7 @@ func (f PrefixFilter) Export(to, learnedFrom Neighbor, r *rib.Route) bool {
 // routes carrying the well-known NO_EXPORT or NO_ADVERTISE
 // communities (RFC 1997).
 type HonorNoExport struct {
+	// Inner is the wrapped policy (required).
 	Inner Policy
 }
 
@@ -177,10 +195,11 @@ func (h HonorNoExport) Export(to, learnedFrom Neighbor, r *rib.Route) bool {
 }
 
 // FromTopology builds the per-AS neighbor kinds for a topology graph,
-// keyed by (local, neighbor). It is a convenience for experiment
-// wiring.
+// keyed by (local, neighbor). The experiment layer computes this table
+// once at trial setup and resolves every session's policy.Neighbor
+// from it, so no per-UPDATE path ever probes the graph again.
 func FromTopology(g *topology.Graph) map[[2]idr.ASN]topology.NeighborKind {
-	out := make(map[[2]idr.ASN]topology.NeighborKind)
+	out := make(map[[2]idr.ASN]topology.NeighborKind, 2*g.NumEdges())
 	for _, e := range g.Edges() {
 		ka, _ := g.RelationshipOf(e.A, e.B)
 		kb, _ := g.RelationshipOf(e.B, e.A)
@@ -188,4 +207,90 @@ func FromTopology(g *topology.Graph) map[[2]idr.ASN]topology.NeighborKind {
 		out[[2]idr.ASN{e.B, e.A}] = kb
 	}
 	return out
+}
+
+// ConeFilter layers IRR-style prefix-list filtering over an inner
+// policy: a route learned from a customer or from a peer is accepted
+// only when the prefix's legitimate origin AS lies inside that
+// neighbor's customer cone (the neighbor itself, its customers, their
+// customers, and so on). Routes from providers are not filtered — a
+// provider's announcements cannot be enumerated — and exports are
+// delegated to the inner policy untouched.
+//
+// This is the framework's "prefix-filter" template: it models the
+// per-customer prefix lists real transit providers build from IRR
+// data, and it is the classic containment mechanism for prefix
+// hijacks originated by stub networks.
+type ConeFilter struct {
+	// Inner is the wrapped policy (required; typically GaoRexford).
+	Inner Policy
+	// Origins maps each prefix to the AS that legitimately originates
+	// it (the experiment's address plan).
+	Origins map[netip.Prefix]idr.ASN
+	// Cones maps each AS to its customer-cone membership set. An AS is
+	// always a member of its own cone.
+	Cones map[idr.ASN]map[idr.ASN]bool
+}
+
+// NewConeFilter computes every AS's customer cone from the topology's
+// provider-customer edges and returns the assembled filter. The
+// topology's P2C hierarchy must be acyclic (topology.Graph.Validate);
+// on a cycle the affected cones are truncated rather than recursed
+// into forever.
+func NewConeFilter(inner Policy, g *topology.Graph, origins map[netip.Prefix]idr.ASN) ConeFilter {
+	// One pass over the edges builds the customer adjacency, so cone
+	// construction is linear in the graph instead of re-scanning (and
+	// re-sorting) the full edge list per AS — this runs once per
+	// trial, inside internet-scale sweeps.
+	customers := make(map[idr.ASN][]idr.ASN)
+	for _, e := range g.Edges() {
+		if e.Rel == topology.P2C {
+			customers[e.A] = append(customers[e.A], e.B)
+		}
+	}
+	cones := make(map[idr.ASN]map[idr.ASN]bool, g.NumNodes())
+	visiting := make(map[idr.ASN]bool)
+	var cone func(asn idr.ASN) map[idr.ASN]bool
+	cone = func(asn idr.ASN) map[idr.ASN]bool {
+		if c, ok := cones[asn]; ok {
+			return c
+		}
+		if visiting[asn] {
+			// Provider-customer cycle: stop the recursion; Validate
+			// rejects such graphs, this just keeps the builder total.
+			return map[idr.ASN]bool{asn: true}
+		}
+		visiting[asn] = true
+		c := map[idr.ASN]bool{asn: true}
+		for _, customer := range customers[asn] {
+			for member := range cone(customer) {
+				c[member] = true
+			}
+		}
+		delete(visiting, asn)
+		cones[asn] = c
+		return c
+	}
+	for _, asn := range g.Nodes() {
+		cone(asn)
+	}
+	return ConeFilter{Inner: inner, Origins: origins, Cones: cones}
+}
+
+// Import implements Policy: customer and peer routes are checked
+// against the neighbor's customer cone before the inner policy runs.
+func (f ConeFilter) Import(from Neighbor, r *rib.Route) bool {
+	switch from.Kind {
+	case topology.KindCustomer, topology.KindPeer:
+		origin, known := f.Origins[r.Prefix]
+		if !known || !f.Cones[from.ASN][origin] {
+			return false
+		}
+	}
+	return f.Inner.Import(from, r)
+}
+
+// Export implements Policy by delegating to the inner policy.
+func (f ConeFilter) Export(to, learnedFrom Neighbor, r *rib.Route) bool {
+	return f.Inner.Export(to, learnedFrom, r)
 }

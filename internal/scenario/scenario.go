@@ -19,7 +19,9 @@
 //	no-mrai-jitter
 //	debounce 1s
 //	processing-delay 25ms
-//	policy gao-rexford        (or: permit-all)
+//	policy gao-rexford        (also: permit-all, prefix-filter — the
+//	                           shared lab.PolicySpec templates, identical
+//	                           to the convergence CLI's -policy flag)
 //	collector on
 //
 //	# lifecycle
@@ -53,7 +55,6 @@ import (
 	"repro/internal/idr"
 	"repro/internal/lab"
 	"repro/internal/monitor"
-	"repro/internal/policy"
 	"repro/internal/topology"
 )
 
@@ -106,7 +107,7 @@ type Runner struct {
 	graph    *topology.Graph
 	sdn      []idr.ASN
 	cfg      experiment.Config
-	pol      policy.Policy
+	pol      lab.PolicySpec
 	started  bool
 	exp      *experiment.Experiment
 	topoRand *rand.Rand
@@ -209,14 +210,11 @@ func (r *Runner) exec(st statement) error {
 		if len(st.args) != 1 {
 			return fmt.Errorf("want one policy name")
 		}
-		switch st.args[0] {
-		case "permit-all":
-			r.pol = policy.PermitAll{}
-		case "gao-rexford":
-			r.pol = policy.GaoRexford{}
-		default:
-			return fmt.Errorf("unknown policy %q", st.args[0])
+		spec, err := lab.ParsePolicy(st.args[0])
+		if err != nil {
+			return err
 		}
+		r.pol = spec
 		return nil
 	case "collector":
 		if len(st.args) != 1 || (st.args[0] != "on" && st.args[0] != "off") {
@@ -279,10 +277,16 @@ func (r *Runner) execStart() error {
 	if r.graph == nil {
 		return fmt.Errorf("no topology configured")
 	}
+	// The policy template resolves against the final graph (the
+	// prefix-filter derives cones and origin prefixes from it).
+	pol, err := r.pol.Build(r.graph)
+	if err != nil {
+		return err
+	}
 	cfg := r.cfg
 	cfg.Graph = r.graph
 	cfg.SDNMembers = r.sdn
-	cfg.Policy = r.pol
+	cfg.Policy = pol
 	exp, err := experiment.New(cfg)
 	if err != nil {
 		return err

@@ -130,6 +130,29 @@ run-for 10s
 	}
 }
 
+// TestPrefixFilterPolicyDirective covers the shared-parser policy
+// directive end to end: the prefix-filter template resolves its
+// customer cones against the scripted topology at start.
+func TestPrefixFilterPolicyDirective(t *testing.T) {
+	out, err := run(t, `
+seed 5
+topology internet 12
+policy prefix-filter
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+announce all
+wait-converged 30m
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "started: 12 ASes") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
 func TestInternetTopology(t *testing.T) {
 	_, err := run(t, `
 seed 5
