@@ -150,6 +150,28 @@ func BenchmarkPathExploration(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkloadCascade regenerates the workload family's cascade
+// figure at benchmark scale: a dual-homed stub's fail-over followed by
+// a hijack of the weakened prefix on a seeded internet-like graph —
+// the multi-event (per-epoch) datapoint in the BENCH trajectory.
+func BenchmarkWorkloadCascade(b *testing.B) {
+	topo := lab.TopoSpec{Kind: "internet", N: 16}
+	sw := buildSweep(b, "cascade", figures.Options{Topo: &topo, SDNCounts: []int{0, 4}, Runs: 1, BaseSeed: 1})
+	for i := 0; i < b.N; i++ {
+		res, err := sw.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first, last := res.Cells[0], res.Cells[len(res.Cells)-1]
+			b.ReportMetric(first.MeanHijacked(), "hijacked-pure")
+			b.ReportMetric(last.MeanHijacked(), "hijacked-sdn")
+			b.ReportMetric(first.Epochs[0].Summary.Median, "s-failover-epoch-pure")
+			b.ReportMetric(last.Epochs[0].Summary.Median, "s-failover-epoch-sdn")
+		}
+	}
+}
+
 // BenchmarkSubCluster exercises the disjoint sub-cluster design goal.
 func BenchmarkSubCluster(b *testing.B) {
 	timers := bgp.DefaultTimers()

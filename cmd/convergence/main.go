@@ -21,6 +21,14 @@
 //	                                           # (default), gao-rexford,
 //	                                           # prefix-filter
 //	convergence -exp vf|policyload|hijack      # the policy figure family
+//	convergence -exp maint|cascade|churn       # the workload figure family
+//	                                           # (multi-event schedules with
+//	                                           # per-epoch rows)
+//	convergence -exp fig2 -workload "at 0s withdraw; at 10m announce"
+//	                                           # replace the trigger with a
+//	                                           # custom schedule (also:
+//	                                           # hijack, linkdown/linkup a b,
+//	                                           # failover [a b], migrate as)
 //	convergence -exp mrai|size|debounce|exploration|flap
 //	convergence -exp subcluster                # scripted split experiment
 //	convergence -exp fig2 -sdn-counts 0,8,16 -runs 3
@@ -49,6 +57,7 @@ func main() {
 	placement := flag.String("placement", "", "SDN placement strategy: last|first|degree for sdn-count sweeps (default last, the paper's deployment); none or as 2,3,... only where the experiment fixes the cluster (e.g. debounce)")
 	policyName := flag.String("policy", "", "routing policy template: permit-all|gao-rexford|prefix-filter (default per experiment: permit-all for the classic figures, gao-rexford for vf/hijack)")
 	sdnCounts := flag.String("sdn-counts", "", "comma-separated SDN cluster sizes for sdn-count sweeps, e.g. 0,8,16 (default per experiment)")
+	workload := flag.String("workload", "", `replace the trigger with a schedule of "at <offset> <event> [target]" clauses separated by ';' (Figure 2 family only; maint/cascade/churn fix their own schedules)`)
 	progress := flag.Bool("progress", false, "stream per-run completion to stderr while the sweep runs")
 	runs := flag.Int("runs", 0, "runs per point (0 = experiment default; the paper's boxplots use 10)")
 	seed := flag.Int64("seed", 1, "base seed")
@@ -79,7 +88,7 @@ func main() {
 		// The split experiment is a scripted sequence, not a sweep:
 		// only -mrai and -seed apply, so reject the sweep flags
 		// instead of silently dropping them.
-		for _, name := range []string{"format", "topology", "placement", "policy", "sdn-counts", "progress", "runs", "debounce", "parallel", "svg"} {
+		for _, name := range []string{"format", "topology", "placement", "policy", "sdn-counts", "workload", "progress", "runs", "debounce", "parallel", "svg"} {
 			if set[name] {
 				fatal(fmt.Errorf("-%s does not apply to the subcluster experiment (it is a scripted sequence, not a sweep)", name))
 			}
@@ -142,6 +151,13 @@ func main() {
 		}
 		opts.Policy = p
 	}
+	if set["workload"] {
+		w, err := lab.ParseWorkload(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Workload = w
+	}
 	if set["sdn-counts"] {
 		for _, tok := range strings.Split(*sdnCounts, ",") {
 			tok = strings.TrimSpace(tok)
@@ -177,7 +193,7 @@ func main() {
 			fatal(err)
 		}
 		cfg := plot.BoxplotConfig{
-			Title:  fmt.Sprintf("%s convergence on %s", res.Event, res.TopoLabel()),
+			Title:  fmt.Sprintf("%s convergence on %s", res.EventLabel(), res.TopoLabel()),
 			XLabel: res.Axis.Name(),
 			YLabel: "convergence time (s)",
 		}
@@ -191,6 +207,27 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("# boxplot written to %s\n", *svg)
+		// Multi-event workloads: one additional boxplot per scheduled
+		// event (the per-epoch view of the same sweep).
+		if len(res.Cells) > 0 && len(res.Cells[0].Epochs) > 0 {
+			base := strings.TrimSuffix(*svg, ".svg")
+			for i, ep := range res.Cells[0].Epochs {
+				name := fmt.Sprintf("%s-e%d.svg", base, i)
+				out, err := os.Create(name)
+				if err != nil {
+					fatal(err)
+				}
+				ecfg := cfg
+				ecfg.Title = fmt.Sprintf("epoch %d (@%s %s) convergence on %s", i, ep.At, ep.Kind.Verb(), res.TopoLabel())
+				if err := plot.WriteBoxplot(out, ecfg, res.EpochBoxes(i)); err != nil {
+					fatal(err)
+				}
+				if err := out.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("# epoch boxplot written to %s\n", name)
+			}
+		}
 	}
 }
 

@@ -2,7 +2,10 @@ package main
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
+
+	"repro/internal/topology"
 )
 
 func TestGenerateAllKinds(t *testing.T) {
@@ -22,5 +25,90 @@ func TestGenerateAllKinds(t *testing.T) {
 	}
 	if _, err := generate("mobius", 10, 1, 1, 0.5, 2, rng); err == nil {
 		t.Fatal("unknown kind should error")
+	}
+}
+
+// dot renders a generated topology exactly as the -format dot path
+// does.
+func dot(t *testing.T, kind string, n, h, fanout int, p float64, m int, seed int64, labels bool) string {
+	t.Helper()
+	g, err := generate(kind, n, h, fanout, p, m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := topology.WriteDOT(&sb, g, topology.DOTOptions{EdgeLabels: labels}); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestDOTGolden pins the DOT rendering byte for byte — provider
+// hierarchies as directed p2c edges (with and without relationship
+// labels) and seeded random peer graphs as undirected edges — so the
+// workload figures can rely on stable topology rendering.
+func TestDOTGolden(t *testing.T) {
+	if got, want := dot(t, "tree", 7, 4, 2, 0.3, 2, 1, false), `digraph "astopo" {
+  node [shape=circle];
+  "AS1";
+  "AS2";
+  "AS3";
+  "AS4";
+  "AS5";
+  "AS6";
+  "AS7";
+  "AS1" -> "AS2";
+  "AS1" -> "AS3";
+  "AS2" -> "AS4";
+  "AS2" -> "AS5";
+  "AS3" -> "AS6";
+  "AS3" -> "AS7";
+}
+`; got != want {
+		t.Fatalf("tree DOT golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if got, want := dot(t, "tree", 7, 4, 2, 0.3, 2, 1, true), `digraph "astopo" {
+  node [shape=circle];
+  "AS1";
+  "AS2";
+  "AS3";
+  "AS4";
+  "AS5";
+  "AS6";
+  "AS7";
+  "AS1" -> "AS2" [label="p2c"];
+  "AS1" -> "AS3" [label="p2c"];
+  "AS2" -> "AS4" [label="p2c"];
+  "AS2" -> "AS5" [label="p2c"];
+  "AS3" -> "AS6" [label="p2c"];
+  "AS3" -> "AS7" [label="p2c"];
+}
+`; got != want {
+		t.Fatalf("labeled tree DOT golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Seeded random generation must render identically across runs —
+	// the determinism the golden really guards.
+	if got, want := dot(t, "er", 6, 4, 2, 0.8, 2, 3, false), `digraph "astopo" {
+  node [shape=circle];
+  "AS1";
+  "AS2";
+  "AS3";
+  "AS4";
+  "AS5";
+  "AS6";
+  "AS1" -> "AS2" [dir=none];
+  "AS1" -> "AS3" [dir=none];
+  "AS1" -> "AS5" [dir=none];
+  "AS2" -> "AS3" [dir=none];
+  "AS2" -> "AS4" [dir=none];
+  "AS2" -> "AS5" [dir=none];
+  "AS2" -> "AS6" [dir=none];
+  "AS3" -> "AS4" [dir=none];
+  "AS3" -> "AS5" [dir=none];
+  "AS3" -> "AS6" [dir=none];
+  "AS4" -> "AS6" [dir=none];
+}
+`; got != want {
+		t.Fatalf("er DOT golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }

@@ -15,14 +15,20 @@
 // lab.Trial names any topology generator (lab.TopoSpec), an SDN
 // placement strategy (lab.Placement), a routing-policy template
 // (lab.PolicySpec: permit-all, gao-rexford, prefix-filter), timers
-// and a triggering event, and returns a uniform lab.Result; a
-// lab.Sweep varies one declared axis (SDN count, MRAI, topology size,
-// debounce, flap period, regime or policy) across seeded parallel
-// runs; and one encoder layer renders every sweep as a table, CSV,
-// JSON or an SVG boxplot. The paper's figures, the policy family on
-// internet-like AS graphs and the ablations are declarative lab sweep
-// specs registered in internal/figures and exposed by
-// cmd/convergence.
+// and a triggering workload — an ordered schedule of typed,
+// timestamped events (lab.Workload: withdraw, announce, failover,
+// hijack, linkdown/linkup, and migrate for moving an AS into or out
+// of the SDN cluster mid-run), with the classic single-event
+// lab.Event enum kept as sugar — and returns a uniform lab.Result
+// with one measured epoch per scheduled event; a lab.Sweep varies
+// one declared axis (SDN count, MRAI, topology size, debounce, flap
+// period, regime or policy) across seeded parallel runs; and one
+// encoder layer renders every sweep — including the per-epoch rows —
+// as a table, CSV, JSON or an SVG boxplot. The paper's figures, the
+// policy family on internet-like AS graphs, the workload family
+// (maintenance window, cascading failure, Poisson churn) and the
+// ablations are declarative lab sweep specs registered in
+// internal/figures and exposed by cmd/convergence.
 //
 // See README.md for the quickstart, ARCHITECTURE.md for the package
 // map and layering rules, and EXPERIMENTS.md for the

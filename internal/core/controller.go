@@ -149,7 +149,8 @@ func (c *Controller) IsMember(asn idr.ASN) bool {
 }
 
 // AddMember registers a cluster member switch with its control-channel
-// transmit function.
+// transmit function. On a started controller (a mid-run migration) the
+// new member is greeted immediately.
 func (c *Controller) AddMember(asn idr.ASN, send func([]byte) error) error {
 	if asn == 0 {
 		return fmt.Errorf("core: member needs an ASN")
@@ -160,8 +161,95 @@ func (c *Controller) AddMember(asn idr.ASN, send func([]byte) error) error {
 	if _, dup := c.members[asn]; dup {
 		return fmt.Errorf("core: duplicate member %v", asn)
 	}
-	c.members[asn] = &member{asn: asn, send: send, ports: make(map[uint32]*portInfo)}
+	m := &member{asn: asn, send: send, ports: make(map[uint32]*portInfo)}
+	c.members[asn] = m
+	if c.started {
+		return c.greet(m)
+	}
 	return nil
+}
+
+// RemoveMember retracts a cluster member mid-run (the AS migrates back
+// to legacy BGP): every external peering on its ports is torn down
+// (emitting synthetic withdrawals toward the route computation), its
+// switch-graph ports disappear, and every prefix reroutes.
+func (c *Controller) RemoveMember(asn idr.ASN) error {
+	m, ok := c.members[asn]
+	if !ok {
+		return fmt.Errorf("core: unknown member %v", asn)
+	}
+	for _, key := range c.sessionKeys() {
+		if key.Border != asn {
+			continue
+		}
+		es := c.sessions[key]
+		es.sess.TransportDown()
+		delete(c.sessions, key)
+	}
+	for _, pi := range m.ports {
+		pi.sess = nil
+	}
+	delete(c.members, asn)
+	c.markAllDirty()
+	return nil
+}
+
+// RemovePeering tears down the external peering on a member port (the
+// far side migrates into the cluster, so the eBGP session it
+// terminated disappears). The session's routes are withdrawn from the
+// route computation; the port itself stays registered.
+func (c *Controller) RemovePeering(memberASN idr.ASN, port uint32) error {
+	m, ok := c.members[memberASN]
+	if !ok {
+		return fmt.Errorf("core: unknown member %v", memberASN)
+	}
+	pi, ok := m.ports[port]
+	if !ok {
+		return fmt.Errorf("core: member %v has no port %d", memberASN, port)
+	}
+	if pi.sess == nil {
+		return fmt.Errorf("core: member %v port %d has no peering", memberASN, port)
+	}
+	pi.sess.sess.TransportDown()
+	delete(c.sessions, pi.sess.key)
+	pi.sess = nil
+	return nil
+}
+
+// SetPortMembership re-flags a registered port as intra-cluster or
+// external after a mid-run migration changed what its neighbor is. An
+// intra-cluster port must face a current member and carry no peering
+// (RemovePeering first); flagging external frees the port for
+// AddExternalPeering. The switch graph changed, so every prefix
+// reroutes.
+func (c *Controller) SetPortMembership(memberASN idr.ASN, port uint32, isMember bool) error {
+	m, ok := c.members[memberASN]
+	if !ok {
+		return fmt.Errorf("core: unknown member %v", memberASN)
+	}
+	pi, ok := m.ports[port]
+	if !ok {
+		return fmt.Errorf("core: member %v has no port %d", memberASN, port)
+	}
+	if isMember {
+		if pi.sess != nil {
+			return fmt.Errorf("core: member %v port %d still has a peering", memberASN, port)
+		}
+		if _, ok := c.members[pi.neighbor]; !ok {
+			return fmt.Errorf("core: member %v port %d: neighbor %v is not a member", memberASN, port, pi.neighbor)
+		}
+	}
+	pi.isMember = isMember
+	c.markAllDirty()
+	return nil
+}
+
+// Originator returns the member that originates prefix into the
+// cluster, if any (migration hands the origination back to the
+// member's reborn legacy router).
+func (c *Controller) Originator(prefix netip.Prefix) (idr.ASN, bool) {
+	owner, ok := c.owned[prefix]
+	return owner, ok
 }
 
 // RegisterPort teaches the controller the switch graph: member's port
@@ -224,6 +312,11 @@ func (c *Controller) AddExternalPeering(borderASN idr.ASN, port uint32, remoteAS
 	es.sess = sess
 	pi.sess = es
 	c.sessions[key] = es
+	// A peering added after Start (a mid-run migration) comes up
+	// immediately; at build time Start brings it up.
+	if c.started && pi.up {
+		sess.TransportUp()
+	}
 	return nil
 }
 
@@ -241,6 +334,20 @@ func (c *Controller) sendPacketOut(m *member, port uint32, bgpFrame []byte) erro
 	return m.send(frame)
 }
 
+// greet performs the OpenFlow handshake toward one member switch.
+func (c *Controller) greet(m *member) error {
+	for _, msg := range []ofp.Message{ofp.Hello{}, ofp.FeaturesRequest{}} {
+		frame, err := ofp.Marshal(msg, c.nextXid())
+		if err != nil {
+			return err
+		}
+		if err := m.send(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Start greets every switch and brings up the external sessions whose
 // ports are up.
 func (c *Controller) Start() error {
@@ -249,15 +356,8 @@ func (c *Controller) Start() error {
 	}
 	c.started = true
 	for _, asn := range c.Members() {
-		m := c.members[asn]
-		for _, msg := range []ofp.Message{ofp.Hello{}, ofp.FeaturesRequest{}} {
-			frame, err := ofp.Marshal(msg, c.nextXid())
-			if err != nil {
-				return err
-			}
-			if err := m.send(frame); err != nil {
-				return err
-			}
+		if err := c.greet(c.members[asn]); err != nil {
+			return err
 		}
 	}
 	for _, key := range c.sessionKeys() {

@@ -109,6 +109,21 @@ type Experiment struct {
 	portOf map[*netem.Endpoint]uint32
 	// ctrlPeers maps controller-node endpoints to the member served.
 	ctrlPeers map[*netem.Endpoint]idr.ASN
+	// ctrlEPOf maps a member to its controller-side control endpoint;
+	// ctrlLinkOf to the control link itself (torn down on migration).
+	ctrlEPOf   map[idr.ASN]*netem.Endpoint
+	ctrlLinkOf map[idr.ASN]*netem.Link
+	// endpointOf maps (owner, neighbor) to the owner's endpoint on the
+	// topology link between them, so migration can rewire in place.
+	endpointOf map[[2]idr.ASN]*netem.Endpoint
+	// onLinkState is the mutable per-link state-change dispatch: each
+	// topology link subscribes once and forwards through this map, so
+	// migration can swap a link's protocol hook without leaking stale
+	// subscriptions to torn-down routers or switches.
+	onLinkState map[[2]idr.ASN]func(up bool)
+	// retiredSent/retiredRecv accumulate the UPDATE counters of
+	// routers torn down by migration, so UpdateTotals stays monotonic.
+	retiredSent, retiredRecv uint64
 
 	started bool
 }
@@ -152,6 +167,10 @@ func New(cfg Config) (*Experiment, error) {
 		peerEndpoint: make(map[idr.ASN]map[rib.PeerKey]*netem.Endpoint),
 		keyOf:        make(map[*netem.Endpoint]rib.PeerKey),
 		portOf:       make(map[*netem.Endpoint]uint32),
+		ctrlEPOf:     make(map[idr.ASN]*netem.Endpoint),
+		ctrlLinkOf:   make(map[idr.ASN]*netem.Link),
+		endpointOf:   make(map[[2]idr.ASN]*netem.Endpoint),
+		onLinkState:  make(map[[2]idr.ASN]func(up bool)),
 		kinds:        policy.FromTopology(cfg.Graph),
 	}
 	e.Net = netem.NewNetwork(e.K, e.K.Rand())
@@ -281,7 +300,19 @@ func (e *Experiment) buildRouter(asn idr.ASN, node *netem.Node) error {
 	}
 	e.Routers[asn] = r
 	e.peerEndpoint[asn] = make(map[rib.PeerKey]*netem.Endpoint)
-	node.OnMessage(func(from *netem.Endpoint, data []byte) {
+	node.OnMessage(e.routerNodeHandler(asn))
+	return nil
+}
+
+// routerNodeHandler is the receive handler of a legacy-router node. It
+// resolves the router at dispatch time, so frames in flight across a
+// migration are dropped instead of reaching a torn-down router.
+func (e *Experiment) routerNodeHandler(asn idr.ASN) func(from *netem.Endpoint, data []byte) {
+	return func(from *netem.Endpoint, data []byte) {
+		r, ok := e.Routers[asn]
+		if !ok {
+			return
+		}
 		kind, payload, err := frames.Decode(data)
 		if err != nil {
 			return
@@ -296,8 +327,7 @@ func (e *Experiment) buildRouter(asn idr.ASN, node *netem.Node) error {
 			}
 			_ = e.forwardFromRouter(asn, p)
 		}
-	})
-	return nil
+	}
 }
 
 func (e *Experiment) buildSwitch(asn idr.ASN, node, ctrlNode *netem.Node) error {
@@ -329,8 +359,24 @@ func (e *Experiment) buildSwitch(asn idr.ASN, node, ctrlNode *netem.Node) error 
 		e.ctrlPeers = make(map[*netem.Endpoint]idr.ASN)
 	}
 	e.ctrlPeers[ctrlEP] = asn
+	e.ctrlEPOf[asn] = ctrlEP
+	e.ctrlLinkOf[asn] = link
 
-	node.OnMessage(func(from *netem.Endpoint, data []byte) {
+	node.OnMessage(e.switchNodeHandler(asn, swEP))
+	return nil
+}
+
+// switchNodeHandler is the receive handler of a cluster-member node:
+// control frames from its control endpoint go to the switch's control
+// path, everything else arrives on a numbered data port. The switch is
+// resolved at dispatch time so frames in flight across a migration are
+// dropped instead of reaching a torn-down switch.
+func (e *Experiment) switchNodeHandler(asn idr.ASN, swEP *netem.Endpoint) func(from *netem.Endpoint, data []byte) {
+	return func(from *netem.Endpoint, data []byte) {
+		sw, ok := e.Switches[asn]
+		if !ok {
+			return
+		}
 		if from == swEP {
 			kind, payload, err := frames.Decode(data)
 			if err != nil || kind != frames.KindOpenFlow {
@@ -344,6 +390,5 @@ func (e *Experiment) buildSwitch(asn idr.ASN, node, ctrlNode *netem.Node) error 
 			return
 		}
 		_ = sw.HandlePort(port, data)
-	})
-	return nil
+	}
 }

@@ -1,0 +1,327 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/bgp/rib"
+	"repro/internal/idr"
+)
+
+// Migrate toggles an AS between legacy BGP and the SDN cluster while
+// the experiment runs — the workload engine's "migrate" event. A
+// legacy AS joins the cluster (MigrateIn); a member leaves it
+// (MigrateOut).
+func (e *Experiment) Migrate(asn idr.ASN) error {
+	if e.members[asn] {
+		return e.MigrateOut(asn)
+	}
+	return e.MigrateIn(asn)
+}
+
+// migratable rejects configurations the mid-run rewiring does not
+// support.
+func (e *Experiment) migratable(asn idr.ASN) error {
+	if !e.started {
+		return fmt.Errorf("experiment: migrate before Start; configure membership instead")
+	}
+	if !e.cfg.Graph.HasNode(asn) {
+		return fmt.Errorf("experiment: unknown AS %v", asn)
+	}
+	if e.Ctrl == nil {
+		return fmt.Errorf("experiment: migration needs a controller; build the experiment with at least one SDN member")
+	}
+	if e.cfg.WithCollector {
+		return fmt.Errorf("experiment: migration with an attached route collector is not supported")
+	}
+	return nil
+}
+
+// MigrateIn converts a legacy AS into an SDN cluster member mid-run:
+// its BGP router is torn down, an OpenFlow switch takes over its node
+// and links, the controller terminates the eBGP sessions its legacy
+// neighbors re-establish, and links to member neighbors become
+// intra-cluster switch-graph edges. The AS's prefix origination (if
+// currently announced) moves to the controller.
+func (e *Experiment) MigrateIn(asn idr.ASN) error {
+	if err := e.migratable(asn); err != nil {
+		return err
+	}
+	r, ok := e.Routers[asn]
+	if !ok {
+		return fmt.Errorf("experiment: %v is already a cluster member", asn)
+	}
+	origin, err := e.Plan.OriginPrefix(asn)
+	if err != nil {
+		return err
+	}
+	announced := false
+	for _, p := range r.Originated() {
+		if p == origin {
+			announced = true
+		}
+	}
+
+	// Retire the router: drop every session (neighbors see the
+	// transport reset) and fold its counters into the retired totals.
+	for _, key := range sortedPeerKeys(r) {
+		r.Peers()[key].TransportDown()
+	}
+	st := r.Stats()
+	e.retiredSent += st.UpdatesSent
+	e.retiredRecv += st.UpdatesReceived
+	delete(e.Routers, asn)
+	for _, ep := range e.peerEndpoint[asn] {
+		delete(e.keyOf, ep)
+	}
+	delete(e.peerEndpoint, asn)
+
+	// Raise the switch on the same node with a fresh control channel.
+	node, _ := e.Net.Node(asn.String())
+	ctrlNode, ok := e.Net.Node(ControllerNodeName)
+	if !ok {
+		return fmt.Errorf("experiment: controller node missing")
+	}
+	e.members[asn] = true
+	if err := e.buildSwitch(asn, node, ctrlNode); err != nil {
+		return err
+	}
+	sw := e.Switches[asn]
+
+	// Rewire every incident link.
+	for _, nb := range e.cfg.Graph.Neighbors(asn) {
+		epSelf := e.endpointOf[[2]idr.ASN{asn, nb}]
+		epNb := e.endpointOf[[2]idr.ASN{nb, asn}]
+		port, err := sw.AddPort(epSelf.Send)
+		if err != nil {
+			return err
+		}
+		e.portOf[epSelf] = port
+		key := linkKey(asn, nb)
+		if e.members[nb] {
+			// The neighbor's external peering toward the old router
+			// becomes an intra-cluster switch-graph edge.
+			nbPort := e.portOf[epNb]
+			if err := e.Ctrl.RemovePeering(nb, nbPort); err != nil {
+				return err
+			}
+			if err := e.Ctrl.SetPortMembership(nb, nbPort, true); err != nil {
+				return err
+			}
+			if err := e.Ctrl.RegisterPort(asn, port, nb, true); err != nil {
+				return err
+			}
+			nbSw := e.Switches[nb]
+			e.onLinkState[key] = func(up bool) {
+				_ = sw.NotifyPortState(port, up)
+				_ = nbSw.NotifyPortState(nbPort, up)
+			}
+			continue
+		}
+		// Legacy neighbor: reset its session so it re-establishes with
+		// the controller's speaker on the same endpoint.
+		nbPeer, ok := e.Routers[nb].Peer(peerKeyTo(asn))
+		if !ok {
+			return fmt.Errorf("experiment: router %v has no session toward %v", nb, asn)
+		}
+		nbPeer.TransportDown()
+		if err := e.Ctrl.RegisterPort(asn, port, nb, false); err != nil {
+			return err
+		}
+		id, err := e.Plan.RouterID(asn)
+		if err != nil {
+			return err
+		}
+		ln, ok := e.Plan.Link(asn, nb)
+		if !ok {
+			return fmt.Errorf("experiment: no transfer network for %v-%v", asn, nb)
+		}
+		addrSelf, _ := ln.Addr(asn)
+		if err := e.Ctrl.AddExternalPeering(asn, port, nb, id, addrSelf); err != nil {
+			return err
+		}
+		if link := e.links[key]; link.Up() {
+			nbPeer.TransportUp()
+		}
+		e.onLinkState[key] = func(up bool) {
+			_ = sw.NotifyPortState(port, up)
+			if up {
+				nbPeer.TransportUp()
+			} else {
+				nbPeer.TransportDown()
+			}
+		}
+	}
+	e.syncDownLinks(asn)
+
+	if announced {
+		if err := e.Ctrl.OriginatePrefix(asn, origin); err != nil {
+			return err
+		}
+	}
+	e.registerProbeSource(asn)
+	e.Detector.Touch()
+	return nil
+}
+
+// MigrateOut converts a cluster member back into a legacy BGP router
+// mid-run: the controller retracts the member (withdrawing its routes
+// from the cluster computation), a fresh router takes over the node
+// and re-peers with every neighbor — member neighbors gain a new
+// external peering toward it. A cluster-originated prefix owned by the
+// member is re-originated by the reborn router.
+func (e *Experiment) MigrateOut(asn idr.ASN) error {
+	if err := e.migratable(asn); err != nil {
+		return err
+	}
+	if _, ok := e.Switches[asn]; !ok {
+		return fmt.Errorf("experiment: %v is not a cluster member", asn)
+	}
+	origin, err := e.Plan.OriginPrefix(asn)
+	if err != nil {
+		return err
+	}
+	owned := false
+	if owner, ok := e.Ctrl.Originator(origin); ok && owner == asn {
+		owned = true
+		if err := e.Ctrl.WithdrawOriginated(origin); err != nil {
+			return err
+		}
+	}
+	if err := e.Ctrl.RemoveMember(asn); err != nil {
+		return err
+	}
+	// Tear the switch down: kill the control channel (dropping
+	// in-flight OpenFlow frames) and forget the port mappings.
+	if link := e.ctrlLinkOf[asn]; link != nil {
+		link.SetUp(false)
+	}
+	delete(e.ctrlPeers, e.ctrlEPOf[asn])
+	delete(e.ctrlEPOf, asn)
+	delete(e.ctrlLinkOf, asn)
+	delete(e.Switches, asn)
+	delete(e.members, asn)
+	for _, nb := range e.cfg.Graph.Neighbors(asn) {
+		delete(e.portOf, e.endpointOf[[2]idr.ASN{asn, nb}])
+	}
+
+	// Raise the router on the node and re-peer with every neighbor.
+	node, _ := e.Net.Node(asn.String())
+	if err := e.buildRouter(asn, node); err != nil {
+		return err
+	}
+	for _, nb := range e.cfg.Graph.Neighbors(asn) {
+		epSelf := e.endpointOf[[2]idr.ASN{asn, nb}]
+		epNb := e.endpointOf[[2]idr.ASN{nb, asn}]
+		ln, ok := e.Plan.Link(asn, nb)
+		if !ok {
+			return fmt.Errorf("experiment: no transfer network for %v-%v", asn, nb)
+		}
+		addrSelf, _ := ln.Addr(asn)
+		addrNb, _ := ln.Addr(nb)
+		key := linkKey(asn, nb)
+		selfPeer, err := e.addRouterPeer(asn, nb, epSelf, addrSelf)
+		if err != nil {
+			return err
+		}
+		if e.members[nb] {
+			// The neighbor's intra-cluster port becomes an external
+			// peering terminated by the controller.
+			nbPort := e.portOf[epNb]
+			if err := e.Ctrl.SetPortMembership(nb, nbPort, false); err != nil {
+				return err
+			}
+			id, err := e.Plan.RouterID(nb)
+			if err != nil {
+				return err
+			}
+			if err := e.Ctrl.AddExternalPeering(nb, nbPort, asn, id, addrNb); err != nil {
+				return err
+			}
+			nbSw := e.Switches[nb]
+			if link := e.links[key]; link.Up() {
+				selfPeer.TransportUp()
+			}
+			e.onLinkState[key] = func(up bool) {
+				_ = nbSw.NotifyPortState(nbPort, up)
+				if up {
+					selfPeer.TransportUp()
+				} else {
+					selfPeer.TransportDown()
+				}
+			}
+			continue
+		}
+		// Legacy neighbor: its session pointed at the speaker; reset it
+		// so both router ends re-establish directly.
+		nbPeer, ok := e.Routers[nb].Peer(peerKeyTo(asn))
+		if !ok {
+			return fmt.Errorf("experiment: router %v has no session toward %v", nb, asn)
+		}
+		nbPeer.TransportDown()
+		if link := e.links[key]; link.Up() {
+			selfPeer.TransportUp()
+			nbPeer.TransportUp()
+		}
+		e.onLinkState[key] = func(up bool) {
+			if up {
+				selfPeer.TransportUp()
+				nbPeer.TransportUp()
+			} else {
+				selfPeer.TransportDown()
+				nbPeer.TransportDown()
+			}
+		}
+	}
+	e.syncDownLinks(asn)
+
+	if owned {
+		if err := e.Routers[asn].Announce(origin); err != nil {
+			return err
+		}
+	}
+	e.registerProbeSource(asn)
+	e.Detector.Touch()
+	return nil
+}
+
+// syncDownLinks replays a "down" transition through the freshly
+// installed state hooks of asn's incident links that are currently
+// down. Controller ports default to up when registered, so without
+// this a migration across a failed link would leave the controller
+// routing over it until the link's next real transition.
+func (e *Experiment) syncDownLinks(asn idr.ASN) {
+	for _, nb := range e.cfg.Graph.Neighbors(asn) {
+		key := linkKey(asn, nb)
+		if link := e.links[key]; link != nil && !link.Up() {
+			if h := e.onLinkState[key]; h != nil {
+				h(false)
+			}
+		}
+	}
+}
+
+// sortedPeerKeys returns a router's session keys in sorted order, so
+// migration tears sessions down deterministically.
+func sortedPeerKeys(r *bgp.Router) []rib.PeerKey {
+	keys := make([]rib.PeerKey, 0, len(r.Peers()))
+	for k := range r.Peers() {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// UpdateTotals returns the network-wide legacy BGP UPDATE counters,
+// including the counters of routers retired by mid-run migration (so
+// deltas taken across a migration stay monotonic).
+func (e *Experiment) UpdateTotals() (sent, recv uint64) {
+	sent, recv = e.retiredSent, e.retiredRecv
+	for _, r := range e.Routers {
+		s := r.Stats()
+		sent += s.UpdatesSent
+		recv += s.UpdatesReceived
+	}
+	return sent, recv
+}

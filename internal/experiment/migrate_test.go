@@ -1,0 +1,207 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/idr"
+	"repro/internal/topology"
+)
+
+// migrateExperiment builds and warms up a 4-clique with the last K
+// ASes clustered.
+func migrateExperiment(t *testing.T, k int) *Experiment {
+	t.Helper()
+	g, err := topology.Clique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 2 * time.Second
+	timers.MRAIJitter = false
+	nodes := g.Nodes()
+	e, err := New(Config{Seed: 1, Graph: g, SDNMembers: nodes[len(nodes)-k:], Timers: timers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WaitEstablished(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range e.ASNs() {
+		if err := e.Announce(asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func requireAllReachable(t *testing.T, e *Experiment, when string) {
+	t.Helper()
+	for _, dst := range e.ASNs() {
+		if !e.AllReachable(dst) {
+			t.Fatalf("%s: prefix of %v unreachable", when, dst)
+		}
+	}
+}
+
+// TestMigrateRoundTrip moves an AS into the cluster and back out
+// mid-run, exercising all three link rewires (router-router,
+// switch-router, switch-switch) on a clique, and checks the network
+// re-converges to full reachability each time — including the
+// migrated AS's own origination following it across the boundary.
+func TestMigrateRoundTrip(t *testing.T) {
+	e := migrateExperiment(t, 1)
+	target := e.ASNs()[1]
+
+	if err := e.Migrate(target); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsSDNMember(target) {
+		t.Fatalf("%v not a member after migrate-in", target)
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	requireAllReachable(t, e, "after migrate-in")
+
+	if err := e.Migrate(target); err != nil {
+		t.Fatal(err)
+	}
+	if e.IsSDNMember(target) {
+		t.Fatalf("%v still a member after migrate-out", target)
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	requireAllReachable(t, e, "after migrate-out")
+}
+
+// TestMigrateOutEmptiesCluster retracts the last member; the network
+// keeps running as pure BGP under the idle controller.
+func TestMigrateOutEmptiesCluster(t *testing.T) {
+	e := migrateExperiment(t, 1)
+	last := e.ASNs()[3]
+	if err := e.Migrate(last); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	requireAllReachable(t, e, "after emptying the cluster")
+}
+
+// TestUpdateTotalsMonotonicAcrossMigration pins the retired-counter
+// accounting: tearing a router down must not make the network-wide
+// totals go backwards.
+func TestUpdateTotalsMonotonicAcrossMigration(t *testing.T) {
+	e := migrateExperiment(t, 1)
+	sentBefore, recvBefore := e.UpdateTotals()
+	if sentBefore == 0 || recvBefore == 0 {
+		t.Fatalf("warm-up counted no updates (%d sent, %d recv)", sentBefore, recvBefore)
+	}
+	if err := e.Migrate(e.ASNs()[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	sentAfter, recvAfter := e.UpdateTotals()
+	if sentAfter < sentBefore || recvAfter < recvBefore {
+		t.Fatalf("totals went backwards across migration: sent %d->%d recv %d->%d",
+			sentBefore, sentAfter, recvBefore, recvAfter)
+	}
+}
+
+// TestMigrateAcrossDownLink pins the link-state sync: migrating an AS
+// while one of its links is down must not leave the controller
+// believing the corresponding port is up (ports default to up when
+// registered). The data-plane check is end to end: probes across the
+// migrated AS must keep flowing over the alternatives.
+func TestMigrateAcrossDownLink(t *testing.T) {
+	e := migrateExperiment(t, 1)
+	asns := e.ASNs() // clique 1..4, member {4}
+	if err := e.FailLink(asns[1], asns[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Migrate AS2 in: the down 2-4 link becomes an intra-cluster edge
+	// and must enter the switch graph as down.
+	if err := e.Migrate(asns[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	requireAllReachable(t, e, "after migrating across a down link")
+	for _, flow := range [][2]int{{1, 3}, {0, 1}, {1, 0}, {3, 1}} {
+		if err := e.InjectProbe(asns[flow[0]], asns[flow[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	loss := e.Probes.TotalLoss()
+	if loss.Delivered != loss.Sent {
+		t.Fatalf("probes blackholed across the down link: %d/%d delivered", loss.Delivered, loss.Sent)
+	}
+	// Restoring the link must flow through the rebuilt state hook.
+	if err := e.RestoreLink(asns[1], asns[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitConverged(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	requireAllReachable(t, e, "after restoring the link")
+}
+
+// TestMigrateErrors pins the unsupported configurations.
+func TestMigrateErrors(t *testing.T) {
+	g, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timers := bgp.DefaultTimers()
+	timers.MRAI = 2 * time.Second
+	timers.MRAIJitter = false
+
+	// No controller: migration has nothing to join.
+	e, err := New(Config{Seed: 1, Graph: g, Timers: timers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Migrate(e.ASNs()[0]); err == nil {
+		t.Fatal("migrate before Start should error")
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Migrate(e.ASNs()[0]); err == nil {
+		t.Fatal("migrate without a controller should error")
+	}
+
+	// Unknown AS and collector-attached experiments are rejected.
+	g2, _ := topology.Line(3)
+	e2, err := New(Config{Seed: 1, Graph: g2, SDNMembers: []idr.ASN{g2.Nodes()[2]}, Timers: timers, WithCollector: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Migrate(idr.ASN(99)); err == nil {
+		t.Fatal("migrating an unknown AS should error")
+	}
+	if err := e2.Migrate(g2.Nodes()[0]); err == nil {
+		t.Fatal("migration with a collector should error")
+	}
+}

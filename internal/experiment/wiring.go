@@ -46,23 +46,34 @@ func (e *Experiment) buildLink(edge topology.Edge) error {
 	if err != nil {
 		return err
 	}
-	e.links[linkKey(a, b)] = link
+	key := linkKey(a, b)
+	e.links[key] = link
 	ln, err := e.Plan.AddLink(a, b)
 	if err != nil {
 		return err
 	}
 	epA, epB := link.Endpoints()
+	e.endpointOf[[2]idr.ASN{a, b}] = epA
+	e.endpointOf[[2]idr.ASN{b, a}] = epB
+	// One state-change subscription per link, dispatched through the
+	// mutable onLinkState table so migration can swap the protocol
+	// hook without leaking subscriptions to torn-down devices.
+	link.OnStateChange(func(up bool) {
+		if h := e.onLinkState[key]; h != nil {
+			h(up)
+		}
+	})
 
 	memberA, memberB := e.members[a], e.members[b]
 	switch {
 	case !memberA && !memberB:
-		return e.wireRouterRouter(edge, link, epA, epB, ln)
+		return e.wireRouterRouter(edge, epA, epB, ln)
 	case memberA && memberB:
-		return e.wireSwitchSwitch(edge, link, epA, epB)
+		return e.wireSwitchSwitch(edge, epA, epB)
 	case memberA && !memberB:
-		return e.wireSwitchRouter(edge, link, a, b, epA, epB, ln)
+		return e.wireSwitchRouter(a, b, epA, epB, ln)
 	default:
-		return e.wireSwitchRouter(edge, link, b, a, epB, epA, ln)
+		return e.wireSwitchRouter(b, a, epB, epA, ln)
 	}
 }
 
@@ -94,7 +105,7 @@ func (e *Experiment) addRouterPeer(local, remote idr.ASN, ep *netem.Endpoint, ad
 	return p, nil
 }
 
-func (e *Experiment) wireRouterRouter(edge topology.Edge, link *netem.Link, epA, epB *netem.Endpoint, ln addressing.LinkNet) error {
+func (e *Experiment) wireRouterRouter(edge topology.Edge, epA, epB *netem.Endpoint, ln addressing.LinkNet) error {
 	a, b := edge.A, edge.B
 	addrA, _ := ln.Addr(a)
 	addrB, _ := ln.Addr(b)
@@ -106,7 +117,7 @@ func (e *Experiment) wireRouterRouter(edge topology.Edge, link *netem.Link, epA,
 	if err != nil {
 		return err
 	}
-	link.OnStateChange(func(up bool) {
+	e.onLinkState[linkKey(a, b)] = func(up bool) {
 		if up {
 			pa.TransportUp()
 			pb.TransportUp()
@@ -114,11 +125,11 @@ func (e *Experiment) wireRouterRouter(edge topology.Edge, link *netem.Link, epA,
 			pa.TransportDown()
 			pb.TransportDown()
 		}
-	})
+	}
 	return nil
 }
 
-func (e *Experiment) wireSwitchSwitch(edge topology.Edge, link *netem.Link, epA, epB *netem.Endpoint) error {
+func (e *Experiment) wireSwitchSwitch(edge topology.Edge, epA, epB *netem.Endpoint) error {
 	a, b := edge.A, edge.B
 	swA, swB := e.Switches[a], e.Switches[b]
 	portA, err := swA.AddPort(epA.Send)
@@ -137,17 +148,17 @@ func (e *Experiment) wireSwitchSwitch(edge topology.Edge, link *netem.Link, epA,
 	if err := e.Ctrl.RegisterPort(b, portB, a, true); err != nil {
 		return err
 	}
-	link.OnStateChange(func(up bool) {
+	e.onLinkState[linkKey(a, b)] = func(up bool) {
 		_ = swA.NotifyPortState(portA, up)
 		_ = swB.NotifyPortState(portB, up)
-	})
+	}
 	return nil
 }
 
 // wireSwitchRouter wires an external peering: member m's switch port
 // faces legacy router l, and the controller terminates the eBGP
 // session through the speaker.
-func (e *Experiment) wireSwitchRouter(edge topology.Edge, link *netem.Link, m, l idr.ASN, epM, epL *netem.Endpoint, ln addressing.LinkNet) error {
+func (e *Experiment) wireSwitchRouter(m, l idr.ASN, epM, epL *netem.Endpoint, ln addressing.LinkNet) error {
 	sw := e.Switches[m]
 	port, err := sw.AddPort(epM.Send)
 	if err != nil {
@@ -170,14 +181,14 @@ func (e *Experiment) wireSwitchRouter(edge topology.Edge, link *netem.Link, m, l
 	if err != nil {
 		return err
 	}
-	link.OnStateChange(func(up bool) {
+	e.onLinkState[linkKey(m, l)] = func(up bool) {
 		_ = sw.NotifyPortState(port, up)
 		if up {
 			pl.TransportUp()
 		} else {
 			pl.TransportDown()
 		}
-	})
+	}
 	return nil
 }
 

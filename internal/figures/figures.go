@@ -48,6 +48,11 @@ type Options struct {
 	// spec default: permit-all for the classic figures, gao-rexford
 	// for the policy family). See lab.PolicySpec.
 	Policy lab.PolicySpec
+	// Workload replaces the experiment's triggering event with an
+	// explicit multi-event schedule (the -workload flag). Only the
+	// Figure 2 family honors it; the workload figures fix their own
+	// schedules and every other spec rejects it.
+	Workload lab.Workload
 	// Parallelism bounds concurrent emulation runs (0 = GOMAXPROCS).
 	Parallelism int
 	// Progress, when non-nil, receives (done, total) after every
@@ -111,6 +116,15 @@ func (o Options) rejectUnused(name, why string) error {
 	if len(o.SDNCounts) > 0 {
 		return fmt.Errorf("figures: %s is %s; an SDN-count list does not apply", name, why)
 	}
+	return o.rejectWorkload(name, why)
+}
+
+// rejectWorkload errors when the caller set -workload on a spec whose
+// trigger is fixed (everything except the Figure 2 family).
+func (o Options) rejectWorkload(name, why string) error {
+	if len(o.Workload) > 0 {
+		return fmt.Errorf("figures: %s is %s; -workload does not apply", name, why)
+	}
 	return nil
 }
 
@@ -151,7 +165,8 @@ type Spec struct {
 // over the SDN deployment fraction of a 16-AS clique (or any
 // -topology), 10 runs per point, per-cell seeds, 100ms debounce and
 // the 25ms per-UPDATE processing delay approximating the paper's
-// shared-host Quagga daemons.
+// shared-host Quagga daemons. A -workload override replaces the
+// event with an explicit schedule on the same sweep.
 func convergenceSpec(name, title string, ev lab.Event) Spec {
 	return Spec{Name: name, Title: title, Build: func(o Options) (lab.Sweep, error) {
 		topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 16})
@@ -162,6 +177,7 @@ func convergenceSpec(name, title string, ev lab.Event) Spec {
 				Placement:       o.placementOr(lab.Placement{Strategy: lab.PlaceLast}),
 				Policy:          o.policyOr(lab.PolicySpec{}),
 				Event:           ev,
+				Workload:        o.Workload,
 				Timers:          o.timers(),
 				Debounce:        o.debounceOr(100 * time.Millisecond),
 				ProcessingDelay: 25 * time.Millisecond,
@@ -206,6 +222,9 @@ var registry = []Spec{
 
 	{Name: "vf", Title: "policy: valley-free withdrawal convergence vs SDN cluster size (internet-like graph)",
 		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectWorkload("vf", "a fixed-withdrawal policy figure"); err != nil {
+				return lab.Sweep{}, err
+			}
 			topo := o.topoOr(lab.TopoSpec{Kind: "internet", N: 64})
 			counts := o.SDNCounts
 			if len(counts) == 0 {
@@ -264,6 +283,9 @@ var registry = []Spec{
 
 	{Name: "hijack", Title: "policy: prefix-hijack containment vs SDN cluster size (bogus-announcement reach)",
 		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectWorkload("hijack", "a fixed-hijack policy figure"); err != nil {
+				return lab.Sweep{}, err
+			}
 			topo := o.topoOr(lab.TopoSpec{Kind: "internet", N: 32})
 			counts := o.SDNCounts
 			if len(counts) == 0 {
@@ -295,6 +317,115 @@ var registry = []Spec{
 				Axis:        lab.SDNCounts(counts...),
 				Runs:        o.runsOr(5),
 				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
+			}, nil
+		}},
+
+	{Name: "maint", Title: "workload: maintenance window (withdraw, re-announce) re-convergence vs SDN cluster size",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectWorkload("maint", "a fixed maintenance-window schedule (use -exp fig2 -workload for custom timelines)"); err != nil {
+				return lab.Sweep{}, err
+			}
+			topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 16})
+			return lab.Sweep{
+				Name: "maint",
+				Base: lab.Trial{
+					Topo:      topo,
+					Placement: o.placementOr(lab.Placement{Strategy: lab.PlaceLast}),
+					Policy:    o.policyOr(lab.PolicySpec{}),
+					// The window (10m) exceeds the slowest pure-BGP
+					// withdrawal convergence on the default clique, so
+					// the re-announce measures a quiesced network — the
+					// interesting epoch is the second one.
+					Workload: lab.Workload{
+						{Kind: lab.KindWithdrawal},
+						{At: 10 * time.Minute, Kind: lab.KindAnnouncement},
+					},
+					Timers:          o.timers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+					OriginOnly:      originOnly(topo),
+				},
+				Axis:        lab.SDNCounts(o.sdnCountsOr(topo.Nodes())...),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				SeedPolicy:  lab.SeedCellRun,
+				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
+			}, nil
+		}},
+
+	{Name: "cascade", Title: "workload: cascading failure — fail-over then hijack of the weakened prefix vs SDN cluster size",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectWorkload("cascade", "a fixed fail-over-then-hijack schedule"); err != nil {
+				return lab.Sweep{}, err
+			}
+			topo := o.topoOr(lab.TopoSpec{Kind: "internet", N: 32})
+			counts := o.SDNCounts
+			if len(counts) == 0 {
+				// Stop short of full deployment: the hijack leg needs a
+				// legacy attacker (see the hijack figure).
+				counts = policySteps(topo.Nodes(), false)
+			}
+			for _, k := range counts {
+				if k >= topo.Nodes() {
+					return lab.Sweep{}, fmt.Errorf("figures: cascade needs a legacy attacker; SDN count %d covers all %d ASes", k, topo.Nodes())
+				}
+			}
+			return lab.Sweep{
+				Name: "cascade",
+				Base: lab.Trial{
+					Topo:      topo,
+					Placement: o.placementOr(lab.Placement{Strategy: lab.PlaceDegree}),
+					Policy:    o.policyOr(lab.PolicySpec{Kind: lab.PolicyGaoRexford}),
+					// The dual-homed stub loses its primary attachment;
+					// five minutes later — mid-recovery weakness — a
+					// legacy AS hijacks its prefix. The per-epoch
+					// hijacked column is the containment story.
+					Workload: lab.Workload{
+						{Kind: lab.KindFailover},
+						{At: 5 * time.Minute, Kind: lab.KindHijack},
+					},
+					Timers:          o.timers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+					OriginOnly:      originOnly(topo),
+				},
+				Axis:        lab.SDNCounts(counts...),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
+			}, nil
+		}},
+
+	{Name: "churn", Title: "workload: seeded Poisson withdraw/re-announce churn vs SDN cluster size",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectWorkload("churn", "a seed-derived Poisson schedule"); err != nil {
+				return lab.Sweep{}, err
+			}
+			topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 16})
+			return lab.Sweep{
+				Name: "churn",
+				Base: lab.Trial{
+					Topo:      topo,
+					Placement: o.placementOr(lab.Placement{Strategy: lab.PlaceLast}),
+					Policy:    o.policyOr(lab.PolicySpec{}),
+					// Six origin flaps with exponential gaps (mean 90s,
+					// drawn from the base seed, identical across cells)
+					// overlap the pure-BGP convergence tail — replayed,
+					// measured churn rather than a single trigger.
+					Workload:        lab.PoissonWorkload(o.BaseSeed, 6, 90*time.Second),
+					Timers:          o.timers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+					OriginOnly:      originOnly(topo),
+				},
+				Axis:        lab.SDNCounts(o.sdnCountsOr(topo.Nodes())...),
+				Runs:        o.runsOr(3),
+				BaseSeed:    o.BaseSeed,
+				SeedPolicy:  lab.SeedCellRun,
 				Parallelism: o.Parallelism,
 				Progress:    o.Progress,
 			}, nil
@@ -353,6 +484,9 @@ var registry = []Spec{
 
 	{Name: "debounce", Title: "ablation: controller delayed recomputation (latency vs batches)",
 		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectWorkload("debounce", "a fixed-withdrawal ablation"); err != nil {
+				return lab.Sweep{}, err
+			}
 			if len(o.SDNCounts) > 0 {
 				return lab.Sweep{}, fmt.Errorf("figures: debounce sweeps the recomputation window at a fixed placement; an SDN-count list does not apply")
 			}
@@ -389,6 +523,9 @@ var registry = []Spec{
 
 	{Name: "exploration", Title: "ablation: best-path churn and update load vs SDN count",
 		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectWorkload("exploration", "a fixed-withdrawal ablation"); err != nil {
+				return lab.Sweep{}, err
+			}
 			topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 8})
 			n := topo.Nodes()
 			counts := o.SDNCounts

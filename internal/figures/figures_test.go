@@ -347,7 +347,7 @@ func TestSubClusterSurvivesSplit(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"fig2", "announce", "failover", "vf", "policyload", "hijack", "mrai", "size", "debounce", "exploration", "flap"}
+	want := []string{"fig2", "announce", "failover", "vf", "policyload", "hijack", "maint", "cascade", "churn", "mrai", "size", "debounce", "exploration", "flap"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry names = %v, want %v", got, want)
@@ -411,6 +411,101 @@ func TestPolicyFamilySpecs(t *testing.T) {
 	last := sw.Axis.Ints[len(sw.Axis.Ints)-1]
 	if last >= sw.Base.Topo.Nodes() {
 		t.Fatalf("hijack default axis reaches full deployment (K=%d of %d)", last, sw.Base.Topo.Nodes())
+	}
+}
+
+// TestWorkloadFamilySpecs pins the declarative shape of the workload
+// registry entries and runs a shrunk maintenance-window sweep end to
+// end: per-epoch aggregates must flow through to the cells and the
+// network must end reachable after the re-announce.
+func TestWorkloadFamilySpecs(t *testing.T) {
+	maint, ok := Lookup("maint")
+	if !ok {
+		t.Fatal("maint missing from the registry")
+	}
+	topo := lab.TopoSpec{Kind: "clique", N: 6}
+	sw, err := maint.Build(Options{Topo: &topo, SDNCounts: []int{0, 3}, Runs: 2, BaseSeed: 1, MRAI: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Base.Workload) != 2 || sw.Base.Workload[0].Kind != lab.KindWithdrawal || sw.Base.Workload[1].Kind != lab.KindAnnouncement {
+		t.Fatalf("maint workload = %v", sw.Base.Workload)
+	}
+	res, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if len(c.Epochs) != 2 {
+			t.Fatalf("cell %s: epoch aggregates = %d, want 2", c.Label, len(c.Epochs))
+		}
+		if !c.AllReachable() {
+			t.Fatalf("cell %s: origin unreachable after the maintenance window", c.Label)
+		}
+		if c.Epochs[1].Summary.Median <= 0 {
+			t.Fatalf("cell %s: no re-convergence measured", c.Label)
+		}
+	}
+	// The maintenance window's costly phase is the withdrawal (path
+	// exploration); the re-announce floods quickly — and
+	// centralization shrinks the withdrawal epoch.
+	if res.Cells[0].Epochs[0].Summary.Median < 4*res.Cells[0].Epochs[1].Summary.Median {
+		t.Fatalf("withdraw epoch (%.3f) should dwarf the re-announce epoch (%.3f)",
+			res.Cells[0].Epochs[0].Summary.Median, res.Cells[0].Epochs[1].Summary.Median)
+	}
+	if res.Cells[1].Epochs[0].Summary.Median >= res.Cells[0].Epochs[0].Summary.Median {
+		t.Fatalf("SDN withdraw epoch not faster: %.3f vs %.3f",
+			res.Cells[1].Epochs[0].Summary.Median, res.Cells[0].Epochs[0].Summary.Median)
+	}
+
+	cascade, _ := Lookup("cascade")
+	sw, err = cascade.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Base.Workload) != 2 || sw.Base.Workload[0].Kind != lab.KindFailover || sw.Base.Workload[1].Kind != lab.KindHijack {
+		t.Fatalf("cascade workload = %v", sw.Base.Workload)
+	}
+	if sw.Base.Policy.Kind != lab.PolicyGaoRexford || sw.Base.Topo.Kind != "internet" {
+		t.Fatalf("cascade base = policy %q topo %q", sw.Base.Policy.Kind, sw.Base.Topo.Kind)
+	}
+	last := sw.Axis.Ints[len(sw.Axis.Ints)-1]
+	if last >= sw.Base.Topo.Nodes() {
+		t.Fatalf("cascade default axis reaches full deployment (K=%d of %d)", last, sw.Base.Topo.Nodes())
+	}
+
+	churn, _ := Lookup("churn")
+	sw, err = churn.Build(Options{BaseSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Base.Workload) != 6 {
+		t.Fatalf("churn workload length = %d, want 6", len(sw.Base.Workload))
+	}
+	sw2, err := churn.Build(Options{BaseSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Base.Workload.String() != sw2.Base.Workload.String() {
+		t.Fatal("churn schedule must be deterministic in the base seed")
+	}
+
+	// The workload figures fix their schedules; only the Figure 2
+	// family honors -workload.
+	custom := lab.Workload{{Kind: lab.KindWithdrawal}}
+	for _, name := range []string{"maint", "cascade", "churn", "vf", "hijack", "debounce", "exploration", "mrai", "size", "flap", "policyload"} {
+		spec, _ := Lookup(name)
+		if _, err := spec.Build(Options{Workload: custom}); err == nil {
+			t.Fatalf("%s: -workload override should error", name)
+		}
+	}
+	fig2, _ := Lookup("fig2")
+	sw, err = fig2.Build(Options{Workload: custom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Base.Workload) != 1 {
+		t.Fatalf("fig2 must honor -workload, got %v", sw.Base.Workload)
 	}
 }
 

@@ -48,11 +48,11 @@ func Write(w io.Writer, f Format, res *SweepResult) error {
 
 func writeTable(w io.Writer, res *SweepResult) error {
 	if _, err := fmt.Fprintf(w, "# %s: %s convergence on %s vs %s (policy %s, %d runs/point, seed %d)\n",
-		res.Name, res.Event, res.TopoLabel(), res.Axis.Name(), res.PolicyLabel(), res.Runs, res.BaseSeed); err != nil {
+		res.Name, res.EventLabel(), res.TopoLabel(), res.Axis.Name(), res.PolicyLabel(), res.Runs, res.BaseSeed); err != nil {
 		return err
 	}
 	sdn := res.Axis.Kind == AxisSDNCount
-	hijack := res.Event == Hijack
+	hijack := res.hasHijack()
 	header := fmt.Sprintf("%-12s ", res.Axis.Name())
 	if sdn {
 		header += fmt.Sprintf("%-9s ", "fraction")
@@ -83,6 +83,27 @@ func writeTable(w io.Writer, res *SweepResult) error {
 		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err
 		}
+		// Multi-event workloads: one indented sub-row per scheduled
+		// event, same statistic columns windowed to the epoch. The
+		// label pads to the cell rows' full prefix (axis column plus
+		// the sdn-count fraction column) so the columns line up.
+		labelWidth := 12
+		if sdn {
+			labelWidth += 10
+		}
+		for _, ep := range c.Epochs {
+			label := fmt.Sprintf("  @%s %s", ep.At, ep.Kind.Verb())
+			s := ep.Summary
+			erow := fmt.Sprintf("%-*s %4d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %9.1f %9.1f %10.1f",
+				labelWidth, label, s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean,
+				ep.MeanUpdatesSent, ep.MeanBestPathChanges, ep.MeanRecomputes)
+			if hijack {
+				erow += fmt.Sprintf(" %9.1f", ep.MeanHijacked)
+			}
+			if _, err := fmt.Fprintln(w, erow); err != nil {
+				return err
+			}
+		}
 	}
 	if a, b, r2, ok := res.Fit(); ok {
 		x := res.Axis.Name()
@@ -105,19 +126,33 @@ func fstr(x float64) string {
 }
 
 func writeCSV(w io.Writer, res *SweepResult) error {
-	if _, err := fmt.Fprintf(w, "%s,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after\n",
+	if _, err := fmt.Fprintf(w, "%s,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s\n",
 		res.Axis.Name()); err != nil {
 		return err
 	}
 	for _, c := range res.Cells {
 		s := c.Summary
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%v\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%v,,,\n",
 			c.Label, fstr(c.Value), fstr(c.Fraction), s.N,
 			fstr(s.Min), fstr(s.Q1), fstr(s.Median), fstr(s.Q3), fstr(s.Max), fstr(s.Mean),
 			fstr(c.MeanUpdatesSent()), fstr(c.MeanUpdatesReceived()),
 			fstr(c.MeanBestPathChanges()), fstr(c.MeanRecomputes()),
 			fstr(c.MeanHijacked()), c.AllReachable()); err != nil {
 			return err
+		}
+		// Multi-event workloads: one row per scheduled event with the
+		// statistic columns windowed to the epoch and the trailing
+		// epoch columns filled (cell-summary rows leave them empty).
+		for i, ep := range c.Epochs {
+			es := ep.Summary
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,,%d,%s,%s\n",
+				c.Label, fstr(c.Value), fstr(c.Fraction), es.N,
+				fstr(es.Min), fstr(es.Q1), fstr(es.Median), fstr(es.Q3), fstr(es.Max), fstr(es.Mean),
+				fstr(ep.MeanUpdatesSent), fstr(ep.MeanUpdatesReceived),
+				fstr(ep.MeanBestPathChanges), fstr(ep.MeanRecomputes),
+				fstr(ep.MeanHijacked), i, ep.Kind, fstr(ep.At.Seconds())); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -129,10 +164,10 @@ type jsonFit struct {
 	R2         float64 `json:"r2"`
 }
 
-type jsonCell struct {
-	Label           string    `json:"label"`
-	Value           *float64  `json:"value,omitempty"`
-	Fraction        *float64  `json:"fraction,omitempty"`
+type jsonEpoch struct {
+	Epoch           int       `json:"epoch"`
+	Kind            string    `json:"kind"`
+	AtS             float64   `json:"at_s"`
 	N               int       `json:"n"`
 	MinS            float64   `json:"min_s"`
 	Q1S             float64   `json:"q1_s"`
@@ -146,19 +181,48 @@ type jsonCell struct {
 	BestPathChanges float64   `json:"best_path_changes"`
 	Recomputes      float64   `json:"recomputes"`
 	Hijacked        float64   `json:"hijacked"`
-	ReachableAfter  bool      `json:"reachable_after"`
+}
+
+type jsonCell struct {
+	Label           string      `json:"label"`
+	Value           *float64    `json:"value,omitempty"`
+	Fraction        *float64    `json:"fraction,omitempty"`
+	N               int         `json:"n"`
+	MinS            float64     `json:"min_s"`
+	Q1S             float64     `json:"q1_s"`
+	MedS            float64     `json:"med_s"`
+	Q3S             float64     `json:"q3_s"`
+	MaxS            float64     `json:"max_s"`
+	MeanS           float64     `json:"mean_s"`
+	DurationsS      []float64   `json:"durations_s"`
+	UpdatesSent     float64     `json:"updates_sent"`
+	UpdatesRecv     float64     `json:"updates_recv"`
+	BestPathChanges float64     `json:"best_path_changes"`
+	Recomputes      float64     `json:"recomputes"`
+	Hijacked        float64     `json:"hijacked"`
+	ReachableAfter  bool        `json:"reachable_after"`
+	Epochs          []jsonEpoch `json:"epochs,omitempty"`
+}
+
+type jsonWorkloadEvent struct {
+	Kind string  `json:"kind"`
+	AtS  float64 `json:"at_s"`
+	AS   uint32  `json:"as,omitempty"`
+	A    uint32  `json:"a,omitempty"`
+	B    uint32  `json:"b,omitempty"`
 }
 
 type jsonSweep struct {
-	Experiment string     `json:"experiment"`
-	Event      string     `json:"event"`
-	Topology   string     `json:"topology"`
-	Policy     string     `json:"policy"`
-	Axis       string     `json:"axis"`
-	Runs       int        `json:"runs"`
-	BaseSeed   int64      `json:"base_seed"`
-	Cells      []jsonCell `json:"cells"`
-	Fit        *jsonFit   `json:"fit,omitempty"`
+	Experiment string              `json:"experiment"`
+	Event      string              `json:"event"`
+	Workload   []jsonWorkloadEvent `json:"workload,omitempty"`
+	Topology   string              `json:"topology"`
+	Policy     string              `json:"policy"`
+	Axis       string              `json:"axis"`
+	Runs       int                 `json:"runs"`
+	BaseSeed   int64               `json:"base_seed"`
+	Cells      []jsonCell          `json:"cells"`
+	Fit        *jsonFit            `json:"fit,omitempty"`
 }
 
 func fptr(x float64) *float64 {
@@ -171,7 +235,7 @@ func fptr(x float64) *float64 {
 func writeJSON(w io.Writer, res *SweepResult) error {
 	out := jsonSweep{
 		Experiment: res.Name,
-		Event:      res.Event.String(),
+		Event:      res.EventLabel(),
 		Topology:   res.TopoLabel(),
 		Policy:     res.PolicyLabel(),
 		Axis:       res.Axis.Name(),
@@ -179,11 +243,46 @@ func writeJSON(w io.Writer, res *SweepResult) error {
 		BaseSeed:   res.BaseSeed,
 		Cells:      make([]jsonCell, len(res.Cells)),
 	}
+	for _, ev := range res.Workload {
+		out.Workload = append(out.Workload, jsonWorkloadEvent{
+			Kind: ev.Kind.String(),
+			AtS:  ev.At.Seconds(),
+			AS:   uint32(ev.AS),
+			A:    uint32(ev.A),
+			B:    uint32(ev.B),
+		})
+	}
 	for i, c := range res.Cells {
 		s := c.Summary
 		durs := make([]float64, len(c.Results))
 		for j, r := range c.Results {
 			durs[j] = r.Convergence.Seconds()
+		}
+		var epochs []jsonEpoch
+		for ei, ep := range c.Epochs {
+			es := ep.Summary
+			edurs := make([]float64, len(c.Results))
+			for j, r := range c.Results {
+				edurs[j] = r.Epochs[ei].Convergence.Seconds()
+			}
+			epochs = append(epochs, jsonEpoch{
+				Epoch:           ei,
+				Kind:            ep.Kind.String(),
+				AtS:             ep.At.Seconds(),
+				N:               es.N,
+				MinS:            es.Min,
+				Q1S:             es.Q1,
+				MedS:            es.Median,
+				Q3S:             es.Q3,
+				MaxS:            es.Max,
+				MeanS:           es.Mean,
+				DurationsS:      edurs,
+				UpdatesSent:     ep.MeanUpdatesSent,
+				UpdatesRecv:     ep.MeanUpdatesReceived,
+				BestPathChanges: ep.MeanBestPathChanges,
+				Recomputes:      ep.MeanRecomputes,
+				Hijacked:        ep.MeanHijacked,
+			})
 		}
 		out.Cells[i] = jsonCell{
 			Label:           c.Label,
@@ -203,6 +302,7 @@ func writeJSON(w io.Writer, res *SweepResult) error {
 			Recomputes:      c.MeanRecomputes(),
 			Hijacked:        c.MeanHijacked(),
 			ReachableAfter:  c.AllReachable(),
+			Epochs:          epochs,
 		}
 	}
 	if a, b, r2, ok := res.Fit(); ok {

@@ -2,6 +2,7 @@ package lab
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -70,9 +71,9 @@ sdn_k        fraction     n    min_s     q1_s    med_s     q3_s    max_s   mean_
 
 func TestWriteCSVGolden(t *testing.T) {
 	got := encode(t, FormatCSV, fixedResult())
-	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after
-0,0,0,2,40,42.5,45,47.5,50,45,120,120,30,0,0,false
-2,2,0.5,2,10,12.5,15,17.5,20,15,40,40,10,4,0,false
+	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s
+0,0,0,2,40,42.5,45,47.5,50,45,120,120,30,0,0,false,,,
+2,2,0.5,2,10,12.5,15,17.5,20,15,40,40,10,4,0,false,,,
 `
 	if got != want {
 		t.Fatalf("csv golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -180,6 +181,148 @@ func TestWriteModeAxis(t *testing.T) {
 	}
 	if _, hasFit := parsed["fit"]; hasFit {
 		t.Fatal("mode json must omit fit")
+	}
+}
+
+// fixedWorkloadResult builds a synthetic two-event (maintenance
+// window) sweep result with hand-picked per-epoch numbers, so the
+// per-epoch encoder goldens are exact and fast.
+func fixedWorkloadResult() *SweepResult {
+	w := Workload{
+		{At: 0, Kind: KindWithdrawal},
+		{At: 2 * time.Minute, Kind: KindAnnouncement},
+	}
+	mkEpochs := func(c1, c2 time.Duration, u1, u2 uint64) []Epoch {
+		return []Epoch{
+			{Kind: KindWithdrawal, At: 0, Convergence: c1, UpdatesSent: u1, UpdatesReceived: u1, BestPathChanges: 5, Recomputes: 1},
+			{Kind: KindAnnouncement, At: 2 * time.Minute, Convergence: c2, UpdatesSent: u2, UpdatesReceived: u2, BestPathChanges: 3, Recomputes: 1},
+		}
+	}
+	mk := func(durs []time.Duration, updates uint64, epochs [][]Epoch) Cell {
+		results := make([]Result, len(durs))
+		for i, d := range durs {
+			results[i] = Result{
+				Convergence:     d,
+				UpdatesSent:     updates,
+				UpdatesReceived: updates,
+				BestPathChanges: 8,
+				Recomputes:      2,
+				ReachableAfter:  true,
+				Epochs:          epochs[i],
+			}
+		}
+		c := Cell{Results: results, Summary: stats.SummarizeDurations(durs)}
+		c.Epochs = summarizeEpochs(results)
+		return c
+	}
+	sweep := Sweep{
+		Name: "maint",
+		Base: Trial{Topo: TopoSpec{Kind: "clique", N: 4}, Workload: w},
+		Axis: SDNCounts(0, 2),
+		Runs: 2, BaseSeed: 1,
+	}
+	c0 := mk([]time.Duration{20 * time.Second, 30 * time.Second}, 100,
+		[][]Epoch{mkEpochs(40*time.Second, 20*time.Second, 60, 40), mkEpochs(50*time.Second, 30*time.Second, 60, 40)})
+	c1 := mk([]time.Duration{5 * time.Second, 15 * time.Second}, 40,
+		[][]Epoch{mkEpochs(10*time.Second, 5*time.Second, 25, 15), mkEpochs(20*time.Second, 15*time.Second, 25, 15)})
+	cells := []Cell{c0, c1}
+	for i := range cells {
+		cells[i].Label = sweep.Axis.Label(i)
+		cells[i].Value = sweep.Axis.Value(i)
+		cells[i].Fraction = cells[i].Value / float64(sweep.Base.Topo.Nodes())
+	}
+	return &SweepResult{
+		Name: sweep.Name, Event: sweep.Base.Event, Workload: w, Topo: sweep.Base.Topo,
+		Axis: sweep.Axis, Runs: sweep.Runs, BaseSeed: sweep.BaseSeed, Cells: cells,
+	}
+}
+
+// TestWriteTableWorkloadGolden pins the per-epoch sub-rows of the
+// human table: one indented row per scheduled event under each cell.
+func TestWriteTableWorkloadGolden(t *testing.T) {
+	got := encode(t, FormatTable, fixedWorkloadResult())
+	want := `# maint: withdraw@0s; announce@2m0s convergence on clique 4 vs sdn_k (policy permit-all, 2 runs/point, seed 1)
+sdn_k        fraction     n    min_s     q1_s    med_s     q3_s    max_s   mean_s   updates  best_chg recomputes reachable
+0            0.000        2   20.000   22.500   25.000   27.500   30.000   25.000     100.0       8.0        2.0      true
+  @0s withdraw            2   40.000   42.500   45.000   47.500   50.000   45.000      60.0       5.0        1.0
+  @2m0s announce          2   20.000   22.500   25.000   27.500   30.000   25.000      40.0       3.0        1.0
+2            0.500        2    5.000    7.500   10.000   12.500   15.000   10.000      40.0       8.0        2.0      true
+  @0s withdraw            2   10.000   12.500   15.000   17.500   20.000   15.000      25.0       5.0        1.0
+  @2m0s announce          2    5.000    7.500   10.000   12.500   15.000   10.000      15.0       3.0        1.0
+# linear fit: t = 25.0s -30.0s*fraction (r2=1.000)
+`
+	if got != want {
+		t.Fatalf("workload table golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteCSVWorkloadGolden pins the per-epoch CSV rows: cell-summary
+// rows leave the trailing epoch columns empty; epoch rows fill them
+// and window every statistic column to the epoch.
+func TestWriteCSVWorkloadGolden(t *testing.T) {
+	got := encode(t, FormatCSV, fixedWorkloadResult())
+	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s
+0,0,0,2,20,22.5,25,27.5,30,25,100,100,8,2,0,true,,,
+0,0,0,2,40,42.5,45,47.5,50,45,60,60,5,1,0,,0,withdrawal,0
+0,0,0,2,20,22.5,25,27.5,30,25,40,40,3,1,0,,1,announcement,120
+2,2,0.5,2,5,7.5,10,12.5,15,10,40,40,8,2,0,true,,,
+2,2,0.5,2,10,12.5,15,17.5,20,15,25,25,5,1,0,,0,withdrawal,0
+2,2,0.5,2,5,7.5,10,12.5,15,10,15,15,3,1,0,,1,announcement,120
+`
+	if got != want {
+		t.Fatalf("workload csv golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteJSONWorkload pins the per-epoch JSON: the workload echo,
+// the schedule-form event label, and the full epochs array content.
+func TestWriteJSONWorkload(t *testing.T) {
+	got := encode(t, FormatJSON, fixedWorkloadResult())
+	var parsed struct {
+		Event    string `json:"event"`
+		Workload []struct {
+			Kind string  `json:"kind"`
+			AtS  float64 `json:"at_s"`
+		} `json:"workload"`
+		Cells []struct {
+			Label  string `json:"label"`
+			Epochs []struct {
+				Epoch       int       `json:"epoch"`
+				Kind        string    `json:"kind"`
+				AtS         float64   `json:"at_s"`
+				MedS        float64   `json:"med_s"`
+				DurationsS  []float64 `json:"durations_s"`
+				UpdatesSent float64   `json:"updates_sent"`
+				Hijacked    float64   `json:"hijacked"`
+			} `json:"epochs"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(got), &parsed); err != nil {
+		t.Fatalf("workload json invalid: %v", err)
+	}
+	if parsed.Event != "withdraw@0s; announce@2m0s" {
+		t.Fatalf("event label = %q", parsed.Event)
+	}
+	if len(parsed.Workload) != 2 || parsed.Workload[0].Kind != "withdrawal" || parsed.Workload[1].AtS != 120 {
+		t.Fatalf("workload echo = %+v", parsed.Workload)
+	}
+	if len(parsed.Cells) != 2 {
+		t.Fatalf("cells = %d", len(parsed.Cells))
+	}
+	ep := parsed.Cells[0].Epochs
+	if len(ep) != 2 {
+		t.Fatalf("cell 0 epochs = %d, want 2", len(ep))
+	}
+	if ep[0].Kind != "withdrawal" || ep[0].MedS != 45 || !reflect.DeepEqual(ep[0].DurationsS, []float64{40, 50}) || ep[0].UpdatesSent != 60 {
+		t.Fatalf("epoch 0 = %+v", ep[0])
+	}
+	if ep[1].Kind != "announcement" || ep[1].AtS != 120 || ep[1].MedS != 25 || ep[1].UpdatesSent != 40 {
+		t.Fatalf("epoch 1 = %+v", ep[1])
+	}
+	// Single-event results must keep the epoch-free shape.
+	single := encode(t, FormatJSON, fixedResult())
+	if strings.Contains(single, `"epochs"`) || strings.Contains(single, `"workload"`) {
+		t.Fatalf("single-event json must omit epochs/workload:\n%s", single)
 	}
 }
 

@@ -289,6 +289,66 @@ type Cell struct {
 	// Summary is the five-number summary of the per-run convergence
 	// times in seconds (the boxplot behind Figure 2).
 	Summary stats.Summary
+	// Epochs aggregates the per-event epochs across the cell's runs,
+	// one entry per scheduled workload event. Populated only for
+	// multi-event workloads (a single-event cell is its own epoch).
+	Epochs []EpochStats
+}
+
+// EpochStats aggregates one scheduled workload event's epochs across a
+// cell's seeded runs — the per-epoch row behind the encoders.
+type EpochStats struct {
+	// Kind is the epoch's triggering event kind.
+	Kind EventKind
+	// At is the event's scheduled offset from measurement start.
+	At time.Duration
+	// Summary is the five-number summary of the per-run epoch
+	// convergence times in seconds.
+	Summary stats.Summary
+	// MeanUpdatesSent and MeanUpdatesReceived are the mean per-run
+	// UPDATE counts inside the epoch window.
+	MeanUpdatesSent, MeanUpdatesReceived float64
+	// MeanBestPathChanges is the mean per-run best-path-change count
+	// inside the epoch window.
+	MeanBestPathChanges float64
+	// MeanRecomputes is the mean per-run controller recomputation
+	// count inside the epoch window.
+	MeanRecomputes float64
+	// MeanHijacked is the mean per-run hijacked-AS count at the end of
+	// the epoch (zero for non-hijack epochs).
+	MeanHijacked float64
+}
+
+// summarizeEpochs aggregates per-run epochs into per-event rows; nil
+// unless the runs carry a multi-event schedule.
+func summarizeEpochs(results []Result) []EpochStats {
+	if len(results) == 0 || len(results[0].Epochs) <= 1 {
+		return nil
+	}
+	n := len(results[0].Epochs)
+	out := make([]EpochStats, n)
+	for i := 0; i < n; i++ {
+		durs := make([]time.Duration, len(results))
+		es := EpochStats{Kind: results[0].Epochs[i].Kind, At: results[0].Epochs[i].At}
+		for r, res := range results {
+			ep := res.Epochs[i]
+			durs[r] = ep.Convergence
+			es.MeanUpdatesSent += float64(ep.UpdatesSent)
+			es.MeanUpdatesReceived += float64(ep.UpdatesReceived)
+			es.MeanBestPathChanges += float64(ep.BestPathChanges)
+			es.MeanRecomputes += float64(ep.Recomputes)
+			es.MeanHijacked += float64(ep.HijackedASes)
+		}
+		runs := float64(len(results))
+		es.MeanUpdatesSent /= runs
+		es.MeanUpdatesReceived /= runs
+		es.MeanBestPathChanges /= runs
+		es.MeanRecomputes /= runs
+		es.MeanHijacked /= runs
+		es.Summary = stats.SummarizeDurations(durs)
+		out[i] = es
+	}
+	return out
 }
 
 // Durations returns the per-run convergence times.
@@ -353,8 +413,11 @@ func (c Cell) AllReachable() bool {
 type SweepResult struct {
 	// Name is the sweep's registry name.
 	Name string
-	// Event is the base trial's triggering event.
+	// Event is the base trial's triggering event (sugar; see Workload).
 	Event Event
+	// Workload is the base trial's explicit schedule, when one was set
+	// (empty for single-event sugar trials). EventLabel prefers it.
+	Workload Workload
 	// Topo is the base trial's topology spec.
 	Topo TopoSpec
 	// Policy is the base trial's routing-policy template (overridden
@@ -419,6 +482,7 @@ func (s Sweep) Run() (*SweepResult, error) {
 	res := &SweepResult{
 		Name:     s.Name,
 		Event:    s.Base.Event,
+		Workload: s.Base.Workload,
 		Topo:     s.Base.Topo,
 		Policy:   s.Base.Policy,
 		Axis:     s.Axis,
@@ -437,6 +501,7 @@ func (s Sweep) Run() (*SweepResult, error) {
 			cell.Fraction = cell.Value / float64(s.Base.Topo.Nodes())
 		}
 		cell.Summary = stats.SummarizeDurations(cell.Durations())
+		cell.Epochs = summarizeEpochs(cell.Results)
 		res.Cells[ci] = cell
 	}
 	return res, nil
@@ -450,6 +515,24 @@ func (r *SweepResult) TopoLabel() string {
 		return r.Topo.Kind + " (size swept)"
 	}
 	return r.Topo.String()
+}
+
+// EventLabel renders the sweep's trigger for output: the schedule when
+// an explicit workload is set, the single event name otherwise.
+func (r *SweepResult) EventLabel() string {
+	if len(r.Workload) > 0 {
+		return r.Workload.String()
+	}
+	return r.Event.String()
+}
+
+// hasHijack reports whether the sweep's trigger hijacks a prefix (the
+// encoders gate the hijacked column on it).
+func (r *SweepResult) hasHijack() bool {
+	if len(r.Workload) > 0 {
+		return r.Workload.hasKind(KindHijack)
+	}
+	return r.Event == Hijack
 }
 
 // PolicyLabel renders the sweep's routing policy for output. When the
@@ -495,6 +578,25 @@ func (r *SweepResult) Boxes() []plot.Box {
 			label = fmt.Sprintf("%.0f%%", 100*c.Fraction)
 		}
 		boxes[i] = plot.Box{Label: label, Summary: c.Summary}
+	}
+	return boxes
+}
+
+// EpochBoxes adapts one scheduled event's epoch to the SVG boxplot
+// renderer: one box per cell of the per-run epoch convergence times.
+// It returns nil when the sweep carries no per-epoch aggregates (a
+// single-event trigger) or the index is out of range.
+func (r *SweepResult) EpochBoxes(epoch int) []plot.Box {
+	if len(r.Cells) == 0 || epoch < 0 || epoch >= len(r.Cells[0].Epochs) {
+		return nil
+	}
+	boxes := make([]plot.Box, len(r.Cells))
+	for i, c := range r.Cells {
+		label := c.Label
+		if r.Axis.Kind == AxisSDNCount && !math.IsNaN(c.Fraction) {
+			label = fmt.Sprintf("%.0f%%", 100*c.Fraction)
+		}
+		boxes[i] = plot.Box{Label: label, Summary: c.Epochs[epoch].Summary}
 	}
 	return boxes
 }

@@ -8,11 +8,14 @@
 // experiments while the framework handles configuration and
 // measurement; lab is the measurement half of that promise. A Trial
 // names any topology generator (TopoSpec), an SDN placement strategy
-// (Placement), the protocol timers, the triggering event and a seed —
-// and Run executes the full emulation (build, establish, announce,
+// (Placement), the protocol timers, the triggering workload and a seed
+// — and Run executes the full emulation (build, establish, announce,
 // converge, trigger, measure) on a private sim.Kernel, so trials are
-// share-nothing and deterministic per seed. internal/figures declares
-// the paper's figures and ablations as Sweep specs over this API;
+// share-nothing and deterministic per seed. The trigger is a Workload:
+// an ordered schedule of typed, timestamped events, measured one epoch
+// per event; the classic Trial.Event enum is documented sugar that
+// compiles to an equivalent schedule. internal/figures declares the
+// paper's figures and ablations as Sweep specs over this API;
 // cmd/convergence exposes the same specs on the command line.
 package lab
 
@@ -27,56 +30,48 @@ import (
 	"repro/internal/topology"
 )
 
-// Event selects the triggering routing event a trial measures.
+// Event selects the triggering routing event a trial measures. It is
+// sugar over the Workload schedule: each value compiles to its
+// equivalent one-entry schedule (the Flap storm to FlapWorkload's
+// withdraw/announce pairs), so a Trial with Event set behaves exactly
+// like one with the explicit Workload. Set Trial.Workload for
+// multi-event timelines; it takes precedence over Event.
 type Event int
 
-// Trial events.
+// Trial events. Their values coincide with the first EventKinds, and
+// Event.String/ParseEvent share the workload name table.
 const (
 	// Withdrawal: the origin AS withdraws an established prefix — the
 	// paper's Figure 2 experiment.
-	Withdrawal Event = iota
+	Withdrawal Event = Event(KindWithdrawal)
 	// Announcement: the origin AS announces a fresh prefix (§4).
-	Announcement
+	Announcement Event = Event(KindAnnouncement)
 	// Failover: a dual-homed stub origin loses its primary attachment
 	// while the prefix stays reachable over the backup (§4).
-	Failover
+	Failover Event = Event(KindFailover)
 	// Flap: the origin withdraws and re-announces its prefix for
 	// FlapCycles periods of FlapPeriod — the stability-ablation storm.
-	Flap
+	Flap Event = Event(KindFlap)
 	// Hijack: the highest-numbered AS still running legacy BGP
 	// announces the origin's prefix (a bogus origination). The result
 	// reports how many ASes end up routing toward the attacker
 	// (Result.HijackedASes) — the containment question behind the
 	// policy figure family.
-	Hijack
+	Hijack Event = Event(KindHijack)
 )
 
-// String names the event.
-func (ev Event) String() string {
-	switch ev {
-	case Withdrawal:
-		return "withdrawal"
-	case Announcement:
-		return "announcement"
-	case Failover:
-		return "failover"
-	case Flap:
-		return "flap"
-	case Hijack:
-		return "hijack"
-	default:
-		return fmt.Sprintf("Event(%d)", int(ev))
-	}
-}
+// String names the event through the shared workload name table.
+func (ev Event) String() string { return EventKind(ev).String() }
 
-// ParseEvent parses an event name.
+// ParseEvent parses a trial-event name. Only the five trial events are
+// accepted; the workload-only kinds (linkdown, linkup, migrate) need
+// targets and are parsed by ParseWorkloadEvent.
 func ParseEvent(s string) (Event, error) {
-	for _, ev := range []Event{Withdrawal, Announcement, Failover, Flap, Hijack} {
-		if ev.String() == s {
-			return ev, nil
-		}
+	k, err := ParseEventKind(s)
+	if err != nil || k > KindHijack {
+		return 0, fmt.Errorf("lab: unknown event %q", s)
 	}
-	return 0, fmt.Errorf("lab: unknown event %q", s)
+	return Event(k), nil
 }
 
 // Trial fully specifies one seeded emulation run. The zero value plus
@@ -91,8 +86,20 @@ type Trial struct {
 	// is permit-all — free transit — so existing policy-free trials
 	// are unchanged; see PolicySpec for gao-rexford and prefix-filter.
 	Policy PolicySpec
-	// Event is the triggering routing event to measure.
+	// Event is the triggering routing event to measure — sugar that
+	// compiles to a one-entry Workload (see Event). Ignored when
+	// Workload is set.
 	Event Event
+	// Workload, when non-empty, is the trial's schedule of triggering
+	// events, measured one epoch per event (Result.Epochs). Targets
+	// default to the trial origin (WorkloadEvent.AS zero); the
+	// schedule is run in At order.
+	Workload Workload
+	// Drain adds settling time after the final epoch reaches
+	// quiescence, so slow-decaying state (route-flap damping) drains
+	// before the end-of-run measurements. The Flap sugar uses 10m;
+	// zero adds nothing.
+	Drain time.Duration
 	// Timers are the BGP protocol timers (zero value selects
 	// bgp.DefaultTimers: MRAI 30s with jitter).
 	Timers bgp.Timers
@@ -145,11 +152,13 @@ type Trial struct {
 
 // Result is the uniform metrics record of one trial, gathered from the
 // monitor instrumentation. All counters cover the measurement phase
-// (from the triggering event on), not the warm-up convergence.
+// (from the first triggering event on), not the warm-up convergence.
+// Epochs carries the same counters windowed per scheduled event.
 type Result struct {
-	// Convergence is the time from the triggering event to the last
-	// routing activity it caused (zero for the Flap storm, which has
-	// no single convergence instant).
+	// Convergence is the final epoch's convergence time: from the last
+	// scheduled event's trigger to the last routing activity it
+	// caused. (For the Flap storm that is the time from the last
+	// cycle's re-announce to quiescence.)
 	Convergence time.Duration
 	// UpdatesSent and UpdatesReceived count legacy BGP UPDATE load
 	// network-wide during the measurement phase.
@@ -164,15 +173,19 @@ type Result struct {
 	// ProbesSent and ProbesDelivered report data-plane probe outcomes
 	// (zero unless the trial injects probes).
 	ProbesSent, ProbesDelivered uint64
-	// HijackedASes counts the ASes whose best route for the origin
-	// prefix leads to the attacker once a Hijack trial settles (zero
-	// for every other event). The origin and the attacker themselves
-	// are not counted.
+	// HijackedASes counts the ASes whose best route for the victim's
+	// prefix leads to the attacker once the run settles (zero when the
+	// workload hijacks nothing). The victim and the attacker
+	// themselves are not counted.
 	HijackedASes int
 	// ReachableAfter reports whether every other AS can reach the
 	// origin prefix once the run settles (false after a withdrawal by
 	// construction; the fail-over and flap checks).
 	ReachableAfter bool
+	// Epochs holds one record per scheduled workload event, in
+	// schedule order: the per-event slice of the counters above
+	// (single-event trials have exactly one epoch).
+	Epochs []Epoch
 }
 
 // withDefaults fills the documented defaults.
@@ -195,11 +208,44 @@ func (t Trial) withDefaults() Trial {
 	return t
 }
 
+// flapDrain is the settling time the Flap sugar appends after the
+// storm's final quiescence (damping penalties need decay time).
+const flapDrain = 10 * time.Minute
+
+// workload resolves the trial's schedule: the explicit Workload when
+// set (with the trial's Drain), otherwise the Event sugar compiled to
+// its equivalent schedule.
+func (t Trial) workload() (Workload, time.Duration, error) {
+	if len(t.Workload) > 0 {
+		if err := t.Workload.Validate(); err != nil {
+			return nil, 0, err
+		}
+		return t.Workload.sorted(), t.Drain, nil
+	}
+	switch t.Event {
+	case Withdrawal, Announcement, Failover, Hijack:
+		return Workload{{Kind: EventKind(t.Event)}}, t.Drain, nil
+	case Flap:
+		drain := t.Drain
+		if drain == 0 {
+			drain = flapDrain
+		}
+		return FlapWorkload(t.FlapCycles, t.FlapPeriod), drain, nil
+	default:
+		return nil, 0, fmt.Errorf("lab: unknown event %v", t.Event)
+	}
+}
+
 // Run executes the trial: build the topology, select the cluster,
-// bring the network up, announce every prefix, converge, then trigger
-// the event and measure. It returns the uniform metrics record.
+// bring the network up, announce every prefix, converge, then run the
+// workload schedule and measure one epoch per event. It returns the
+// uniform metrics record.
 func (t Trial) Run() (Result, error) {
 	t = t.withDefaults()
+	w, drain, err := t.workload()
+	if err != nil {
+		return Result{}, err
+	}
 	g, err := t.Topo.Build(rand.New(rand.NewSource(t.TopoSeed)))
 	if err != nil {
 		return Result{}, err
@@ -209,23 +255,26 @@ func (t Trial) Run() (Result, error) {
 		return Result{}, err
 	}
 	origin := topology.BaseASN
-	if t.Event == Failover {
+	if w.needsDualHomedOrigin() {
 		// The fail-over scenario dual-homes a stub origin onto the
 		// first two non-origin ASes: failing the primary attachment
 		// forces every AS to re-converge onto paths through the
-		// backup, with real path exploration in the legacy part.
+		// backup, with real path exploration in the legacy part. The
+		// stub attaches as a customer (P2C toward it), so its prefix
+		// propagates globally under valley-free policies too.
 		if g.NumNodes() < 3 {
 			return Result{}, fmt.Errorf("lab: failover needs >= 3 ASes, topology %q has %d", t.Topo, g.NumNodes())
 		}
 		origin = topology.BaseASN + idr.ASN(g.NumNodes())
 		g.AddNode(origin)
-		if err := g.AddEdge(topology.Edge{A: origin, B: topology.BaseASN + 1, Rel: topology.P2P}); err != nil {
+		if err := g.AddEdge(topology.Edge{A: topology.BaseASN + 1, B: origin, Rel: topology.P2C}); err != nil {
 			return Result{}, err
 		}
-		if err := g.AddEdge(topology.Edge{A: origin, B: topology.BaseASN + 2, Rel: topology.P2P}); err != nil {
+		if err := g.AddEdge(topology.Edge{A: topology.BaseASN + 2, B: origin, Rel: topology.P2C}); err != nil {
 			return Result{}, err
 		}
 	}
+	w = w.resolve(origin, topology.BaseASN+1)
 	// Resolve the policy template against the final graph (after the
 	// fail-over origin was added, so the prefix-filter's address plan
 	// matches the experiment's).
@@ -254,11 +303,13 @@ func (t Trial) Run() (Result, error) {
 		return Result{}, err
 	}
 
-	// Warm-up: announce every prefix (except the origin's for the
-	// fresh-announcement event; only the origin's when OriginOnly
-	// trims the warm-up table) and let routing settle.
+	// Warm-up: announce every prefix and let routing settle. The
+	// origin's own prefix stays unannounced when the schedule opens by
+	// announcing it (the fresh-announcement measurement); OriginOnly
+	// trims the warm-up to the origin prefix alone.
+	skipOrigin := w[0].Kind == KindAnnouncement && w[0].AS == origin
 	for _, asn := range e.ASNs() {
-		if t.Event == Announcement && asn == origin {
+		if skipOrigin && asn == origin {
 			continue
 		}
 		if t.OriginOnly && asn != origin {
@@ -276,39 +327,27 @@ func (t Trial) Run() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sentBefore, recvBefore := updateCounts(e)
+	sentBefore, recvBefore := e.UpdateTotals()
 	recompBefore := recomputes(e)
-	start := e.K.Now()
+	start := e.K.Now().Add(w[0].At)
 
-	var res Result
-	var attacker idr.ASN
-	switch t.Event {
-	case Withdrawal:
-		res.Convergence, err = e.MeasureConvergence(func() error { return e.Withdraw(origin) }, t.Timeout)
-	case Announcement:
-		res.Convergence, err = e.MeasureConvergence(func() error { return e.Announce(origin) }, t.Timeout)
-	case Failover:
-		primary := topology.BaseASN + 1
-		res.Convergence, err = e.MeasureConvergence(func() error { return e.FailLink(origin, primary) }, t.Timeout)
-	case Flap:
-		err = runFlapStorm(e, origin, t)
-	case Hijack:
-		attacker, err = hijackAttacker(e, origin)
-		if err != nil {
-			return Result{}, err
-		}
-		res.Convergence, err = e.MeasureConvergence(func() error { return e.AnnounceForeign(attacker, prefix) }, t.Timeout)
-	default:
-		err = fmt.Errorf("lab: unknown event %v", t.Event)
-	}
+	epochs, hijacked, err := executeWorkload(e, w, workloadRun{
+		origin:  origin,
+		prefix:  prefix,
+		timeout: t.Timeout,
+		drain:   drain,
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	if t.Event == Hijack {
-		res.HijackedASes = countHijacked(e, origin, attacker)
-	}
 
-	sentAfter, recvAfter := updateCounts(e)
+	var res Result
+	res.Epochs = epochs
+	res.Convergence = epochs[len(epochs)-1].Convergence
+	if hijacked >= 0 {
+		res.HijackedASes = hijacked
+	}
+	sentAfter, recvAfter := e.UpdateTotals()
 	res.UpdatesSent = sentAfter - sentBefore
 	res.UpdatesReceived = recvAfter - recvBefore
 	res.Recomputes = recomputes(e) - recompBefore
@@ -330,52 +369,30 @@ func (t Trial) Run() (Result, error) {
 	return res, nil
 }
 
-// runFlapStorm drives the Flap event: FlapCycles withdraw/announce
-// cycles, then full settling (damping needs decay time).
-func runFlapStorm(e *experiment.Experiment, origin idr.ASN, t Trial) error {
-	for i := 0; i < t.FlapCycles; i++ {
-		if err := e.Withdraw(origin); err != nil {
-			return err
-		}
-		if err := e.RunFor(t.FlapPeriod / 2); err != nil {
-			return err
-		}
-		if err := e.Announce(origin); err != nil {
-			return err
-		}
-		if err := e.RunFor(t.FlapPeriod / 2); err != nil {
-			return err
-		}
-	}
-	if _, err := e.WaitConverged(t.Timeout); err != nil {
-		return err
-	}
-	return e.RunFor(10 * time.Minute)
-}
-
-// hijackAttacker picks the bogus originator for a Hijack trial: the
+// hijackAttacker picks the bogus originator for a hijack event: the
 // highest-numbered AS that still runs legacy BGP and is not the
 // victim. A fully-clustered network has no legacy attacker and the
 // trial errors out (sweep the cluster size below N).
-func hijackAttacker(e *experiment.Experiment, origin idr.ASN) (idr.ASN, error) {
+func hijackAttacker(e *experiment.Experiment, victim idr.ASN) (idr.ASN, error) {
 	asns := e.ASNs()
 	for i := len(asns) - 1; i >= 0; i-- {
-		if asns[i] != origin && !e.IsSDNMember(asns[i]) {
+		if asns[i] != victim && !e.IsSDNMember(asns[i]) {
 			return asns[i], nil
 		}
 	}
 	return 0, fmt.Errorf("lab: hijack needs at least one legacy AS besides the origin")
 }
 
-// countHijacked counts the ASes (origin and attacker excluded) whose
-// settled best route for the origin prefix terminates at the attacker.
-func countHijacked(e *experiment.Experiment, origin, attacker idr.ASN) int {
+// countHijacked counts the ASes (victim and attacker excluded) whose
+// settled best route for the victim's prefix terminates at the
+// attacker.
+func countHijacked(e *experiment.Experiment, victim, attacker idr.ASN) int {
 	n := 0
 	for _, asn := range e.ASNs() {
-		if asn == origin || asn == attacker {
+		if asn == victim || asn == attacker {
 			continue
 		}
-		path, ok := e.BestPath(asn, origin)
+		path, ok := e.BestPath(asn, victim)
 		if !ok {
 			continue
 		}
@@ -384,15 +401,6 @@ func countHijacked(e *experiment.Experiment, origin, attacker idr.ASN) int {
 		}
 	}
 	return n
-}
-
-func updateCounts(e *experiment.Experiment) (sent, recv uint64) {
-	for _, r := range e.Routers {
-		s := r.Stats()
-		sent += s.UpdatesSent
-		recv += s.UpdatesReceived
-	}
-	return sent, recv
 }
 
 func recomputes(e *experiment.Experiment) uint64 {

@@ -122,9 +122,21 @@ func (l *EventLog) PathChanges(prefix netip.Prefix) []PathChange {
 // PathExplorationCount returns, per router, how many distinct best
 // paths it tried for prefix after start (the path exploration metric).
 func (l *EventLog) PathExplorationCount(prefix netip.Prefix, start time.Time) map[idr.ASN]int {
+	return l.PathExplorationCountBetween(prefix, start, time.Time{})
+}
+
+// PathExplorationCountBetween is the windowed form of
+// PathExplorationCount: it counts best-path transitions for prefix in
+// [start, end). A zero end leaves the window open-ended — the
+// per-epoch workload instrumentation windows each scheduled event's
+// exploration between its trigger and the next.
+func (l *EventLog) PathExplorationCountBetween(prefix netip.Prefix, start, end time.Time) map[idr.ASN]int {
 	out := make(map[idr.ASN]int)
 	for _, pc := range l.PathChanges(prefix) {
 		if pc.Time.Before(start) {
+			continue
+		}
+		if !end.IsZero() && !pc.Time.Before(end) {
 			continue
 		}
 		out[pc.Router]++

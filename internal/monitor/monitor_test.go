@@ -211,6 +211,33 @@ func TestEventLogPathChanges(t *testing.T) {
 	}
 }
 
+// TestPathExplorationCountBetween pins the windowed form backing the
+// per-epoch workload instrumentation: [start, end) half-open windows
+// partition the log, and a zero end leaves the window open.
+func TestPathExplorationCountBetween(t *testing.T) {
+	l := fabricatedLog()
+	pfx := netip.MustParsePrefix("10.0.1.0/24")
+	// Changes sit at 1s, 3s and 4s. A window [1s, 4s) takes the first
+	// two; [4s, zero) takes the last.
+	first := l.PathExplorationCountBetween(pfx, sim.Epoch.Add(time.Second), sim.Epoch.Add(4*time.Second))
+	if first[2] != 2 {
+		t.Fatalf("[1s,4s) count = %v, want 2 for router 2", first)
+	}
+	rest := l.PathExplorationCountBetween(pfx, sim.Epoch.Add(4*time.Second), time.Time{})
+	if rest[2] != 1 {
+		t.Fatalf("[4s,∞) count = %v, want 1 for router 2", rest)
+	}
+	// Windows partition: the sum over contiguous windows equals the
+	// unwindowed count.
+	total := l.PathExplorationCount(pfx, sim.Epoch)
+	if first[2]+rest[2] != total[2] {
+		t.Fatalf("window sum %d != total %d", first[2]+rest[2], total[2])
+	}
+	if got := l.PathExplorationCountBetween(pfx, sim.Epoch.Add(10*time.Second), time.Time{}); len(got) != 0 {
+		t.Fatalf("empty window should count nothing, got %v", got)
+	}
+}
+
 func TestEventLogTimeline(t *testing.T) {
 	l := fabricatedLog()
 	var sb strings.Builder

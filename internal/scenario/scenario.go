@@ -34,9 +34,19 @@
 //	measure fail-link 1 2 2h
 //	fail-link 1 2
 //	restore-link 1 2
+//	migrate 3                 (toggle an AS between legacy BGP and the
+//	                           SDN cluster mid-run)
 //	run-for 30s
 //	probe 1 4
 //	print summary|timeline <as>|loss|paths <as>|rib <as>
+//
+//	# scheduled workloads (shared lab.Workload parser, identical to
+//	# the convergence CLI's -workload flag)
+//	at 0s withdraw 1          (also: announce, hijack, migrate <as>;
+//	                           linkdown/linkup <a> <b>; failover <a> <b>)
+//	at 10m announce 1
+//	run-workload 1 2h         (execute the accumulated schedule against
+//	                           origin AS 1; prints one line per epoch)
 package scenario
 
 import (
@@ -111,6 +121,8 @@ type Runner struct {
 	started  bool
 	exp      *experiment.Experiment
 	topoRand *rand.Rand
+	// pending accumulates "at" directives until "run-workload".
+	pending lab.Workload
 }
 
 // NewRunner returns a Runner writing command output to out.
@@ -353,6 +365,29 @@ func (r *Runner) execLifecycle(st statement) error {
 			return err
 		}
 		return e.RestoreLink(a, b)
+	case "migrate":
+		asn, err := parseASN(st.args, 0)
+		if err != nil {
+			return err
+		}
+		if err := e.Migrate(asn); err != nil {
+			return err
+		}
+		side := "into the SDN cluster"
+		if !e.IsSDNMember(asn) {
+			side = "back to legacy BGP"
+		}
+		fmt.Fprintf(r.out, "migrated %v %s\n", asn, side)
+		return nil
+	case "at":
+		ev, err := lab.ParseWorkloadEvent(st.args)
+		if err != nil {
+			return err
+		}
+		r.pending = append(r.pending, ev)
+		return nil
+	case "run-workload":
+		return r.execRunWorkload(st.args)
 	case "run-for":
 		d, err := parseDuration(st.args, 0)
 		if err != nil {
@@ -373,6 +408,36 @@ func (r *Runner) execLifecycle(st statement) error {
 	default:
 		return fmt.Errorf("unknown command after start")
 	}
+}
+
+// execRunWorkload executes the accumulated "at" schedule through the
+// shared lab engine and prints one line per epoch.
+func (r *Runner) execRunWorkload(args []string) error {
+	if len(r.pending) == 0 {
+		return fmt.Errorf("no scheduled events; add \"at <offset> <event> …\" directives first")
+	}
+	origin, err := parseASN(args, 0)
+	if err != nil {
+		return fmt.Errorf("want: run-workload <origin-as> [timeout]: %w", err)
+	}
+	timeout := 2 * time.Hour
+	if len(args) > 1 {
+		timeout, err = time.ParseDuration(args[1])
+		if err != nil {
+			return fmt.Errorf("bad timeout %q", args[1])
+		}
+	}
+	w := r.pending
+	r.pending = nil
+	epochs, err := lab.RunWorkload(r.exp, w, origin, timeout, 0)
+	if err != nil {
+		return err
+	}
+	for i, ep := range epochs {
+		fmt.Fprintf(r.out, "epoch %d @%s %s: convergence %.3fs updates %d best-changes %d hijacked %d\n",
+			i, ep.At, ep.Kind.Verb(), ep.Convergence.Seconds(), ep.UpdatesSent, ep.BestPathChanges, ep.HijackedASes)
+	}
+	return nil
 }
 
 func (r *Runner) announceOrWithdraw(verb string, asn idr.ASN) error {
@@ -467,11 +532,8 @@ func (r *Runner) execPrint(args []string) error {
 	case "stats":
 		fmt.Fprintf(r.out, "network: delivered=%d dropped=%d bytes=%d\n",
 			e.Net.Delivered, e.Net.Dropped, e.Net.BytesDelivered)
-		var sent, recv uint64
-		for _, router := range e.Routers {
-			sent += router.Stats().UpdatesSent
-			recv += router.Stats().UpdatesReceived
-		}
+		// UpdateTotals keeps counting routers retired by migration.
+		sent, recv := e.UpdateTotals()
 		fmt.Fprintf(r.out, "bgp: updates sent=%d received=%d\n", sent, recv)
 		if e.Ctrl != nil {
 			s := e.Ctrl.Stats()

@@ -258,7 +258,7 @@ print rib 2
 
 func TestShippedScenarioFiles(t *testing.T) {
 	// The scenario files under examples/scenarios must stay runnable.
-	for _, name := range []string{"hybrid-tour.lab", "fig2-point.lab"} {
+	for _, name := range []string{"hybrid-tour.lab", "fig2-point.lab", "maintenance-window.lab"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			if testing.Short() && name == "fig2-point.lab" {
@@ -278,6 +278,84 @@ func TestShippedScenarioFiles(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestWorkloadCommands drives the scheduled-workload directives: "at"
+// clauses accumulate through the shared lab parser and "run-workload"
+// executes them with one report line per epoch.
+func TestWorkloadCommands(t *testing.T) {
+	out, err := run(t, `
+topology ring 5
+sdn last 1
+seed 3
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+announce all
+wait-converged 30m
+at 0s withdraw 1
+at 1m migrate 2
+at 2m announce 1
+run-workload 1 1h
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"epoch 0 @0s withdraw: convergence ",
+		"epoch 1 @1m0s migrate: convergence ",
+		"epoch 2 @2m0s announce: convergence ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMigrateCommand toggles an AS across the legacy/SDN boundary
+// through the direct lifecycle command.
+func TestMigrateCommand(t *testing.T) {
+	out, err := run(t, `
+topology line 4
+sdn last 1
+seed 3
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+announce all
+wait-converged 30m
+migrate 2
+wait-converged 30m
+migrate 2
+wait-converged 30m
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "migrated AS2 into the SDN cluster") {
+		t.Fatalf("missing migrate-in banner:\n%s", out)
+	}
+	if !strings.Contains(out, "migrated AS2 back to legacy BGP") {
+		t.Fatalf("missing migrate-out banner:\n%s", out)
+	}
+}
+
+func TestWorkloadCommandErrors(t *testing.T) {
+	for name, script := range map[string]string{
+		"run-workload without at":     header + "run-workload 1\n",
+		"at with bad offset":          header + "at x withdraw 1\n",
+		"at with unknown verb":        header + "at 0s explode\n",
+		"run-workload missing origin": header + "at 0s withdraw 1\nrun-workload\n",
+		"run-workload bad timeout":    header + "at 0s withdraw 1\nrun-workload 1 soon\n",
+		"at before start":             "topology line 3\nat 0s withdraw 1\n",
+		"migrate unknown as":          header + "migrate 9\n",
+	} {
+		if _, err := run(t, script); err == nil {
+			t.Fatalf("%s: script should fail", name)
+		}
 	}
 }
 
