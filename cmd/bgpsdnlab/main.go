@@ -6,6 +6,7 @@
 //
 //	bgpsdnlab -f scenario.lab
 //	bgpsdnlab < scenario.lab
+//	bgpsdnlab -f examples/scenarios/hybrid-tour.lab
 package main
 
 import (
@@ -16,9 +17,37 @@ import (
 	"repro/internal/scenario"
 )
 
+// usage prints the full help text: what the command does, every flag
+// with its default, and runnable examples against the shipped
+// scenarios (mirrored in README.md).
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `bgpsdnlab runs a hybrid BGP-SDN emulation scenario script (.lab file):
+configuration directives (topology, sdn, policy, timers), then
+lifecycle commands (announce, withdraw, fail, migrate, scheduled
+"at ..." workloads, converge, print). See internal/scenario for the
+script language and examples/scenarios/ for complete scripts.
+
+Flags:
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), `
+Examples:
+  bgpsdnlab -f examples/scenarios/hybrid-tour.lab          # scripted tour of the paper's experiment
+  bgpsdnlab -f examples/scenarios/fig2-point.lab           # one Figure 2 measurement point
+  bgpsdnlab -f examples/scenarios/maintenance-window.lab   # scheduled multi-event workload
+  bgpsdnlab < examples/scenarios/fig2-point.lab            # same, reading the script from stdin
+`)
+}
+
 func main() {
-	file := flag.String("f", "", "scenario script (default: stdin)")
+	flag.Usage = usage
+	file := flag.String("f", "", "scenario script file to run (default: read the script from stdin)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "bgpsdnlab: unexpected arguments %q (scripts are passed with -f or on stdin)\n\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	in := os.Stdin
 	if *file != "" {

@@ -33,7 +33,12 @@
 //	convergence -exp subcluster                # scripted split experiment
 //	convergence -exp fig2 -sdn-counts 0,8,16 -runs 3
 //	convergence -exp fig2 -progress            # stream per-run completion
-//	convergence -exp fig2 -format csv|json|table [-svg fig2.svg]
+//	convergence -exp fig2 -format csv|json|table|markdown [-svg fig2.svg]
+//	convergence -exp fig2 -out results/        # content-addressed artifact
+//	                                           # store: completed cells are
+//	                                           # cached, so rerunning (or an
+//	                                           # interrupted sweep) resumes
+//	                                           # instead of recomputing
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/bgp"
 	"repro/internal/figures"
 	"repro/internal/lab"
@@ -64,8 +70,9 @@ func main() {
 	mrai := flag.Duration("mrai", 30*time.Second, "BGP MinRouteAdvertisementInterval")
 	debounce := flag.Duration("debounce", 100*time.Millisecond, "controller recomputation delay (an explicit 0 disables the delay entirely)")
 	parallel := flag.Int("parallel", 0, "concurrent emulation runs (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-	format := flag.String("format", "table", "output format: table|csv|json")
+	format := flag.String("format", "table", "output format: table|csv|json|markdown")
 	svg := flag.String("svg", "", "also render the sweep as an SVG boxplot to this file")
+	out := flag.String("out", "", "artifact store directory: file every (cell, run) result under the sweep's spec hash and skip cells already stored, so repeated or interrupted sweeps resume instead of recomputing")
 	flag.Parse()
 
 	if *list {
@@ -88,7 +95,7 @@ func main() {
 		// The split experiment is a scripted sequence, not a sweep:
 		// only -mrai and -seed apply, so reject the sweep flags
 		// instead of silently dropping them.
-		for _, name := range []string{"format", "topology", "placement", "policy", "sdn-counts", "workload", "progress", "runs", "debounce", "parallel", "svg"} {
+		for _, name := range []string{"format", "topology", "placement", "policy", "sdn-counts", "workload", "progress", "runs", "debounce", "parallel", "svg", "out"} {
 			if set[name] {
 				fatal(fmt.Errorf("-%s does not apply to the subcluster experiment (it is a scripted sequence, not a sweep)", name))
 			}
@@ -180,9 +187,35 @@ func main() {
 		}
 	}
 
-	res, err := figures.Run(*exp, opts)
-	if err != nil {
-		fatal(err)
+	var res *lab.SweepResult
+	if *out != "" {
+		// Through the artifact store: completed cells load from disk,
+		// fresh ones are filed, and the sealed manifest is refreshed.
+		spec, ok := figures.Lookup(*exp)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (see -list)", *exp))
+		}
+		sweep, err := spec.Build(opts)
+		if err != nil {
+			fatal(err)
+		}
+		store, err := artifact.Open(*out)
+		if err != nil {
+			fatal(err)
+		}
+		var stats artifact.RunStats
+		res, stats, err = artifact.RunSweep(store, sweep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "store: spec %.12s — %d/%d runs cached, %d executed\n",
+			stats.SpecHash, stats.Hits, stats.Total, stats.Executed)
+	} else {
+		var err error
+		res, err = figures.Run(*exp, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if err := lab.Write(os.Stdout, f, res); err != nil {
 		fatal(err)

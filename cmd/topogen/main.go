@@ -18,18 +18,49 @@ import (
 	"repro/internal/topology"
 )
 
+// usage prints the full help text: what the command does, every flag
+// with its default, and runnable examples (mirrored in README.md).
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `topogen generates an AS-level topology (with CAIDA-style business
+relationships) and writes it in one of the framework's dataset
+formats: Graphviz DOT for inspection, CAIDA AS-relationships for the
+topology readers, or synthesized iPlane inter-PoP links. The random
+generators (er, ba, internet) are seeded and deterministic: the same
+-seed always emits the same graph.
+
+Flags:
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), `
+Examples:
+  topogen -kind clique -n 16 -format dot                   # the paper's Figure 2 mesh, DOT
+  topogen -kind tree -n 15 -fanout 2 -labels               # provider hierarchy with P2C/P2P edge labels
+  topogen -kind grid -n 4 -height 4 -format dot            # 4x4 peer lattice
+  topogen -kind internet -n 200 -seed 7 -format caida > as-rel.txt   # CAIDA-format internet-like graph
+  topogen -kind er -n 32 -p 0.2 -seed 3 -format dot        # seeded Erdős–Rényi peer graph
+  topogen -kind ba -n 64 -m 2 -format dot                  # Barabási–Albert preferential attachment
+  topogen -kind internet -n 50 -format iplane -pops 3 > pops.txt     # synthesized iPlane PoP links
+`)
+}
+
 func main() {
-	kind := flag.String("kind", "clique", "clique|line|ring|star|tree|grid|er|ba|internet")
-	n := flag.Int("n", 16, "number of ASes (for grid: width)")
-	h := flag.Int("h", 4, "grid height")
-	fanout := flag.Int("fanout", 2, "tree fanout")
-	p := flag.Float64("p", 0.3, "Erdős–Rényi edge probability")
-	m := flag.Int("m", 2, "Barabási–Albert attachment count")
-	seed := flag.Int64("seed", 1, "random seed")
-	format := flag.String("format", "dot", "dot|caida|iplane")
-	pops := flag.Int("pops", 3, "max PoPs per AS (iplane format)")
-	labels := flag.Bool("labels", false, "relationship labels in DOT output")
+	flag.Usage = usage
+	kind := flag.String("kind", "clique", "topology generator: clique|line|ring|star|tree|grid|er|ba|internet")
+	n := flag.Int("n", 16, "number of ASes (for -kind grid: the grid width)")
+	h := flag.Int("height", 4, "grid height (grid only; was -h, which now prints this help)")
+	fanout := flag.Int("fanout", 2, "tree fanout (tree only)")
+	p := flag.Float64("p", 0.3, "edge probability (er only)")
+	m := flag.Int("m", 2, "attachment count per new AS (ba only)")
+	seed := flag.Int64("seed", 1, "seed for the random generators (er, ba, internet); same seed, same graph")
+	format := flag.String("format", "dot", "output format: dot (Graphviz), caida (AS relationships), iplane (inter-PoP links)")
+	pops := flag.Int("pops", 3, "max PoPs synthesized per AS (-format iplane only)")
+	labels := flag.Bool("labels", false, "annotate DOT edges with their business relationship (p2p/p2c)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "topogen: unexpected arguments %q\n\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	g, err := generate(*kind, *n, *h, *fanout, *p, *m, rng)

@@ -24,11 +24,24 @@
 // one declared axis (SDN count, MRAI, topology size, debounce, flap
 // period, regime or policy) across seeded parallel runs; and one
 // encoder layer renders every sweep — including the per-epoch rows —
-// as a table, CSV, JSON or an SVG boxplot. The paper's figures, the
-// policy family on internet-like AS graphs, the workload family
-// (maintenance window, cascading failure, Poisson churn) and the
-// ablations are declarative lab sweep specs registered in
-// internal/figures and exposed by cmd/convergence.
+// as a table, CSV, JSON, GitHub-flavored markdown or an SVG boxplot.
+// The paper's figures, the policy family on internet-like AS graphs,
+// the workload family (maintenance window, cascading failure, Poisson
+// churn) and the ablations are declarative lab sweep specs registered
+// in internal/figures and exposed by cmd/convergence.
+//
+// Results are reproducible artifacts, not ephemeral output: a sweep's
+// fully-resolved spec serializes canonically (lab.Sweep.Canonical)
+// and hashes to a content address, under which internal/artifact
+// files one sealed record per (cell, seeded run) — the cache the
+// sweep engine consults before executing a cell, so repeated sweeps
+// perform zero emulations and interrupted ones resume. The data flow
+// is registry → runner → store → report: cmd/labreport regenerates
+// the whole evaluation as one self-documenting artifact (REPORT.md
+// with a generated section per figure, per-figure SVG boxplots, and a
+// sealed machine-readable manifest.json), byte-identical across
+// repeated runs, and generates EXPERIMENTS.md's registry reference
+// (-experiments-md).
 //
 // See README.md for the quickstart, ARCHITECTURE.md for the package
 // map and layering rules, and EXPERIMENTS.md for the

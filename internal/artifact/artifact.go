@@ -1,0 +1,410 @@
+// Package artifact is the reproducible result store: a content-
+// addressed, on-disk cache of every sweep cell the evaluation engine
+// computes, plus the sealed manifests that make a finished run an
+// auditable artifact.
+//
+// The paper's pitch is an *open, reproducible* evaluation framework;
+// this package is the discipline that keeps our own runs honest.
+// Every result is filed under the SHA-256 of its sweep's canonical
+// spec serialization (lab.Sweep.Canonical — topology, placement,
+// policy, workload, timers, axis, seed derivation, with defaults
+// resolved), so a record can never be replayed against a different
+// experiment than produced it. Within one spec, the engine is
+// deterministic per seed, which is what makes caching sound: a
+// (spec, cell, run) triple fixes the result bit-for-bit, so a cache
+// hit is byte-identical to the emulation it replaces (guarded by the
+// determinism tests in this package).
+//
+// Layout of a store directory:
+//
+//	<dir>/<spec-sha256>/spec.json     the canonical spec bytes
+//	<dir>/<spec-sha256>/c<i>-r<j>.json  one record per (cell, run)
+//	<dir>/<spec-sha256>/manifest.json   sealed record index (on Finish)
+//
+// Records are written atomically (temp file + rename), so an
+// interrupted internet-scale sweep leaves only whole records behind
+// and the next run against the same store resumes where it left off.
+// The manifest lists every record with its SHA-256 and carries a seal
+// over its own canonical bytes; Verify detects any post-hoc record
+// tampering or corruption.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/lab"
+)
+
+// Store is one on-disk artifact directory holding any number of
+// sweeps, each filed under its spec hash.
+type Store struct {
+	dir string
+}
+
+// Open creates (if necessary) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Sweep binds the store to one sweep: it computes the spec's content
+// address, materializes the spec directory, and returns the cache the
+// sweep consults per (cell, run). If the spec directory already holds
+// records from an earlier (possibly interrupted) run they are served
+// as hits; a spec.json that disagrees with the computed canonical
+// bytes is corruption and errors out.
+func (s *Store) Sweep(sw lab.Sweep) (*SweepStore, error) {
+	spec, err := sw.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(spec)
+	hash := hex.EncodeToString(sum[:])
+	dir := filepath.Join(s.dir, hash)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	runs := sw.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	ss := &SweepStore{
+		dir:   dir,
+		hash:  hash,
+		spec:  spec,
+		name:  sw.Name,
+		cells: sw.Axis.Len(),
+		runs:  runs,
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	if prev, err := os.ReadFile(specPath); err == nil {
+		if string(prev) != string(spec) {
+			return nil, fmt.Errorf("artifact: %s/spec.json does not match the sweep's canonical spec (corrupt store or hash collision)", hash)
+		}
+	} else if os.IsNotExist(err) {
+		if err := writeFileAtomic(specPath, spec); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return ss, nil
+}
+
+// SweepStore is a store bound to one sweep spec. It implements
+// lab.CellCache; all methods are safe for concurrent use by the
+// parallel runner (distinct records live in distinct files, and the
+// counters are atomic).
+type SweepStore struct {
+	dir   string
+	hash  string
+	spec  []byte
+	name  string
+	cells int
+	runs  int
+
+	hits     atomic.Int64
+	executed atomic.Int64
+}
+
+// SpecHash returns the sweep's content address (the hex SHA-256 of
+// its canonical spec serialization).
+func (ss *SweepStore) SpecHash() string { return ss.hash }
+
+// Spec returns the canonical spec bytes the address was computed from.
+func (ss *SweepStore) Spec() []byte { return append([]byte(nil), ss.spec...) }
+
+// Hits returns the number of records served from the store so far.
+func (ss *SweepStore) Hits() int { return int(ss.hits.Load()) }
+
+// Executed returns the number of fresh emulation results stored so
+// far — the emulations the cache did not save.
+func (ss *SweepStore) Executed() int { return int(ss.executed.Load()) }
+
+// Total returns the sweep's (cell, run) grid size.
+func (ss *SweepStore) Total() int { return ss.cells * ss.runs }
+
+// record is the on-disk schema of one cached (cell, run) result.
+type record struct {
+	// SpecSHA256 echoes the spec hash the record was computed under,
+	// so a record file can never be replayed against another spec.
+	SpecSHA256 string `json:"spec_sha256"`
+	// Cell and Run locate the record in the sweep grid.
+	Cell int `json:"cell"`
+	Run  int `json:"run"`
+	// Result is the trial's uniform metrics record, verbatim.
+	// Durations marshal as integer nanoseconds, so the round-trip is
+	// exact and a cache hit is byte-identical to the run it replaces.
+	Result lab.Result `json:"result"`
+}
+
+// recordName matches the record files Finish indexes (and nothing
+// else in the spec directory: spec.json, manifest.json, stranded
+// temp files).
+var recordName = regexp.MustCompile(`^c\d+-r\d+\.json$`)
+
+func (ss *SweepStore) recordPath(cell, run int) string {
+	return filepath.Join(ss.dir, fmt.Sprintf("c%d-r%d.json", cell, run))
+}
+
+// Load implements lab.CellCache: it returns the stored result for
+// (cell, run) if a record exists, verifying that the record was filed
+// under this spec hash at this position.
+func (ss *SweepStore) Load(cell, run int) (lab.Result, bool, error) {
+	data, err := os.ReadFile(ss.recordPath(cell, run))
+	if os.IsNotExist(err) {
+		return lab.Result{}, false, nil
+	}
+	if err != nil {
+		return lab.Result{}, false, fmt.Errorf("artifact: %w", err)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return lab.Result{}, false, fmt.Errorf("artifact: %s: %w", ss.recordPath(cell, run), err)
+	}
+	if rec.SpecSHA256 != ss.hash || rec.Cell != cell || rec.Run != run {
+		return lab.Result{}, false, fmt.Errorf("artifact: %s: record claims (spec %.12s, cell %d, run %d), expected (spec %.12s, cell %d, run %d)",
+			ss.recordPath(cell, run), rec.SpecSHA256, rec.Cell, rec.Run, ss.hash, cell, run)
+	}
+	ss.hits.Add(1)
+	return rec.Result, true, nil
+}
+
+// Store implements lab.CellCache: it files a freshly computed result
+// atomically under the spec directory.
+func (ss *SweepStore) Store(cell, run int, r lab.Result) error {
+	data, err := json.MarshalIndent(record{
+		SpecSHA256: ss.hash,
+		Cell:       cell,
+		Run:        run,
+		Result:     r,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := writeFileAtomic(ss.recordPath(cell, run), append(data, '\n')); err != nil {
+		return err
+	}
+	ss.executed.Add(1)
+	return nil
+}
+
+// RecordDigest is one manifest entry: a record file and its SHA-256.
+type RecordDigest struct {
+	// File is the record's name within the spec directory.
+	File string `json:"file"`
+	// SHA256 is the hex digest of the record file's bytes.
+	SHA256 string `json:"sha256"`
+}
+
+// SweepManifest is the sealed index of one sweep's records, written by
+// Finish and checked by Verify. It is deterministic for a given record
+// set — records sort by file name and the seal covers the canonical
+// manifest bytes — so re-running a fully cached sweep rewrites an
+// identical manifest.
+type SweepManifest struct {
+	// Version is the manifest schema version.
+	Version int `json:"version"`
+	// Name is the sweep's registry name (presentation only; not part
+	// of the content address).
+	Name string `json:"name"`
+	// SpecSHA256 is the sweep's content address.
+	SpecSHA256 string `json:"spec_sha256"`
+	// Cells is the number of axis values in the sweep grid.
+	Cells int `json:"cells"`
+	// Runs is the number of seeded repetitions per cell.
+	Runs int `json:"runs"`
+	// Complete reports whether every (cell, run) record is present.
+	Complete bool `json:"complete"`
+	// Records lists every record file with its digest, sorted by name.
+	Records []RecordDigest `json:"records"`
+	// SealSHA256 is the hex SHA-256 of the manifest's own canonical
+	// bytes (this struct with an empty seal), closing the digest chain:
+	// spec bytes → spec hash → record digests → seal.
+	SealSHA256 string `json:"seal_sha256"`
+}
+
+// seal computes the manifest's seal over its canonical bytes.
+func (m SweepManifest) seal() (string, error) {
+	m.SealSHA256 = ""
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("artifact: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Finish writes the sealed manifest indexing every record currently
+// present. Call it after the sweep completes; an interrupted run can
+// skip it — Load never consults the manifest, so resume works from
+// the records alone — but only a finished, sealed sweep verifies.
+func (ss *SweepStore) Finish() error {
+	entries, err := os.ReadDir(ss.dir)
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	m := SweepManifest{
+		Version:    1,
+		Name:       ss.name,
+		SpecSHA256: ss.hash,
+		Cells:      ss.cells,
+		Runs:       ss.runs,
+	}
+	for _, e := range entries {
+		name := e.Name()
+		// Index only whole records: spec.json and manifest.json are
+		// not records, and a crash between CreateTemp and Rename can
+		// strand a writeFileAtomic temp file here — listing it would
+		// corrupt the manifest (and its determinism) for good.
+		if e.IsDir() || !recordName.MatchString(name) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(ss.dir, name))
+		if err != nil {
+			return fmt.Errorf("artifact: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		m.Records = append(m.Records, RecordDigest{File: name, SHA256: hex.EncodeToString(sum[:])})
+	}
+	sort.Slice(m.Records, func(i, j int) bool { return m.Records[i].File < m.Records[j].File })
+	m.Complete = len(m.Records) == ss.Total()
+	if m.SealSHA256, err = m.seal(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(ss.dir, "manifest.json"), append(data, '\n'))
+}
+
+// Verify re-checks a sealed sweep directory: the manifest's seal, the
+// spec bytes against the directory's content address, and every
+// listed record against its digest. It reports the first discrepancy.
+func (ss *SweepStore) Verify() error {
+	return VerifySweepDir(ss.dir)
+}
+
+// VerifySweepDir verifies one <store>/<spec-hash> directory: manifest
+// seal, spec hash, and record digests.
+func VerifySweepDir(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	var m SweepManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("artifact: %s: %w", dir, err)
+	}
+	want, err := m.seal()
+	if err != nil {
+		return err
+	}
+	if m.SealSHA256 != want {
+		return fmt.Errorf("artifact: %s: manifest seal mismatch (recorded %.12s, computed %.12s)", dir, m.SealSHA256, want)
+	}
+	spec, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	sum := sha256.Sum256(spec)
+	if got := hex.EncodeToString(sum[:]); got != m.SpecSHA256 {
+		return fmt.Errorf("artifact: %s: spec.json hashes to %.12s, manifest says %.12s", dir, got, m.SpecSHA256)
+	}
+	for _, rd := range m.Records {
+		data, err := os.ReadFile(filepath.Join(dir, rd.File))
+		if err != nil {
+			return fmt.Errorf("artifact: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != rd.SHA256 {
+			return fmt.Errorf("artifact: %s/%s: digest mismatch (recorded %.12s, computed %.12s)", dir, rd.File, rd.SHA256, got)
+		}
+	}
+	return nil
+}
+
+// RunStats reports how one stored sweep execution went. The unit is
+// one (cell, run) record — a sweep of C cells × R seeded runs has
+// Total = C*R.
+type RunStats struct {
+	// SpecHash is the sweep's content address.
+	SpecHash string
+	// Hits is the number of (cell, run) records served from the store.
+	Hits int
+	// Executed is the number of (cell, run) records emulated fresh.
+	Executed int
+	// Total is the sweep's (cell, run) grid size.
+	Total int
+}
+
+// RunSweep executes a sweep through the store: cached cells load,
+// fresh cells run and are filed, and the sealed manifest is written on
+// completion. It is the one call behind `convergence -out` and every
+// labreport figure.
+func RunSweep(store *Store, sw lab.Sweep) (*lab.SweepResult, RunStats, error) {
+	ss, err := store.Sweep(sw)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	sw.Cache = ss
+	res, err := sw.Run()
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	if err := ss.Finish(); err != nil {
+		return nil, RunStats{}, err
+	}
+	return res, RunStats{
+		SpecHash: ss.SpecHash(),
+		Hits:     ss.Hits(),
+		Executed: ss.Executed(),
+		Total:    ss.Total(),
+	}, nil
+}
+
+// WriteFileAtomic writes data to path via a temp file and rename, so
+// concurrent readers and interrupted runs only ever observe whole
+// files — the write discipline behind every store record and every
+// generated report file.
+func WriteFileAtomic(path string, data []byte) error {
+	return writeFileAtomic(path, data)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return nil
+}

@@ -92,6 +92,18 @@ func DefaultTimers() Timers {
 	}
 }
 
+// Resolved returns the timers with every zero field replaced by its
+// documented default — the exact values a router configured with t
+// runs with. MRAIJitter is returned as set: false has no distinct
+// "default" marker, so it only defaults through DefaultTimers.
+// Callers that need a stable, fully-specified echo of the timers (the
+// canonical spec serialization behind the artifact store) use this
+// instead of duplicating the defaults.
+func (t Timers) Resolved() Timers {
+	t.setDefaults()
+	return t
+}
+
 func (t *Timers) setDefaults() {
 	d := DefaultTimers()
 	if t.HoldTime == 0 {

@@ -34,6 +34,16 @@ type DampingConfig struct {
 	MaxSuppress time.Duration
 }
 
+// Resolved returns the configuration with every zero field replaced
+// by its documented default — the exact values a router configured
+// with c runs with. Callers that need a stable, fully-specified echo
+// of the damping parameters (the canonical spec serialization behind
+// the artifact store) use this instead of duplicating the defaults.
+func (c DampingConfig) Resolved() DampingConfig {
+	c.setDefaults()
+	return c
+}
+
 func (c *DampingConfig) setDefaults() {
 	if c.WithdrawPenalty == 0 {
 		c.WithdrawPenalty = 1000

@@ -83,16 +83,29 @@ type Config struct {
 type Experiment struct {
 	cfg Config
 
-	K        *sim.Kernel
-	Net      *netem.Network
-	Plan     *addressing.Plan
-	Routers  map[idr.ASN]*bgp.Router
+	// K is the run's private discrete-event kernel; all protocol code
+	// and measurement run on its virtual clock.
+	K *sim.Kernel
+	// Net is the emulated link substrate the frames cross.
+	Net *netem.Network
+	// Plan is the deterministic address plan: one origin /24 and
+	// router ID per AS, one /30 per link.
+	Plan *addressing.Plan
+	// Routers holds the legacy BGP daemons by AS (cluster members have
+	// no entry; a migrated-out AS regains one).
+	Routers map[idr.ASN]*bgp.Router
+	// Switches holds the cluster members' OpenFlow-like switches.
 	Switches map[idr.ASN]*sdn.Switch
-	Ctrl     *core.Controller
-	Coll     *collector.Collector
+	// Ctrl is the IDR controller (nil in pure-BGP experiments).
+	Ctrl *core.Controller
+	// Coll is the route collector (nil unless WithCollector).
+	Coll *collector.Collector
+	// Detector is the quiescence-based convergence detector.
 	Detector *monitor.Detector
-	Log      *monitor.EventLog
-	Probes   *monitor.ProbeEngine
+	// Log is the event log behind path-exploration analysis.
+	Log *monitor.EventLog
+	// Probes is the data-plane probe engine (loss measurements).
+	Probes *monitor.ProbeEngine
 
 	members map[idr.ASN]bool
 	links   map[[2]idr.ASN]*netem.Link

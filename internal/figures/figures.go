@@ -151,11 +151,18 @@ func (o Options) sdnCountsOr(n int) []int {
 }
 
 // Spec is one registry entry: a named, declarative sweep description.
+// Name, Title and Desc are the registry's documentation metadata — the
+// lab report and the generated EXPERIMENTS.md registry block render
+// them verbatim, so the registry is the single source of truth for
+// what each experiment is and why it exists.
 type Spec struct {
 	// Name is the registry key (the CLI's -exp value).
 	Name string
 	// Title is a one-line description for listings.
 	Title string
+	// Desc is a short prose paragraph for generated documentation:
+	// what the experiment measures and what the expected result shows.
+	Desc string
 	// Build resolves the spec and the caller's overrides into a
 	// runnable lab.Sweep.
 	Build func(Options) (lab.Sweep, error)
@@ -167,8 +174,8 @@ type Spec struct {
 // the 25ms per-UPDATE processing delay approximating the paper's
 // shared-host Quagga daemons. A -workload override replaces the
 // event with an explicit schedule on the same sweep.
-func convergenceSpec(name, title string, ev lab.Event) Spec {
-	return Spec{Name: name, Title: title, Build: func(o Options) (lab.Sweep, error) {
+func convergenceSpec(name, title, desc string, ev lab.Event) Spec {
+	return Spec{Name: name, Title: title, Desc: desc, Build: func(o Options) (lab.Sweep, error) {
 		topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 16})
 		return lab.Sweep{
 			Name: name,
@@ -216,11 +223,28 @@ func policySteps(n int, includeFull bool) []int {
 
 // registry is the experiment index, in presentation order.
 var registry = []Spec{
-	convergenceSpec("fig2", "Figure 2: withdrawal convergence vs SDN deployment fraction", lab.Withdrawal),
-	convergenceSpec("announce", "§4: fresh-prefix announcement vs SDN deployment fraction", lab.Announcement),
-	convergenceSpec("failover", "§4: dual-homed stub fail-over vs SDN deployment fraction", lab.Failover),
+	convergenceSpec("fig2", "Figure 2: withdrawal convergence vs SDN deployment fraction",
+		"The paper's headline result: the origin AS withdraws an established prefix and the network re-converges, "+
+			"measured while the SDN deployment fraction grows from pure BGP to full centralization. "+
+			"Convergence time falls roughly linearly with the fraction of ASes under centralized route control — "+
+			"the paper's \"convergence time can be linearly reduced\" claim, checked by the linear fit.",
+		lab.Withdrawal),
+	convergenceSpec("announce", "§4: fresh-prefix announcement vs SDN deployment fraction",
+		"The §4 companion experiment: the origin announces a previously unseen prefix on the same sweep. "+
+			"Announcements converge fast under plain BGP already (no path exploration), so the centralization "+
+			"saving is much smaller than for withdrawals.",
+		lab.Announcement),
+	convergenceSpec("failover", "§4: dual-homed stub fail-over vs SDN deployment fraction",
+		"A dual-homed stub origin loses its primary attachment while its prefix stays reachable over the backup. "+
+			"Every AS must re-converge onto paths through the backup link, with real path exploration in the "+
+			"legacy part of the network; centralization shortcuts that exploration.",
+		lab.Failover),
 
 	{Name: "vf", Title: "policy: valley-free withdrawal convergence vs SDN cluster size (internet-like graph)",
+		Desc: "The Figure 2 question under realistic routing policy: withdrawal convergence on a seeded " +
+			"internet-like AS graph with Gao-Rexford (valley-free) business policies, clustering the " +
+			"highest-degree ASes first. Centralizing the well-connected core still shortens convergence " +
+			"even when export rules constrain propagation.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectWorkload("vf", "a fixed-withdrawal policy figure"); err != nil {
 				return lab.Sweep{}, err
@@ -251,6 +275,10 @@ var registry = []Spec{
 		}},
 
 	{Name: "policyload", Title: "policy: withdrawal update load under permit-all vs gao-rexford vs prefix-filter (pure BGP)",
+		Desc: "A policy-axis comparison at pure BGP: the same withdrawal on the same internet-like graph under " +
+			"free transit, valley-free business routing, and valley-free plus IRR-style customer-cone prefix " +
+			"filters. Policy constrains propagation, so the UPDATE load drops sharply from permit-all to the " +
+			"filtered templates — the cost of policy-free evaluation is overstated update churn.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectUnused("policyload", "a policy-axis comparison at pure BGP"); err != nil {
 				return lab.Sweep{}, err
@@ -282,6 +310,10 @@ var registry = []Spec{
 		}},
 
 	{Name: "hijack", Title: "policy: prefix-hijack containment vs SDN cluster size (bogus-announcement reach)",
+		Desc: "The highest-numbered legacy AS announces the origin's prefix (a bogus origination) and the row " +
+			"reports how many ASes end up routing toward the attacker. Gao-Rexford's prefer-customer rule " +
+			"amplifies stub hijacks, prefix filters kill them at the first filtered import, and growing the " +
+			"SDN cluster localizes the damage — three containment regimes on one axis.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectWorkload("hijack", "a fixed-hijack policy figure"); err != nil {
 				return lab.Sweep{}, err
@@ -323,6 +355,10 @@ var registry = []Spec{
 		}},
 
 	{Name: "maint", Title: "workload: maintenance window (withdraw, re-announce) re-convergence vs SDN cluster size",
+		Desc: "A two-event schedule: the origin withdraws its prefix, then re-announces it ten minutes later, " +
+			"measured one epoch per event. The withdrawal epoch dominates and shrinks with centralization " +
+			"(path exploration again), while the re-announce floods quickly at any cluster size — the " +
+			"asymmetry operators see around planned maintenance.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectWorkload("maint", "a fixed maintenance-window schedule (use -exp fig2 -workload for custom timelines)"); err != nil {
 				return lab.Sweep{}, err
@@ -357,6 +393,10 @@ var registry = []Spec{
 		}},
 
 	{Name: "cascade", Title: "workload: cascading failure — fail-over then hijack of the weakened prefix vs SDN cluster size",
+		Desc: "A second-order failure story on a gao-rexford internet graph: a dual-homed stub loses its primary " +
+			"attachment, and five minutes later — mid-recovery weakness — a legacy AS hijacks its prefix. The " +
+			"per-epoch hijacked column shows how much of the network the bogus route captures at each cluster " +
+			"size while legitimate recovery is still in flight.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectWorkload("cascade", "a fixed fail-over-then-hijack schedule"); err != nil {
 				return lab.Sweep{}, err
@@ -401,6 +441,10 @@ var registry = []Spec{
 		}},
 
 	{Name: "churn", Title: "workload: seeded Poisson withdraw/re-announce churn vs SDN cluster size",
+		Desc: "Replayed, measured churn instead of a single trigger: six origin flaps with exponentially " +
+			"distributed gaps (mean 90s, drawn deterministically from the base seed, identical across cells) " +
+			"overlap the pure-BGP convergence tail. The per-epoch rows show how each regime digests events " +
+			"that arrive before the previous one has settled.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectWorkload("churn", "a seed-derived Poisson schedule"); err != nil {
 				return lab.Sweep{}, err
@@ -432,6 +476,9 @@ var registry = []Spec{
 		}},
 
 	{Name: "mrai", Title: "ablation: pure-BGP withdrawal convergence vs MRAI",
+		Desc: "Pure-BGP withdrawal convergence as a function of the MinRouteAdvertisementInterval. Tdown scales " +
+			"with the advertisement interval — the batching that tames update load is exactly what stretches " +
+			"path exploration — which is the dynamics baseline every hybrid result is read against.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectUnused("mrai", "a pure-BGP ablation"); err != nil {
 				return lab.Sweep{}, err
@@ -459,6 +506,8 @@ var registry = []Spec{
 		}},
 
 	{Name: "size", Title: "ablation: pure-BGP withdrawal convergence vs topology size",
+		Desc: "Pure-BGP withdrawal convergence as the clique grows: the candidate-path set grows with the mesh, " +
+			"so path exploration — and with it Tdown — climbs with topology size.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectUnused("size", "a pure-BGP ablation"); err != nil {
 				return lab.Sweep{}, err
@@ -483,6 +532,9 @@ var registry = []Spec{
 		}},
 
 	{Name: "debounce", Title: "ablation: controller delayed recomputation (latency vs batches)",
+		Desc: "The §3 design insight isolated: sweeping the controller's delayed-recomputation window at a fixed " +
+			"half-clustered deployment. No delay recomputes on every event; longer windows batch bursts into " +
+			"single recomputations at a small latency cost — the latency-versus-work trade the controller tunes.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectWorkload("debounce", "a fixed-withdrawal ablation"); err != nil {
 				return lab.Sweep{}, err
@@ -522,6 +574,9 @@ var registry = []Spec{
 		}},
 
 	{Name: "exploration", Title: "ablation: best-path churn and update load vs SDN count",
+		Desc: "The Oliveira et al. path-exploration metric: best-route changes for the withdrawn prefix across " +
+			"all routers, with and without the cluster. Centralization removes the transient intermediate " +
+			"bests that plain BGP walks through before settling.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectWorkload("exploration", "a fixed-withdrawal ablation"); err != nil {
 				return lab.Sweep{}, err
@@ -551,6 +606,10 @@ var registry = []Spec{
 		}},
 
 	{Name: "flap", Title: "ablation: flap storm under plain BGP vs damping vs SDN debounce",
+		Desc: "A withdraw/re-announce storm under three containment regimes: plain BGP (every flap propagates), " +
+			"RFC 2439 route-flap damping (routers punish the flapping prefix), and a half-clustered deployment " +
+			"with a one-second debounce (the controller absorbs the burst). Update totals compare distributed " +
+			"versus centralized stability mechanisms.",
 		Build: func(o Options) (lab.Sweep, error) {
 			if err := o.rejectUnused("flap", "a mode-axis ablation whose regimes set the placement"); err != nil {
 				return lab.Sweep{}, err

@@ -12,12 +12,13 @@ import (
 // TestExportedSymbolsDocumented is the repository's stand-in for a
 // `revive exported` lint step (the container has no third-party
 // linters): every exported top-level type, function, method, constant,
-// variable and struct field in internal/lab and internal/policy must
-// carry a doc comment, so the evaluation API documents its units and
+// variable and struct field in the evaluation-layer packages — lab,
+// policy, figures, experiment, scenario and artifact — must carry a
+// doc comment, so the evaluation API documents its units and
 // zero-value behavior the way lab.Trial.Debounce does. CI runs this
 // through the ordinary `go test` invocation.
 func TestExportedSymbolsDocumented(t *testing.T) {
-	for _, dir := range []string{".", "../policy"} {
+	for _, dir := range []string{".", "../policy", "../figures", "../experiment", "../scenario", "../artifact"} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")

@@ -6,6 +6,9 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
+
+	"repro/internal/stats"
 )
 
 // Format selects a sweep output encoding.
@@ -13,18 +16,19 @@ type Format string
 
 // Supported formats.
 const (
-	FormatTable Format = "table"
-	FormatCSV   Format = "csv"
-	FormatJSON  Format = "json"
+	FormatTable    Format = "table"
+	FormatCSV      Format = "csv"
+	FormatJSON     Format = "json"
+	FormatMarkdown Format = "markdown"
 )
 
 // ParseFormat parses a -format flag value.
 func ParseFormat(s string) (Format, error) {
 	switch Format(s) {
-	case FormatTable, FormatCSV, FormatJSON:
+	case FormatTable, FormatCSV, FormatJSON, FormatMarkdown:
 		return Format(s), nil
 	default:
-		return "", fmt.Errorf("lab: unknown format %q (want table, csv or json)", s)
+		return "", fmt.Errorf("lab: unknown format %q (want table, csv, json or markdown)", s)
 	}
 }
 
@@ -41,6 +45,8 @@ func Write(w io.Writer, f Format, res *SweepResult) error {
 		return writeCSV(w, res)
 	case FormatJSON:
 		return writeJSON(w, res)
+	case FormatMarkdown:
+		return writeMarkdown(w, res)
 	default:
 		return fmt.Errorf("lab: unknown format %q", f)
 	}
@@ -111,6 +117,87 @@ func writeTable(w io.Writer, res *SweepResult) error {
 			x = "fraction"
 		}
 		if _, err := fmt.Fprintf(w, "# linear fit: t = %.1fs %+.1fs*%s (r2=%.3f)\n", a, b, x, r2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMarkdown renders the sweep as a GitHub-flavored-markdown
+// fragment: a configuration line, a pipe table (one row per cell, one
+// indented sub-row per scheduled workload event), and the linear fit
+// at full 3-decimal precision — the representation REPORT.md embeds,
+// also available on the CLI as -format markdown. The output carries
+// the same record set as the plain table; only the framing differs.
+func writeMarkdown(w io.Writer, res *SweepResult) error {
+	if _, err := fmt.Fprintf(w, "**%s** — %s on %s vs %s (policy %s, %d runs/point, seed %d)\n\n",
+		res.Name, res.EventLabel(), res.TopoLabel(), res.Axis.Name(), res.PolicyLabel(), res.Runs, res.BaseSeed); err != nil {
+		return err
+	}
+	sdn := res.Axis.Kind == AxisSDNCount
+	hijack := res.hasHijack()
+	cols := []string{res.Axis.Name()}
+	if sdn {
+		cols = append(cols, "fraction")
+	}
+	cols = append(cols, "n", "min_s", "q1_s", "med_s", "q3_s", "max_s", "mean_s",
+		"updates", "best_chg", "recomputes")
+	if hijack {
+		cols = append(cols, "hijacked")
+	}
+	cols = append(cols, "reachable")
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cols, " | ")); err != nil {
+		return err
+	}
+	rules := make([]string, len(cols))
+	rules[0] = ":--"
+	for i := 1; i < len(cols); i++ {
+		rules[i] = "--:"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(rules, "|")); err != nil {
+		return err
+	}
+	row := func(label string, frac string, s stats.Summary, updates, bestChg, recomputes, hijacked float64, reachable string) error {
+		fields := []string{label}
+		if sdn {
+			fields = append(fields, frac)
+		}
+		fields = append(fields,
+			strconv.Itoa(s.N),
+			fmt.Sprintf("%.3f", s.Min), fmt.Sprintf("%.3f", s.Q1), fmt.Sprintf("%.3f", s.Median),
+			fmt.Sprintf("%.3f", s.Q3), fmt.Sprintf("%.3f", s.Max), fmt.Sprintf("%.3f", s.Mean),
+			fmt.Sprintf("%.1f", updates), fmt.Sprintf("%.1f", bestChg), fmt.Sprintf("%.1f", recomputes))
+		if hijack {
+			fields = append(fields, fmt.Sprintf("%.1f", hijacked))
+		}
+		fields = append(fields, reachable)
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(fields, " | "))
+		return err
+	}
+	for _, c := range res.Cells {
+		frac := ""
+		if sdn {
+			frac = fmt.Sprintf("%.3f", c.Fraction)
+		}
+		if err := row(c.Label, frac, c.Summary,
+			c.MeanUpdatesSent(), c.MeanBestPathChanges(), c.MeanRecomputes(), c.MeanHijacked(),
+			fmt.Sprintf("%v", c.AllReachable())); err != nil {
+			return err
+		}
+		for _, ep := range c.Epochs {
+			label := fmt.Sprintf("&nbsp;&nbsp;@%s %s", ep.At, ep.Kind.Verb())
+			if err := row(label, frac, ep.Summary,
+				ep.MeanUpdatesSent, ep.MeanBestPathChanges, ep.MeanRecomputes, ep.MeanHijacked, ""); err != nil {
+				return err
+			}
+		}
+	}
+	if a, b, r2, ok := res.Fit(); ok {
+		x := res.Axis.Name()
+		if sdn {
+			x = "fraction"
+		}
+		if _, err := fmt.Fprintf(w, "\nLinear fit: t = %.3f s %+.3f s × %s (r² = %.3f).\n", a, b, x, r2); err != nil {
 			return err
 		}
 	}

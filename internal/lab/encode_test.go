@@ -336,3 +336,44 @@ func TestParseFormat(t *testing.T) {
 		t.Fatal("unknown format should error")
 	}
 }
+
+// TestWriteMarkdownGolden pins the GFM encoder: the config-echo line,
+// the pipe table, and the full-precision fit line REPORT.md embeds.
+func TestWriteMarkdownGolden(t *testing.T) {
+	got := encode(t, FormatMarkdown, fixedResult())
+	want := `**fig2** — withdrawal on clique 4 vs sdn_k (policy permit-all, 2 runs/point, seed 1)
+
+| sdn_k | fraction | n | min_s | q1_s | med_s | q3_s | max_s | mean_s | updates | best_chg | recomputes | reachable |
+|:--|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|
+| 0 | 0.000 | 2 | 40.000 | 42.500 | 45.000 | 47.500 | 50.000 | 45.000 | 120.0 | 30.0 | 0.0 | false |
+| 2 | 0.500 | 2 | 10.000 | 12.500 | 15.000 | 17.500 | 20.000 | 15.000 | 40.0 | 10.0 | 4.0 | false |
+
+Linear fit: t = 45.000 s -60.000 s × fraction (r² = 1.000).
+`
+	if got != want {
+		t.Fatalf("markdown golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteMarkdownWorkloadGolden pins the per-epoch sub-rows of the
+// markdown table: one indented row per scheduled event under each
+// cell, same statistic columns windowed to the epoch.
+func TestWriteMarkdownWorkloadGolden(t *testing.T) {
+	got := encode(t, FormatMarkdown, fixedWorkloadResult())
+	want := `**maint** — withdraw@0s; announce@2m0s on clique 4 vs sdn_k (policy permit-all, 2 runs/point, seed 1)
+
+| sdn_k | fraction | n | min_s | q1_s | med_s | q3_s | max_s | mean_s | updates | best_chg | recomputes | reachable |
+|:--|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|
+| 0 | 0.000 | 2 | 20.000 | 22.500 | 25.000 | 27.500 | 30.000 | 25.000 | 100.0 | 8.0 | 2.0 | true |
+| &nbsp;&nbsp;@0s withdraw | 0.000 | 2 | 40.000 | 42.500 | 45.000 | 47.500 | 50.000 | 45.000 | 60.0 | 5.0 | 1.0 |  |
+| &nbsp;&nbsp;@2m0s announce | 0.000 | 2 | 20.000 | 22.500 | 25.000 | 27.500 | 30.000 | 25.000 | 40.0 | 3.0 | 1.0 |  |
+| 2 | 0.500 | 2 | 5.000 | 7.500 | 10.000 | 12.500 | 15.000 | 10.000 | 40.0 | 8.0 | 2.0 | true |
+| &nbsp;&nbsp;@0s withdraw | 0.500 | 2 | 10.000 | 12.500 | 15.000 | 17.500 | 20.000 | 15.000 | 25.0 | 5.0 | 1.0 |  |
+| &nbsp;&nbsp;@2m0s announce | 0.500 | 2 | 5.000 | 7.500 | 10.000 | 12.500 | 15.000 | 10.000 | 15.0 | 3.0 | 1.0 |  |
+
+Linear fit: t = 25.000 s -30.000 s × fraction (r² = 1.000).
+`
+	if got != want {
+		t.Fatalf("markdown workload golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -246,6 +246,26 @@ const (
 	SeedCellRun
 )
 
+// CellCache caches completed (cell, run) results of one sweep. The
+// sweep consults it before executing a cell's run and stores every
+// fresh result after, which is what lets an interrupted sweep resume
+// and a repeated sweep skip all execution. Implementations (the
+// artifact store) key their records by the sweep's Canonical() hash,
+// so a cache bound to one spec never answers for another; positions
+// identify records within the spec because the engine is
+// deterministic — (spec, cell, run) fixes the result bit-for-bit.
+// With Parallelism > 1 the methods are called concurrently from
+// worker goroutines and must be safe for concurrent use (distinct
+// (cell, run) pairs only; the sweep never asks twice for one).
+type CellCache interface {
+	// Load returns the cached result for (cell, run) and whether one
+	// exists. A hit replaces the emulation entirely, so the returned
+	// record must round-trip the Result exactly.
+	Load(cell, run int) (Result, bool, error)
+	// Store records a freshly computed result for (cell, run).
+	Store(cell, run int, r Result) error
+}
+
 // Sweep varies one Axis of a base Trial over Runs seeded repetitions
 // per cell, fanned across the parallel Runner. Results are placed by
 // (cell, run) index, so the output is identical at any parallelism.
@@ -269,8 +289,14 @@ type Sweep struct {
 	// completed run so long sweeps can stream completion. It is
 	// forwarded to the Runner verbatim and shares its contract: with
 	// Parallelism > 1 it is called concurrently from worker
-	// goroutines.
+	// goroutines. Cache hits count as completed runs.
 	Progress func(done, total int)
+	// Cache, when non-nil, is consulted before every (cell, run)
+	// execution and fed every fresh result — the artifact store's
+	// hook. Like Parallelism and Progress it cannot change the sweep's
+	// results (a hit is bit-identical to the run it replaces), so it
+	// does not participate in Canonical().
+	Cache CellCache
 }
 
 // Cell is one sweep point: an axis value with its per-run results.
@@ -469,9 +495,22 @@ func (s Sweep) Run() (*SweepResult, error) {
 	}
 	err := Runner{Parallelism: s.Parallelism, Progress: s.Progress}.Do(n*s.Runs, func(i int) error {
 		ci, run := i/s.Runs, i%s.Runs
+		if s.Cache != nil {
+			if r, ok, err := s.Cache.Load(ci, run); err != nil {
+				return fmt.Errorf("lab: %s %s=%s run %d: cache: %w", s.Name, s.Axis.Name(), s.Axis.Label(ci), run, err)
+			} else if ok {
+				results[ci][run] = r
+				return nil
+			}
+		}
 		r, err := s.trialFor(ci, run).Run()
 		if err != nil {
 			return fmt.Errorf("lab: %s %s=%s run %d: %w", s.Name, s.Axis.Name(), s.Axis.Label(ci), run, err)
+		}
+		if s.Cache != nil {
+			if err := s.Cache.Store(ci, run, r); err != nil {
+				return fmt.Errorf("lab: %s %s=%s run %d: cache: %w", s.Name, s.Axis.Name(), s.Axis.Label(ci), run, err)
+			}
 		}
 		results[ci][run] = r
 		return nil

@@ -23,6 +23,11 @@ type BoxplotConfig struct {
 	Title  string
 	XLabel string
 	YLabel string
+	// Subtitle is an optional smaller line under the title — the lab
+	// report stamps each figure's spec content address here, so a
+	// chart stays traceable to the archived configuration that
+	// produced it even after it is copied out of the report.
+	Subtitle string
 	// Width and Height of the SVG canvas (defaults 640x420).
 	Width, Height int
 }
@@ -76,6 +81,10 @@ func WriteBoxplot(w io.Writer, cfg BoxplotConfig, boxes []Box) error {
 	if cfg.Title != "" {
 		fmt.Fprintf(&sb, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n",
 			cfg.Width/2, escape(cfg.Title))
+	}
+	if cfg.Subtitle != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="34" text-anchor="middle" font-size="9" fill="#666">%s</text>`+"\n",
+			cfg.Width/2, escape(cfg.Subtitle))
 	}
 
 	// Axes.
