@@ -39,6 +39,18 @@
 //	                                           # cached, so rerunning (or an
 //	                                           # interrupted sweep) resumes
 //	                                           # instead of recomputing
+//	convergence -exp ctrlfail|lossy            # the chaos figure family
+//	convergence -exp fig2 -loss 0.05           # drop 5% of messages on every
+//	                                           # inter-AS link (seeded per
+//	                                           # link: still reproducible)
+//	convergence -exp fig2 -delay 20ms -jitter 5ms
+//	convergence -exp fig2 -tolerate -retries 1 -wall-limit 2m
+//	                                           # failure-tolerant sweep: a
+//	                                           # panicking, timed-out or
+//	                                           # broken run is recorded as a
+//	                                           # cell failure (annotated in
+//	                                           # every output format) and
+//	                                           # the rest of the grid runs
 package main
 
 import (
@@ -73,6 +85,12 @@ func main() {
 	format := flag.String("format", "table", "output format: table|csv|json|markdown")
 	svg := flag.String("svg", "", "also render the sweep as an SVG boxplot to this file")
 	out := flag.String("out", "", "artifact store directory: file every (cell, run) result under the sweep's spec hash and skip cells already stored, so repeated or interrupted sweeps resume instead of recomputing")
+	loss := flag.Float64("loss", 0, "per-message loss probability [0,1] on every inter-AS link; each link's loss stream is seeded from the trial seed, so lossy runs stay byte-reproducible")
+	delay := flag.Duration("delay", 0, "one-way delay of every inter-AS link (0 keeps the emulator default; per-edge topology delays win)")
+	jitter := flag.Duration("jitter", 0, "maximum extra seeded random delay on data-plane probe sends, uniform in [0, jitter]")
+	wallLimit := flag.Duration("wall-limit", 0, "wall-clock budget per emulation run: a run over budget fails (with -tolerate, as a recorded cell failure) instead of hanging the sweep")
+	tolerate := flag.Bool("tolerate", false, "record per-run failures (panic, timeout, error) and keep sweeping instead of aborting on the first broken run")
+	retries := flag.Int("retries", 0, "with -tolerate, retry timed-out runs up to this many times before recording the failure")
 	flag.Parse()
 
 	if *list {
@@ -95,7 +113,7 @@ func main() {
 		// The split experiment is a scripted sequence, not a sweep:
 		// only -mrai and -seed apply, so reject the sweep flags
 		// instead of silently dropping them.
-		for _, name := range []string{"format", "topology", "placement", "policy", "sdn-counts", "workload", "progress", "runs", "debounce", "parallel", "svg", "out"} {
+		for _, name := range []string{"format", "topology", "placement", "policy", "sdn-counts", "workload", "progress", "runs", "debounce", "parallel", "svg", "out", "loss", "delay", "jitter", "wall-limit", "tolerate", "retries"} {
 			if set[name] {
 				fatal(fmt.Errorf("-%s does not apply to the subcluster experiment (it is a scripted sequence, not a sweep)", name))
 			}
@@ -187,18 +205,43 @@ func main() {
 		}
 	}
 
+	spec, ok := figures.Lookup(*exp)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (see -list)", *exp))
+	}
+	sweep, err := spec.Build(opts)
+	if err != nil {
+		fatal(err)
+	}
+	// The chaos overlays mutate the built sweep: they are emulation-
+	// layer knobs that apply uniformly to every registry entry.
+	if set["loss"] {
+		if sweep.Axis.Kind == lab.AxisLoss {
+			fatal(fmt.Errorf("-loss does not apply to %s: the experiment sweeps the loss rate itself", *exp))
+		}
+		sweep.Base.LinkLoss = *loss
+	}
+	if set["delay"] {
+		sweep.Base.LinkDelay = *delay
+	}
+	if set["jitter"] {
+		sweep.Base.LinkJitter = *jitter
+	}
+	if set["wall-limit"] {
+		sweep.Base.WallLimit = *wallLimit
+	}
+	if *tolerate {
+		sweep.Tolerate = true
+		sweep.Retries = *retries
+		sweep.RetryBackoff = 100 * time.Millisecond
+	} else if set["retries"] {
+		fatal(fmt.Errorf("-retries only applies with -tolerate (a non-tolerant sweep aborts on the first failure)"))
+	}
+
 	var res *lab.SweepResult
 	if *out != "" {
 		// Through the artifact store: completed cells load from disk,
 		// fresh ones are filed, and the sealed manifest is refreshed.
-		spec, ok := figures.Lookup(*exp)
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (see -list)", *exp))
-		}
-		sweep, err := spec.Build(opts)
-		if err != nil {
-			fatal(err)
-		}
 		store, err := artifact.Open(*out)
 		if err != nil {
 			fatal(err)
@@ -208,14 +251,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "store: spec %.12s — %d/%d runs cached, %d executed\n",
-			stats.SpecHash, stats.Hits, stats.Total, stats.Executed)
+		fmt.Fprintf(os.Stderr, "store: spec %.12s — %d/%d runs cached, %d executed, %d failed\n",
+			stats.SpecHash, stats.Hits, stats.Total, stats.Executed, stats.Failed)
 	} else {
-		var err error
-		res, err = figures.Run(*exp, opts)
+		res, err = sweep.Run()
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if n := len(res.Failures); n > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d failed run(s) recorded; see the failure annotations in the output\n", n)
 	}
 	if err := lab.Write(os.Stdout, f, res); err != nil {
 		fatal(err)

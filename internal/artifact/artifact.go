@@ -19,7 +19,15 @@
 //
 //	<dir>/<spec-sha256>/spec.json     the canonical spec bytes
 //	<dir>/<spec-sha256>/c<i>-r<j>.json  one record per (cell, run)
+//	<dir>/<spec-sha256>/c<i>-r<j>.failed.json  one failure per given-up (cell, run)
 //	<dir>/<spec-sha256>/manifest.json   sealed record index (on Finish)
+//
+// Failure files are written by tolerant sweeps (lab.Sweep.Tolerate)
+// for cells that timed out, panicked or errored. They are not records:
+// Load never serves them, so a re-run against the same store retries
+// exactly the failed cells, and a later success replaces the failure
+// file. The manifest indexes them separately so a partial sweep is an
+// auditable artifact too.
 //
 // Records are written atomically (temp file + rename), so an
 // interrupted internet-scale sweep leaves only whole records behind
@@ -121,6 +129,7 @@ type SweepStore struct {
 
 	hits     atomic.Int64
 	executed atomic.Int64
+	failed   atomic.Int64
 }
 
 // SpecHash returns the sweep's content address (the hex SHA-256 of
@@ -136,6 +145,10 @@ func (ss *SweepStore) Hits() int { return int(ss.hits.Load()) }
 // Executed returns the number of fresh emulation results stored so
 // far — the emulations the cache did not save.
 func (ss *SweepStore) Executed() int { return int(ss.executed.Load()) }
+
+// Failed returns the number of failures filed so far (tolerant sweeps
+// only).
+func (ss *SweepStore) Failed() int { return int(ss.failed.Load()) }
 
 // Total returns the sweep's (cell, run) grid size.
 func (ss *SweepStore) Total() int { return ss.cells * ss.runs }
@@ -154,13 +167,31 @@ type record struct {
 	Result lab.Result `json:"result"`
 }
 
+// failureRecord is the on-disk schema of one given-up (cell, run).
+type failureRecord struct {
+	// SpecSHA256 echoes the spec hash, mirroring record.
+	SpecSHA256 string `json:"spec_sha256"`
+	// Cell and Run locate the failure in the sweep grid.
+	Cell int `json:"cell"`
+	Run  int `json:"run"`
+	// Failure is the sweep's failure record, verbatim.
+	Failure lab.CellFailure `json:"failure"`
+}
+
 // recordName matches the record files Finish indexes (and nothing
-// else in the spec directory: spec.json, manifest.json, stranded
-// temp files).
+// else in the spec directory: spec.json, manifest.json, failure
+// files, stranded temp files).
 var recordName = regexp.MustCompile(`^c\d+-r\d+\.json$`)
+
+// failureName matches the failure files of given-up (cell, run)s.
+var failureName = regexp.MustCompile(`^c\d+-r\d+\.failed\.json$`)
 
 func (ss *SweepStore) recordPath(cell, run int) string {
 	return filepath.Join(ss.dir, fmt.Sprintf("c%d-r%d.json", cell, run))
+}
+
+func (ss *SweepStore) failurePath(cell, run int) string {
+	return filepath.Join(ss.dir, fmt.Sprintf("c%d-r%d.failed.json", cell, run))
 }
 
 // Load implements lab.CellCache: it returns the stored result for
@@ -201,7 +232,33 @@ func (ss *SweepStore) Store(cell, run int, r lab.Result) error {
 	if err := writeFileAtomic(ss.recordPath(cell, run), append(data, '\n')); err != nil {
 		return err
 	}
+	// A success supersedes any failure a previous tolerant run filed
+	// for this position.
+	if err := os.Remove(ss.failurePath(cell, run)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("artifact: %w", err)
+	}
 	ss.executed.Add(1)
+	return nil
+}
+
+// StoreFailure implements lab.FailureCache: it files a tolerant
+// sweep's given-up (cell, run) atomically under the spec directory.
+// Failure files never serve as cache hits, so the next run against
+// this store retries exactly these positions.
+func (ss *SweepStore) StoreFailure(cell, run int, f lab.CellFailure) error {
+	data, err := json.MarshalIndent(failureRecord{
+		SpecSHA256: ss.hash,
+		Cell:       cell,
+		Run:        run,
+		Failure:    f,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := writeFileAtomic(ss.failurePath(cell, run), append(data, '\n')); err != nil {
+		return err
+	}
+	ss.failed.Add(1)
 	return nil
 }
 
@@ -234,6 +291,11 @@ type SweepManifest struct {
 	Complete bool `json:"complete"`
 	// Records lists every record file with its digest, sorted by name.
 	Records []RecordDigest `json:"records"`
+	// Failures lists every failure file with its digest, sorted by
+	// name — present only for partial sweeps a tolerant run gave up
+	// cells of (omitted otherwise, so pre-existing sealed manifests
+	// verify unchanged).
+	Failures []RecordDigest `json:"failures,omitempty"`
 	// SealSHA256 is the hex SHA-256 of the manifest's own canonical
 	// bytes (this struct with an empty seal), closing the digest chain:
 	// spec bytes → spec hash → record digests → seal.
@@ -269,11 +331,11 @@ func (ss *SweepStore) Finish() error {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		// Index only whole records: spec.json and manifest.json are
-		// not records, and a crash between CreateTemp and Rename can
-		// strand a writeFileAtomic temp file here — listing it would
-		// corrupt the manifest (and its determinism) for good.
-		if e.IsDir() || !recordName.MatchString(name) {
+		// Index only whole records and failures: spec.json and
+		// manifest.json are neither, and a crash between CreateTemp and
+		// Rename can strand a writeFileAtomic temp file here — listing
+		// it would corrupt the manifest (and its determinism) for good.
+		if e.IsDir() || (!recordName.MatchString(name) && !failureName.MatchString(name)) {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(ss.dir, name))
@@ -281,9 +343,15 @@ func (ss *SweepStore) Finish() error {
 			return fmt.Errorf("artifact: %w", err)
 		}
 		sum := sha256.Sum256(data)
-		m.Records = append(m.Records, RecordDigest{File: name, SHA256: hex.EncodeToString(sum[:])})
+		rd := RecordDigest{File: name, SHA256: hex.EncodeToString(sum[:])}
+		if failureName.MatchString(name) {
+			m.Failures = append(m.Failures, rd)
+		} else {
+			m.Records = append(m.Records, rd)
+		}
 	}
 	sort.Slice(m.Records, func(i, j int) bool { return m.Records[i].File < m.Records[j].File })
+	sort.Slice(m.Failures, func(i, j int) bool { return m.Failures[i].File < m.Failures[j].File })
 	m.Complete = len(m.Records) == ss.Total()
 	if m.SealSHA256, err = m.seal(); err != nil {
 		return err
@@ -328,14 +396,18 @@ func VerifySweepDir(dir string) error {
 	if got := hex.EncodeToString(sum[:]); got != m.SpecSHA256 {
 		return fmt.Errorf("artifact: %s: spec.json hashes to %.12s, manifest says %.12s", dir, got, m.SpecSHA256)
 	}
-	for _, rd := range m.Records {
+	for _, rd := range append(append([]RecordDigest(nil), m.Records...), m.Failures...) {
 		data, err := os.ReadFile(filepath.Join(dir, rd.File))
 		if err != nil {
 			return fmt.Errorf("artifact: %w", err)
 		}
 		sum := sha256.Sum256(data)
+		// Full digests on purpose: a digest mismatch is the audit trail's
+		// terminal finding, and the reader needs both complete hashes to
+		// tell tampering from truncation or to look the bytes up
+		// elsewhere.
 		if got := hex.EncodeToString(sum[:]); got != rd.SHA256 {
-			return fmt.Errorf("artifact: %s/%s: digest mismatch (recorded %.12s, computed %.12s)", dir, rd.File, rd.SHA256, got)
+			return fmt.Errorf("artifact: %s: digest mismatch\n  recorded %s\n  computed %s", filepath.Join(dir, rd.File), rd.SHA256, got)
 		}
 	}
 	return nil
@@ -351,6 +423,9 @@ type RunStats struct {
 	Hits int
 	// Executed is the number of (cell, run) records emulated fresh.
 	Executed int
+	// Failed is the number of (cell, run) failures filed (tolerant
+	// sweeps only; zero otherwise).
+	Failed int
 	// Total is the sweep's (cell, run) grid size.
 	Total int
 }
@@ -376,6 +451,7 @@ func RunSweep(store *Store, sw lab.Sweep) (*lab.SweepResult, RunStats, error) {
 		SpecHash: ss.SpecHash(),
 		Hits:     ss.Hits(),
 		Executed: ss.Executed(),
+		Failed:   ss.Failed(),
 		Total:    ss.Total(),
 	}, nil
 }

@@ -1,0 +1,191 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/monitor"
+)
+
+// chaosInject fails two grid positions of testSweep: (cell 1, run 0)
+// panics and (cell 2, run 1) misses its deadline.
+func chaosInject(cell, run int) error {
+	switch {
+	case cell == 1 && run == 0:
+		panic("chaos: injected crash")
+	case cell == 2 && run == 1:
+		return fmt.Errorf("injected deadline: %w", monitor.ErrTimeout)
+	}
+	return nil
+}
+
+// TestTolerantSweepFilesFailures is the issue's acceptance scenario:
+// a tolerant sweep with an injected panic and a timed-out run finishes
+// with both failures filed in the sealed artifact directory, the
+// manifest indexes them (and stays verifiable), and a re-run against
+// the same store retries exactly the failed positions — completing the
+// sweep byte-identically to a clean run.
+func TestTolerantSweepFilesFailures(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := testSweep()
+	sw.Tolerate = true
+	sw.Inject = chaosInject
+	res, stats, err := RunSweep(store, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 2 || stats.Executed != stats.Total-2 || stats.Hits != 0 {
+		t.Fatalf("chaos run: hits=%d executed=%d failed=%d total=%d", stats.Hits, stats.Executed, stats.Failed, stats.Total)
+	}
+	if len(res.Failures) != 2 || !res.Failures[0].Panicked || !res.Failures[1].TimedOut {
+		t.Fatalf("failures = %+v", res.Failures)
+	}
+
+	sweepDir := filepath.Join(dir, stats.SpecHash)
+	for _, name := range []string{"c1-r0.failed.json", "c2-r1.failed.json"} {
+		data, err := os.ReadFile(filepath.Join(sweepDir, name))
+		if err != nil {
+			t.Fatalf("failure file missing: %v", err)
+		}
+		var fr struct {
+			SpecSHA256 string          `json:"spec_sha256"`
+			Failure    lab.CellFailure `json:"failure"`
+		}
+		if err := json.Unmarshal(data, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if fr.SpecSHA256 != stats.SpecHash || fr.Failure.Err == "" {
+			t.Fatalf("failure record %s = %+v", name, fr)
+		}
+	}
+
+	// The partial sweep seals and verifies; the manifest indexes the
+	// failures separately and is not complete.
+	if err := VerifySweepDir(sweepDir); err != nil {
+		t.Fatalf("partial chaos sweep does not verify: %v", err)
+	}
+	var m SweepManifest
+	data, err := os.ReadFile(filepath.Join(sweepDir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Complete {
+		t.Fatal("manifest with failures claims completeness")
+	}
+	if len(m.Records) != stats.Total-2 || len(m.Failures) != 2 {
+		t.Fatalf("manifest: %d records, %d failures, want %d and 2", len(m.Records), len(m.Failures), stats.Total-2)
+	}
+
+	// The re-run without the injected faults retries exactly the two
+	// failed positions (failure files never serve as hits), clears the
+	// stale failure files, and completes the manifest. Inject is an
+	// execution knob, so the spec hash — the store address — is
+	// unchanged.
+	clean := testSweep()
+	clean.Tolerate = true
+	rerun, stats2, err := RunSweep(store, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.SpecHash != stats.SpecHash {
+		t.Fatalf("spec hash changed: %s vs %s (Inject must stay execution-only)", stats2.SpecHash, stats.SpecHash)
+	}
+	if stats2.Hits != stats.Total-2 || stats2.Executed != 2 || stats2.Failed != 0 {
+		t.Fatalf("re-run: hits=%d executed=%d failed=%d, want exactly the 2 failed positions executed",
+			stats2.Hits, stats2.Executed, stats2.Failed)
+	}
+	for _, name := range []string{"c1-r0.failed.json", "c2-r1.failed.json"} {
+		if _, err := os.Stat(filepath.Join(sweepDir, name)); !os.IsNotExist(err) {
+			t.Fatalf("stale failure file %s survived the successful re-run", name)
+		}
+	}
+	var m2 SweepManifest
+	data, err = os.ReadFile(filepath.Join(sweepDir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Complete || len(m2.Failures) != 0 || len(m2.Records) != stats.Total {
+		t.Fatalf("re-run manifest: complete=%v records=%d failures=%d", m2.Complete, len(m2.Records), len(m2.Failures))
+	}
+	if err := VerifySweepDir(sweepDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the completed result matches a store-free clean run exactly.
+	want, err := testSweep().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, rerun) {
+		t.Fatal("completed chaos sweep differs from a clean run")
+	}
+}
+
+// TestVerifyReportsFullDigests pins the audit-trail contract: a digest
+// mismatch names the failing file by path and quotes BOTH full SHA-256
+// digests — recorded and computed — so the report is actionable
+// without re-hashing anything by hand. Failure records are covered by
+// the same check.
+func TestVerifyReportsFullDigests(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := testSweep()
+	sw.Tolerate = true
+	sw.Inject = chaosInject
+	_, stats, err := RunSweep(store, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepDir := filepath.Join(dir, stats.SpecHash)
+
+	fullHex := regexp.MustCompile(`\b[0-9a-f]{64}\b`)
+	for _, name := range []string{"c0-r0.json", "c1-r0.failed.json"} {
+		path := filepath.Join(sweepDir, name)
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tampered := append([]byte(nil), orig...)
+		tampered[len(tampered)/2] ^= 1
+		if err := os.WriteFile(path, tampered, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		verr := VerifySweepDir(sweepDir)
+		if verr == nil {
+			t.Fatalf("tampered %s passed verification", name)
+		}
+		msg := verr.Error()
+		if !regexp.MustCompile(regexp.QuoteMeta(name)).MatchString(msg) {
+			t.Fatalf("mismatch error does not name %s: %q", name, msg)
+		}
+		digests := fullHex.FindAllString(msg, -1)
+		if len(digests) < 2 || digests[0] == digests[1] {
+			t.Fatalf("mismatch error must quote both full digests, got %q", msg)
+		}
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := VerifySweepDir(sweepDir); err != nil {
+		t.Fatalf("restored sweep does not verify: %v", err)
+	}
+}

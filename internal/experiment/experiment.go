@@ -63,6 +63,16 @@ type Config struct {
 	// LinkDelay is the default inter-AS link delay (default
 	// netem.DefaultDelay); per-edge delays from the topology override.
 	LinkDelay time.Duration
+	// LinkLoss is the per-message loss probability in [0, 1] applied to
+	// every inter-AS topology link (control links to the controller and
+	// the collector stay clean). Reliable BGP transport recovers lost
+	// attempts with retransmission delays; probe traffic is simply
+	// dropped. See netem.LinkConfig.Loss.
+	LinkLoss float64
+	// LinkJitter is the maximum extra random delay on unreliable
+	// (probe) sends across every inter-AS topology link, uniform in
+	// [0, LinkJitter]. See netem.LinkConfig.Jitter.
+	LinkJitter time.Duration
 	// ControlDelay is the switch-controller channel delay (default 1ms).
 	ControlDelay time.Duration
 	// ProcessingDelay is each router's per-UPDATE processing cost
@@ -138,6 +148,14 @@ type Experiment struct {
 	// routers torn down by migration, so UpdateTotals stays monotonic.
 	retiredSent, retiredRecv uint64
 
+	// crashedMembers remembers the cluster membership at the instant of
+	// a controller crash (ControllerDown), so recovery re-joins exactly
+	// the members that fell back to legacy BGP.
+	crashedMembers []idr.ASN
+	// partitionCut is the seeded AS cut whose links Partition failed
+	// (nil while the network is whole); Heal restores them.
+	partitionCut [][2]idr.ASN
+
 	started bool
 }
 
@@ -169,6 +187,12 @@ func New(cfg Config) (*Experiment, error) {
 	if cfg.ControlDelay == 0 {
 		cfg.ControlDelay = time.Millisecond
 	}
+	if cfg.LinkLoss < 0 || cfg.LinkLoss > 1 {
+		return nil, fmt.Errorf("experiment: link loss %v outside [0, 1]", cfg.LinkLoss)
+	}
+	if cfg.LinkJitter < 0 {
+		return nil, fmt.Errorf("experiment: negative link jitter %v", cfg.LinkJitter)
+	}
 
 	e := &Experiment{
 		cfg:          cfg,
@@ -187,6 +211,10 @@ func New(cfg Config) (*Experiment, error) {
 		kinds:        policy.FromTopology(cfg.Graph),
 	}
 	e.Net = netem.NewNetwork(e.K, e.K.Rand())
+	// Every link draws loss and jitter from a private stream derived
+	// from the run seed, so lossy runs stay byte-reproducible no matter
+	// how protocol randomness interleaves.
+	e.Net.SeedLinks(cfg.Seed)
 	// The quiescence window must exceed the largest legitimate gap
 	// between routing-update batches, which is the (jittered) MRAI —
 	// otherwise a lull between exploration rounds reads as

@@ -12,6 +12,7 @@ import (
 	"repro/internal/collector"
 	"repro/internal/frames"
 	"repro/internal/idr"
+	"repro/internal/monitor"
 	"repro/internal/netem"
 	"repro/internal/policy"
 	"repro/internal/topology"
@@ -42,7 +43,11 @@ func (e *Experiment) buildLink(edge topology.Edge) error {
 	if delay == 0 {
 		delay = e.cfg.LinkDelay
 	}
-	link, err := e.Net.Connect(nodeA, nodeB, netem.LinkConfig{Delay: delay})
+	link, err := e.Net.Connect(nodeA, nodeB, netem.LinkConfig{
+		Delay:  delay,
+		Jitter: e.cfg.LinkJitter,
+		Loss:   e.cfg.LinkLoss,
+	})
 	if err != nil {
 		return err
 	}
@@ -319,8 +324,8 @@ func (e *Experiment) WaitEstablished(timeout time.Duration) error {
 			return nil
 		}
 		if !e.K.Now().Before(deadline) {
-			return fmt.Errorf("experiment: %d/%d sessions established after %v",
-				established, e.expectedSessions(), timeout)
+			return fmt.Errorf("experiment: %d/%d sessions established after %v: %w",
+				established, e.expectedSessions(), timeout, monitor.ErrTimeout)
 		}
 		if err := e.K.RunFor(100 * time.Millisecond); err != nil {
 			return err

@@ -632,6 +632,83 @@ var registry = []Spec{
 				Progress:    o.Progress,
 			}, nil
 		}},
+
+	{Name: "ctrlfail", Title: "chaos: withdrawal convergence with a crashed controller, then recovery, vs SDN cluster size",
+		Desc: "The centralization story under its worst-case fault: the controller crashes, the origin withdraws " +
+			"its prefix a minute later, the controller recovers after the dust settles, and the origin " +
+			"re-announces. The withdrawal epoch shows every cluster size paying the pure-BGP path-exploration " +
+			"price (the crashed members fall back to legacy routers), and the final epoch measures the " +
+			"re-announce with the cluster re-adopted. At K=0 the crash and recovery are no-ops, so the " +
+			"baseline column doubles as a sanity anchor.",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectWorkload("ctrlfail", "a fixed crash/withdraw/recover schedule"); err != nil {
+				return lab.Sweep{}, err
+			}
+			topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 16})
+			return lab.Sweep{
+				Name: "ctrlfail",
+				Base: lab.Trial{
+					Topo:      topo,
+					Placement: o.placementOr(lab.Placement{Strategy: lab.PlaceLast}),
+					Policy:    o.policyOr(lab.PolicySpec{}),
+					// Crash first, withdraw while headless, recover, then
+					// re-announce. The 14-minute degraded window exceeds
+					// the slowest pure-BGP withdrawal convergence on the
+					// default clique, so the recovery epoch measures a
+					// quiesced network re-adopting the cluster and the
+					// final epoch a clean announcement under the restored
+					// controller.
+					Workload: lab.Workload{
+						{Kind: lab.KindCtrlDown},
+						{At: time.Minute, Kind: lab.KindWithdrawal},
+						{At: 15 * time.Minute, Kind: lab.KindCtrlUp},
+						{At: 17 * time.Minute, Kind: lab.KindAnnouncement},
+					},
+					Timers:          o.timers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+					OriginOnly:      originOnly(topo),
+				},
+				Axis:        lab.SDNCounts(o.sdnCountsOr(topo.Nodes())...),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				SeedPolicy:  lab.SeedCellRun,
+				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
+			}, nil
+		}},
+
+	{Name: "lossy", Title: "chaos: withdrawal convergence vs link-loss rate (half-clustered deployment)",
+		Desc: "Withdrawal convergence on a half-clustered clique as every inter-AS link drops messages at the " +
+			"swept rate. Lost BGP messages cost doubling retransmission timeouts, so convergence degrades " +
+			"super-linearly with loss while staying byte-reproducible: each link's loss stream is seeded from " +
+			"the trial seed. The per-cell spread shows how loss turns a deterministic protocol into a " +
+			"distribution.",
+		Build: func(o Options) (lab.Sweep, error) {
+			if err := o.rejectUnused("lossy", "a loss-axis ablation on a fixed half-clustered deployment"); err != nil {
+				return lab.Sweep{}, err
+			}
+			topo := o.topoOr(lab.TopoSpec{Kind: "clique", N: 16})
+			return lab.Sweep{
+				Name: "lossy",
+				Base: lab.Trial{
+					Topo:            topo,
+					Placement:       lab.Placement{Strategy: lab.PlaceLast, K: topo.Nodes() / 2},
+					Policy:          o.policyOr(lab.PolicySpec{}),
+					Event:           lab.Withdrawal,
+					Timers:          o.timers(),
+					Debounce:        o.debounceOr(100 * time.Millisecond),
+					ProcessingDelay: 25 * time.Millisecond,
+					OriginOnly:      originOnly(topo),
+				},
+				Axis:        lab.Losses(0, 0.01, 0.02, 0.05, 0.1, 0.2),
+				Runs:        o.runsOr(5),
+				BaseSeed:    o.BaseSeed,
+				SeedPolicy:  lab.SeedCellRun,
+				Parallelism: o.Parallelism,
+				Progress:    o.Progress,
+			}, nil
+		}},
 }
 
 // Registry returns the experiment specs in presentation order.

@@ -347,7 +347,7 @@ func TestSubClusterSurvivesSplit(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"fig2", "announce", "failover", "vf", "policyload", "hijack", "maint", "cascade", "churn", "mrai", "size", "debounce", "exploration", "flap"}
+	want := []string{"fig2", "announce", "failover", "vf", "policyload", "hijack", "maint", "cascade", "churn", "mrai", "size", "debounce", "exploration", "flap", "ctrlfail", "lossy"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry names = %v, want %v", got, want)
@@ -493,7 +493,7 @@ func TestWorkloadFamilySpecs(t *testing.T) {
 	// The workload figures fix their schedules; only the Figure 2
 	// family honors -workload.
 	custom := lab.Workload{{Kind: lab.KindWithdrawal}}
-	for _, name := range []string{"maint", "cascade", "churn", "vf", "hijack", "debounce", "exploration", "mrai", "size", "flap", "policyload"} {
+	for _, name := range []string{"maint", "cascade", "churn", "vf", "hijack", "debounce", "exploration", "mrai", "size", "flap", "policyload", "ctrlfail", "lossy"} {
 		spec, _ := Lookup(name)
 		if _, err := spec.Build(Options{Workload: custom}); err == nil {
 			t.Fatalf("%s: -workload override should error", name)
@@ -506,6 +506,84 @@ func TestWorkloadFamilySpecs(t *testing.T) {
 	}
 	if len(sw.Base.Workload) != 1 {
 		t.Fatalf("fig2 must honor -workload, got %v", sw.Base.Workload)
+	}
+}
+
+// TestChaosFamilySpecs pins the declarative shape of the chaos
+// registry entries and runs a shrunk controller-crash sweep end to
+// end: the K=0 baseline must treat the crash and recovery as no-ops
+// while the clustered cells pay (and survive) the degraded window.
+func TestChaosFamilySpecs(t *testing.T) {
+	cf, ok := Lookup("ctrlfail")
+	if !ok {
+		t.Fatal("ctrlfail missing from the registry")
+	}
+	sw, err := cf.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Base.Workload) != 4 ||
+		sw.Base.Workload[0].Kind != lab.KindCtrlDown ||
+		sw.Base.Workload[1].Kind != lab.KindWithdrawal ||
+		sw.Base.Workload[2].Kind != lab.KindCtrlUp ||
+		sw.Base.Workload[3].Kind != lab.KindAnnouncement {
+		t.Fatalf("ctrlfail workload = %v", sw.Base.Workload)
+	}
+
+	lo, ok := Lookup("lossy")
+	if !ok {
+		t.Fatal("lossy missing from the registry")
+	}
+	sw, err = lo.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Axis.Kind != lab.AxisLoss || sw.Axis.Len() < 3 {
+		t.Fatalf("lossy axis = %v len %d, want a loss axis", sw.Axis.Kind, sw.Axis.Len())
+	}
+	if sw.Axis.Floats[0] != 0 {
+		t.Fatalf("lossy axis must anchor at loss 0, got %v", sw.Axis.Floats)
+	}
+	if k, n := sw.Base.Placement.K, sw.Base.Topo.Nodes(); k != n/2 {
+		t.Fatalf("lossy placement K = %d, want half of %d", k, n)
+	}
+	if _, err := lo.Build(Options{SDNCounts: []int{1}}); err == nil {
+		t.Fatal("lossy must reject an SDN-count list (the axis is loss)")
+	}
+
+	// A shrunk crash sweep end to end: at K=0 the crash/recover epochs
+	// are no-ops, at K>0 the crashed cluster pays the pure-BGP price
+	// for the headless withdrawal.
+	topo := lab.TopoSpec{Kind: "clique", N: 6}
+	res := build(t, "ctrlfail",
+		Options{Topo: &topo, SDNCounts: []int{0, 3}, Runs: 2, BaseSeed: 1, MRAI: 10 * time.Second}, nil)
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if len(c.Epochs) != 4 {
+			t.Fatalf("cell %s: epoch aggregates = %d, want 4", c.Label, len(c.Epochs))
+		}
+		if !c.AllReachable() {
+			t.Fatalf("cell %s: network unreachable after recovery", c.Label)
+		}
+	}
+	// At K=0 the crash and recovery are no-ops: no cluster exists, so
+	// those epochs must measure zero routing activity.
+	for _, i := range []int{0, 2} {
+		if got := res.Cells[0].Epochs[i].Summary.Median; got != 0 {
+			t.Fatalf("K=0 epoch %d median = %v, want 0 (crash/recover must be no-ops without a cluster)", i, got)
+		}
+	}
+	// The headless withdrawal converges like pure BGP in both cells:
+	// the crash erases the centralization advantage.
+	w0 := res.Cells[0].Epochs[1].Summary.Median
+	w3 := res.Cells[1].Epochs[1].Summary.Median
+	if w0 <= 0 || w3 <= 0 {
+		t.Fatalf("withdrawal epochs not measured: %v, %v", w0, w3)
+	}
+	if w3 < w0/2 {
+		t.Fatalf("crashed cluster converged too fast (%.3fs vs pure %.3fs): the crash should erase the SDN advantage", w3, w0)
 	}
 }
 

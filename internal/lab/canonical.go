@@ -11,8 +11,9 @@ import (
 // results (the engine is deterministic per seed), which is what lets
 // the artifact store content-address cached cells by the spec hash.
 // Presentation-only fields (Name) and execution-only fields
-// (Parallelism, Progress, Cache) are deliberately excluded — they
-// cannot change a result, so they must not change the address.
+// (Parallelism, Progress, Cache, WallLimit and the failure-tolerance
+// knobs) are deliberately excluded — they cannot change a successful
+// result, so they must not change the address.
 //
 // The encoding is JSON over explicit mirror structs: struct fields
 // marshal in declaration order, durations as integer nanoseconds, so
@@ -59,6 +60,9 @@ type canonicalTrial struct {
 	DebounceNS           int64             `json:"debounce_ns"`
 	SettleNS             int64             `json:"settle_ns"`
 	ProcessingDelayNS    int64             `json:"processing_delay_ns"`
+	LinkDelayNS          int64             `json:"link_delay_ns"`
+	LinkJitterNS         int64             `json:"link_jitter_ns"`
+	LinkLoss             float64           `json:"link_loss"`
 	Damping              *canonicalDamping `json:"damping,omitempty"`
 	FlapCycles           int               `json:"flap_cycles"`
 	FlapPeriodNS         int64             `json:"flap_period_ns"`
@@ -89,7 +93,9 @@ type canonicalSweep struct {
 
 // canonicalVersion bumps when the engine's semantics change in a way
 // the spec fields cannot express (every cached result is then stale).
-const canonicalVersion = 1
+// Version 2: the link knobs (delay, jitter, loss) joined the canonical
+// trial and reliable transport gained the seeded loss model.
+const canonicalVersion = 2
 
 // canonical resolves the trial to its canonical mirror.
 func (t Trial) canonical() canonicalTrial {
@@ -121,6 +127,9 @@ func (t Trial) canonical() canonicalTrial {
 		DebounceNS:           int64(t.Debounce),
 		SettleNS:             int64(t.Settle),
 		ProcessingDelayNS:    int64(t.ProcessingDelay),
+		LinkDelayNS:          int64(t.LinkDelay),
+		LinkJitterNS:         int64(t.LinkJitter),
+		LinkLoss:             t.LinkLoss,
 		FlapCycles:           t.FlapCycles,
 		FlapPeriodNS:         int64(t.FlapPeriod),
 		OriginOnly:           t.OriginOnly,

@@ -33,7 +33,7 @@ func TestCanonicalPinned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"version":1,"base":{"topo":"clique 6","placement":"last 0","policy":"permit-all","event":"withdrawal","drain_ns":0,"hold_time_ns":90000000000,"keepalive_fraction":3,"connect_retry_ns":5000000000,"mrai_ns":10000000000,"withdrawals_immediate":false,"mrai_jitter":true,"debounce_ns":100000000,"settle_ns":0,"processing_delay_ns":25000000,"flap_cycles":6,"flap_period_ns":20000000000,"origin_only":false,"timeout_ns":7200000000000,"establish_timeout_ns":300000000000},"axis":{"name":"sdn_k","values":["0","3","6"]},"runs":3,"base_seed":21,"seed_policy":"cell-run"}`
+	want := `{"version":2,"base":{"topo":"clique 6","placement":"last 0","policy":"permit-all","event":"withdrawal","drain_ns":0,"hold_time_ns":90000000000,"keepalive_fraction":3,"connect_retry_ns":5000000000,"mrai_ns":10000000000,"withdrawals_immediate":false,"mrai_jitter":true,"debounce_ns":100000000,"settle_ns":0,"processing_delay_ns":25000000,"link_delay_ns":0,"link_jitter_ns":0,"link_loss":0,"flap_cycles":6,"flap_period_ns":20000000000,"origin_only":false,"timeout_ns":7200000000000,"establish_timeout_ns":300000000000},"axis":{"name":"sdn_k","values":["0","3","6"]},"runs":3,"base_seed":21,"seed_policy":"cell-run"}`
 	if string(got) != want {
 		t.Fatalf("canonical bytes changed:\ngot:  %s\nwant: %s", got, want)
 	}
@@ -75,6 +75,10 @@ func TestCanonicalIgnoresExecutionKnobs(t *testing.T) {
 			s.Base.Timers = bgp.Timers{MRAI: 30 * time.Second, MRAIJitter: true}
 		}},
 		{"default timeout spelled out", func(s *Sweep) { s.Base.Timeout = 2 * time.Hour }},
+		{"wall limit", func(s *Sweep) { s.Base.WallLimit = time.Minute }},
+		{"tolerate", func(s *Sweep) { s.Tolerate = true }},
+		{"retries", func(s *Sweep) { s.Retries = 2; s.RetryBackoff = time.Second }},
+		{"inject seam", func(s *Sweep) { s.Inject = func(int, int) error { return nil } }},
 	}
 	for _, tc := range same {
 		s := base()
@@ -103,7 +107,11 @@ func TestCanonicalIgnoresExecutionKnobs(t *testing.T) {
 		{"debounce", func(s *Sweep) { s.Base.Debounce = -1 }},
 		{"damping", func(s *Sweep) { s.Base.Damping = &bgp.DampingConfig{} }},
 		{"origin-only", func(s *Sweep) { s.Base.OriginOnly = true }},
+		{"link delay", func(s *Sweep) { s.Base.LinkDelay = 7 * time.Millisecond }},
+		{"link jitter", func(s *Sweep) { s.Base.LinkJitter = 2 * time.Millisecond }},
+		{"link loss", func(s *Sweep) { s.Base.LinkLoss = 0.05 }},
 		{"axis values", func(s *Sweep) { s.Axis = SDNCounts(0, 4) }},
+		{"loss axis", func(s *Sweep) { s.Axis = Losses(0, 0.02) }},
 		{"axis kind", func(s *Sweep) { s.Axis = TopoSizes(4, 6) }},
 		{"runs", func(s *Sweep) { s.Runs = 3 }},
 		{"base seed", func(s *Sweep) { s.BaseSeed = 6 }},

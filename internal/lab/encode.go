@@ -120,6 +120,14 @@ func writeTable(w io.Writer, res *SweepResult) error {
 			return err
 		}
 	}
+	// Tolerant sweeps: one trailer line per failed (cell, run), so a
+	// partial sweep is never mistaken for a complete one.
+	for _, f := range res.Failures {
+		if _, err := fmt.Fprintf(w, "# failed: %s=%s run %d (%s, attempts %d): %s\n",
+			res.Axis.Name(), f.Label, f.Run, f.class(), f.Attempts, f.Err); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -201,6 +209,17 @@ func writeMarkdown(w io.Writer, res *SweepResult) error {
 			return err
 		}
 	}
+	if len(res.Failures) > 0 {
+		if _, err := fmt.Fprintf(w, "\n**Failed runs (%d):**\n\n", len(res.Failures)); err != nil {
+			return err
+		}
+		for _, f := range res.Failures {
+			if _, err := fmt.Fprintf(w, "- %s=%s run %d (%s, attempts %d): %s\n",
+				res.Axis.Name(), f.Label, f.Run, f.class(), f.Attempts, f.Err); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -213,18 +232,18 @@ func fstr(x float64) string {
 }
 
 func writeCSV(w io.Writer, res *SweepResult) error {
-	if _, err := fmt.Fprintf(w, "%s,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s\n",
+	if _, err := fmt.Fprintf(w, "%s,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s,failed\n",
 		res.Axis.Name()); err != nil {
 		return err
 	}
-	for _, c := range res.Cells {
+	for ci, c := range res.Cells {
 		s := c.Summary
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%v,,,\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%v,,,,%d\n",
 			c.Label, fstr(c.Value), fstr(c.Fraction), s.N,
 			fstr(s.Min), fstr(s.Q1), fstr(s.Median), fstr(s.Q3), fstr(s.Max), fstr(s.Mean),
 			fstr(c.MeanUpdatesSent()), fstr(c.MeanUpdatesReceived()),
 			fstr(c.MeanBestPathChanges()), fstr(c.MeanRecomputes()),
-			fstr(c.MeanHijacked()), c.AllReachable()); err != nil {
+			fstr(c.MeanHijacked()), c.AllReachable(), len(res.CellFailures(ci))); err != nil {
 			return err
 		}
 		// Multi-event workloads: one row per scheduled event with the
@@ -232,7 +251,7 @@ func writeCSV(w io.Writer, res *SweepResult) error {
 		// epoch columns filled (cell-summary rows leave them empty).
 		for i, ep := range c.Epochs {
 			es := ep.Summary
-			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,,%d,%s,%s\n",
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,,%d,%s,%s,\n",
 				c.Label, fstr(c.Value), fstr(c.Fraction), es.N,
 				fstr(es.Min), fstr(es.Q1), fstr(es.Median), fstr(es.Q3), fstr(es.Max), fstr(es.Mean),
 				fstr(ep.MeanUpdatesSent), fstr(ep.MeanUpdatesReceived),
@@ -288,7 +307,17 @@ type jsonCell struct {
 	Recomputes      float64     `json:"recomputes"`
 	Hijacked        float64     `json:"hijacked"`
 	ReachableAfter  bool        `json:"reachable_after"`
+	Failed          int         `json:"failed,omitempty"`
 	Epochs          []jsonEpoch `json:"epochs,omitempty"`
+}
+
+type jsonFailure struct {
+	Cell     int    `json:"cell"`
+	Run      int    `json:"run"`
+	Label    string `json:"label"`
+	Err      string `json:"err"`
+	Class    string `json:"class"`
+	Attempts int    `json:"attempts"`
 }
 
 type jsonWorkloadEvent struct {
@@ -309,6 +338,7 @@ type jsonSweep struct {
 	Runs       int                 `json:"runs"`
 	BaseSeed   int64               `json:"base_seed"`
 	Cells      []jsonCell          `json:"cells"`
+	Failures   []jsonFailure       `json:"failures,omitempty"`
 	Fit        *jsonFit            `json:"fit,omitempty"`
 }
 
@@ -389,8 +419,19 @@ func writeJSON(w io.Writer, res *SweepResult) error {
 			Recomputes:      c.MeanRecomputes(),
 			Hijacked:        c.MeanHijacked(),
 			ReachableAfter:  c.AllReachable(),
+			Failed:          len(res.CellFailures(i)),
 			Epochs:          epochs,
 		}
+	}
+	for _, f := range res.Failures {
+		out.Failures = append(out.Failures, jsonFailure{
+			Cell:     f.Cell,
+			Run:      f.Run,
+			Label:    f.Label,
+			Err:      f.Err,
+			Class:    f.class(),
+			Attempts: f.Attempts,
+		})
 	}
 	if a, b, r2, ok := res.Fit(); ok {
 		out.Fit = &jsonFit{InterceptS: a, SlopeS: b, R2: r2}

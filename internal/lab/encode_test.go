@@ -71,9 +71,9 @@ sdn_k        fraction     n    min_s     q1_s    med_s     q3_s    max_s   mean_
 
 func TestWriteCSVGolden(t *testing.T) {
 	got := encode(t, FormatCSV, fixedResult())
-	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s
-0,0,0,2,40,42.5,45,47.5,50,45,120,120,30,0,0,false,,,
-2,2,0.5,2,10,12.5,15,17.5,20,15,40,40,10,4,0,false,,,
+	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s,failed
+0,0,0,2,40,42.5,45,47.5,50,45,120,120,30,0,0,false,,,,0
+2,2,0.5,2,10,12.5,15,17.5,20,15,40,40,10,4,0,false,,,,0
 `
 	if got != want {
 		t.Fatalf("csv golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -261,13 +261,13 @@ sdn_k        fraction     n    min_s     q1_s    med_s     q3_s    max_s   mean_
 // and window every statistic column to the epoch.
 func TestWriteCSVWorkloadGolden(t *testing.T) {
 	got := encode(t, FormatCSV, fixedWorkloadResult())
-	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s
-0,0,0,2,20,22.5,25,27.5,30,25,100,100,8,2,0,true,,,
-0,0,0,2,40,42.5,45,47.5,50,45,60,60,5,1,0,,0,withdrawal,0
-0,0,0,2,20,22.5,25,27.5,30,25,40,40,3,1,0,,1,announcement,120
-2,2,0.5,2,5,7.5,10,12.5,15,10,40,40,8,2,0,true,,,
-2,2,0.5,2,10,12.5,15,17.5,20,15,25,25,5,1,0,,0,withdrawal,0
-2,2,0.5,2,5,7.5,10,12.5,15,10,15,15,3,1,0,,1,announcement,120
+	want := `sdn_k,value,fraction,n,min_s,q1_s,med_s,q3_s,max_s,mean_s,updates_sent,updates_recv,best_path_changes,recomputes,hijacked,reachable_after,epoch,epoch_kind,epoch_at_s,failed
+0,0,0,2,20,22.5,25,27.5,30,25,100,100,8,2,0,true,,,,0
+0,0,0,2,40,42.5,45,47.5,50,45,60,60,5,1,0,,0,withdrawal,0,
+0,0,0,2,20,22.5,25,27.5,30,25,40,40,3,1,0,,1,announcement,120,
+2,2,0.5,2,5,7.5,10,12.5,15,10,40,40,8,2,0,true,,,,0
+2,2,0.5,2,10,12.5,15,17.5,20,15,25,25,5,1,0,,0,withdrawal,0,
+2,2,0.5,2,5,7.5,10,12.5,15,10,15,15,3,1,0,,1,announcement,120,
 `
 	if got != want {
 		t.Fatalf("workload csv golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

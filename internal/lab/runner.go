@@ -1,10 +1,39 @@
 package lab
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError wraps a panic recovered from a runner task, so one
+// crashing run surfaces as an ordinary per-index error instead of
+// killing its worker goroutine (which would deadlock Do's WaitGroup)
+// or the whole process. Stack holds the goroutine stack captured at
+// recovery time.
+type PanicError struct {
+	// Value is the value the task panicked with.
+	Value any
+	// Stack is the formatted goroutine stack at the panic site.
+	Stack string
+}
+
+// Error renders the recovered panic value.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("lab: task panicked: %v", e.Value)
+}
+
+// runTask invokes task(i), converting a panic into a *PanicError.
+func runTask(task func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	return task(i)
+}
 
 // Runner executes the independent seeded emulation runs of a sweep
 // across a bounded pool of worker goroutines. Every run owns a private
@@ -33,7 +62,9 @@ type Runner struct {
 // to the configured parallelism; Do returns after all spawned tasks
 // finish. Errors are collected per index and the lowest-index error is
 // returned, so the reported failure is deterministic no matter how the
-// schedule interleaves.
+// schedule interleaves. A panicking task is recovered into a
+// *PanicError for its index — sibling tasks finish (or stop claiming
+// new work) normally and Do still returns.
 func (r Runner) Do(n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -54,7 +85,7 @@ func (r Runner) Do(n int, task func(i int) error) error {
 	}
 	if p == 1 {
 		for i := 0; i < n; i++ {
-			err := task(i)
+			err := runTask(task, i)
 			report()
 			if err != nil {
 				return err
@@ -80,7 +111,7 @@ func (r Runner) Do(n int, task func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := task(i); err != nil {
+				if err := runTask(task, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}

@@ -1,13 +1,17 @@
 package lab
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"strconv"
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/monitor"
 	"repro/internal/plot"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -35,6 +39,9 @@ const (
 	// gao-rexford, prefix-filter) — the policy-vs-policy-free
 	// update-load comparison.
 	AxisPolicy
+	// AxisLoss varies the per-message link-loss probability of every
+	// inter-AS link (Trial.LinkLoss) — the chaos figure's x-axis.
+	AxisLoss
 )
 
 // Flap-stability regimes for AxisMode.
@@ -45,8 +52,8 @@ const (
 )
 
 // Axis declares the swept parameter and its values. Construct with
-// SDNCounts, MRAIs, TopoSizes, Debounces, FlapPeriods, Modes or
-// Policies.
+// SDNCounts, MRAIs, TopoSizes, Debounces, FlapPeriods, Modes,
+// Policies or Losses.
 type Axis struct {
 	// Kind selects which trial parameter the axis varies.
 	Kind AxisKind
@@ -59,6 +66,8 @@ type Axis struct {
 	Modes []string
 	// PolicySpecs holds the values for AxisPolicy.
 	PolicySpecs []PolicySpec
+	// Floats holds the values for AxisLoss.
+	Floats []float64
 }
 
 // SDNCounts declares an sdn-count axis.
@@ -82,6 +91,9 @@ func Modes(ms ...string) Axis { return Axis{Kind: AxisMode, Modes: ms} }
 // Policies declares a routing-policy axis.
 func Policies(ps ...PolicySpec) Axis { return Axis{Kind: AxisPolicy, PolicySpecs: ps} }
 
+// Losses declares a link-loss-probability axis.
+func Losses(ps ...float64) Axis { return Axis{Kind: AxisLoss, Floats: ps} }
+
 // Len returns the number of sweep cells along the axis.
 func (a Axis) Len() int {
 	switch a.Kind {
@@ -91,6 +103,8 @@ func (a Axis) Len() int {
 		return len(a.Modes)
 	case AxisPolicy:
 		return len(a.PolicySpecs)
+	case AxisLoss:
+		return len(a.Floats)
 	default:
 		return len(a.Durations)
 	}
@@ -113,6 +127,8 @@ func (a Axis) Name() string {
 		return "mode"
 	case AxisPolicy:
 		return "policy"
+	case AxisLoss:
+		return "loss"
 	default:
 		return fmt.Sprintf("axis(%d)", int(a.Kind))
 	}
@@ -128,6 +144,8 @@ func (a Axis) Label(i int) string {
 		return a.Modes[i]
 	case AxisPolicy:
 		return a.PolicySpecs[i].String()
+	case AxisLoss:
+		return strconv.FormatFloat(a.Floats[i], 'g', -1, 64)
 	default:
 		d := a.Durations[i]
 		if d < 0 {
@@ -146,6 +164,8 @@ func (a Axis) Value(i int) float64 {
 		return float64(a.Ints[i])
 	case AxisMode, AxisPolicy:
 		return math.NaN()
+	case AxisLoss:
+		return a.Floats[i]
 	default:
 		d := a.Durations[i]
 		if d < 0 {
@@ -186,6 +206,8 @@ func (a Axis) Apply(t *Trial, i int) {
 		}
 	case AxisPolicy:
 		t.Policy = a.PolicySpecs[i]
+	case AxisLoss:
+		t.LinkLoss = a.Floats[i]
 	}
 }
 
@@ -226,6 +248,12 @@ func (a Axis) validate(base Trial) error {
 		for _, p := range a.PolicySpecs {
 			if _, err := ParsePolicy(p.String()); err != nil {
 				return err
+			}
+		}
+	case AxisLoss:
+		for _, p := range a.Floats {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("lab: loss probability %v outside [0, 1]", p)
 			}
 		}
 	}
@@ -297,6 +325,70 @@ type Sweep struct {
 	// results (a hit is bit-identical to the run it replaces), so it
 	// does not participate in Canonical().
 	Cache CellCache
+	// Tolerate selects the failure-tolerant execution mode: a failing
+	// (cell, run) — error, timeout or panic — is recorded as a
+	// CellFailure in SweepResult.Failures instead of aborting the
+	// sweep, and the surviving runs still summarize. Like Parallelism
+	// it is an execution knob (it cannot change a successful run's
+	// result) and does not participate in Canonical(). Cache
+	// infrastructure errors still abort either way.
+	Tolerate bool
+	// Retries bounds additional attempts for a timed-out run (wall or
+	// virtual budget, establishment or convergence deadline) before it
+	// is recorded as failed. Only meaningful with Tolerate; determinism
+	// makes retries useful mainly against wall-clock budgets, so the
+	// default is 0.
+	Retries int
+	// RetryBackoff is the real-time sleep before each retry, doubling
+	// per attempt (zero sleeps nothing).
+	RetryBackoff time.Duration
+	// Inject, when non-nil, runs before every trial execution; a
+	// non-nil error (or a panic) replaces that run. It is the chaos
+	// test seam for exercising the failure-tolerant machinery with
+	// deterministic per-(cell, run) faults, and — like the other
+	// execution knobs — does not participate in Canonical().
+	Inject func(cell, run int) error
+}
+
+// CellFailure records one (cell, run) that a tolerant sweep gave up
+// on: the terminal error, its classification, and how many attempts
+// were spent.
+type CellFailure struct {
+	// Cell and Run locate the failed run in the sweep grid.
+	Cell, Run int
+	// Label is the failed cell's axis label (the encoders' row key).
+	Label string
+	// Err is the terminal error's text.
+	Err string
+	// Panicked marks a run that crashed (recovered panic) rather than
+	// erroring.
+	Panicked bool
+	// TimedOut marks a timeout-class failure: a wall or virtual budget
+	// exhausted, or an establishment/convergence deadline missed.
+	TimedOut bool
+	// Attempts is the number of executions spent (1 + retries).
+	Attempts int
+}
+
+// class names the failure's classification for output.
+func (f CellFailure) class() string {
+	switch {
+	case f.Panicked:
+		return "panic"
+	case f.TimedOut:
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// FailureCache is the optional CellCache extension a tolerant sweep
+// feeds its failures to, so a resumable store can file what failed
+// alongside what succeeded (the artifact store implements it).
+type FailureCache interface {
+	CellCache
+	// StoreFailure records a terminal failure for (cell, run).
+	StoreFailure(cell, run int, f CellFailure) error
 }
 
 // Cell is one sweep point: an axis value with its per-run results.
@@ -457,6 +549,23 @@ type SweepResult struct {
 	BaseSeed int64
 	// Cells holds one entry per axis value, in axis order.
 	Cells []Cell
+	// Failures lists the (cell, run) grid points a tolerant sweep gave
+	// up on, in (cell, run) order — empty for a clean sweep (and always
+	// empty without Tolerate, which aborts on the first failure). A
+	// failed run is absent from its cell's Results, so the summaries
+	// cover only the surviving runs.
+	Failures []CellFailure
+}
+
+// CellFailures returns the recorded failures of cell ci, in run order.
+func (r *SweepResult) CellFailures(ci int) []CellFailure {
+	var out []CellFailure
+	for _, f := range r.Failures {
+		if f.Cell == ci {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // seed derives the seed for (cell, run) under the sweep's policy.
@@ -478,9 +587,59 @@ func (s Sweep) trialFor(ci, run int) Trial {
 	return trial
 }
 
+// runTrial executes the trial with panic recovery, so a crashing run
+// can be filed as a CellFailure instead of unwinding the sweep (the
+// Runner's own recovery stays as the backstop for non-trial panics).
+func (s Sweep) runTrial(ci, run int, t Trial) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	if s.Inject != nil {
+		if err := s.Inject(ci, run); err != nil {
+			return Result{}, err
+		}
+	}
+	return t.Run()
+}
+
+// isTimeout classifies timeout-class failures: an exhausted wall or
+// event budget, or a missed establishment/convergence deadline.
+func isTimeout(err error) bool {
+	return errors.Is(err, monitor.ErrTimeout) ||
+		errors.Is(err, sim.ErrWallBudget) ||
+		errors.Is(err, sim.ErrEventBudget)
+}
+
+// attempt executes (cell, run), retrying timed-out runs up to Retries
+// times under Tolerate. It reports the result, the attempts spent, and
+// the terminal error.
+func (s Sweep) attempt(ci, run int) (Result, int, error) {
+	trial := s.trialFor(ci, run)
+	backoff := s.RetryBackoff
+	attempts := 0
+	for {
+		attempts++
+		r, err := s.runTrial(ci, run, trial)
+		if err == nil {
+			return r, attempts, nil
+		}
+		if !s.Tolerate || !isTimeout(err) || attempts > s.Retries {
+			return Result{}, attempts, err
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
 // Run executes the sweep. The (cell, run) grid fans out across the
 // configured parallelism; results are gathered in cell order, so the
-// returned series is identical for any Parallelism.
+// returned series is identical for any Parallelism. Without Tolerate
+// the first failing run aborts the sweep; with it, failures are
+// recorded in SweepResult.Failures and the surviving runs summarize.
 func (s Sweep) Run() (*SweepResult, error) {
 	if s.Runs <= 0 {
 		s.Runs = 1
@@ -490,9 +649,12 @@ func (s Sweep) Run() (*SweepResult, error) {
 	}
 	n := s.Axis.Len()
 	results := make([][]Result, n)
+	okRun := make([][]bool, n)
 	for i := range results {
 		results[i] = make([]Result, s.Runs)
+		okRun[i] = make([]bool, s.Runs)
 	}
+	fails := make([]*CellFailure, n*s.Runs)
 	err := Runner{Parallelism: s.Parallelism, Progress: s.Progress}.Do(n*s.Runs, func(i int) error {
 		ci, run := i/s.Runs, i%s.Runs
 		if s.Cache != nil {
@@ -500,12 +662,32 @@ func (s Sweep) Run() (*SweepResult, error) {
 				return fmt.Errorf("lab: %s %s=%s run %d: cache: %w", s.Name, s.Axis.Name(), s.Axis.Label(ci), run, err)
 			} else if ok {
 				results[ci][run] = r
+				okRun[ci][run] = true
 				return nil
 			}
 		}
-		r, err := s.trialFor(ci, run).Run()
+		r, attempts, err := s.attempt(ci, run)
 		if err != nil {
-			return fmt.Errorf("lab: %s %s=%s run %d: %w", s.Name, s.Axis.Name(), s.Axis.Label(ci), run, err)
+			if !s.Tolerate {
+				return fmt.Errorf("lab: %s %s=%s run %d: %w", s.Name, s.Axis.Name(), s.Axis.Label(ci), run, err)
+			}
+			var pe *PanicError
+			f := CellFailure{
+				Cell:     ci,
+				Run:      run,
+				Label:    s.Axis.Label(ci),
+				Err:      err.Error(),
+				Panicked: errors.As(err, &pe),
+				TimedOut: isTimeout(err),
+				Attempts: attempts,
+			}
+			fails[i] = &f
+			if fc, ok := s.Cache.(FailureCache); ok {
+				if err := fc.StoreFailure(ci, run, f); err != nil {
+					return fmt.Errorf("lab: %s %s=%s run %d: cache: %w", s.Name, s.Axis.Name(), s.Axis.Label(ci), run, err)
+				}
+			}
+			return nil
 		}
 		if s.Cache != nil {
 			if err := s.Cache.Store(ci, run, r); err != nil {
@@ -513,6 +695,7 @@ func (s Sweep) Run() (*SweepResult, error) {
 			}
 		}
 		results[ci][run] = r
+		okRun[ci][run] = true
 		return nil
 	})
 	if err != nil {
@@ -529,18 +712,31 @@ func (s Sweep) Run() (*SweepResult, error) {
 		BaseSeed: s.BaseSeed,
 		Cells:    make([]Cell, n),
 	}
+	for _, f := range fails {
+		if f != nil {
+			res.Failures = append(res.Failures, *f)
+		}
+	}
 	for ci := 0; ci < n; ci++ {
+		surviving := make([]Result, 0, s.Runs)
+		for run := 0; run < s.Runs; run++ {
+			if okRun[ci][run] {
+				surviving = append(surviving, results[ci][run])
+			}
+		}
 		cell := Cell{
 			Label:    s.Axis.Label(ci),
 			Value:    s.Axis.Value(ci),
 			Fraction: math.NaN(),
-			Results:  results[ci],
+			Results:  surviving,
 		}
 		if s.Axis.Kind == AxisSDNCount && s.Base.Topo.Nodes() > 0 {
 			cell.Fraction = cell.Value / float64(s.Base.Topo.Nodes())
 		}
-		cell.Summary = stats.SummarizeDurations(cell.Durations())
-		cell.Epochs = summarizeEpochs(cell.Results)
+		if len(surviving) > 0 {
+			cell.Summary = stats.SummarizeDurations(cell.Durations())
+			cell.Epochs = summarizeEpochs(cell.Results)
+		}
 		res.Cells[ci] = cell
 	}
 	return res, nil

@@ -119,6 +119,21 @@ type Trial struct {
 	// the clique sweep specs set 25ms, approximating the paper's
 	// shared-host Quagga daemons).
 	ProcessingDelay time.Duration
+	// LinkDelay is the default one-way delay of every inter-AS link
+	// (zero selects netem.DefaultDelay; per-edge delays from the
+	// topology override it).
+	LinkDelay time.Duration
+	// LinkJitter is the maximum extra seeded random delay on unreliable
+	// (probe) sends across every inter-AS link, uniform in
+	// [0, LinkJitter].
+	LinkJitter time.Duration
+	// LinkLoss is the per-message loss probability in [0, 1] on every
+	// inter-AS link, drawn from a per-link stream derived from Seed so
+	// lossy runs stay byte-reproducible at any parallelism. Reliable
+	// BGP transport recovers losses with retransmission delays (and
+	// gives up entirely at Loss 1.0 — sessions never establish); probe
+	// traffic is simply dropped.
+	LinkLoss float64
 	// Damping enables RFC 2439 route-flap damping on legacy routers.
 	Damping *bgp.DampingConfig
 	// FlapCycles is the number of withdraw/announce cycles of the Flap
@@ -148,6 +163,12 @@ type Trial struct {
 	Timeout time.Duration
 	// EstablishTimeout bounds session establishment (default 5m).
 	EstablishTimeout time.Duration
+	// WallLimit bounds the trial's real (wall-clock) execution time;
+	// when exceeded the kernel aborts with sim.ErrWallBudget. It is an
+	// execution guard, not part of the trial's canonical identity: it
+	// can only turn a run into a failure, never change a successful
+	// result. Zero disables the guard.
+	WallLimit time.Duration
 }
 
 // Result is the uniform metrics record of one trial, gathered from the
@@ -291,11 +312,15 @@ func (t Trial) Run() (Result, error) {
 		Debounce:        t.Debounce,
 		Settle:          t.Settle,
 		ProcessingDelay: t.ProcessingDelay,
+		LinkDelay:       t.LinkDelay,
+		LinkJitter:      t.LinkJitter,
+		LinkLoss:        t.LinkLoss,
 		Damping:         t.Damping,
 	})
 	if err != nil {
 		return Result{}, err
 	}
+	e.K.WallLimit = t.WallLimit
 	if err := e.Start(); err != nil {
 		return Result{}, err
 	}

@@ -43,6 +43,24 @@ const (
 	// KindMigrate toggles the target AS between legacy BGP and the SDN
 	// cluster mid-run (experiment.Migrate).
 	KindMigrate
+	// KindCtrlDown crashes the SDN controller: every cluster member
+	// falls back to a plain legacy BGP router mid-run
+	// (experiment.ControllerDown). A no-op in pure-BGP trials, so
+	// cluster-size sweeps keep their K=0 baseline.
+	KindCtrlDown
+	// KindCtrlUp recovers the controller: the members that fell back at
+	// crash time re-join the cluster (experiment.ControllerUp).
+	KindCtrlUp
+	// KindSessionReset tears down the BGP session on the named link and
+	// lets it re-establish, exercising the reset/reconnect paths while
+	// the link itself stays up (experiment.SessionReset).
+	KindSessionReset
+	// KindPartition fails every link across an AS cut seeded from the
+	// trial seed, splitting the network (experiment.Partition).
+	KindPartition
+	// KindHeal restores the links the partition failed
+	// (experiment.Heal).
+	KindHeal
 )
 
 // eventTable is the single name table behind EventKind.String,
@@ -58,6 +76,11 @@ var eventTable = [...]struct{ name, verb string }{
 	KindLinkDown:     {"linkdown", "linkdown"},
 	KindLinkUp:       {"linkup", "linkup"},
 	KindMigrate:      {"migrate", "migrate"},
+	KindCtrlDown:     {"ctrl-down", "ctrl-down"},
+	KindCtrlUp:       {"ctrl-up", "ctrl-up"},
+	KindSessionReset: {"session-reset", "session-reset"},
+	KindPartition:    {"partition", "partition"},
+	KindHeal:         {"heal", "heal"},
 }
 
 // EventKinds returns every defined kind, in declaration order (the
@@ -120,12 +143,14 @@ type WorkloadEvent struct {
 func (ev WorkloadEvent) String() string {
 	var target string
 	switch ev.Kind {
-	case KindLinkDown, KindLinkUp:
+	case KindLinkDown, KindLinkUp, KindSessionReset:
 		target = fmt.Sprintf("(%d-%d)", uint32(ev.A), uint32(ev.B))
 	case KindFailover:
 		if ev.A != 0 || ev.B != 0 {
 			target = fmt.Sprintf("(%d-%d)", uint32(ev.A), uint32(ev.B))
 		}
+	case KindCtrlDown, KindCtrlUp, KindPartition, KindHeal:
+		// Targetless faults: the whole cluster or the seeded cut.
 	default:
 		if ev.AS != 0 {
 			target = fmt.Sprintf("(%d)", uint32(ev.AS))
@@ -168,7 +193,7 @@ func (w Workload) Validate() error {
 		switch ev.Kind {
 		case KindFlap:
 			return fmt.Errorf("lab: workload event %d: flap is trial sugar; use FlapWorkload or spell out the cycles", i)
-		case KindLinkDown, KindLinkUp:
+		case KindLinkDown, KindLinkUp, KindSessionReset:
 			if ev.A == 0 || ev.B == 0 {
 				return fmt.Errorf("lab: workload event %d (%s): %s needs both link endpoints", i, ev, ev.Kind.Verb())
 			}
@@ -272,8 +297,9 @@ func PoissonWorkload(seed int64, n int, mean time.Duration) Workload {
 // whitespace-split fields, with or without the leading "at":
 //
 //	at <offset> withdraw|announce|hijack|migrate [as]
-//	at <offset> linkdown|linkup <a> <b>
+//	at <offset> linkdown|linkup|session-reset <a> <b>
 //	at <offset> failover [<a> <b>]
+//	at <offset> ctrl-down|ctrl-up|partition|heal
 //
 // The same parser backs the scenario DSL's "at" directive and the
 // convergence CLI's -workload flag.
@@ -302,7 +328,11 @@ func ParseWorkloadEvent(fields []string) (WorkloadEvent, error) {
 		return idr.ASN(v), nil
 	}
 	switch kind {
-	case KindLinkDown, KindLinkUp:
+	case KindCtrlDown, KindCtrlUp, KindPartition, KindHeal:
+		if len(args) != 0 {
+			return WorkloadEvent{}, fmt.Errorf("lab: %s takes no target", kind.Verb())
+		}
+	case KindLinkDown, KindLinkUp, KindSessionReset:
 		if len(args) != 2 {
 			return WorkloadEvent{}, fmt.Errorf("lab: %s needs two link-endpoint ASes", kind.Verb())
 		}
@@ -491,6 +521,16 @@ func applyWorkloadEvent(e *experiment.Experiment, ev WorkloadEvent) (idr.ASN, er
 		return 0, e.RestoreLink(ev.A, ev.B)
 	case KindMigrate:
 		return 0, e.Migrate(ev.AS)
+	case KindCtrlDown:
+		return 0, e.ControllerDown()
+	case KindCtrlUp:
+		return 0, e.ControllerUp()
+	case KindSessionReset:
+		return 0, e.SessionReset(ev.A, ev.B)
+	case KindPartition:
+		return 0, e.Partition()
+	case KindHeal:
+		return 0, e.Heal()
 	case KindHijack:
 		attacker, err := hijackAttacker(e, ev.AS)
 		if err != nil {

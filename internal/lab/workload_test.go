@@ -14,8 +14,8 @@ import (
 // and the trial-event sugar shares the same names.
 func TestEventNameRoundTrip(t *testing.T) {
 	kinds := EventKinds()
-	if len(kinds) != 8 {
-		t.Fatalf("kinds = %d, want 8", len(kinds))
+	if len(kinds) != 13 {
+		t.Fatalf("kinds = %d, want 13", len(kinds))
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {
@@ -43,7 +43,7 @@ func TestEventNameRoundTrip(t *testing.T) {
 		t.Fatal("unknown kind should error")
 	}
 	// The workload-only kinds are not trial events.
-	for _, s := range []string{"linkdown", "linkup", "migrate"} {
+	for _, s := range []string{"linkdown", "linkup", "migrate", "ctrl-down", "ctrl-up", "session-reset", "partition", "heal"} {
 		if _, err := ParseEvent(s); err == nil {
 			t.Fatalf("ParseEvent(%q) should error (workload-only kind)", s)
 		}

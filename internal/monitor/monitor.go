@@ -6,6 +6,7 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -18,6 +19,12 @@ import (
 	"repro/internal/idr"
 	"repro/internal/sim"
 )
+
+// ErrTimeout marks a virtual-clock deadline expiring before the waited
+// condition held (convergence, session establishment). Waiters wrap it
+// so callers can classify timeout-class failures with errors.Is — the
+// failure-tolerant sweep runner files these as timed-out cells.
+var ErrTimeout = errors.New("timed out")
 
 // Detector detects routing convergence by quiescence: the network is
 // considered converged once no routing activity (updates sent or
@@ -98,7 +105,7 @@ func (d *Detector) WaitConverged(k *sim.Kernel, timeout time.Duration) (time.Tim
 			if d.Converged() {
 				return d.last, nil
 			}
-			return time.Time{}, fmt.Errorf("monitor: no convergence within %v (last activity %v)", timeout, d.last.Sub(sim.Epoch))
+			return time.Time{}, fmt.Errorf("monitor: no convergence within %v (last activity %v): %w", timeout, d.last.Sub(sim.Epoch), ErrTimeout)
 		}
 		if err := k.RunFor(step); err != nil {
 			return time.Time{}, err

@@ -7,8 +7,13 @@
 //
 // Delivery semantics: Send is reliable and in-order per direction, like
 // the TCP connections BGP rides on — messages are never reordered and
-// are lost only when the link goes down while they are in flight.
-// SendUnreliable applies jitter and random loss, for probe traffic.
+// are lost only when the link goes down while they are in flight. On a
+// lossy link, Send models TCP recovery: each lost transmission attempt
+// delays delivery by a doubling retransmission timeout, and after
+// maxRetransmits consecutive losses the transport gives up and the
+// message is dropped (so Loss 1.0 delivers nothing and sessions never
+// establish). SendUnreliable applies jitter and plain random loss, for
+// probe traffic.
 //
 // All timing runs on a sim.Clock, so the emulator works both in virtual
 // and in wall-clock time.
@@ -34,6 +39,10 @@ type Network struct {
 	nodes map[string]*Node
 	links []*Link
 
+	// linkSeed derives a private random stream per link (SeedLinks).
+	linkSeed int64
+	seeded   bool
+
 	// Delivered and Dropped count messages network-wide.
 	Delivered, Dropped uint64
 	// BytesDelivered counts payload bytes network-wide.
@@ -48,6 +57,18 @@ func NewNetwork(clock sim.Clock, rng *rand.Rand) *Network {
 		rng:   rng,
 		nodes: make(map[string]*Node),
 	}
+}
+
+// SeedLinks gives every link created after this call a private random
+// source derived from seed and the link's creation index, instead of
+// the shared network source. Per-link streams keep loss and jitter
+// draws on one link independent of activity on every other link (and
+// of protocol randomness like MRAI jitter), so a lossy run is
+// byte-reproducible from the seed no matter how the experiment layers
+// interleave their own draws.
+func (n *Network) SeedLinks(seed int64) {
+	n.linkSeed = seed
+	n.seeded = true
 }
 
 // Clock returns the network's clock.
@@ -111,11 +132,16 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) (*Link, error) {
 		return nil, fmt.Errorf("netem: invalid link config %+v", cfg)
 	}
 	if cfg.Loss > 0 || cfg.Jitter > 0 {
-		if n.rng == nil {
+		if n.rng == nil && !n.seeded {
 			return nil, errors.New("netem: loss/jitter need a network random source")
 		}
 	}
 	l := &Link{net: n, cfg: cfg, up: true}
+	if n.seeded {
+		// Mix the creation index into the seed (splitmix64-style odd
+		// constant) so adjacent links get well-separated streams.
+		l.rng = rand.New(rand.NewSource(n.linkSeed ^ int64(len(n.links)+1)*-0x61c8864680b583eb))
+	}
 	l.a = &Endpoint{node: a, link: l}
 	l.b = &Endpoint{node: b, link: l}
 	l.a.peer, l.b.peer = l.b, l.a
@@ -160,12 +186,25 @@ type Link struct {
 	net   *Network
 	a, b  *Endpoint
 	cfg   LinkConfig
+	rng   *rand.Rand // private stream when the network is seeded
 	up    bool
 	epoch uint64 // incremented on every down transition; kills in-flight traffic
 	subs  []func(up bool)
 
 	// Stats, per link.
 	Delivered, Dropped uint64
+	// Retransmits counts reliable-send transmission attempts lost to
+	// the link's loss rate and recovered by the retransmission model.
+	Retransmits uint64
+}
+
+// rand returns the link's random source: its private per-link stream
+// when the network was seeded, the shared network source otherwise.
+func (l *Link) rand() *rand.Rand {
+	if l.rng != nil {
+		return l.rng
+	}
+	return l.net.rng
 }
 
 // Endpoints returns the two endpoints of the link.
@@ -248,18 +287,60 @@ func (e *Endpoint) Peer() *Endpoint { return e.peer }
 // PeerNode returns the node on the other side.
 func (e *Endpoint) PeerNode() *Node { return e.peer.node }
 
+// initialRTO is the first retransmission timeout of the reliable-send
+// loss model (the classic TCP minimum RTO), doubling per lost attempt.
+const initialRTO = 200 * time.Millisecond
+
+// maxRetransmits bounds consecutive lost transmission attempts of one
+// reliable send. Once exceeded the message is dropped outright — the
+// emulated TCP gives up — so a Loss of 1.0 delivers nothing at all
+// instead of looping forever.
+const maxRetransmits = 6
+
+// lossPenalty draws the reliable-send loss model on one message: each
+// lost transmission attempt (probability cfg.Loss, from the link's
+// random stream) adds a doubling retransmission timeout to the
+// delivery. It returns the accumulated penalty and whether the sender
+// gave up after maxRetransmits consecutive losses.
+func (l *Link) lossPenalty() (time.Duration, bool) {
+	if l.cfg.Loss <= 0 {
+		return 0, false
+	}
+	rng := l.rand()
+	var penalty time.Duration
+	rto := initialRTO
+	for attempt := 0; rng.Float64() < l.cfg.Loss; attempt++ {
+		if attempt == maxRetransmits {
+			return 0, true
+		}
+		l.Retransmits++
+		penalty += rto
+		rto *= 2
+	}
+	return penalty, false
+}
+
 // Send transmits data reliably and in order to the peer node, which
 // receives it via its OnMessage handler after the link delay. It fails
 // immediately if the link is down. If the link goes down while the
 // message is in flight, the message is dropped (like a TCP connection
-// reset mid-transfer).
+// reset mid-transfer). On a lossy link delivery is delayed by the
+// retransmission model (lossPenalty) — and abandoned entirely once the
+// emulated transport gives up, so sessions across a fully lossy link
+// can never establish.
 func (e *Endpoint) Send(data []byte) error {
 	l := e.link
 	if !l.up {
 		return ErrLinkDown
 	}
+	penalty, gaveUp := l.lossPenalty()
+	if gaveUp {
+		l.Dropped++
+		l.net.Dropped++
+		return nil
+	}
 	clock := l.net.clock
-	arrival := e.departAt(clock.Now(), len(data)).Add(l.cfg.Delay)
+	arrival := e.departAt(clock.Now(), len(data)).Add(l.cfg.Delay + penalty)
 	if arrival.Before(e.lastArrival) {
 		arrival = e.lastArrival
 	}
@@ -290,7 +371,7 @@ func (e *Endpoint) SendUnreliable(data []byte) bool {
 	if !l.up {
 		return false
 	}
-	if l.cfg.Loss > 0 && l.net.rng.Float64() < l.cfg.Loss {
+	if l.cfg.Loss > 0 && l.rand().Float64() < l.cfg.Loss {
 		l.Dropped++
 		l.net.Dropped++
 		return true
@@ -298,7 +379,7 @@ func (e *Endpoint) SendUnreliable(data []byte) bool {
 	now := l.net.clock.Now()
 	delay := e.departAt(now, len(data)).Sub(now) + l.cfg.Delay
 	if l.cfg.Jitter > 0 {
-		delay += time.Duration(l.net.rng.Int63n(int64(l.cfg.Jitter) + 1))
+		delay += time.Duration(l.rand().Int63n(int64(l.cfg.Jitter) + 1))
 	}
 	epoch := l.epoch
 	dst := e.peer

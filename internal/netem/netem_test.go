@@ -448,3 +448,166 @@ func TestBandwidthAppliesToUnreliable(t *testing.T) {
 		t.Fatalf("unreliable frames not queued: gap %v", gap)
 	}
 }
+
+// TestReliableLossPenalty pins the reliable-transport loss model: on a
+// lossy link each lost attempt adds a doubling retransmission timeout
+// (starting at the classic 200ms minimum RTO) to the delivery, the
+// Retransmits counter ticks per lost attempt, and delivery still
+// happens in order.
+func TestReliableLossPenalty(t *testing.T) {
+	k, n := newNet(t)
+	n.SeedLinks(7)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{Delay: 10 * time.Millisecond, Loss: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveries int
+	b.OnMessage(func(from *Endpoint, data []byte) { deliveries++ })
+	epA, _ := l.Endpoints()
+	for i := 0; i < 50; i++ {
+		if err := epA.Send([]byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if deliveries+int(l.Dropped) != 50 {
+		t.Fatalf("delivered %d + dropped %d != 50", deliveries, l.Dropped)
+	}
+	if l.Retransmits == 0 {
+		t.Fatal("50%% loss produced no retransmissions")
+	}
+	// Retransmissions cost virtual time: the last delivery must land
+	// later than the loss-free schedule (50 in-order sends, 10ms each,
+	// back-to-back departures).
+	if k.Elapsed() <= 10*time.Millisecond {
+		t.Fatalf("elapsed %v shows no retransmission penalty", k.Elapsed())
+	}
+}
+
+// TestTotalLossDeliversNothing pins the Loss=1.0 edge for both
+// transports: the reliable sender gives up after its retransmission
+// budget, the unreliable sender drops immediately, and nothing is ever
+// delivered — a session across such a link can never establish.
+func TestTotalLossDeliversNothing(t *testing.T) {
+	k, n := newNet(t)
+	n.SeedLinks(1)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{Loss: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.OnMessage(func(from *Endpoint, data []byte) { t.Fatalf("delivered %q across a fully lossy link", data) })
+	epA, _ := l.Endpoints()
+	for i := 0; i < 10; i++ {
+		if err := epA.Send([]byte("reliable")); err != nil {
+			t.Fatal(err)
+		}
+		if !epA.SendUnreliable([]byte("probe")) {
+			t.Fatal("SendUnreliable reported a down link")
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Delivered != 0 || l.Delivered != 0 {
+		t.Fatalf("delivered = %d, want 0", n.Delivered)
+	}
+	if l.Dropped != 20 || n.Dropped != 20 {
+		t.Fatalf("dropped = %d, want all 20 sends", l.Dropped)
+	}
+}
+
+// TestSeededLossDeterministic pins the reproducibility contract: two
+// networks built with the same SeedLinks seed draw identical loss and
+// jitter streams per link, so the same send sequence produces
+// identical counters and delivery times — independent of the kernel's
+// shared rand, which other goroutines may consume concurrently.
+func TestSeededLossDeterministic(t *testing.T) {
+	runOnce := func(burnKernelRand int) (uint64, uint64, time.Duration) {
+		k, n := newNet(t)
+		n.SeedLinks(42)
+		a, b := twoNodes(t, n)
+		l, err := n.Connect(a, b, LinkConfig{Delay: time.Millisecond, Loss: 0.3, Jitter: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perturb the kernel's shared rand: per-link streams must not care.
+		for i := 0; i < burnKernelRand; i++ {
+			k.Rand().Int63()
+		}
+		epA, _ := l.Endpoints()
+		for i := 0; i < 40; i++ {
+			if err := epA.Send([]byte("r")); err != nil {
+				t.Fatal(err)
+			}
+			epA.SendUnreliable([]byte("u"))
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return l.Retransmits, l.Delivered, k.Elapsed()
+	}
+	r1, d1, e1 := runOnce(0)
+	r2, d2, e2 := runOnce(17)
+	if r1 != r2 || d1 != d2 || e1 != e2 {
+		t.Fatalf("seeded loss not deterministic: (%d,%d,%v) vs (%d,%d,%v)", r1, d1, e1, r2, d2, e2)
+	}
+	if r1 == 0 {
+		t.Fatal("30%% loss produced no retransmissions")
+	}
+
+	// A different seed draws a different stream.
+	k, n := newNet(t)
+	n.SeedLinks(43)
+	a, b := twoNodes(t, n)
+	l, err := n.Connect(a, b, LinkConfig{Delay: time.Millisecond, Loss: 0.3, Jitter: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA, _ := l.Endpoints()
+	for i := 0; i < 40; i++ {
+		if err := epA.Send([]byte("r")); err != nil {
+			t.Fatal(err)
+		}
+		epA.SendUnreliable([]byte("u"))
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Retransmits == r1 && l.Delivered == d1 && k.Elapsed() == e1 {
+		t.Fatal("different link seeds drew identical loss streams")
+	}
+}
+
+// TestUnseededLinksFallBackToSharedRand pins that networks built
+// without SeedLinks keep the pre-chaos behavior: links draw from the
+// construction-time shared rand.
+func TestUnseededLinksFallBackToSharedRand(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewNetwork(k, rand.New(rand.NewSource(9)))
+	a, err := n.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.Connect(a, b, LinkConfig{Loss: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA, _ := l.Endpoints()
+	for i := 0; i < 20; i++ {
+		epA.SendUnreliable([]byte("u"))
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Delivered == 0 || l.Dropped == 0 {
+		t.Fatalf("50%% loss should deliver some and drop some: delivered=%d dropped=%d", l.Delivered, l.Dropped)
+	}
+}

@@ -22,6 +22,11 @@
 //	policy gao-rexford        (also: permit-all, prefix-filter — the
 //	                           shared lab.PolicySpec templates, identical
 //	                           to the convergence CLI's -policy flag)
+//	loss 0.05                 (per-message loss probability on every
+//	                           inter-AS link, seeded per link from the
+//	                           script seed — reruns are reproducible)
+//	jitter 5ms                (max extra seeded random delay on
+//	                           data-plane probe sends)
 //	collector on
 //
 //	# lifecycle
@@ -36,6 +41,13 @@
 //	restore-link 1 2
 //	migrate 3                 (toggle an AS between legacy BGP and the
 //	                           SDN cluster mid-run)
+//	ctrl-down                 (crash the controller: members fall back
+//	                           to legacy BGP; ctrl-up recovers them)
+//	ctrl-up
+//	session-reset 1 2         (bounce the BGP session on a live link)
+//	partition                 (fail every link across a seeded AS cut;
+//	                           heal restores them)
+//	heal
 //	run-for 30s
 //	probe 1 4
 //	print summary|timeline <as>|loss|paths <as>|rib <as>
@@ -43,7 +55,9 @@
 //	# scheduled workloads (shared lab.Workload parser, identical to
 //	# the convergence CLI's -workload flag)
 //	at 0s withdraw 1          (also: announce, hijack, migrate <as>;
-//	                           linkdown/linkup <a> <b>; failover <a> <b>)
+//	                           linkdown/linkup <a> <b>; failover <a> <b>;
+//	                           ctrl-down; ctrl-up; session-reset <a> <b>;
+//	                           partition; heal)
 //	at 10m announce 1
 //	run-workload 1 2h         (execute the accumulated schedule against
 //	                           origin AS 1; prints one line per epoch)
@@ -200,6 +214,23 @@ func (r *Runner) exec(st statement) error {
 			return err
 		}
 		r.cfg.LinkDelay = d
+		return nil
+	case "loss":
+		if len(st.args) != 1 {
+			return fmt.Errorf("want: loss <probability>")
+		}
+		p, err := strconv.ParseFloat(st.args[0], 64)
+		if err != nil || p < 0 || p > 1 {
+			return fmt.Errorf("bad loss probability %q (want 0..1)", st.args[0])
+		}
+		r.cfg.LinkLoss = p
+		return nil
+	case "jitter":
+		d, err := parseDuration(st.args, 0)
+		if err != nil {
+			return err
+		}
+		r.cfg.LinkJitter = d
 		return nil
 	case "settle":
 		d, err := parseDuration(st.args, 0)
@@ -379,6 +410,32 @@ func (r *Runner) execLifecycle(st statement) error {
 		}
 		fmt.Fprintf(r.out, "migrated %v %s\n", asn, side)
 		return nil
+	case "ctrl-down":
+		if err := e.ControllerDown(); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, "controller down: members fell back to legacy BGP")
+		return nil
+	case "ctrl-up":
+		if err := e.ControllerUp(); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, "controller up: members re-joined the cluster")
+		return nil
+	case "session-reset":
+		a, b, err := parseTwoASNs(st.args)
+		if err != nil {
+			return err
+		}
+		return e.SessionReset(a, b)
+	case "partition":
+		if err := e.Partition(); err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "partitioned: %d links cut\n", len(e.PartitionCut()))
+		return nil
+	case "heal":
+		return e.Heal()
 	case "at":
 		ev, err := lab.ParseWorkloadEvent(st.args)
 		if err != nil {

@@ -431,3 +431,81 @@ func TestPlacementStrategies(t *testing.T) {
 		t.Fatal("strategy without K should error")
 	}
 }
+
+// TestChaosDirectives pins the fault-injection surface of the DSL: the
+// loss/jitter configuration knobs and the immediate fault verbs
+// (controller crash/recovery, session reset, partition/heal), plus the
+// fault event kinds in "at" schedules.
+func TestChaosDirectives(t *testing.T) {
+	out, err := run(t, `
+topology clique 4
+sdn last 2
+seed 1
+mrai 2s
+no-mrai-jitter
+loss 0.01
+jitter 2ms
+start
+wait-established 2m
+announce all
+wait-converged 30m
+session-reset 1 2
+wait-converged 30m
+ctrl-down
+wait-converged 30m
+ctrl-up
+wait-converged 30m
+partition
+wait-converged 30m
+heal
+wait-converged 30m
+probe 1 4
+print loss
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"controller down: members fell back to legacy BGP",
+		"controller up: members re-joined the cluster",
+		"partitioned:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := run(t, "topology line 2\nloss 1.5\n"); err == nil {
+		t.Fatal("out-of-range loss should error")
+	}
+	if _, err := run(t, "topology line 2\nloss\n"); err == nil {
+		t.Fatal("missing loss argument should error")
+	}
+}
+
+// TestScheduledFaultEvents pins that the fault kinds flow through the
+// shared workload parser in "at" directives.
+func TestScheduledFaultEvents(t *testing.T) {
+	out, err := run(t, `
+topology clique 4
+sdn last 2
+seed 1
+mrai 2s
+no-mrai-jitter
+start
+wait-established 2m
+announce all
+wait-converged 30m
+at 0s ctrl-down
+at 10s withdraw 1
+at 10m ctrl-up
+run-workload 1 1h
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"epoch 0 @0s ctrl-down", "epoch 1 @10s withdraw", "epoch 2 @10m0s ctrl-up"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -28,10 +28,42 @@ type Kernel struct {
 	// have executed, guarding against livelock (e.g. mutually
 	// re-scheduling timers). Zero means no limit.
 	MaxEvents uint64
+
+	// WallLimit aborts the Run family with ErrWallBudget once that much
+	// real (wall-clock) time has been spent stepping events, guarding a
+	// runaway cell against hanging its worker when the virtual clock
+	// stops advancing. Zero means no limit. The guard is checked every
+	// wallCheckEvery events, so it never perturbs a run that finishes
+	// within its budget — virtual-time results stay deterministic.
+	WallLimit time.Duration
+	wallStart time.Time
 }
 
 // ErrEventBudget is returned by the Run family when MaxEvents is hit.
 var ErrEventBudget = fmt.Errorf("sim: event budget exhausted")
+
+// ErrWallBudget is returned by the Run family when WallLimit is
+// exceeded.
+var ErrWallBudget = fmt.Errorf("sim: wall-clock budget exhausted")
+
+// wallCheckEvery is how many events pass between wall-clock checks.
+const wallCheckEvery = 4096
+
+// overBudget reports whether either execution budget is exhausted. It
+// is consulted by the Run family after every event.
+func (k *Kernel) overBudget() error {
+	if k.MaxEvents > 0 && k.events >= k.MaxEvents {
+		return ErrEventBudget
+	}
+	if k.WallLimit > 0 && k.events%wallCheckEvery == 0 {
+		if k.wallStart.IsZero() {
+			k.wallStart = time.Now()
+		} else if time.Since(k.wallStart) > k.WallLimit {
+			return ErrWallBudget
+		}
+	}
+	return nil
+}
 
 // NewKernel returns a Kernel whose clock reads Epoch and whose random
 // source is seeded with seed.
@@ -101,11 +133,11 @@ func (k *Kernel) Step() bool {
 }
 
 // Run executes events until the queue is empty (the simulation is
-// quiescent) or the event budget is exhausted.
+// quiescent) or an execution budget is exhausted.
 func (k *Kernel) Run() error {
 	for k.Step() {
-		if k.MaxEvents > 0 && k.events >= k.MaxEvents {
-			return ErrEventBudget
+		if err := k.overBudget(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -120,8 +152,8 @@ func (k *Kernel) RunUntil(t time.Time) error {
 			break
 		}
 		k.Step()
-		if k.MaxEvents > 0 && k.events >= k.MaxEvents {
-			return ErrEventBudget
+		if err := k.overBudget(); err != nil {
+			return err
 		}
 	}
 	if t.After(k.now) {
@@ -140,8 +172,8 @@ func (k *Kernel) RunWhile(cond func() bool) error {
 		if !k.Step() {
 			return nil
 		}
-		if k.MaxEvents > 0 && k.events >= k.MaxEvents {
-			return ErrEventBudget
+		if err := k.overBudget(); err != nil {
+			return err
 		}
 	}
 	return nil
