@@ -1,7 +1,8 @@
 // Command benchjson converts `go test -bench` text output into a
 // stable JSON document, so benchmark runs can be archived next to the
 // lab's other artifacts and diffed across commits (the BENCH_*.json
-// trajectory files at the repo root).
+// trajectory files at the repo root). The parser lives in
+// internal/benchfmt, shared with the repolint zeroalloc gate.
 //
 // Usage:
 //
@@ -10,126 +11,14 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
-
-// Benchmark is one parsed result line. The three standard Go metrics
-// get named fields; every other `<value> <unit>` pair (b.ReportMetric
-// output) lands in Metrics keyed by unit.
-type Benchmark struct {
-	// Name is the benchmark name without the "Benchmark" prefix and
-	// without the -N GOMAXPROCS suffix.
-	Name string `json:"name"`
-	// Procs is the GOMAXPROCS the benchmark ran under (the -N name
-	// suffix; 1 when the suffix is absent).
-	Procs int `json:"procs"`
-	// Iterations is b.N for the reported timing.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is the ns/op metric.
-	NsPerOp float64 `json:"ns_per_op"`
-	// BytesPerOp is the B/op metric, if -benchmem was on.
-	BytesPerOp *float64 `json:"bytes_per_op,omitempty"`
-	// AllocsPerOp is the allocs/op metric, if -benchmem was on.
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
-	// Metrics holds any further unit → value pairs on the line.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the full document: the `key: value` header lines go test
-// prints (goos, goarch, pkg, cpu), an optional caller-supplied label,
-// and every benchmark line in input order.
-type Report struct {
-	Label      string      `json:"label,omitempty"`
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-// benchLine matches `BenchmarkName[-procs] <iterations> <rest>`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
-
-// parse reads `go test -bench` output and collects the header fields
-// and result lines. Unrecognized lines (PASS, ok, test logs) are
-// skipped; a malformed metric pair on a benchmark line is an error so
-// silent truncation cannot masquerade as a clean conversion.
-func parse(r io.Reader) (Report, error) {
-	var rep Report
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if key, val, ok := strings.Cut(line, ": "); ok && !strings.Contains(key, " ") {
-			switch key {
-			case "goos":
-				rep.Goos = val
-			case "goarch":
-				rep.Goarch = val
-			case "pkg":
-				rep.Pkg = val
-			case "cpu":
-				rep.CPU = strings.TrimSpace(val)
-			}
-			continue
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		b := Benchmark{Name: strings.TrimPrefix(m[1], "Benchmark"), Procs: 1}
-		if m[2] != "" {
-			p, err := strconv.Atoi(m[2])
-			if err != nil {
-				return rep, fmt.Errorf("benchjson: %q: bad procs suffix: %v", line, err)
-			}
-			b.Procs = p
-		}
-		iters, err := strconv.ParseInt(m[3], 10, 64)
-		if err != nil {
-			return rep, fmt.Errorf("benchjson: %q: bad iteration count: %v", line, err)
-		}
-		b.Iterations = iters
-		fields := strings.Fields(m[4])
-		if len(fields)%2 != 0 {
-			return rep, fmt.Errorf("benchjson: %q: odd metric fields %v", line, fields)
-		}
-		for i := 0; i < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return rep, fmt.Errorf("benchjson: %q: bad metric value %q: %v", line, fields[i], err)
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				b.NsPerOp = v
-			case "B/op":
-				val := v
-				b.BytesPerOp = &val
-			case "allocs/op":
-				val := v
-				b.AllocsPerOp = &val
-			default:
-				if b.Metrics == nil {
-					b.Metrics = map[string]float64{}
-				}
-				b.Metrics[unit] = v
-			}
-		}
-		rep.Benchmarks = append(rep.Benchmarks, b)
-	}
-	if err := sc.Err(); err != nil {
-		return rep, err
-	}
-	return rep, nil
-}
 
 func main() {
 	in := flag.String("in", "", "read `go test -bench` output from this file instead of stdin")
@@ -143,10 +32,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		//lint:errcheck file opened read-only; Close cannot lose buffered writes
 		defer f.Close()
 		src = f
 	}
-	rep, err := parse(src)
+	rep, err := benchfmt.Parse(src)
 	if err != nil {
 		fatal(err)
 	}
@@ -165,7 +55,9 @@ func main() {
 		}
 		return
 	}
-	os.Stdout.Write(data)
+	if _, err := os.Stdout.Write(data); err != nil {
+		fatal(err)
+	}
 }
 
 // fatal prints the error and exits non-zero.

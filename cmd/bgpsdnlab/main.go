@@ -55,6 +55,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		//lint:errcheck file opened read-only; Close cannot lose buffered writes
 		defer f.Close()
 		in = f
 	}

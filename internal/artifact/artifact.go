@@ -470,15 +470,19 @@ func writeFileAtomic(path string, data []byte) error {
 		return fmt.Errorf("artifact: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
+		//lint:errcheck best-effort cleanup after a failed write; the write error is returned
 		tmp.Close()
+		//lint:errcheck best-effort cleanup after a failed write; the write error is returned
 		os.Remove(tmp.Name())
 		return fmt.Errorf("artifact: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		//lint:errcheck best-effort cleanup after a failed close; the close error is returned
 		os.Remove(tmp.Name())
 		return fmt.Errorf("artifact: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		//lint:errcheck best-effort cleanup after a failed rename; the rename error is returned
 		os.Remove(tmp.Name())
 		return fmt.Errorf("artifact: %w", err)
 	}

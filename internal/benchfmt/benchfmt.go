@@ -1,0 +1,141 @@
+// Package benchfmt parses `go test -bench` text output into the
+// stable JSON document shape archived as the repo's BENCH_*.json
+// trajectory files. cmd/benchjson is the CLI over it; the repolint
+// zeroalloc gate reads the same shape back to compare allocs/op
+// against the committed baseline.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. The three standard Go metrics
+// get named fields; every other `<value> <unit>` pair (b.ReportMetric
+// output) lands in Metrics keyed by unit.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -N GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -N name
+	// suffix; 1 when the suffix is absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported timing.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the B/op metric, if -benchmem was on.
+	BytesPerOp *float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is the allocs/op metric, if -benchmem was on.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any further unit → value pairs on the line.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full document: the `key: value` header lines go test
+// prints (goos, goarch, pkg, cpu), an optional caller-supplied label,
+// and every benchmark line in input order.
+type Report struct {
+	// Label is the caller-supplied run label (e.g. smoke, ci-smoke).
+	Label string `json:"label,omitempty"`
+	// Goos echoes the goos header line.
+	Goos string `json:"goos,omitempty"`
+	// Goarch echoes the goarch header line.
+	Goarch string `json:"goarch,omitempty"`
+	// Pkg echoes the pkg header line.
+	Pkg string `json:"pkg,omitempty"`
+	// CPU echoes the cpu header line.
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks holds every parsed result line in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Find returns the named benchmark (repolint's baseline lookups).
+func (r Report) Find(name string) (Benchmark, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// benchLine matches `BenchmarkName[-procs] <iterations> <rest>`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` output and collects the header fields
+// and result lines. Unrecognized lines (PASS, ok, test logs) are
+// skipped; a malformed metric pair on a benchmark line is an error so
+// silent truncation cannot masquerade as a clean conversion.
+func Parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if key, val, ok := strings.Cut(line, ": "); ok && !strings.Contains(key, " ") {
+			switch key {
+			case "goos":
+				rep.Goos = val
+			case "goarch":
+				rep.Goarch = val
+			case "pkg":
+				rep.Pkg = val
+			case "cpu":
+				rep.CPU = strings.TrimSpace(val)
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: strings.TrimPrefix(m[1], "Benchmark"), Procs: 1}
+		if m[2] != "" {
+			p, err := strconv.Atoi(m[2])
+			if err != nil {
+				return rep, fmt.Errorf("benchfmt: %q: bad procs suffix: %v", line, err)
+			}
+			b.Procs = p
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return rep, fmt.Errorf("benchfmt: %q: bad iteration count: %v", line, err)
+		}
+		b.Iterations = iters
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			return rep, fmt.Errorf("benchfmt: %q: odd metric fields %v", line, fields)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rep, fmt.Errorf("benchfmt: %q: bad metric value %q: %v", line, fields[i], err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				val := v
+				b.BytesPerOp = &val
+			case "allocs/op":
+				val := v
+				b.AllocsPerOp = &val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,11 +1,11 @@
-package main
+package benchfmt
 
 import (
 	"strings"
 	"testing"
 )
 
-// TestParseBenchOutput pins the converter on a realistic transcript:
+// TestParseBenchOutput pins the parser on a realistic transcript:
 // header fields, a procs-suffixed line with -benchmem columns, a
 // suffix-free line, a custom ReportMetric unit, and noise lines that
 // must be skipped.
@@ -19,7 +19,7 @@ BenchmarkFig2Withdrawal 	       1	 123456789 ns/op	       35.4 s-converge
 PASS
 ok  	repro	0.003s
 `
-	rep, err := parse(strings.NewReader(input))
+	rep, err := Parse(strings.NewReader(input))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,16 +43,22 @@ ok  	repro	0.003s
 	if b.Metrics["s-converge"] != 35.4 {
 		t.Fatalf("custom metric = %+v", b.Metrics)
 	}
+	if got, ok := rep.Find("Fig2Withdrawal"); !ok || got.Name != "Fig2Withdrawal" {
+		t.Fatalf("Find = %+v, %v", got, ok)
+	}
+	if _, ok := rep.Find("NoSuchBench"); ok {
+		t.Fatal("Find should miss on an unknown name")
+	}
 }
 
 // TestParseRejectsMalformedMetrics asserts a truncated metric pair is
 // an error, not a silently shorter record.
 func TestParseRejectsMalformedMetrics(t *testing.T) {
-	_, err := parse(strings.NewReader("BenchmarkX-4 	 10 	 5 ns/op 	 extra\n"))
+	_, err := Parse(strings.NewReader("BenchmarkX-4 	 10 	 5 ns/op 	 extra\n"))
 	if err == nil {
 		t.Fatal("odd metric fields should error")
 	}
-	_, err = parse(strings.NewReader("BenchmarkX 	 10 	 abc ns/op\n"))
+	_, err = Parse(strings.NewReader("BenchmarkX 	 10 	 abc ns/op\n"))
 	if err == nil {
 		t.Fatal("non-numeric metric value should error")
 	}

@@ -347,6 +347,7 @@ func (r *Router) Originated() []netip.Prefix {
 	for p := range r.originated {
 		out = append(out, p)
 	}
+	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
 	return out
 }
 

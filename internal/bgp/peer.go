@@ -535,6 +535,7 @@ func (p *Peer) reset(reconnect bool) {
 	// history does not survive a session reset (held-back routes would
 	// be stale).
 	if r.damping != nil {
+		//lint:maporder Stop only deletes pending timer events; the surviving event set is the same in any order
 		for _, s := range r.damping.state[p.cfg.Key] {
 			if s.reuseTimer != nil {
 				s.reuseTimer.Stop()

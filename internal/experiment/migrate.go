@@ -318,6 +318,7 @@ func sortedPeerKeys(r *bgp.Router) []rib.PeerKey {
 // deltas taken across a migration stay monotonic).
 func (e *Experiment) UpdateTotals() (sent, recv uint64) {
 	sent, recv = e.retiredSent, e.retiredRecv
+	//lint:maporder integer sums of per-router counters commute; Stats only reads
 	for _, r := range e.Routers {
 		s := r.Stats()
 		sent += s.UpdatesSent

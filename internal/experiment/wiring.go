@@ -299,6 +299,7 @@ func (e *Experiment) Start() error {
 
 // expectedSessions counts the sessions that should establish.
 func (e *Experiment) expectedSessions() (routerSessions int) {
+	//lint:maporder integer sums of per-router session counts commute; Peers only reads
 	for _, r := range e.Routers {
 		routerSessions += len(r.Peers())
 	}
@@ -314,6 +315,7 @@ func (e *Experiment) WaitEstablished(timeout time.Duration) error {
 	deadline := e.K.Now().Add(timeout)
 	for {
 		established := 0
+		//lint:maporder integer sums of per-router session counts commute; EstablishedCount only reads
 		for _, r := range e.Routers {
 			established += r.EstablishedCount()
 		}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"maps"
+	"sync"
+	"testing"
+)
+
+// repoProg caches the loaded repository program across the tests in
+// this package (loading + type-checking the module once is enough).
+var repoProg = sync.OnceValues(func() (*Program, error) {
+	return Load(".")
+})
+
+// repoProgram loads the repository's own module (the test runs in
+// internal/lint; Load walks up to go.mod).
+func repoProgram(t *testing.T) *Program {
+	t.Helper()
+	prog, err := repoProg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestRepoLintClean is the tier-1 gate: the full analyzer suite over
+// the repository itself must be clean. This is what turns the lint
+// invariants into build failures — deleting a field read from
+// Canonical(), adding an unserialized Trial field, a new heap escape
+// in a hot function, or an unsorted map iteration in the simulation
+// packages all land here.
+func TestRepoLintClean(t *testing.T) {
+	prog := repoProgram(t)
+	diags, err := RunAnalyzers(prog, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestCanonicalExclusionsAreLoadBearing removes one entry from the
+// contract's exclusion list and asserts the analyzer notices — i.e.
+// the committed list is exactly the set of fields Canonical() skips,
+// with nothing vestigial holding the diff closed.
+func TestCanonicalExclusionsAreLoadBearing(t *testing.T) {
+	prog := repoProgram(t)
+	for _, dropped := range []string{"Trial.WallLimit", "Sweep.Name"} {
+		cfg := CanonicalContract
+		cfg.ExcludeFields = maps.Clone(CanonicalContract.ExcludeFields)
+		delete(cfg.ExcludeFields, dropped)
+		diags, err := runCanonical(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, d := range diags {
+			if d.Check == CheckCanonical {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("dropping exclusion %q produced no canonical finding — the entry is vestigial", dropped)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package errs is an errcheck-analyzer fixture.
+package errs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Drop discards an error result.
+func Drop() {
+	os.Remove("x") // want "errcheck"
+}
+
+// DropAnnotated documents why the drop is safe (suppressed).
+func DropAnnotated() {
+	//lint:errcheck fixture: best-effort cleanup on an error path
+	os.Remove("x")
+}
+
+// Checked returns the error (not flagged).
+func Checked() error {
+	return os.Remove("x")
+}
+
+// Buffered writes through never-failing writers and the fmt print
+// family (not flagged).
+func Buffered(b *bytes.Buffer, sb *strings.Builder) {
+	b.WriteString("ok")
+	sb.WriteString("ok")
+	fmt.Fprintf(b, "%d", 1)
+	fmt.Println("ok")
+}
+
+// DeferredDrop discards a deferred Close on a writable file.
+func DeferredDrop() error {
+	f, err := os.Create("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "errcheck"
+	_, err = f.Write([]byte("y"))
+	return err
+}
+
+// SpawnedDrop discards an error inside a go statement.
+func SpawnedDrop() {
+	go os.Remove("x") // want "errcheck"
+}

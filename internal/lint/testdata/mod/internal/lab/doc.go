@@ -1,0 +1,33 @@
+// Package lab is a doc-analyzer fixture (the directory name puts it
+// in the analyzer's evaluation-layer scope). The want markers sit a
+// blank line away from their targets because an adjacent comment
+// would itself count as documentation.
+package lab
+
+// Documented carries a doc comment (not flagged).
+type Documented struct {
+	// Field carries a doc comment (not flagged).
+	Field int
+
+	Inline int // a trailing comment counts as documentation (not flagged)
+
+	// want-below:2 "doc"
+
+	Bare int
+}
+
+// want-below:2 "doc"
+
+type Naked struct{}
+
+// DocumentedFunc carries a doc comment (not flagged).
+func DocumentedFunc() {}
+
+// want-below:2 "doc"
+
+func Undocumented() {}
+
+func Suppressed() {} //lint:doc fixture: the name is self-describing
+
+// unexported symbols are out of scope (not flagged).
+func unexported() {}

@@ -1,0 +1,12 @@
+// The fixture encoder file: it reads Spec.A, Spec.Both and
+// Nested.Kept, and nothing else. The two wants on the package clause
+// are the stale-exclusion findings, which anchor on this file.
+package spec // want "Spec.Gone" "Unknown"
+
+import "fmt"
+
+// Canonical renders the serialized subset of Spec. It reads s.O, but
+// the excluded Opaque type keeps Opaque.Hidden out of the watch set.
+func Canonical(s Spec) string {
+	return fmt.Sprint(s.A, s.Both, s.N.Kept, s.O)
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+// TestDiffEscapes drives the escape gate's diff logic with canned
+// observations: counts above the baseline fire at the site, counts
+// below it fire the tighten-the-baseline finding, equal counts pass.
+func TestDiffEscapes(t *testing.T) {
+	baseline := escapeBaseline{
+		"pkg.F": {"x escapes to heap": 1},
+	}
+	rep := map[string]Diagnostic{
+		"pkg.F\x00x escapes to heap": {Pos: positionFrom("pkg/f.go", 10, 2), Check: CheckEscape},
+		"pkg.G\x00y escapes to heap": {Pos: positionFrom("pkg/g.go", 20, 2), Check: CheckEscape},
+	}
+
+	equal := escapeBaseline{"pkg.F": {"x escapes to heap": 1}}
+	if diags := diffEscapes(nil, baseline, equal, rep); len(diags) != 0 {
+		t.Errorf("equal counts: want clean, got %v", diags)
+	}
+
+	over := escapeBaseline{
+		"pkg.F": {"x escapes to heap": 2},
+		"pkg.G": {"y escapes to heap": 1},
+	}
+	diags := diffEscapes(nil, baseline, over, rep)
+	if len(diags) != 2 {
+		t.Fatalf("over baseline: want 2 findings, got %v", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "gained a heap escape") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+	if diags[0].Pos.Filename != "pkg/f.go" || diags[0].Pos.Line != 10 {
+		t.Errorf("finding not anchored at the escape site: %s", diags[0])
+	}
+
+	diags = diffEscapes(nil, baseline, escapeBaseline{}, nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "tighten the baseline") {
+		t.Errorf("improved path: want one tighten-the-baseline finding, got %v", diags)
+	}
+}
+
+// TestDiffBenchAllocs drives the bench gate's comparison: regressions
+// beyond the slack fire, noise within it passes, and a baseline
+// benchmark that vanished or stopped reporting allocs fires too.
+func TestDiffBenchAllocs(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	baseline := benchfmt.Report{Benchmarks: []benchfmt.Benchmark{
+		{Name: "RIBDecision", AllocsPerOp: f(121)},
+		{Name: "SingleRun", AllocsPerOp: f(683374)},
+	}}
+
+	pass := benchfmt.Report{Benchmarks: []benchfmt.Benchmark{
+		{Name: "RIBDecision", AllocsPerOp: f(121)},
+		{Name: "SingleRun", AllocsPerOp: f(683377)}, // within the 0.2% slack
+	}}
+	if diags := diffBenchAllocs(baseline, pass, "B.json"); len(diags) != 0 {
+		t.Errorf("within slack: want clean, got %v", diags)
+	}
+
+	regress := benchfmt.Report{Benchmarks: []benchfmt.Benchmark{
+		{Name: "RIBDecision", AllocsPerOp: f(122)},
+		{Name: "SingleRun", AllocsPerOp: f(700000)},
+	}}
+	diags := diffBenchAllocs(baseline, regress, "B.json")
+	if len(diags) != 2 {
+		t.Fatalf("regressions: want 2 findings, got %v", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "allocs/op regression") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+
+	missing := benchfmt.Report{Benchmarks: []benchfmt.Benchmark{
+		{Name: "RIBDecision", AllocsPerOp: f(121)},
+		{Name: "SingleRun"}, // lost its ReportAllocs
+	}}
+	diags = diffBenchAllocs(baseline, missing, "B.json")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no longer reports allocs/op") {
+		t.Errorf("lost allocs: want one finding, got %v", diags)
+	}
+
+	gone := benchfmt.Report{Benchmarks: []benchfmt.Benchmark{
+		{Name: "RIBDecision", AllocsPerOp: f(121)},
+	}}
+	diags = diffBenchAllocs(baseline, gone, "B.json")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "did not run") {
+		t.Errorf("vanished benchmark: want one finding, got %v", diags)
+	}
+}
+
+// TestHotFunctionSpans pins the manifest against the real repository:
+// every declared hot function must resolve to a declaration (a rename
+// must force a manifest update, not silently narrow the gate).
+func TestHotFunctionSpans(t *testing.T) {
+	prog := repoProgram(t)
+	spans, err := hotFunctionSpans(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, fns := range HotFunctions {
+		n += len(fns)
+	}
+	if len(spans) < n {
+		t.Errorf("resolved %d spans for %d manifest entries", len(spans), n)
+	}
+	if key := spans.find("does/not/exist.go", 1); key != "" {
+		t.Errorf("find on unknown file returned %q", key)
+	}
+}

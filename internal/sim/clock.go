@@ -54,6 +54,8 @@ type Timer interface {
 type WallClock struct{}
 
 // Now returns time.Now().
+//
+//lint:walltime WallClock is the explicit real-time implementation; simulations use the virtual clock
 func (WallClock) Now() time.Time { return time.Now() }
 
 // AfterFunc wraps time.AfterFunc.

@@ -57,7 +57,9 @@ func (k *Kernel) overBudget() error {
 	}
 	if k.WallLimit > 0 && k.events%wallCheckEvery == 0 {
 		if k.wallStart.IsZero() {
+			//lint:walltime the wall budget measures real runtime by design; it aborts a run, never shapes its results
 			k.wallStart = time.Now()
+			//lint:walltime the wall budget measures real runtime by design; it aborts a run, never shapes its results
 		} else if time.Since(k.wallStart) > k.WallLimit {
 			return ErrWallBudget
 		}

@@ -284,6 +284,7 @@ func (g *Graph) Connected() bool {
 		return true
 	}
 	var start idr.ASN
+	//lint:maporder any start node yields the same connectivity verdict
 	for n := range g.nodes {
 		start = n
 		break
@@ -319,7 +320,8 @@ func (g *Graph) Clone() *Graph {
 // and the provider hierarchy (P2C edges) is acyclic, the standard
 // sanity condition for Gao-Rexford topologies.
 func (g *Graph) Validate() error {
-	for _, e := range g.edges {
+	// Sorted accessors keep the reported violation deterministic.
+	for _, e := range g.Edges() {
 		if !g.nodes[e.A] || !g.nodes[e.B] {
 			return fmt.Errorf("topology: edge %v-%v references unknown node", e.A, e.B)
 		}
@@ -347,7 +349,7 @@ func (g *Graph) Validate() error {
 		color[n] = black
 		return nil
 	}
-	for n := range g.nodes {
+	for _, n := range g.Nodes() {
 		if color[n] == white {
 			if err := visit(n); err != nil {
 				return err

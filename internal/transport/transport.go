@@ -98,7 +98,9 @@ func DelayedPipe(delay time.Duration) (net.Conn, net.Conn) {
 // shuttle copies src->dst delaying each chunk by delay. Closing either
 // side stops the pump and closes both.
 func shuttle(src, dst net.Conn, delay time.Duration) {
+	//lint:errcheck pump teardown closes both ends; a second Close returning "already closed" is expected
 	defer dst.Close()
+	//lint:errcheck pump teardown closes both ends; a second Close returning "already closed" is expected
 	defer src.Close()
 	buf := make([]byte, 64<<10)
 	type chunk struct {
