@@ -362,6 +362,60 @@ func BenchmarkOFPFlowModRoundTrip(b *testing.B) {
 	}
 }
 
+// snapshotBenchTrial is the checkpointing workload: a seeded
+// 1000-AS internet-like graph at origin-only warm-up scale (the
+// figures registry enables OriginOnly at ≥128 ASes) with the
+// half-cluster placement the lossy figure uses (K = n/2), withdrawal
+// event. Warm-up — session establishment, controller bootstrap and
+// announcement convergence — dominates the run here, which is exactly
+// what the snapshot cache amortizes.
+func snapshotBenchTrial() lab.Trial {
+	return lab.Trial{
+		Topo:       lab.TopoSpec{Kind: "internet", N: 1000},
+		Placement:  lab.Placement{Strategy: lab.PlaceLast, K: 500},
+		Event:      lab.Withdrawal,
+		Debounce:   100 * time.Millisecond,
+		OriginOnly: true,
+		Seed:       1,
+	}
+}
+
+// BenchmarkWarmupCold measures the cold path the snapshot cache
+// replaces: establish every session and converge the initial
+// announcement on `internet 1000`, then encode the converged state.
+func BenchmarkWarmupCold(b *testing.B) {
+	trial := snapshotBenchTrial()
+	var size int
+	for i := 0; i < b.N; i++ {
+		raw, err := trial.WarmupSnapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(raw)
+	}
+	b.ReportMetric(float64(size), "snapshot-bytes")
+}
+
+// BenchmarkSnapshotFork measures the warm path: rebuild the same
+// warmed-up experiment from the encoded snapshot, forking it under a
+// fresh run seed. The ratio to BenchmarkWarmupCold is the speedup a
+// snapshot-cache hit buys per (run, seed).
+func BenchmarkSnapshotFork(b *testing.B) {
+	trial := snapshotBenchTrial()
+	raw, err := trial.WarmupSnapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fork := trial
+		fork.Seed = int64(i + 1)
+		if _, err := fork.RestoreWarmup(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSingleRun measures one full 16-clique withdrawal emulation
 // (establishment, announcement convergence, withdrawal convergence) —
 // the unit of work behind every figure point.

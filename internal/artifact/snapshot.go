@@ -1,0 +1,104 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync/atomic"
+)
+
+// The durable warm-up snapshot cache: encoded experiment snapshots
+// filed under <store>/snapshots/<warmup-key>.json, one file per
+// distinct warm-up key (lab.Trial.WarmupKey). Unlike sweep records the
+// files are keyed by the warm-up prefix alone, so every sweep and
+// figure in the store shares them: two figures over the same warmed-up
+// network converge once. Snapshot files are a pure accelerator — they
+// never change a result (the lab restores even freshly-warmed state,
+// so hits and misses are byte-identical) — which is why they live
+// outside the sealed per-sweep manifests: deleting the snapshots
+// directory only makes the next run slower.
+
+// snapshotKeyRE validates cache keys before they touch the filesystem:
+// lab.Trial.WarmupKeyHash always produces a hex SHA-256.
+var snapshotKeyRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// SnapshotStore is the on-disk lab.SnapshotCache of one artifact
+// store. All methods are safe for concurrent use: distinct keys live
+// in distinct files, writes are atomic, and the counters are atomic.
+type SnapshotStore struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	stored atomic.Int64
+}
+
+// Snapshots opens (creating if necessary) the store's shared warm-up
+// snapshot cache.
+func (s *Store) Snapshots() (*SnapshotStore, error) {
+	dir := filepath.Join(s.dir, "snapshots")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return &SnapshotStore{dir: dir}, nil
+}
+
+// Dir returns the snapshot cache directory.
+func (ss *SnapshotStore) Dir() string { return ss.dir }
+
+func (ss *SnapshotStore) path(key string) string {
+	return filepath.Join(ss.dir, key+".json")
+}
+
+// Load implements lab.SnapshotCache: it returns the snapshot bytes
+// filed under key, counting a hit or a miss.
+func (ss *SnapshotStore) Load(key string) ([]byte, bool, error) {
+	if !snapshotKeyRE.MatchString(key) {
+		return nil, false, fmt.Errorf("artifact: bad snapshot key %q", key)
+	}
+	data, err := os.ReadFile(ss.path(key))
+	if os.IsNotExist(err) {
+		ss.misses.Add(1)
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("artifact: %w", err)
+	}
+	ss.hits.Add(1)
+	return data, true, nil
+}
+
+// Store implements lab.SnapshotCache: it files the snapshot bytes
+// atomically under key.
+func (ss *SnapshotStore) Store(key string, snap []byte) error {
+	if !snapshotKeyRE.MatchString(key) {
+		return fmt.Errorf("artifact: bad snapshot key %q", key)
+	}
+	if err := writeFileAtomic(ss.path(key), snap); err != nil {
+		return err
+	}
+	ss.stored.Add(1)
+	return nil
+}
+
+// SnapshotStats reports how the warm-up cache fared over some span of
+// executions: Hits warm-ups restored from disk, Misses warmed up
+// fresh, Stored snapshot files written.
+type SnapshotStats struct {
+	// Hits counts warm-ups restored from a cached snapshot.
+	Hits int `json:"hits"`
+	// Misses counts warm-ups executed fresh (no snapshot on disk).
+	Misses int `json:"misses"`
+	// Stored counts snapshot files written.
+	Stored int `json:"stored"`
+}
+
+// Stats returns the counters accumulated since the store was opened.
+func (ss *SnapshotStore) Stats() SnapshotStats {
+	return SnapshotStats{
+		Hits:   int(ss.hits.Load()),
+		Misses: int(ss.misses.Load()),
+		Stored: int(ss.stored.Load()),
+	}
+}

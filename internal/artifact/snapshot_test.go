@@ -1,0 +1,87 @@
+package artifact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const snapKey = "ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12"
+
+// TestSnapshotStoreRoundTrip pins the durable warm-up cache contract:
+// a stored snapshot loads byte-identical, a fresh key misses without
+// error, and the counters account for every outcome.
+func TestSnapshotStoreRoundTrip(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := store.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := snaps.Load(snapKey); err != nil || ok {
+		t.Fatalf("empty cache: Load = ok=%v err=%v, want miss", ok, err)
+	}
+	payload := []byte(`{"version":1,"fake":"snapshot"}`)
+	if err := snaps.Store(snapKey, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := snaps.Load(snapKey)
+	if err != nil || !ok {
+		t.Fatalf("warm cache: Load = ok=%v err=%v, want hit", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round-trip corrupted snapshot: got %q want %q", got, payload)
+	}
+	if st := snaps.Stats(); st != (SnapshotStats{Hits: 1, Misses: 1, Stored: 1}) {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 stored", st)
+	}
+
+	// Snapshots persist across reopen: a second handle over the same
+	// store hits immediately (fresh counters — they are per handle).
+	again, err := store.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = again.Load(snapKey)
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened cache: Load = %q ok=%v err=%v", got, ok, err)
+	}
+	if st := again.Stats(); st != (SnapshotStats{Hits: 1}) {
+		t.Fatalf("reopened stats = %+v, want exactly 1 hit", st)
+	}
+}
+
+// TestSnapshotStoreRejectsBadKeys pins that malformed keys — anything
+// but a hex SHA-256, notably path fragments — never touch the
+// filesystem.
+func TestSnapshotStoreRejectsBadKeys(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := store.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"",
+		"short",
+		strings.Repeat("g", 64),
+		strings.Repeat("A", 64),
+		"../" + snapKey[:61],
+		snapKey + "00",
+	} {
+		if _, _, err := snaps.Load(key); err == nil {
+			t.Errorf("Load(%q) accepted a malformed key", key)
+		}
+		if err := snaps.Store(key, []byte("x")); err == nil {
+			t.Errorf("Store(%q) accepted a malformed key", key)
+		}
+	}
+	if st := snaps.Stats(); st != (SnapshotStats{}) {
+		t.Fatalf("rejected keys moved the counters: %+v", st)
+	}
+}

@@ -94,17 +94,19 @@ func (p *Peer) startOpen() {
 	if p.holdTimer != nil {
 		p.holdTimer.Stop()
 	}
-	p.holdTimer = p.clock().AfterFunc(guard, func() { p.reset(true) })
+	p.holdTimer = p.clock().AfterFunc(guard, p.openGuardExpire)
 }
+
+// openGuardExpire is the OpenSent hold-timer callback: a half-open
+// session resets and retries.
+func (p *Peer) openGuardExpire() { p.reset(true) }
 
 func (p *Peer) armRetry() {
 	d := p.router.cfg.Timers.ConnectRetry
 	if p.retryTimer != nil {
 		p.retryTimer.Stop()
 	}
-	p.retryTimer = p.clock().AfterFunc(d, func() {
-		p.startOpen()
-	})
+	p.retryTimer = p.clock().AfterFunc(d, p.startOpen)
 }
 
 func (p *Peer) sendOpen() error {
@@ -233,11 +235,15 @@ func (p *Peer) armHoldTimer() {
 	if p.holdTimer != nil {
 		p.holdTimer.Stop()
 	}
-	p.holdTimer = p.clock().AfterFunc(p.holdTime, func() {
-		_ = p.send(wire.Notification{Code: wire.NotifHoldTimerExpired})
-		p.router.stats.NotificationsSent++
-		p.reset(true)
-	})
+	p.holdTimer = p.clock().AfterFunc(p.holdTime, p.holdExpire)
+}
+
+// holdExpire is the negotiated hold-timer callback: notify the peer
+// and reset.
+func (p *Peer) holdExpire() {
+	_ = p.send(wire.Notification{Code: wire.NotifHoldTimerExpired})
+	p.router.stats.NotificationsSent++
+	p.reset(true)
 }
 
 func (p *Peer) armKeepalive() {
@@ -251,15 +257,19 @@ func (p *Peer) armKeepalive() {
 	if p.keepaliveTimer != nil {
 		p.keepaliveTimer.Stop()
 	}
-	p.keepaliveTimer = p.clock().AfterFunc(interval, func() {
-		if p.state != StateEstablished {
-			return
-		}
-		if err := p.send(wire.Keepalive{}); err == nil {
-			p.router.stats.KeepalivesSent++
-		}
-		p.armKeepalive()
-	})
+	p.keepaliveTimer = p.clock().AfterFunc(interval, p.keepaliveFire)
+}
+
+// keepaliveFire is the keepalive-timer callback: send one keepalive
+// and re-arm for the next interval.
+func (p *Peer) keepaliveFire() {
+	if p.state != StateEstablished {
+		return
+	}
+	if err := p.send(wire.Keepalive{}); err == nil {
+		p.router.stats.KeepalivesSent++
+	}
+	p.armKeepalive()
 }
 
 // handleUpdate runs the inbound side of the decision process.

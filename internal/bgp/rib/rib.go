@@ -267,6 +267,20 @@ func (t *Table) AdjIn(peer PeerKey, prefix netip.Prefix) (*Route, bool) {
 	return r, ok
 }
 
+// AdjInPeerKeys returns every peer with a non-empty Adj-RIB-In,
+// sorted — the deterministic enumeration order for dumps and
+// snapshots.
+func (t *Table) AdjInPeerKeys() []PeerKey {
+	out := make([]PeerKey, 0, len(t.adjIn))
+	for k, m := range t.adjIn {
+		if len(m) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // AdjInPrefixes returns all prefixes present in the peer's Adj-RIB-In,
 // sorted.
 func (t *Table) AdjInPrefixes(peer PeerKey) []netip.Prefix {
@@ -440,6 +454,19 @@ func (a *AdjOut) DropPeer(peer PeerKey) []netip.Prefix {
 	}
 	delete(a.routes, peer)
 	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
+	return out
+}
+
+// Peers returns every peer with a non-empty Adj-RIB-Out, sorted —
+// the deterministic enumeration order for snapshots.
+func (a *AdjOut) Peers() []PeerKey {
+	out := make([]PeerKey, 0, len(a.routes))
+	for k, m := range a.routes {
+		if len(m) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,344 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/bgp/rib"
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/sim"
+)
+
+// Snapshot support: RouterState is the complete serializable state of
+// one converged speaker — every RIB, every session FSM, the damping
+// histories and the activity counters. RIB contents are restored by
+// REPLAYING them through the table's own mutation methods (Originate/
+// SetAdjIn/Set), so the decision process rebuilds the best map and the
+// candidate indexes rather than trusting serialized derived state;
+// timers are restored as (deadline, original sequence) references that
+// the experiment layer re-arms in globally sorted order.
+
+// RouteState serializes one rib.Route.
+type RouteState struct {
+	// Prefix, Attrs, Peer, PeerASN, PeerID and Local mirror rib.Route.
+	Prefix  netip.Prefix   `json:"prefix"`
+	Attrs   wire.PathAttrs `json:"attrs"`
+	Peer    rib.PeerKey    `json:"peer,omitempty"`
+	PeerASN idr.ASN        `json:"peer_asn,omitempty"`
+	PeerID  idr.RouterID   `json:"peer_id,omitempty"`
+	Local   bool           `json:"local,omitempty"`
+}
+
+// routeState serializes a RIB route.
+func routeState(r *rib.Route) RouteState {
+	return RouteState{
+		Prefix:  r.Prefix,
+		Attrs:   r.Attrs,
+		Peer:    r.Peer,
+		PeerASN: r.PeerASN,
+		PeerID:  r.PeerID,
+		Local:   r.Local,
+	}
+}
+
+// route rebuilds the RIB route.
+func (s RouteState) route() *rib.Route {
+	return &rib.Route{
+		Prefix:  s.Prefix,
+		Attrs:   s.Attrs,
+		Peer:    s.Peer,
+		PeerASN: s.PeerASN,
+		PeerID:  s.PeerID,
+		Local:   s.Local,
+	}
+}
+
+// PrefixAttrs pairs a prefix with an attribute set (originations,
+// pending announcements).
+type PrefixAttrs struct {
+	// Prefix is the route's prefix.
+	Prefix netip.Prefix `json:"prefix"`
+	// Attrs is the attribute set.
+	Attrs wire.PathAttrs `json:"attrs"`
+}
+
+// AdjOutEntry is one advertised (peer, prefix, attrs) record.
+type AdjOutEntry struct {
+	// Peer is the session the advertisement went to.
+	Peer rib.PeerKey `json:"peer"`
+	// Prefix and Attrs are the advertised route.
+	Prefix netip.Prefix   `json:"prefix"`
+	Attrs  wire.PathAttrs `json:"attrs"`
+}
+
+// PeerSnap is the serializable state of one session.
+type PeerSnap struct {
+	// Key identifies the session on its router.
+	Key rib.PeerKey `json:"key"`
+	// State is the FSM state.
+	State State `json:"state"`
+	// TransportUp mirrors the transport signal.
+	TransportUp bool `json:"transport_up"`
+	// RemoteID and RemoteASN were learned from the neighbor's OPEN.
+	RemoteID  idr.RouterID `json:"remote_id"`
+	RemoteASN idr.ASN      `json:"remote_asn"`
+	// HoldTimeNS is the negotiated hold time in nanoseconds.
+	HoldTimeNS int64 `json:"hold_time_ns"`
+	// NextAdvNS is when the next announcement flush may happen
+	// (sim.TimeNone when unset).
+	NextAdvNS int64 `json:"next_adv_ns"`
+	// PendingAnnounce and PendingWithdraw are the queued outbound
+	// route changes, sorted by prefix.
+	PendingAnnounce []PrefixAttrs  `json:"pending_announce,omitempty"`
+	PendingWithdraw []netip.Prefix `json:"pending_withdraw,omitempty"`
+	// Hold, Keepalive, Retry and Mrai reference the pending timers.
+	Hold      *sim.TimerRef `json:"hold,omitempty"`
+	Keepalive *sim.TimerRef `json:"keepalive,omitempty"`
+	Retry     *sim.TimerRef `json:"retry,omitempty"`
+	Mrai      *sim.TimerRef `json:"mrai,omitempty"`
+}
+
+// DampEntry is one (session, prefix) flap history.
+type DampEntry struct {
+	// Peer and Prefix key the history.
+	Peer   rib.PeerKey  `json:"peer"`
+	Prefix netip.Prefix `json:"prefix"`
+	// Penalty is the accumulated figure of merit at UpdatedNS.
+	Penalty float64 `json:"penalty"`
+	// UpdatedNS is when the penalty was last touched.
+	UpdatedNS int64 `json:"updated_ns"`
+	// Suppressed reports an active suppression.
+	Suppressed bool `json:"suppressed"`
+	// Latest is the held-back route a reuse would reinstate.
+	Latest *RouteState `json:"latest,omitempty"`
+	// Reuse references the pending reuse timer.
+	Reuse *sim.TimerRef `json:"reuse,omitempty"`
+}
+
+// RouterState is the complete serializable state of one Router.
+type RouterState struct {
+	// Originated lists the locally-announced prefixes, sorted.
+	Originated []PrefixAttrs `json:"originated,omitempty"`
+	// AdjIn lists every Adj-RIB-In route, sorted by (peer, prefix).
+	// The Loc-RIB is not serialized: the decision process rebuilds it
+	// deterministically during replay.
+	AdjIn []RouteState `json:"adj_in,omitempty"`
+	// AdjOut lists every advertised route, sorted by (peer, prefix).
+	AdjOut []AdjOutEntry `json:"adj_out,omitempty"`
+	// Stats are the activity counters, verbatim.
+	Stats Stats `json:"stats"`
+	// BusyUntilNS is the processing-delay work-queue horizon
+	// (sim.TimeNone when idle since the epoch).
+	BusyUntilNS int64 `json:"busy_until_ns"`
+	// Peers holds one entry per session, sorted by key.
+	Peers []PeerSnap `json:"peers,omitempty"`
+	// Damping holds the flap histories, sorted by (peer, prefix)
+	// (only when damping is configured).
+	Damping []DampEntry `json:"damping,omitempty"`
+}
+
+// State captures the router's serializable state.
+func (r *Router) State() RouterState {
+	st := RouterState{
+		Stats:       r.stats,
+		BusyUntilNS: sim.TimeToNS(r.busyUntil),
+	}
+	for _, prefix := range r.Originated() {
+		st.Originated = append(st.Originated, PrefixAttrs{Prefix: prefix, Attrs: r.originated[prefix]})
+	}
+	for _, peer := range r.table.AdjInPeerKeys() {
+		for _, prefix := range r.table.AdjInPrefixes(peer) {
+			rt, _ := r.table.AdjIn(peer, prefix)
+			st.AdjIn = append(st.AdjIn, routeState(rt))
+		}
+	}
+	for _, peer := range r.adjOut.Peers() {
+		for _, prefix := range r.adjOut.Prefixes(peer) {
+			attrs, _ := r.adjOut.Get(peer, prefix)
+			st.AdjOut = append(st.AdjOut, AdjOutEntry{Peer: peer, Prefix: prefix, Attrs: attrs})
+		}
+	}
+	for _, p := range r.peerList {
+		st.Peers = append(st.Peers, p.snap())
+	}
+	if r.damping != nil {
+		st.Damping = r.damping.snap()
+	}
+	return st
+}
+
+// RestoreState overlays a captured state onto a freshly built router
+// with the identical configuration (same peers added in the same
+// order). RIB contents replay through the table's mutation methods —
+// no advertisements are scheduled because the replay runs before the
+// session states are overlaid. The returned timer arms must be
+// executed by the caller (globally sorted across all components)
+// before the kernel adopts its captured counters.
+func (r *Router) RestoreState(st RouterState) ([]sim.TimerArm, error) {
+	for _, oa := range st.Originated {
+		r.originated[oa.Prefix] = oa.Attrs
+		r.table.Originate(oa.Prefix, oa.Attrs)
+	}
+	for _, rs := range st.AdjIn {
+		r.table.SetAdjIn(rs.route())
+	}
+	for _, ae := range st.AdjOut {
+		r.adjOut.Set(ae.Peer, ae.Prefix, ae.Attrs)
+	}
+	r.stats = st.Stats
+	r.busyUntil = sim.TimeFromNS(st.BusyUntilNS)
+	var arms []sim.TimerArm
+	for _, ps := range st.Peers {
+		p, ok := r.peers[ps.Key]
+		if !ok {
+			return nil, fmt.Errorf("bgp: restore: router %v has no peer %q", r.cfg.ASN, ps.Key)
+		}
+		arms = append(arms, p.restore(ps)...)
+	}
+	if len(st.Damping) > 0 {
+		if r.damping == nil {
+			return nil, fmt.Errorf("bgp: restore: router %v has damping state but damping is not configured", r.cfg.ASN)
+		}
+		arms = append(arms, r.damping.restore(st.Damping)...)
+	}
+	return arms, nil
+}
+
+// snap captures the session's serializable state.
+func (p *Peer) snap() PeerSnap {
+	ps := PeerSnap{
+		Key:         p.cfg.Key,
+		State:       p.state,
+		TransportUp: p.transportUp,
+		RemoteID:    p.remoteID,
+		RemoteASN:   p.remoteASN,
+		HoldTimeNS:  int64(p.holdTime),
+		NextAdvNS:   sim.TimeToNS(p.nextAdvAllowed),
+		Hold:        sim.RefOf(p.holdTimer),
+		Keepalive:   sim.RefOf(p.keepaliveTimer),
+		Retry:       sim.RefOf(p.retryTimer),
+		Mrai:        sim.RefOf(p.mraiTimer),
+	}
+	annPrefixes := make([]netip.Prefix, 0, len(p.pendingAnnounce))
+	for prefix := range p.pendingAnnounce {
+		annPrefixes = append(annPrefixes, prefix)
+	}
+	sort.Slice(annPrefixes, func(i, j int) bool { return idr.PrefixLess(annPrefixes[i], annPrefixes[j]) })
+	for _, prefix := range annPrefixes {
+		ps.PendingAnnounce = append(ps.PendingAnnounce, PrefixAttrs{Prefix: prefix, Attrs: p.pendingAnnounce[prefix]})
+	}
+	wdPrefixes := make([]netip.Prefix, 0, len(p.pendingWithdraw))
+	for prefix := range p.pendingWithdraw {
+		wdPrefixes = append(wdPrefixes, prefix)
+	}
+	sort.Slice(wdPrefixes, func(i, j int) bool { return idr.PrefixLess(wdPrefixes[i], wdPrefixes[j]) })
+	ps.PendingWithdraw = wdPrefixes
+	return ps
+}
+
+// restore overlays a captured session state, returning the timer arms
+// for the experiment layer to execute in global order. The re-armed
+// callbacks are the same methods the live timers run, so a restored
+// session behaves identically from the first firing on.
+func (p *Peer) restore(ps PeerSnap) []sim.TimerArm {
+	p.state = ps.State
+	p.transportUp = ps.TransportUp
+	p.remoteID = ps.RemoteID
+	p.remoteASN = ps.RemoteASN
+	p.holdTime = time.Duration(ps.HoldTimeNS)
+	p.nextAdvAllowed = sim.TimeFromNS(ps.NextAdvNS)
+	for _, pa := range ps.PendingAnnounce {
+		p.pendingAnnounce[pa.Prefix] = pa.Attrs
+	}
+	for _, prefix := range ps.PendingWithdraw {
+		p.pendingWithdraw[prefix] = true
+	}
+	var arms []sim.TimerArm
+	arm := func(ref *sim.TimerRef, set func(sim.Timer), fire func()) {
+		if ref == nil {
+			return
+		}
+		at := ref.Deadline()
+		arms = append(arms, sim.TimerArm{At: at, Seq: ref.Seq, Arm: func() {
+			set(p.clock().AfterFunc(at.Sub(p.clock().Now()), fire))
+		}})
+	}
+	// In OpenSent the hold timer is the RFC 4271 §8.2.2 guard with a
+	// plain reset callback; everywhere else it is the negotiated hold
+	// timer that also notifies the neighbor.
+	holdFire := p.holdExpire
+	if ps.State == StateOpenSent {
+		holdFire = p.openGuardExpire
+	}
+	arm(ps.Hold, func(t sim.Timer) { p.holdTimer = t }, holdFire)
+	arm(ps.Keepalive, func(t sim.Timer) { p.keepaliveTimer = t }, p.keepaliveFire)
+	arm(ps.Retry, func(t sim.Timer) { p.retryTimer = t }, p.startOpen)
+	arm(ps.Mrai, func(t sim.Timer) { p.mraiTimer = t }, p.flushAnnouncements)
+	return arms
+}
+
+// snap captures the damping engine's flap histories, sorted by
+// (peer, prefix).
+func (d *damping) snap() []DampEntry {
+	peers := make([]rib.PeerKey, 0, len(d.state))
+	for k, m := range d.state {
+		if len(m) > 0 {
+			peers = append(peers, k)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	var out []DampEntry
+	for _, peer := range peers {
+		m := d.state[peer]
+		prefixes := make([]netip.Prefix, 0, len(m))
+		for prefix := range m {
+			prefixes = append(prefixes, prefix)
+		}
+		sort.Slice(prefixes, func(i, j int) bool { return idr.PrefixLess(prefixes[i], prefixes[j]) })
+		for _, prefix := range prefixes {
+			s := m[prefix]
+			e := DampEntry{
+				Peer:       peer,
+				Prefix:     prefix,
+				Penalty:    s.penalty,
+				UpdatedNS:  sim.TimeToNS(s.updatedAt),
+				Suppressed: s.suppressed,
+				Reuse:      sim.RefOf(s.reuseTimer),
+			}
+			if s.latest != nil {
+				rs := routeState(s.latest)
+				e.Latest = &rs
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// restore overlays captured flap histories, returning the reuse-timer
+// arms.
+func (d *damping) restore(entries []DampEntry) []sim.TimerArm {
+	var arms []sim.TimerArm
+	for _, e := range entries {
+		s := d.get(e.Peer, e.Prefix)
+		s.penalty = e.Penalty
+		s.updatedAt = sim.TimeFromNS(e.UpdatedNS)
+		s.suppressed = e.Suppressed
+		if e.Latest != nil {
+			s.latest = e.Latest.route()
+		}
+		if e.Reuse != nil {
+			at := e.Reuse.Deadline()
+			peer, prefix, st := e.Peer, e.Prefix, s
+			arms = append(arms, sim.TimerArm{At: at, Seq: e.Reuse.Seq, Arm: func() {
+				st.reuseTimer = d.router.cfg.Clock.AfterFunc(at.Sub(d.router.cfg.Clock.Now()), func() {
+					d.reuse(peer, prefix, st)
+				})
+			}})
+		}
+	}
+	return arms
+}

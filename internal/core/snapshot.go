@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+	"repro/internal/sim"
+	"repro/internal/speaker"
+)
+
+// Snapshot support: ControllerState captures the controller's mutable
+// state — the external route candidates, cluster originations, dirty
+// set and debounce timer, port operational flags, the per-peering
+// speaker sessions, and the counters. The switch graph itself (members,
+// ports, peering wiring) is configuration, rebuilt identically by
+// construction; only what changed since Start is serialized.
+
+// ExtRoute is one candidate external route: the session it was learned
+// on and its attributes.
+type ExtRoute struct {
+	// Border and Port identify the session (SessKey).
+	Border idr.ASN `json:"border"`
+	Port   uint32  `json:"port"`
+	// Attrs are the learned path attributes.
+	Attrs wire.PathAttrs `json:"attrs"`
+}
+
+// ExtRouteEntry lists one prefix's candidate external routes, sorted
+// by session key.
+type ExtRouteEntry struct {
+	// Prefix is the destination.
+	Prefix netip.Prefix `json:"prefix"`
+	// Routes are the candidates by session.
+	Routes []ExtRoute `json:"routes"`
+}
+
+// OwnedEntry is one cluster-originated prefix and its owner member.
+type OwnedEntry struct {
+	// Prefix is the origination; Owner the member AS announcing it.
+	Prefix netip.Prefix `json:"prefix"`
+	Owner  idr.ASN      `json:"owner"`
+}
+
+// PortFlag is one member port's operational state.
+type PortFlag struct {
+	// Member and Port identify the port; Up is its operational state.
+	Member idr.ASN `json:"member"`
+	Port   uint32  `json:"port"`
+	Up     bool    `json:"up"`
+}
+
+// SessionSnap is one external peering's state: the controller-side
+// established flag plus the speaker session itself.
+type SessionSnap struct {
+	// Border and Port identify the peering (SessKey).
+	Border idr.ASN `json:"border"`
+	Port   uint32  `json:"port"`
+	// Established is the controller's view of the session.
+	Established bool `json:"established"`
+	// Speaker is the underlying session state.
+	Speaker speaker.SessionState `json:"speaker"`
+}
+
+// ControllerState is the serializable state of a Controller.
+type ControllerState struct {
+	// ExtRoutes lists the candidate external routes, sorted by prefix.
+	ExtRoutes []ExtRouteEntry `json:"ext_routes,omitempty"`
+	// Owned lists the cluster originations, sorted by prefix.
+	Owned []OwnedEntry `json:"owned,omitempty"`
+	// Dirty lists prefixes awaiting recomputation, sorted; AllDirty
+	// marks a pending full recomputation.
+	Dirty    []netip.Prefix `json:"dirty,omitempty"`
+	AllDirty bool           `json:"all_dirty,omitempty"`
+	// Debounce references the pending recomputation timer.
+	Debounce *sim.TimerRef `json:"debounce,omitempty"`
+	// Started mirrors whether Start ran.
+	Started bool `json:"started"`
+	// Xid is the last OpenFlow transaction id assigned.
+	Xid uint32 `json:"xid"`
+	// Stats are the activity counters, verbatim.
+	Stats Stats `json:"stats"`
+	// Ports holds every registered port's operational flag, sorted by
+	// (member, port).
+	Ports []PortFlag `json:"ports,omitempty"`
+	// Sessions holds the external peerings, sorted by key.
+	Sessions []SessionSnap `json:"sessions,omitempty"`
+}
+
+// State captures the controller's serializable state.
+func (c *Controller) State() ControllerState {
+	st := ControllerState{
+		AllDirty: c.allDirty,
+		Debounce: sim.RefOf(c.debounceTimer),
+		Started:  c.started,
+		Xid:      c.xid,
+		Stats:    c.stats,
+	}
+	extPrefixes := make([]netip.Prefix, 0, len(c.extRoutes))
+	for p := range c.extRoutes {
+		extPrefixes = append(extPrefixes, p)
+	}
+	sort.Slice(extPrefixes, func(i, j int) bool { return idr.PrefixLess(extPrefixes[i], extPrefixes[j]) })
+	for _, p := range extPrefixes {
+		bySess := c.extRoutes[p]
+		keys := make([]SessKey, 0, len(bySess))
+		for k := range bySess {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Border != keys[j].Border {
+				return keys[i].Border < keys[j].Border
+			}
+			return keys[i].Port < keys[j].Port
+		})
+		e := ExtRouteEntry{Prefix: p}
+		for _, k := range keys {
+			e.Routes = append(e.Routes, ExtRoute{Border: k.Border, Port: k.Port, Attrs: bySess[k]})
+		}
+		st.ExtRoutes = append(st.ExtRoutes, e)
+	}
+	for p := range c.owned {
+		st.Owned = append(st.Owned, OwnedEntry{Prefix: p, Owner: c.owned[p]})
+	}
+	sort.Slice(st.Owned, func(i, j int) bool { return idr.PrefixLess(st.Owned[i].Prefix, st.Owned[j].Prefix) })
+	for p := range c.dirty {
+		st.Dirty = append(st.Dirty, p)
+	}
+	sort.Slice(st.Dirty, func(i, j int) bool { return idr.PrefixLess(st.Dirty[i], st.Dirty[j]) })
+	for _, asn := range c.Members() {
+		m := c.members[asn]
+		ports := make([]uint32, 0, len(m.ports))
+		for port := range m.ports {
+			ports = append(ports, port)
+		}
+		sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+		for _, port := range ports {
+			st.Ports = append(st.Ports, PortFlag{Member: asn, Port: port, Up: m.ports[port].up})
+		}
+	}
+	for _, key := range c.sessionKeys() {
+		es := c.sessions[key]
+		st.Sessions = append(st.Sessions, SessionSnap{
+			Border:      key.Border,
+			Port:        key.Port,
+			Established: es.established,
+			Speaker:     es.sess.Snapshot(),
+		})
+	}
+	return st
+}
+
+// RestoreState overlays a captured state onto a freshly built
+// controller with the identical cluster wiring (same members, ports
+// and peerings). Start must NOT have run and must not run afterwards:
+// the captured Started flag is adopted directly, so no greeting or
+// transport-up frames are generated. The returned timer arms must be
+// executed by the caller in global order.
+func (c *Controller) RestoreState(st ControllerState) ([]sim.TimerArm, error) {
+	for _, e := range st.ExtRoutes {
+		bySess := make(map[SessKey]wire.PathAttrs, len(e.Routes))
+		for _, r := range e.Routes {
+			bySess[SessKey{Border: r.Border, Port: r.Port}] = r.Attrs.Clone()
+		}
+		c.extRoutes[e.Prefix] = bySess
+	}
+	for _, o := range st.Owned {
+		c.owned[o.Prefix] = o.Owner
+	}
+	for _, p := range st.Dirty {
+		c.dirty[p] = true
+	}
+	c.allDirty = st.AllDirty
+	c.started = st.Started
+	c.xid = st.Xid
+	c.stats = st.Stats
+	for _, pf := range st.Ports {
+		m, ok := c.members[pf.Member]
+		if !ok {
+			return nil, fmt.Errorf("core: restore: unknown member %v", pf.Member)
+		}
+		pi, ok := m.ports[pf.Port]
+		if !ok {
+			return nil, fmt.Errorf("core: restore: member %v has no port %d", pf.Member, pf.Port)
+		}
+		pi.up = pf.Up
+	}
+	var arms []sim.TimerArm
+	for _, ss := range st.Sessions {
+		es, ok := c.sessions[SessKey{Border: ss.Border, Port: ss.Port}]
+		if !ok {
+			return nil, fmt.Errorf("core: restore: no peering %v#%d", ss.Border, ss.Port)
+		}
+		es.established = ss.Established
+		arms = append(arms, es.sess.RestoreState(ss.Speaker)...)
+	}
+	if st.Debounce != nil {
+		at := st.Debounce.Deadline()
+		arms = append(arms, sim.TimerArm{At: at, Seq: st.Debounce.Seq, Arm: func() {
+			c.debounceTimer = c.cfg.Clock.AfterFunc(at.Sub(c.cfg.Clock.Now()), c.recompute)
+		}})
+	}
+	return arms, nil
+}

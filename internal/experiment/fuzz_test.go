@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzSnapshotDecode hardens the snapshot codec: arbitrary (malformed,
+// truncated, version-skewed) input must always return an error or a
+// valid snapshot — never panic, and never both a snapshot and an
+// error. Valid input must round-trip through a re-encode.
+func FuzzSnapshotDecode(f *testing.F) {
+	g, err := topology.Line(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := Config{Seed: 1, Graph: g}
+	e, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		f.Fatal(err)
+	}
+	if err := e.WaitEstablished(120e9); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, err := EncodeSnapshot(snap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":2,"kernel":{}}`))
+	f.Add([]byte(`{"version":"1"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"version":1,"routers":[{"asn":1,"state":{"stats":null}}]}`))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("DecodeSnapshot returned both a snapshot and %v", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("DecodeSnapshot returned neither a snapshot nor an error")
+		}
+		if s.Version != SnapshotVersion {
+			t.Fatalf("DecodeSnapshot accepted version %d", s.Version)
+		}
+		re, err := EncodeSnapshot(s)
+		if err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		if !strings.Contains(string(re), `"version":1`) {
+			t.Fatalf("re-encode lost the version field: %s", re)
+		}
+	})
+}

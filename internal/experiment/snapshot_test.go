@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/idr"
+	"repro/internal/topology"
+)
+
+// ribDump renders every legacy router's Loc-RIB (and the collector's,
+// when present) as one string, in ASN order.
+func ribDump(t *testing.T, e *Experiment) string {
+	t.Helper()
+	var b strings.Builder
+	for _, asn := range e.ASNs() {
+		r, ok := e.Routers[asn]
+		if !ok {
+			continue
+		}
+		b.WriteString("== " + asn.String() + " ==\n")
+		if err := r.WriteRIB(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Coll != nil {
+		b.WriteString("== collector ==\n")
+		if err := e.Coll.Router().WriteRIB(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// warmedUp builds cfg, starts it, announces every prefix and runs to
+// quiescence — the exact state Sweep.Run snapshots.
+func warmedUp(t *testing.T, cfg Config) *Experiment {
+	t.Helper()
+	e := build(t, cfg)
+	announceAllAndSettle(t, e)
+	return e
+}
+
+// driveTrigger withdraws then re-announces the origin and settles,
+// returning both convergence durations.
+func driveTrigger(t *testing.T, e *Experiment) (d1, d2 time.Duration) {
+	t.Helper()
+	var err error
+	d1, err = e.MeasureConvergence(func() error { return e.Withdraw(1) }, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err = e.MeasureConvergence(func() error { return e.Announce(1) }, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d1, d2
+}
+
+// jitterTimers enables MRAI jitter so the kernel RNG stream position
+// matters.
+func jitterTimers() bgp.Timers {
+	tm := fastTimers()
+	tm.MRAIJitter = true
+	return tm
+}
+
+// TestSnapshotRoundTripIdentical is the core fidelity check: capture a
+// warmed-up experiment, rebuild it from Config + snapshot bytes, then
+// drive the original and the restored copy through the same triggering
+// events. Routing state, UPDATE counters, convergence durations and
+// the virtual clock must match exactly. Kernel event counts and netem
+// delivery counters are deliberately NOT compared: the snapshot drops
+// in-flight keepalive frames (behaviorally invisible at quiescence).
+func TestSnapshotRoundTripIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"pure-bgp-ring", Config{Seed: 7, Graph: mustGraph(topology.Ring(5)), Timers: jitterTimers()}},
+		{"hybrid-clique", Config{Seed: 11, Graph: mustGraph(topology.Clique(5)), Timers: jitterTimers(),
+			SDNMembers: []idr.ASN{2, 3}}},
+		{"lossy-collector", Config{Seed: 23, Graph: mustGraph(topology.Line(4)), Timers: jitterTimers(),
+			LinkLoss: 0.05, LinkJitter: 5 * time.Millisecond, WithCollector: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e1 := warmedUp(t, tc.cfg)
+
+			snap, err := e1.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := EncodeSnapshot(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeSnapshot(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2, err := Restore(tc.cfg, decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := e2.K.Now(), e1.K.Now(); !got.Equal(want) {
+				t.Fatalf("restored clock %v != %v", got, want)
+			}
+			if got, want := ribDump(t, e2), ribDump(t, e1); got != want {
+				t.Fatalf("restored RIBs differ:\n--- original ---\n%s\n--- restored ---\n%s", want, got)
+			}
+
+			d1a, d1b := driveTrigger(t, e1)
+			d2a, d2b := driveTrigger(t, e2)
+			if d1a != d2a || d1b != d2b {
+				t.Fatalf("convergence diverged: original (%v, %v), restored (%v, %v)", d1a, d1b, d2a, d2b)
+			}
+			s1, r1 := e1.UpdateTotals()
+			s2, r2 := e2.UpdateTotals()
+			if s1 != s2 || r1 != r2 {
+				t.Fatalf("update totals diverged: original (%d, %d), restored (%d, %d)", s1, r1, s2, r2)
+			}
+			if got, want := ribDump(t, e2), ribDump(t, e1); got != want {
+				t.Fatalf("post-trigger RIBs differ:\n--- original ---\n%s\n--- restored ---\n%s", want, got)
+			}
+			if !e2.K.Now().Equal(e1.K.Now()) {
+				t.Fatalf("post-trigger clocks diverged: %v != %v", e2.K.Now(), e1.K.Now())
+			}
+			if e1.Detector.Events() != e2.Detector.Events() {
+				t.Fatalf("detector events diverged: %d != %d", e1.Detector.Events(), e2.Detector.Events())
+			}
+		})
+	}
+}
+
+// TestSnapshotForkDivergence restores the same snapshot under two
+// different seeds: the forks must both stay correct (full
+// reachability after re-convergence) while their jittered dynamics
+// are free to differ only where randomness enters.
+func TestSnapshotForkDivergence(t *testing.T) {
+	cfg := Config{Seed: 7, Graph: mustGraph(topology.Clique(5)), Timers: jitterTimers()}
+	e1 := warmedUp(t, cfg)
+	snap, err := e1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fork := func(seed int64) *Experiment {
+		c := cfg
+		c.Seed = seed
+		e, err := Restore(c, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	fa, fb := fork(7), fork(1007)
+	// Identical fork point: routing state equal before anything runs.
+	if ribDump(t, fa) != ribDump(t, fb) {
+		t.Fatal("forks differ at the fork point")
+	}
+	for _, f := range []*Experiment{fa, fb} {
+		if _, _, err := driveTriggerOK(f); err != nil {
+			t.Fatal(err)
+		}
+		for _, from := range f.ASNs() {
+			if !f.Reachable(from, 1) {
+				t.Fatalf("fork: %v cannot reach origin after re-announce", from)
+			}
+		}
+	}
+	// Final routing state re-converges to the same answer; only the
+	// timing (jitter draws) differed along the way.
+	if ribDump(t, fa) != ribDump(t, fb) {
+		t.Fatal("forks converged to different routing state")
+	}
+}
+
+// driveTriggerOK is driveTrigger without the test dependency, for
+// closures that tolerate errors.
+func driveTriggerOK(e *Experiment) (time.Duration, time.Duration, error) {
+	d1, err := e.MeasureConvergence(func() error { return e.Withdraw(1) }, 30*time.Minute)
+	if err != nil {
+		return 0, 0, err
+	}
+	d2, err := e.MeasureConvergence(func() error { return e.Announce(1) }, 30*time.Minute)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d1, d2, nil
+}
+
+// TestSnapshotRefusals pins the guarded error paths: unstarted
+// experiments and version skew.
+func TestSnapshotRefusals(t *testing.T) {
+	cfg := Config{Seed: 1, Graph: mustGraph(topology.Line(3)), Timers: fastTimers()}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("snapshot of an unstarted experiment succeeded")
+	}
+	e2 := warmedUp(t, cfg)
+	snap, err := e2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = SnapshotVersion + 1
+	if _, err := Restore(cfg, snap); err == nil {
+		t.Fatal("restore accepted a future snapshot version")
+	}
+	raw, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(raw); err == nil {
+		t.Fatal("decode accepted a future snapshot version")
+	}
+}

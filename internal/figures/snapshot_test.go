@@ -1,0 +1,138 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lab"
+)
+
+// snapshotSmokeSweep shrinks a registry spec to snapshot-test scale:
+// a 5-AS clique (16-AS internet graph for the policy family), one run
+// per point, two axis points where the axis allows it. The shrink
+// keeps every spec's workload, policy and placement semantics — only
+// the sizes change.
+func snapshotSmokeSweep(t *testing.T, spec Spec) lab.Sweep {
+	t.Helper()
+	o := Options{BaseSeed: 1, Runs: 1}
+	clique := lab.TopoSpec{Kind: "clique", N: 5}
+	inet := lab.TopoSpec{Kind: "internet", N: 16}
+	switch spec.Name {
+	case "vf", "policyload", "hijack", "cascade":
+		o.Topo = &inet
+	default:
+		o.Topo = &clique
+	}
+	if spec.Name != "mrai" {
+		// The mrai spec sweeps the MRAI itself and rejects the override.
+		o.MRAI = 5 * time.Second
+	}
+	sw, err := spec.Build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch sw.Axis.Kind {
+	case lab.AxisSDNCount:
+		sw.Axis = lab.SDNCounts(0, 2)
+	case lab.AxisMRAI:
+		sw.Axis = lab.MRAIs(2*time.Second, 5*time.Second)
+	case lab.AxisTopoSize:
+		sw.Axis = lab.TopoSizes(4, 5)
+	case lab.AxisDebounce:
+		sw.Axis = lab.Debounces(-1, time.Second)
+	case lab.AxisLoss:
+		sw.Axis = lab.Losses(0, 0.05)
+	}
+	return sw
+}
+
+// TestRegistrySnapshotEquivalence is the tentpole acceptance check at
+// registry breadth: every experiment spec, shrunk to smoke scale, must
+// produce deep-equal results and byte-identical output in all four
+// encoders with the warm-up snapshot cache on versus off, sequentially
+// and at parallelism 8. The cache is shared across the subtests, so
+// cross-figure key collisions (two specs warming up the same converged
+// network) are exercised too — a hit from another figure's warm-up
+// must still reproduce this figure's plain result.
+func TestRegistrySnapshotEquivalence(t *testing.T) {
+	// encodeAll renders a result through all four encoders; comparing
+	// the renderings (rather than reflect.DeepEqual) sidesteps the NaN
+	// axis values of non-numeric axes, which never compare equal.
+	encodeAll := func(t *testing.T, res *lab.SweepResult) map[lab.Format]string {
+		t.Helper()
+		out := map[lab.Format]string{}
+		for _, f := range []lab.Format{lab.FormatTable, lab.FormatCSV, lab.FormatJSON, lab.FormatMarkdown} {
+			var sb strings.Builder
+			if err := lab.Write(&sb, f, res); err != nil {
+				t.Fatal(err)
+			}
+			out[f] = sb.String()
+		}
+		return out
+	}
+	cache := lab.NewMemorySnapshotCache()
+	for _, spec := range Registry() {
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			plain := snapshotSmokeSweep(t, spec)
+			plain.Parallelism = 1
+			res, err := plain.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := encodeAll(t, res)
+
+			for _, parallelism := range []int{1, 8} {
+				snap := snapshotSmokeSweep(t, spec)
+				snap.Parallelism = parallelism
+				snap.Snapshots = cache
+				res, err := snap.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for f, enc := range encodeAll(t, res) {
+					if enc != want[f] {
+						t.Fatalf("%s output differs with snapshots on at parallelism %d:\n--- plain ---\n%s--- snapshots ---\n%s",
+							f, parallelism, want[f], enc)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFig2PaperConfigSnapshotEquivalence reruns the scientific-pin
+// configuration with the warm-up snapshot cache on: the EXPERIMENTS.md
+// metrics — s-pure-median 350.284, slope -369.785, r² 0.989 — must
+// come out exactly even though every cell's measurement starts from a
+// restored snapshot instead of the warm-up that produced it.
+func TestFig2PaperConfigSnapshotEquivalence(t *testing.T) {
+	cache := lab.NewMemorySnapshotCache()
+	res := build(t, "fig2", Options{SDNCounts: []int{0, 4, 8, 12, 16}, Runs: 3, BaseSeed: 1},
+		func(sw *lab.Sweep) { sw.Snapshots = cache })
+	if cache.Len() == 0 {
+		t.Fatal("snapshot cache stayed empty; the sweep did not take the snapshot path")
+	}
+	pinDurations(t, res.Cells[0], []time.Duration{352108071933, 346901627464, 350283820015})
+	pinDurations(t, res.Cells[4], []time.Duration{100 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond})
+	a, b, r2, ok := res.Fit()
+	if !ok {
+		t.Fatal("fit unavailable")
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+		want string
+	}{
+		{"s-pure-median", res.Cells[0].Summary.Median, "350.284"},
+		{"intercept", a, "358.154"},
+		{"slope", b, "-369.785"},
+		{"r2", r2, "0.989"},
+	} {
+		if got := fmt.Sprintf("%.3f", c.got); got != c.want {
+			t.Fatalf("%s = %s with snapshots on, want the pinned %s", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+)
+
+// The warm-up snapshot key: a stable, fully-resolved byte encoding of
+// every trial field that shapes the warmed-up converged state — the
+// prefix of the canonical trial that Sweep.Run snapshots and restores.
+// Two trials with equal WarmupKey() bytes reach byte-identical
+// converged state, so they may share one cached snapshot; everything
+// after the fork point (the measurement schedule, drain, flap shape)
+// is deliberately excluded so different measurements reuse the same
+// warm-up.
+//
+// Like canonical.go, the encoding is JSON over an explicit mirror
+// struct with documented defaults resolved, durations as integer
+// nanoseconds. The snapshotkey lint contract (internal/lint) enforces
+// that every Trial field is either read here or listed in the
+// exclusion table with the reason it cannot change the warm-up.
+
+// warmupKeyVersion bumps when warm-up semantics change in a way the
+// key fields cannot express (every cached snapshot is then stale). It
+// is independent of experiment.SnapshotVersion, which versions the
+// snapshot *encoding*; this versions what the warm-up *means*.
+const warmupKeyVersion = 1
+
+// warmupKey is the canonical warm-up prefix of a trial. Field order is
+// the encoding order; renaming or reordering is a deliberate cache
+// invalidation.
+type warmupKey struct {
+	Version   int    `json:"version"`
+	Topo      string `json:"topo"`
+	TopoSeed  int64  `json:"topo_seed"`
+	Placement string `json:"placement"`
+	Policy    string `json:"policy"`
+	// Resolved protocol timers (bgp.Timers.Resolved order).
+	HoldTimeNS           int64 `json:"hold_time_ns"`
+	KeepaliveFraction    int   `json:"keepalive_fraction"`
+	ConnectRetryNS       int64 `json:"connect_retry_ns"`
+	MRAINS               int64 `json:"mrai_ns"`
+	WithdrawalsImmediate bool  `json:"withdrawals_immediate"`
+	MRAIJitter           bool  `json:"mrai_jitter"`
+	// Engine knobs that reach experiment.Config.
+	DebounceNS        int64             `json:"debounce_ns"`
+	SettleNS          int64             `json:"settle_ns"`
+	ProcessingDelayNS int64             `json:"processing_delay_ns"`
+	LinkDelayNS       int64             `json:"link_delay_ns"`
+	LinkJitterNS      int64             `json:"link_jitter_ns"`
+	LinkLoss          float64           `json:"link_loss"`
+	Damping           *canonicalDamping `json:"damping,omitempty"`
+	// Warm-up shape: which prefixes are announced before convergence.
+	OriginOnly bool `json:"origin_only"`
+	// The resolved schedule's opening event decides whether the origin
+	// prefix stays unannounced (the fresh-announcement measurement),
+	// and a trial-origin failover adds the dual-homed stub to the
+	// graph. Both change the warmed-up state, so the raw ingredients
+	// participate instead of the whole (post-fork) schedule.
+	FirstKind       string `json:"first_kind"`
+	FirstAS         uint32 `json:"first_as"`
+	DualHomedOrigin bool   `json:"dual_homed_origin"`
+	// Seed participates only when the warm-up consumes seeded draws
+	// (MRAI jitter or link loss); otherwise the warm-up is
+	// byte-identical for every seed and one snapshot serves all of
+	// them — the restore re-derives the run's streams from its own
+	// seed (the fork).
+	SeedShared bool  `json:"seed_shared"`
+	Seed       int64 `json:"seed"`
+	// Bounds: a cached warm-up must not outlive a bound that would
+	// have failed it fresh.
+	TimeoutNS          int64 `json:"timeout_ns"`
+	EstablishTimeoutNS int64 `json:"establish_timeout_ns"`
+}
+
+// WarmupKey returns the trial's canonical warm-up prefix encoding: a
+// stable byte serialization of every field that shapes the warmed-up
+// converged state (and nothing after the fork point). Equal bytes mean
+// the trials can share one warm-up snapshot.
+func (t Trial) WarmupKey() ([]byte, error) {
+	t = t.withDefaults()
+	w, _, err := t.workload()
+	if err != nil {
+		return nil, err
+	}
+	tm := t.Timers.Resolved()
+	// Mirrors Workload.needsDualHomedOrigin, read here so the lint
+	// contract sees which WorkloadEvent fields shape the warm-up.
+	dual := false
+	for _, ev := range w {
+		if ev.Kind == KindFailover && ev.A == 0 && ev.B == 0 {
+			dual = true
+		}
+	}
+	shared := !tm.MRAIJitter && t.LinkLoss == 0
+	seed := t.Seed
+	if shared {
+		seed = 0
+	}
+	k := warmupKey{
+		Version:              warmupKeyVersion,
+		Topo:                 t.Topo.String(),
+		TopoSeed:             t.TopoSeed,
+		Placement:            t.Placement.String(),
+		Policy:               t.Policy.String(),
+		HoldTimeNS:           int64(tm.HoldTime),
+		KeepaliveFraction:    tm.KeepaliveFraction,
+		ConnectRetryNS:       int64(tm.ConnectRetry),
+		MRAINS:               int64(tm.MRAI),
+		WithdrawalsImmediate: tm.WithdrawalsImmediate,
+		MRAIJitter:           tm.MRAIJitter,
+		DebounceNS:           int64(t.Debounce),
+		SettleNS:             int64(t.Settle),
+		ProcessingDelayNS:    int64(t.ProcessingDelay),
+		LinkDelayNS:          int64(t.LinkDelay),
+		LinkJitterNS:         int64(t.LinkJitter),
+		LinkLoss:             t.LinkLoss,
+		OriginOnly:           t.OriginOnly,
+		FirstKind:            w[0].Kind.String(),
+		FirstAS:              uint32(w[0].AS),
+		DualHomedOrigin:      dual,
+		SeedShared:           shared,
+		Seed:                 seed,
+		TimeoutNS:            int64(t.Timeout),
+		EstablishTimeoutNS:   int64(t.EstablishTimeout),
+	}
+	if t.Damping != nil {
+		d := t.Damping.Resolved()
+		k.Damping = &canonicalDamping{
+			WithdrawPenalty:   d.WithdrawPenalty,
+			UpdatePenalty:     d.UpdatePenalty,
+			SuppressThreshold: d.SuppressThreshold,
+			ReuseThreshold:    d.ReuseThreshold,
+			HalfLifeNS:        int64(d.HalfLife),
+			MaxSuppressNS:     int64(d.MaxSuppress),
+		}
+	}
+	return json.Marshal(k)
+}
+
+// WarmupKeyHash returns the hex SHA-256 of WarmupKey() — the address a
+// SnapshotCache files the trial's warm-up snapshot under.
+func (t Trial) WarmupKeyHash() (string, error) {
+	b, err := t.WarmupKey()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// SnapshotCache stores encoded warm-up snapshots by warm-up key. Like
+// Sweep.Cache it cannot change results — a restored warm-up is
+// byte-identical to a fresh one — so it does not participate in
+// Canonical(). Implementations must be safe for concurrent use
+// (Sweep.Run calls them from worker goroutines).
+type SnapshotCache interface {
+	// Load returns the snapshot bytes filed under key, and whether
+	// they exist. An error means the cache itself failed.
+	Load(key string) ([]byte, bool, error)
+	// Store files the snapshot bytes under key.
+	Store(key string, snap []byte) error
+}
+
+// MemorySnapshotCache is the in-process SnapshotCache: one sweep's
+// warm-ups shared across its cells and runs (the artifact store
+// provides the durable, cross-invocation implementation).
+type MemorySnapshotCache struct {
+	mu    sync.Mutex
+	snaps map[string][]byte
+	hits  int
+}
+
+// NewMemorySnapshotCache returns an empty in-process snapshot cache.
+func NewMemorySnapshotCache() *MemorySnapshotCache {
+	return &MemorySnapshotCache{snaps: make(map[string][]byte)}
+}
+
+// Load returns the snapshot filed under key.
+func (c *MemorySnapshotCache) Load(key string) ([]byte, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.snaps[key]
+	if ok {
+		c.hits++
+	}
+	return b, ok, nil
+}
+
+// Store files snap under key.
+func (c *MemorySnapshotCache) Store(key string, snap []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snaps[key] = snap
+	return nil
+}
+
+// Hits reports how many Loads found their key; Len how many distinct
+// warm-ups are cached.
+func (c *MemorySnapshotCache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Len reports the number of cached warm-up snapshots.
+func (c *MemorySnapshotCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.snaps)
+}

@@ -1,0 +1,102 @@
+package lab
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+)
+
+// The snapshot-backed execution path: RunWithSnapshots sources the
+// trial's warmed-up converged state through a SnapshotCache keyed by
+// WarmupKeyHash. On a miss the warm-up runs once and its snapshot is
+// stored; hit or miss, the measurement ALWAYS starts from a restored
+// snapshot, so a cache hit is byte-identical to a cold run by
+// construction — the cold path exercises the exact restore the warm
+// path replays. When the warm-up key is seed-shared (no MRAI jitter,
+// no link loss), one snapshot serves every run seed: the restore
+// re-derives the run's random streams from its own seed (the fork).
+
+// RunWithSnapshots executes the trial like Run with its warm-up cached
+// in cache. It reports whether the warm-up came from the cache.
+func (t Trial) RunWithSnapshots(cache SnapshotCache) (Result, bool, error) {
+	p, err := t.prepare()
+	if err != nil {
+		return Result{}, false, err
+	}
+	key, err := t.WarmupKeyHash()
+	if err != nil {
+		return Result{}, false, err
+	}
+	raw, hit, err := cache.Load(key)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("lab: snapshot cache: %w", err)
+	}
+	if !hit {
+		e, err := p.warmup()
+		if err != nil {
+			return Result{}, false, err
+		}
+		snap, err := e.Snapshot()
+		if err != nil {
+			return Result{}, false, err
+		}
+		if raw, err = experiment.EncodeSnapshot(snap); err != nil {
+			return Result{}, false, err
+		}
+		if err := cache.Store(key, raw); err != nil {
+			return Result{}, false, fmt.Errorf("lab: snapshot cache: %w", err)
+		}
+	}
+	e, err := p.restore(raw)
+	if err != nil {
+		return Result{}, hit, fmt.Errorf("lab: warm-up snapshot %.12s: %w", key, err)
+	}
+	res, err := p.measure(e)
+	return res, hit, err
+}
+
+// restore rebuilds a runnable warmed-up experiment from encoded
+// snapshot bytes, re-deriving its random streams from the plan's own
+// seed.
+func (p *prepared) restore(raw []byte) (*experiment.Experiment, error) {
+	snap, err := experiment.DecodeSnapshot(raw)
+	if err != nil {
+		return nil, err
+	}
+	e, err := experiment.Restore(p.cfg, snap)
+	if err != nil {
+		return nil, err
+	}
+	e.K.WallLimit = p.trial.WallLimit
+	return e, nil
+}
+
+// WarmupSnapshot runs only the trial's warm-up phase and returns its
+// encoded snapshot — the bytes RunWithSnapshots caches. Exposed for
+// the benchmarks and the snapshot-equivalence harness.
+func (t Trial) WarmupSnapshot() ([]byte, error) {
+	p, err := t.prepare()
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.warmup()
+	if err != nil {
+		return nil, err
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return experiment.EncodeSnapshot(snap)
+}
+
+// RestoreWarmup rebuilds the warmed-up experiment from WarmupSnapshot
+// bytes taken under the same warm-up key. The trial's Seed chooses the
+// continuation's random streams — a different seed forks the warm-up.
+func (t Trial) RestoreWarmup(raw []byte) (*experiment.Experiment, error) {
+	p, err := t.prepare()
+	if err != nil {
+		return nil, err
+	}
+	return p.restore(raw)
+}

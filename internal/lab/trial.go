@@ -262,18 +262,45 @@ func (t Trial) workload() (Workload, time.Duration, error) {
 // workload schedule and measure one epoch per event. It returns the
 // uniform metrics record.
 func (t Trial) Run() (Result, error) {
+	p, err := t.prepare()
+	if err != nil {
+		return Result{}, err
+	}
+	e, err := p.warmup()
+	if err != nil {
+		return Result{}, err
+	}
+	return p.measure(e)
+}
+
+// prepared is one trial resolved to its execution plan: defaults
+// applied, the workload compiled and resolved against the origin, the
+// topology built, the cluster selected and the experiment config
+// assembled. It is the seam between the warm-up phase (whose converged
+// state experiment.Snapshot captures) and the measurement phase.
+type prepared struct {
+	trial  Trial // with defaults applied
+	w      Workload
+	drain  time.Duration
+	origin idr.ASN
+	cfg    experiment.Config
+}
+
+// prepare resolves the trial to its execution plan without running
+// anything.
+func (t Trial) prepare() (*prepared, error) {
 	t = t.withDefaults()
 	w, drain, err := t.workload()
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	g, err := t.Topo.Build(rand.New(rand.NewSource(t.TopoSeed)))
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	members, err := t.Placement.Select(g)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	origin := topology.BaseASN
 	if w.needsDualHomedOrigin() {
@@ -284,15 +311,15 @@ func (t Trial) Run() (Result, error) {
 		// stub attaches as a customer (P2C toward it), so its prefix
 		// propagates globally under valley-free policies too.
 		if g.NumNodes() < 3 {
-			return Result{}, fmt.Errorf("lab: failover needs >= 3 ASes, topology %q has %d", t.Topo, g.NumNodes())
+			return nil, fmt.Errorf("lab: failover needs >= 3 ASes, topology %q has %d", t.Topo, g.NumNodes())
 		}
 		origin = topology.BaseASN + idr.ASN(g.NumNodes())
 		g.AddNode(origin)
 		if err := g.AddEdge(topology.Edge{A: topology.BaseASN + 1, B: origin, Rel: topology.P2C}); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		if err := g.AddEdge(topology.Edge{A: topology.BaseASN + 2, B: origin, Rel: topology.P2C}); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
 	w = w.resolve(origin, topology.BaseASN+1)
@@ -301,66 +328,84 @@ func (t Trial) Run() (Result, error) {
 	// matches the experiment's).
 	pol, err := t.Policy.Build(g)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	e, err := experiment.New(experiment.Config{
-		Seed:            t.Seed,
-		Graph:           g,
-		SDNMembers:      members,
-		Policy:          pol,
-		Timers:          t.Timers,
-		Debounce:        t.Debounce,
-		Settle:          t.Settle,
-		ProcessingDelay: t.ProcessingDelay,
-		LinkDelay:       t.LinkDelay,
-		LinkJitter:      t.LinkJitter,
-		LinkLoss:        t.LinkLoss,
-		Damping:         t.Damping,
-	})
+	return &prepared{
+		trial:  t,
+		w:      w,
+		drain:  drain,
+		origin: origin,
+		cfg: experiment.Config{
+			Seed:            t.Seed,
+			Graph:           g,
+			SDNMembers:      members,
+			Policy:          pol,
+			Timers:          t.Timers,
+			Debounce:        t.Debounce,
+			Settle:          t.Settle,
+			ProcessingDelay: t.ProcessingDelay,
+			LinkDelay:       t.LinkDelay,
+			LinkJitter:      t.LinkJitter,
+			LinkLoss:        t.LinkLoss,
+			Damping:         t.Damping,
+		},
+	}, nil
+}
+
+// warmup builds and starts the experiment, announces the warm-up
+// prefixes and waits for full convergence — the state the snapshot
+// cache captures and restores.
+func (p *prepared) warmup() (*experiment.Experiment, error) {
+	e, err := experiment.New(p.cfg)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	e.K.WallLimit = t.WallLimit
+	e.K.WallLimit = p.trial.WallLimit
 	if err := e.Start(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	if err := e.WaitEstablished(t.EstablishTimeout); err != nil {
-		return Result{}, err
+	if err := e.WaitEstablished(p.trial.EstablishTimeout); err != nil {
+		return nil, err
 	}
 
 	// Warm-up: announce every prefix and let routing settle. The
 	// origin's own prefix stays unannounced when the schedule opens by
 	// announcing it (the fresh-announcement measurement); OriginOnly
 	// trims the warm-up to the origin prefix alone.
-	skipOrigin := w[0].Kind == KindAnnouncement && w[0].AS == origin
+	skipOrigin := p.w[0].Kind == KindAnnouncement && p.w[0].AS == p.origin
 	for _, asn := range e.ASNs() {
-		if skipOrigin && asn == origin {
+		if skipOrigin && asn == p.origin {
 			continue
 		}
-		if t.OriginOnly && asn != origin {
+		if p.trial.OriginOnly && asn != p.origin {
 			continue
 		}
 		if err := e.Announce(asn); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
-	if _, err := e.WaitConverged(t.Timeout); err != nil {
-		return Result{}, err
+	if _, err := e.WaitConverged(p.trial.Timeout); err != nil {
+		return nil, err
 	}
+	return e, nil
+}
 
-	prefix, err := e.OriginPrefix(origin)
+// measure drives the workload schedule against a warmed-up (or
+// restored) experiment and assembles the metrics record.
+func (p *prepared) measure(e *experiment.Experiment) (Result, error) {
+	prefix, err := e.OriginPrefix(p.origin)
 	if err != nil {
 		return Result{}, err
 	}
 	sentBefore, recvBefore := e.UpdateTotals()
 	recompBefore := recomputes(e)
-	start := e.K.Now().Add(w[0].At)
+	start := e.K.Now().Add(p.w[0].At)
 
-	epochs, hijacked, err := executeWorkload(e, w, workloadRun{
-		origin:  origin,
+	epochs, hijacked, err := executeWorkload(e, p.w, workloadRun{
+		origin:  p.origin,
 		prefix:  prefix,
-		timeout: t.Timeout,
-		drain:   drain,
+		timeout: p.trial.Timeout,
+		drain:   p.drain,
 	})
 	if err != nil {
 		return Result{}, err
@@ -383,10 +428,10 @@ func (t Trial) Run() (Result, error) {
 	res.ProbesSent, res.ProbesDelivered = loss.Sent, loss.Delivered
 	res.ReachableAfter = true
 	for _, asn := range e.ASNs() {
-		if asn == origin {
+		if asn == p.origin {
 			continue
 		}
-		if !e.Reachable(asn, origin) {
+		if !e.Reachable(asn, p.origin) {
 			res.ReachableAfter = false
 			break
 		}

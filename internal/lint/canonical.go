@@ -27,6 +27,9 @@ type CanonicalConfig struct {
 	// are covered wholesale (e.g. serialized via String()), stopping
 	// the per-field recursion there.
 	ExcludeTypes map[string]string
+	// Encoder names the encoding function in diagnostics (default
+	// "Canonical()").
+	Encoder string
 }
 
 // CanonicalContract is the repository's configuration: every
@@ -53,6 +56,7 @@ var CanonicalContract = CanonicalConfig{
 		"Sweep.Parallelism":  "execution knob; results are identical at any parallelism",
 		"Sweep.Progress":     "progress callback, observation only",
 		"Sweep.Cache":        "cache hook; a hit is bit-identical to the run it replaces",
+		"Sweep.Snapshots":    "warm-up cache hook; a restored warm-up is byte-identical to a fresh one",
 		"Sweep.Tolerate":     "failure-tolerance knob; cannot change a successful result",
 		"Sweep.Retries":      "failure-tolerance knob; retries re-run the identical trial",
 		"Sweep.RetryBackoff": "real-time sleep between retries, invisible to results",
@@ -70,10 +74,54 @@ var CanonicalContract = CanonicalConfig{
 	},
 }
 
+// SnapshotKeyContract is the warm-up snapshot key's configuration:
+// every lab.Trial field that can shape the warmed-up converged state
+// must be read by WarmupKey() in snapshotkey.go or listed here with
+// the reason it cannot — the snapshot cache's invalidation contract
+// (a field the key ignores would silently share a stale warm-up
+// between trials that converge to different states).
+var SnapshotKeyContract = CanonicalConfig{
+	Package: "repro/internal/lab",
+	Roots:   []string{"Trial"},
+	File:    "snapshotkey.go",
+	Encoder: "WarmupKey()",
+	ExcludeFields: map[string]string{
+		// The measurement schedule runs entirely after the fork point;
+		// only its opening event shapes the warm-up (whether the origin
+		// prefix stays unannounced, and whether a dual-homed stub joins
+		// the graph), so WarmupKey reads those raw ingredients from the
+		// resolved workload instead of these fields.
+		"Trial.Event":      "compiled into the workload; the resolved schedule's opening event is read instead",
+		"Trial.Workload":   "post-fork measurement schedule; the opening event's ingredients are read via t.workload()",
+		"Trial.Drain":      "post-measurement settle window, entirely after the fork point",
+		"Trial.FlapCycles": "flap storm shape, entirely after the fork point (the sugar always opens with the same withdrawal)",
+		"Trial.FlapPeriod": "flap storm shape, entirely after the fork point",
+		"Trial.WallLimit":  "wall-clock guard; can only turn a run into a failure and is re-applied after restore",
+		"WorkloadEvent.At": "event offsets are relative to the fork point; only the opening event's kind and targets shape the warm-up",
+	},
+	ExcludeTypes: map[string]string{
+		// Serialized wholesale through String(), as in CanonicalContract.
+		"TopoSpec":   "serialized via String(); ParseTopo round-trip is pinned",
+		"Placement":  "serialized via String(); parse round-trip is pinned",
+		"PolicySpec": "serialized via String(); parse round-trip is pinned",
+	},
+}
+
 // CanonicalAnalyzer checks the Canonical() cache-invalidation
 // contract with the repository configuration (CanonicalContract).
 func CanonicalAnalyzer() *Analyzer {
 	return CanonicalAnalyzerWith(CanonicalContract)
+}
+
+// SnapshotKeyAnalyzer checks the WarmupKey() snapshot-sharing contract
+// with the repository configuration (SnapshotKeyContract): the same
+// completeness diff as the canonical analyzer, over the warm-up key
+// encoder and rooted at Trial alone.
+func SnapshotKeyAnalyzer() *Analyzer {
+	a := CanonicalAnalyzerWith(SnapshotKeyContract)
+	a.Name = "snapshotkey"
+	a.Doc = "every warm-up-shaping Trial field is read by WarmupKey() or explicitly excluded"
+	return a
 }
 
 // CanonicalAnalyzerWith builds the canonical-completeness analyzer
@@ -87,6 +135,14 @@ func CanonicalAnalyzerWith(cfg CanonicalConfig) *Analyzer {
 			return runCanonical(prog, cfg)
 		},
 	}
+}
+
+// encoderName names the contract's encoding function in diagnostics.
+func encoderName(cfg CanonicalConfig) string {
+	if cfg.Encoder != "" {
+		return cfg.Encoder
+	}
+	return "Canonical()"
 }
 
 // watchedField is one struct field under the contract.
@@ -106,6 +162,7 @@ func runCanonical(prog *Program, cfg CanonicalConfig) ([]Diagnostic, error) {
 	// Collect the watched structs: the roots plus every module struct
 	// reachable through their fields, stopping at excluded types.
 	watched := map[*types.Named]bool{}
+	seen := map[*types.Named]bool{}
 	usedTypeExcl := map[string]bool{}
 	var collect func(t types.Type)
 	collect = func(t types.Type) {
@@ -120,10 +177,6 @@ func runCanonical(prog *Program, cfg CanonicalConfig) ([]Diagnostic, error) {
 			collect(t.Key())
 			collect(t.Elem())
 		case *types.Named:
-			st, ok := t.Underlying().(*types.Struct)
-			if !ok {
-				return
-			}
 			obj := t.Obj()
 			if obj.Pkg() == nil || !strings.HasPrefix(obj.Pkg().Path(), prog.ModulePath) {
 				return
@@ -132,7 +185,16 @@ func runCanonical(prog *Program, cfg CanonicalConfig) ([]Diagnostic, error) {
 				usedTypeExcl[obj.Name()] = true
 				return
 			}
-			if watched[t] {
+			if seen[t] {
+				return
+			}
+			seen[t] = true
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				// A named slice/map/array (e.g. lab.Workload) is a
+				// window onto its element structs — recurse through the
+				// underlying type so they fall under the contract too.
+				collect(t.Underlying())
 				return
 			}
 			watched[t] = true
@@ -210,8 +272,8 @@ func runCanonical(prog *Program, cfg CanonicalConfig) ([]Diagnostic, error) {
 			diags = append(diags, Diagnostic{
 				Pos:   prog.Position(obj.Pos()),
 				Check: CheckCanonical,
-				Message: fmt.Sprintf("field %s is neither serialized in %s nor in the canonical exclusion list — a new result-affecting field must join Canonical() or the cached cells it can change go stale",
-					key, cfg.File),
+				Message: fmt.Sprintf("field %s is neither serialized in %s nor in the canonical exclusion list — a new result-affecting field must join %s or the cached state it can change goes stale",
+					key, cfg.File, encoderName(cfg)),
 			})
 		case read[obj] && excluded:
 			diags = append(diags, Diagnostic{

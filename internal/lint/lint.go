@@ -132,6 +132,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
 		CanonicalAnalyzer(),
+		SnapshotKeyAnalyzer(),
 		ZeroAllocAnalyzer(),
 		ErrcheckAnalyzer(),
 		DocAnalyzer(),

@@ -8,5 +8,5 @@ import "fmt"
 // Canonical renders the serialized subset of Spec. It reads s.O, but
 // the excluded Opaque type keeps Opaque.Hidden out of the watch set.
 func Canonical(s Spec) string {
-	return fmt.Sprint(s.A, s.Both, s.N.Kept, s.O)
+	return fmt.Sprint(s.A, s.Both, s.N.Kept, s.L[0].Val, s.O)
 }

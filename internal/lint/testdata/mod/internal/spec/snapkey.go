@@ -1,0 +1,14 @@
+// The second encoder file: fixtureSnapshotKey covers the same Spec
+// root through this file, standing in for lab's WarmupKey(). It reads
+// Spec.A and Nested.Kept only — Spec.B and Nested.Dropped fire under
+// this contract too, Spec.Both is excluded here (not stale, unlike the
+// canonical contract), and the want on the package clause is the
+// stale snapshot-key exclusion finding.
+package spec // want "Spec.SnapGone"
+
+import "fmt"
+
+// SnapKey renders the snapshot-key subset of Spec.
+func SnapKey(s Spec) string {
+	return fmt.Sprint(s.A, s.N.Kept, s.L[0].Val, s.O)
+}

@@ -7,8 +7,20 @@ package spec
 type Nested struct {
 	// Kept is serialized by the encoder (not flagged).
 	Kept int
-	// Dropped is neither serialized nor excluded.
-	Dropped int // want "canonical"
+	// Dropped is neither serialized nor excluded — by either contract.
+	Dropped int // want "in canonical.go" "in snapkey.go"
+}
+
+// List is a named slice: the contract recurses through it, so Item
+// falls under the watch set even though no field has type Item.
+type List []Item
+
+// Item is reachable only through the named List slice.
+type Item struct {
+	// Val is serialized by both encoders (not flagged).
+	Val int
+	// Lost is neither serialized nor excluded — by either contract.
+	Lost int // want "in canonical.go" "in snapkey.go"
 }
 
 // Opaque is excluded wholesale via the type-exclusion list; its
@@ -23,7 +35,7 @@ type Spec struct {
 	// A is serialized by the encoder (not flagged).
 	A int
 	// B is the dummy result-affecting field nobody serialized.
-	B int // want "canonical"
+	B int // want "in canonical.go" "in snapkey.go"
 	// Skipped is deliberately excluded with a reason (not flagged).
 	Skipped int
 	// Both is serialized AND excluded — a stale exclusion entry.
@@ -33,6 +45,8 @@ type Spec struct {
 	Ann int
 	// N pulls Nested into the watched set.
 	N Nested
+	// L pulls Item into the watched set through the named slice.
+	L List
 	// O stops the recursion at the excluded type.
 	O *Opaque
 }

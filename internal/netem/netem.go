@@ -139,8 +139,11 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) (*Link, error) {
 	l := &Link{net: n, cfg: cfg, up: true}
 	if n.seeded {
 		// Mix the creation index into the seed (splitmix64-style odd
-		// constant) so adjacent links get well-separated streams.
-		l.rng = rand.New(rand.NewSource(n.linkSeed ^ int64(len(n.links)+1)*-0x61c8864680b583eb))
+		// constant) so adjacent links get well-separated streams. The
+		// source is draw-counted so snapshots can record the stream
+		// position and restores re-derive it from the seed.
+		l.src = sim.NewCountingSource(n.linkSeed ^ int64(len(n.links)+1)*-0x61c8864680b583eb)
+		l.rng = rand.New(l.src)
 	}
 	l.a = &Endpoint{node: a, link: l}
 	l.b = &Endpoint{node: b, link: l}
@@ -187,6 +190,7 @@ type Link struct {
 	a, b  *Endpoint
 	cfg   LinkConfig
 	rng   *rand.Rand // private stream when the network is seeded
+	src   *sim.CountingSource
 	up    bool
 	epoch uint64 // incremented on every down transition; kills in-flight traffic
 	subs  []func(up bool)

@@ -22,6 +22,8 @@ type Kernel struct {
 	seq    uint64
 	queue  eventHeap
 	rng    *rand.Rand
+	src    *CountingSource
+	seed   int64
 	events uint64 // total events executed
 
 	// MaxEvents aborts Run with ErrEventBudget once this many events
@@ -68,11 +70,16 @@ func (k *Kernel) overBudget() error {
 }
 
 // NewKernel returns a Kernel whose clock reads Epoch and whose random
-// source is seeded with seed.
+// source is seeded with seed. The source is draw-counted (see
+// CountingSource) so a snapshot can record exactly how far the stream
+// has advanced and a restore can replay it to the same point.
 func NewKernel(seed int64) *Kernel {
+	src := NewCountingSource(seed)
 	return &Kernel{
-		now: Epoch,
-		rng: rand.New(rand.NewSource(seed)),
+		now:  Epoch,
+		rng:  rand.New(src),
+		src:  src,
+		seed: seed,
 	}
 }
 

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCountingSourceStreamIdentity pins the property the whole
+// checkpointing design rests on: a *rand.Rand over a CountingSource
+// emits the byte-identical stream of one over a plain rand.NewSource,
+// across every consumption method the emulation uses.
+func TestCountingSourceStreamIdentity(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		plain := rand.New(rand.NewSource(seed))
+		counted := rand.New(NewCountingSource(seed))
+		for i := 0; i < 1000; i++ {
+			switch i % 5 {
+			case 0:
+				if a, b := plain.Int63(), counted.Int63(); a != b {
+					t.Fatalf("seed %d draw %d: Int63 %d != %d", seed, i, a, b)
+				}
+			case 1:
+				if a, b := plain.Float64(), counted.Float64(); a != b {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, a, b)
+				}
+			case 2:
+				if a, b := plain.Uint64(), counted.Uint64(); a != b {
+					t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, i, a, b)
+				}
+			case 3:
+				if a, b := plain.Int63n(1000), counted.Int63n(1000); a != b {
+					t.Fatalf("seed %d draw %d: Int63n %d != %d", seed, i, a, b)
+				}
+			case 4:
+				if a, b := plain.Perm(10), counted.Perm(10); len(a) == len(b) {
+					for j := range a {
+						if a[j] != b[j] {
+							t.Fatalf("seed %d draw %d: Perm mismatch", seed, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountingSourceFastForward pins that (seed, draws) fully locates
+// a stream position: re-seeding and fast-forwarding reproduces the
+// continuation exactly.
+func TestCountingSourceFastForward(t *testing.T) {
+	src := NewCountingSource(99)
+	r := rand.New(src)
+	for i := 0; i < 137; i++ {
+		r.Float64()
+	}
+	draws := src.Draws()
+	var want []int64
+	for i := 0; i < 50; i++ {
+		want = append(want, r.Int63())
+	}
+
+	src2 := NewCountingSource(0)
+	src2.Seed(99)
+	src2.FastForward(draws)
+	r2 := rand.New(src2)
+	for i, w := range want {
+		if got := r2.Int63(); got != w {
+			t.Fatalf("draw %d after fast-forward: %d != %d", i, got, w)
+		}
+	}
+}
+
+// TestKernelStateRoundTrip pins the kernel restore protocol: capture
+// state mid-run, rebuild a fresh kernel, re-arm the pending timer,
+// finish the restore, and the continuation matches the original.
+func TestKernelStateRoundTrip(t *testing.T) {
+	run := func() KernelState {
+		k := NewKernel(7)
+		k.AfterFunc(time.Second, func() {})
+		for i := 0; i < 10; i++ {
+			k.Rand().Float64()
+		}
+		if !k.Step() {
+			t.Fatal("no event to step")
+		}
+		k.AfterFunc(2*time.Second, func() {})
+		return k.State()
+	}
+	st := run()
+
+	k := NewKernel(7)
+	for i := 0; i < 3; i++ {
+		k.Rand().Float64() // desync deliberately; BeginRestore must resync
+	}
+	k.BeginRestore(st, 7)
+	var fired time.Time
+	k.AfterFunc(2*time.Second, func() { fired = k.Now() })
+	k.FinishRestore(st)
+
+	if k.Now().Sub(Epoch) != time.Second {
+		t.Fatalf("restored clock at %v, want Epoch+1s", k.Now().Sub(Epoch))
+	}
+	if k.Events() != 1 {
+		t.Fatalf("restored events %d, want 1", k.Events())
+	}
+	want := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		want.Float64()
+	}
+	if got, w := k.Rand().Float64(), want.Float64(); got != w {
+		t.Fatalf("restored RNG continuation %v != %v", got, w)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Sub(Epoch) != 3*time.Second {
+		t.Fatalf("re-armed timer fired at %v, want Epoch+3s", fired.Sub(Epoch))
+	}
+}
+
+// TestTimerState pins the timer inspection API: active kernel timers
+// report (deadline, seq); fired, stopped and nil timers do not.
+func TestTimerState(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.AfterFunc(5*time.Second, func() {})
+	at, seq, ok := TimerState(tm)
+	if !ok || at.Sub(Epoch) != 5*time.Second || seq == 0 {
+		t.Fatalf("active timer: at=%v seq=%d ok=%v", at.Sub(Epoch), seq, ok)
+	}
+	tm.Stop()
+	if _, _, ok := TimerState(tm); ok {
+		t.Fatal("stopped timer reported active state")
+	}
+	if _, _, ok := TimerState(nil); ok {
+		t.Fatal("nil timer reported active state")
+	}
+}

@@ -175,8 +175,12 @@ func (s *Session) startOpen() {
 		guard = s.cfg.HoldTime
 	}
 	s.stopTimer(&s.holdTimer)
-	s.holdTimer = s.cfg.Clock.AfterFunc(guard, func() { s.reset(true) })
+	s.holdTimer = s.cfg.Clock.AfterFunc(guard, s.openGuardExpire)
 }
+
+// openGuardExpire is the hold-timer callback while in OpenSent: the
+// RFC 4271 §8.2.2 large guard, which resets without notifying.
+func (s *Session) openGuardExpire() { s.reset(true) }
 
 func (s *Session) armRetry() {
 	s.stopTimer(&s.retryTimer)
@@ -316,10 +320,14 @@ func (s *Session) armHoldTimer() {
 		return
 	}
 	s.stopTimer(&s.holdTimer)
-	s.holdTimer = s.cfg.Clock.AfterFunc(s.holdTime, func() {
-		_ = s.send(wire.Notification{Code: wire.NotifHoldTimerExpired})
-		s.reset(true)
-	})
+	s.holdTimer = s.cfg.Clock.AfterFunc(s.holdTime, s.holdExpire)
+}
+
+// holdExpire is the negotiated hold-timer callback: notify the
+// neighbor, then reset.
+func (s *Session) holdExpire() {
+	_ = s.send(wire.Notification{Code: wire.NotifHoldTimerExpired})
+	s.reset(true)
 }
 
 func (s *Session) armKeepalive() {
@@ -331,13 +339,17 @@ func (s *Session) armKeepalive() {
 		interval = time.Second
 	}
 	s.stopTimer(&s.keepaliveTimer)
-	s.keepaliveTimer = s.cfg.Clock.AfterFunc(interval, func() {
-		if s.state != StateEstablished {
-			return
-		}
-		_ = s.send(wire.Keepalive{})
-		s.armKeepalive()
-	})
+	s.keepaliveTimer = s.cfg.Clock.AfterFunc(interval, s.keepaliveFire)
+}
+
+// keepaliveFire is the keepalive-timer callback: send one keepalive
+// and re-arm.
+func (s *Session) keepaliveFire() {
+	if s.state != StateEstablished {
+		return
+	}
+	_ = s.send(wire.Keepalive{})
+	s.armKeepalive()
 }
 
 // Announce advertises prefix with the controller-built attributes.
