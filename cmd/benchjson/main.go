@@ -41,6 +41,7 @@ func main() {
 		fatal(err)
 	}
 	rep.Label = *label
+	rep.Stamp()
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("benchjson: no benchmark lines in input (did the bench run fail?)"))
 	}

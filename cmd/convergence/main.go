@@ -52,6 +52,12 @@
 //	                                           # inter-AS link (seeded per
 //	                                           # link: still reproducible)
 //	convergence -exp fig2 -delay 20ms -jitter 5ms
+//	                                           # a SIGINT/SIGTERM while a
+//	                                           # -out sweep runs drains the
+//	                                           # in-flight runs, flushes
+//	                                           # their records, seals a
+//	                                           # partial manifest and exits
+//	                                           # cleanly; rerun to resume
 //	convergence -exp fig2 -tolerate -retries 1 -wall-limit 2m
 //	                                           # failure-tolerant sweep: a
 //	                                           # panicking, timed-out or
@@ -62,11 +68,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/artifact"
@@ -247,6 +256,22 @@ func main() {
 		fatal(fmt.Errorf("-retries only applies with -tolerate (a non-tolerant sweep aborts on the first failure)"))
 	}
 
+	// Graceful drain: the first SIGINT/SIGTERM stops scheduling new
+	// runs and lets in-flight ones finish (with -out their records are
+	// flushed and the partial manifest sealed, so rerunning the same
+	// command resumes); a second signal force-quits.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "convergence: interrupt — draining in-flight runs (interrupt again to force quit)")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+	sweep.Stop = stop
+
 	var res *lab.SweepResult
 	var snapStats func() artifact.SnapshotStats
 	if *out != "" {
@@ -266,6 +291,11 @@ func main() {
 		}
 		var stats artifact.RunStats
 		res, stats, err = artifact.RunSweep(store, sweep)
+		if errors.Is(err, lab.ErrStopped) {
+			fmt.Fprintf(os.Stderr, "store: spec %.12s — interrupted with %d/%d runs done (%d cached, %d executed); partial manifest sealed — rerun the same command to resume\n",
+				stats.SpecHash, stats.Hits+stats.Executed+stats.Failed, stats.Total, stats.Hits, stats.Executed)
+			return
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -276,6 +306,10 @@ func main() {
 			sweep.Snapshots = lab.NewMemorySnapshotCache()
 		}
 		res, err = sweep.Run()
+		if errors.Is(err, lab.ErrStopped) {
+			fmt.Fprintln(os.Stderr, "convergence: interrupted; completed runs are discarded without -out (use -out to make interrupted sweeps resumable)")
+			return
+		}
 		if err != nil {
 			fatal(err)
 		}

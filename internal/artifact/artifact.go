@@ -41,6 +41,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -430,10 +431,27 @@ type RunStats struct {
 	Total int
 }
 
+// Stats snapshots the store's counters for this execution.
+func (ss *SweepStore) Stats() RunStats {
+	return RunStats{
+		SpecHash: ss.SpecHash(),
+		Hits:     ss.Hits(),
+		Executed: ss.Executed(),
+		Failed:   ss.Failed(),
+		Total:    ss.Total(),
+	}
+}
+
 // RunSweep executes a sweep through the store: cached cells load,
 // fresh cells run and are filed, and the sealed manifest is written on
 // completion. It is the one call behind `convergence -out` and every
 // labreport figure.
+//
+// A graceful drain (Sweep.Stop closed mid-run) is not a failure: the
+// in-flight cells have already flushed their records, so RunSweep
+// seals the partial manifest (Complete=false), returns the stats of
+// what did run, and reports lab.ErrStopped — a re-run of the same
+// spec resumes from the stored records.
 func RunSweep(store *Store, sw lab.Sweep) (*lab.SweepResult, RunStats, error) {
 	ss, err := store.Sweep(sw)
 	if err != nil {
@@ -442,18 +460,18 @@ func RunSweep(store *Store, sw lab.Sweep) (*lab.SweepResult, RunStats, error) {
 	sw.Cache = ss
 	res, err := sw.Run()
 	if err != nil {
+		if errors.Is(err, lab.ErrStopped) {
+			if ferr := ss.Finish(); ferr != nil {
+				return nil, RunStats{}, ferr
+			}
+			return nil, ss.Stats(), err
+		}
 		return nil, RunStats{}, err
 	}
 	if err := ss.Finish(); err != nil {
 		return nil, RunStats{}, err
 	}
-	return res, RunStats{
-		SpecHash: ss.SpecHash(),
-		Hits:     ss.Hits(),
-		Executed: ss.Executed(),
-		Failed:   ss.Failed(),
-		Total:    ss.Total(),
-	}, nil
+	return res, ss.Stats(), nil
 }
 
 // WriteFileAtomic writes data to path via a temp file and rename, so

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -50,8 +51,27 @@ type Report struct {
 	Pkg string `json:"pkg,omitempty"`
 	// CPU echoes the cpu header line.
 	CPU string `json:"cpu,omitempty"`
+	// GoVersion is the toolchain that ran the conversion (Stamp), so
+	// archived documents record the environment they were measured in.
+	GoVersion string `json:"go_version,omitempty"`
+	// GoMaxProcs is runtime.GOMAXPROCS at conversion time (Stamp).
+	GoMaxProcs int `json:"go_max_procs,omitempty"`
+	// NumCPU is runtime.NumCPU at conversion time (Stamp); with the
+	// cpu header line it pins the hardware a trajectory point ran on.
+	NumCPU int `json:"num_cpu,omitempty"`
 	// Benchmarks holds every parsed result line in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Stamp records the running environment — Go version, GOMAXPROCS and
+// CPU count — into the report, so every archived BENCH_*.json
+// identifies the toolchain and parallelism it was measured under.
+// The cpu model string comes from go test's own header line (CPU);
+// Stamp never overwrites a parsed header.
+func (r *Report) Stamp() {
+	r.GoVersion = runtime.Version()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
+	r.NumCPU = runtime.NumCPU()
 }
 
 // Find returns the named benchmark (repolint's baseline lookups).

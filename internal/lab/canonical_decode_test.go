@@ -1,0 +1,176 @@
+package lab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/idr"
+)
+
+// decodeSweeps is the round-trip corpus: one sweep per axis kind plus
+// the trickier trial shapes (explicit workload, damping, negative
+// debounce, Erdős–Rényi float parameter).
+func decodeSweeps() map[string]Sweep {
+	return map[string]Sweep{
+		"sdn-count": {
+			Base: Trial{
+				Topo:            TopoSpec{Kind: "clique", N: 6},
+				Event:           Withdrawal,
+				Debounce:        100 * time.Millisecond,
+				ProcessingDelay: 25 * time.Millisecond,
+			},
+			Axis:       SDNCounts(0, 3, 6),
+			Runs:       3,
+			BaseSeed:   21,
+			SeedPolicy: SeedCellRun,
+		},
+		"mrai": {
+			Base: Trial{Topo: TopoSpec{Kind: "ring", N: 8}, Event: Announcement},
+			Axis: MRAIs(time.Second, 5*time.Second, 30*time.Second),
+			Runs: 2,
+		},
+		"size": {
+			Base: Trial{Topo: TopoSpec{Kind: "er", N: 16, P: 0.25}, Event: Failover, OriginOnly: true},
+			Axis: TopoSizes(8, 16, 32),
+		},
+		"debounce-off": {
+			Base: Trial{Topo: TopoSpec{Kind: "star", N: 5}, Event: Withdrawal},
+			// The negative "disabled" debounce labels as "off" but must
+			// serialize as a value ("-1ns") to keep distinct settings at
+			// distinct addresses — the decode must parse it back.
+			Axis: Debounces(-time.Nanosecond, 0, time.Second),
+		},
+		"flap-modes": {
+			Base: Trial{
+				Topo:       TopoSpec{Kind: "grid", N: 3, M: 3},
+				Event:      Flap,
+				FlapCycles: 4,
+				FlapPeriod: 10 * time.Second,
+				Damping:    &bgp.DampingConfig{HalfLife: 2 * time.Minute},
+				Drain:      10 * time.Minute,
+			},
+			Axis: Modes(ModeBGP, ModeDamping, ModeSDN),
+		},
+		"flap-period": {
+			Base: Trial{Topo: TopoSpec{Kind: "clique", N: 4}, Event: Flap},
+			Axis: FlapPeriods(5*time.Second, 20*time.Second),
+		},
+		"policy": {
+			Base: Trial{Topo: TopoSpec{Kind: "tree", N: 7, M: 2}, Event: Hijack},
+			Axis: Policies(PolicySpec{}, PolicySpec{Kind: "gao-rexford"}, PolicySpec{Kind: "prefix-filter"}),
+		},
+		"loss": {
+			Base: Trial{
+				Topo:       TopoSpec{Kind: "line", N: 5},
+				Event:      Withdrawal,
+				LinkDelay:  2 * time.Millisecond,
+				LinkJitter: time.Millisecond,
+			},
+			Axis: Losses(0, 0.05, 0.2),
+		},
+		"workload": {
+			Base: Trial{
+				Topo: TopoSpec{Kind: "clique", N: 5},
+				// Event is sugar-masked by the explicit schedule; the
+				// canonical form must survive the round trip regardless.
+				Event: Announcement,
+				Workload: Workload{
+					{At: 0, Kind: KindWithdrawal},
+					{At: 30 * time.Second, Kind: KindAnnouncement, AS: 2},
+					{At: time.Minute, Kind: KindLinkDown, A: 1, B: 3},
+				},
+				Placement: Placement{Strategy: PlaceExplicit, ASNs: []idr.ASN{2, 3}},
+			},
+			Axis: SDNCounts(2),
+		},
+	}
+}
+
+// TestParseCanonicalRoundTrip pins that ParseCanonical is the exact
+// inverse of Canonical for every axis kind and trial shape: decode
+// then re-encode reproduces the input bytes, so a spec shipped over
+// the daemon wire reconstructs the identical content address.
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	for name, sw := range decodeSweeps() {
+		t.Run(name, func(t *testing.T) {
+			data, err := sw.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ParseCanonical(data)
+			if err != nil {
+				t.Fatalf("ParseCanonical: %v", err)
+			}
+			back, err := got.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("round trip changed the canonical bytes:\nin:  %s\nout: %s", data, back)
+			}
+		})
+	}
+}
+
+// TestParseCanonicalGridMatches pins that a decoded sweep runs the
+// same grid: same cell labels, same per-(cell,run) seeds — the
+// properties the artifact store's (spec, cell, run) addressing relies
+// on.
+func TestParseCanonicalGridMatches(t *testing.T) {
+	sw := decodeSweeps()["sdn-count"]
+	data, err := sw.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCanonical(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Axis.Len() != sw.Axis.Len() || got.Runs != sw.Runs {
+		t.Fatalf("grid shape changed: got %dx%d, want %dx%d", got.Axis.Len(), got.Runs, sw.Axis.Len(), sw.Runs)
+	}
+	for ci := 0; ci < sw.Axis.Len(); ci++ {
+		if got.Axis.Label(ci) != sw.Axis.Label(ci) {
+			t.Errorf("cell %d label: got %q, want %q", ci, got.Axis.Label(ci), sw.Axis.Label(ci))
+		}
+		for run := 0; run < sw.Runs; run++ {
+			if got.seed(ci, run) != sw.seed(ci, run) {
+				t.Errorf("seed(%d,%d): got %d, want %d", ci, run, got.seed(ci, run), sw.seed(ci, run))
+			}
+		}
+	}
+}
+
+// TestParseCanonicalRejects pins the admission checks: version skew,
+// non-canonical spellings, unknown fields and junk all fail loudly
+// instead of aliasing a different spec.
+func TestParseCanonicalRejects(t *testing.T) {
+	sw := decodeSweeps()["mrai"]
+	data, err := sw.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"junk":           "not json",
+		"version skew":   strings.Replace(string(data), `"version":2`, `"version":1`, 1),
+		"unknown field":  strings.Replace(string(data), `"version":2`, `"version":2,"extra":true`, 1),
+		"unknown axis":   strings.Replace(string(data), `"name":"mrai_s"`, `"name":"mrai_m"`, 1),
+		"bad policy":     strings.Replace(string(data), `"policy":"permit-all"`, `"policy":"deny-most"`, 1),
+		"zero runs":      strings.Replace(string(data), `"runs":2`, `"runs":0`, 1),
+		"no event":       strings.Replace(string(data), `"event":"announcement"`, `"event":""`, 1),
+		"bad seedpolicy": strings.Replace(string(data), `"seed_policy":"run"`, `"seed_policy":"dice"`, 1),
+		// Whitespace is a different byte spelling of the same spec: it
+		// must be rejected, or one sweep would get two store addresses.
+		"non-canonical whitespace": strings.Replace(string(data), `"runs":2`, `"runs": 2`, 1),
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseCanonical([]byte(in)); err == nil {
+				t.Fatalf("ParseCanonical accepted %s", name)
+			}
+		})
+	}
+}

@@ -1,12 +1,21 @@
 package lab
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrStopped reports that a runner drained instead of finishing: its
+// Stop channel closed while tasks were still unclaimed, so the
+// in-flight tasks completed (and their results were stored through
+// whatever cache the caller wired up) but at least one task never
+// ran. Callers distinguish it from real failures with errors.Is — a
+// stopped sweep is resumable, not broken.
+var ErrStopped = errors.New("lab: stopped before completion")
 
 // PanicError wraps a panic recovered from a runner task, so one
 // crashing run surfaces as an ordinary per-index error instead of
@@ -56,6 +65,26 @@ type Runner struct {
 	// observed out of order, so a forward-only consumer (e.g. a
 	// progress bar) should keep the maximum seen.
 	Progress func(done, total int)
+	// Stop, when non-nil, requests a graceful drain: once the channel
+	// is closed workers stop claiming new task indices, finish the
+	// tasks they are already running, and Do returns ErrStopped if any
+	// task was left unclaimed. Closing Stop after the last task has
+	// been claimed is a no-op — Do still returns nil. This is the
+	// SIGINT seam: in-flight cells flush normally, nothing is killed
+	// mid-run, and a re-run resumes from whatever completed.
+	Stop <-chan struct{}
+}
+
+// stopped reports whether the stop channel has been closed. A nil
+// channel never stops (receiving from nil blocks, so the default
+// branch is taken).
+func (r Runner) stopped() bool {
+	select {
+	case <-r.Stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Do invokes task(i) for every i in [0, n). Tasks run concurrently up
@@ -85,6 +114,9 @@ func (r Runner) Do(n int, task func(i int) error) error {
 	}
 	if p == 1 {
 		for i := 0; i < n; i++ {
+			if r.stopped() {
+				return ErrStopped
+			}
 			err := runTask(task, i)
 			report()
 			if err != nil {
@@ -95,7 +127,7 @@ func (r Runner) Do(n int, task func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
-	var failed atomic.Bool
+	var failed, drained atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
@@ -106,7 +138,13 @@ func (r Runner) Do(n int, task func(i int) error) error {
 				// broken sweep fails fast like the sequential path.
 				// Indices are dispensed monotonically, so every skipped
 				// index exceeds the recorded failure and the
-				// lowest-index error below is unaffected.
+				// lowest-index error below is unaffected. A graceful
+				// stop drains the same way, except it is recorded as
+				// ErrStopped rather than a failure.
+				if r.stopped() {
+					drained.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -124,6 +162,9 @@ func (r Runner) Do(n int, task func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if drained.Load() && int(next.Load()) < n {
+		return ErrStopped
 	}
 	return nil
 }

@@ -357,6 +357,14 @@ type Sweep struct {
 	// are byte-identical with and without the cache; like Cache it
 	// does not participate in Canonical().
 	Snapshots SnapshotCache
+	// Stop, when non-nil, requests a graceful drain when closed:
+	// in-flight (cell, run) executions finish and store their results
+	// through Cache, no new grid positions start, and Run returns
+	// ErrStopped. It is forwarded to the Runner verbatim; like the
+	// other execution knobs it cannot change a completed run's result
+	// and does not participate in Canonical(). This is how SIGINT on
+	// the CLI and daemon drain leave the artifact store resumable.
+	Stop <-chan struct{}
 }
 
 // CellFailure records one (cell, run) that a tolerant sweep gave up
@@ -668,7 +676,7 @@ func (s Sweep) Run() (*SweepResult, error) {
 		okRun[i] = make([]bool, s.Runs)
 	}
 	fails := make([]*CellFailure, n*s.Runs)
-	err := Runner{Parallelism: s.Parallelism, Progress: s.Progress}.Do(n*s.Runs, func(i int) error {
+	err := Runner{Parallelism: s.Parallelism, Progress: s.Progress, Stop: s.Stop}.Do(n*s.Runs, func(i int) error {
 		ci, run := i/s.Runs, i%s.Runs
 		if s.Cache != nil {
 			if r, ok, err := s.Cache.Load(ci, run); err != nil {

@@ -1,0 +1,359 @@
+// Package labd is the lab-as-a-service layer: a resident daemon that
+// multiplexes many experimenters over one hot artifact store and
+// snapshot cache. Clients submit canonical sweep specs
+// (lab.Sweep.Canonical — the wire format and the dedup key), the
+// server schedules them on a shared worker pool through a
+// multi-tenant queue with per-client fair scheduling, and every
+// per-run completion streams to SSE subscribers as it lands.
+//
+// The daemon adds no semantics of its own — that is the design
+// invariant. A job executes through exactly the code path of
+// `convergence -out` (artifact.Store → lab.Sweep.Run → sealed
+// manifest), so a sweep run through the daemon produces byte-identical
+// records, manifests and encoder outputs to the same spec run from
+// the CLI. What the daemon adds is residency: the spec hash is the
+// job identity, so a resubmitted spec is served from the store with
+// zero emulation, identical concurrent submissions coalesce into one
+// execution with fanned-out subscribers, and an interrupted job
+// resumes from its partial records on the next submission.
+package labd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/lab"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the shared content-addressed artifact store every job
+	// reads and writes. Required.
+	Store *artifact.Store
+	// Snapshots, when non-nil, is the shared warm-up snapshot cache
+	// wired into every job (byte-identical results, faster warm-ups).
+	Snapshots *artifact.SnapshotStore
+	// Workers bounds the number of concurrently executing jobs
+	// (default 1). Total emulation parallelism is Workers ×
+	// Parallelism.
+	Workers int
+	// Parallelism bounds concurrent emulation runs within one job
+	// (lab.Sweep.Parallelism; 0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Server is the daemon state: the shared store, the fair scheduler,
+// and the job index keyed by spec hash.
+type Server struct {
+	store       *artifact.Store
+	snapshots   *artifact.SnapshotStore
+	workers     int
+	parallelism int
+
+	sched *scheduler
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by full spec hash
+	order    []*Job          // submission order (the deterministic listing)
+	started  bool
+	draining bool
+}
+
+// New builds a Server from the config. Call Start to launch the
+// worker pool; the HTTP handler (Handler) is usable before Start —
+// submissions queue until workers exist, which is also the test seam
+// for deterministic coalescing.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("labd: config needs a store")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Server{
+		store:       cfg.Store,
+		snapshots:   cfg.Snapshots,
+		workers:     workers,
+		parallelism: cfg.Parallelism,
+		sched:       newScheduler(),
+		stop:        make(chan struct{}),
+		jobs:        map[string]*Job{},
+	}, nil
+}
+
+// Start launches the worker pool. Idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.draining {
+		return
+	}
+	s.started = true
+	for w := 0; w < s.workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Drain gracefully shuts the server down: no new submissions are
+// accepted, no queued job starts, running jobs drain (in-flight cells
+// finish and flush their records, the partial manifest seals), and
+// every job left unfinished is marked interrupted — the store is
+// resumable, so resubmitting an interrupted spec picks up where it
+// stopped. Drain blocks until the workers exit. Idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.order {
+		if st := j.State(); st == StateQueued || st == StateRunning {
+			j.interrupt(nil, "daemon drained before the job finished")
+		}
+	}
+}
+
+// Submit files a canonical spec for execution on behalf of client.
+// The spec's SHA-256 is the job identity: a spec already known —
+// queued, running or done — coalesces onto the existing job (the
+// second return is true) and the client joins its subscriber set; a
+// failed or interrupted job is re-enqueued, resuming from whatever
+// records its earlier attempts stored. name labels the sweep in
+// encoder output and the sealed manifest (presentation only — it does
+// not participate in the job identity; the first submission's name
+// wins).
+func (s *Server) Submit(client, name string, spec []byte) (*Job, bool, error) {
+	sweep, err := lab.ParseCanonical(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	if client == "" {
+		client = "anonymous"
+	}
+	sum := sha256.Sum256(spec)
+	hash := hex.EncodeToString(sum[:])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, errors.New("labd: draining, not accepting jobs")
+	}
+	if j := s.jobs[hash]; j != nil {
+		j.addClient(client)
+		switch j.State() {
+		case StateFailed, StateInterrupted:
+			// Resubmission retries: records already stored replay as
+			// cache hits, so only the missing grid positions execute.
+			j.requeue()
+			s.sched.enqueue(client, j)
+			return j, false, nil
+		default:
+			return j, true, nil
+		}
+	}
+	if name == "" {
+		name = hash[:12]
+	}
+	sweep.Name = name
+	j := newJob(hash, name, spec, sweep)
+	j.addClient(client)
+	s.jobs[hash] = j
+	s.order = append(s.order, j)
+	s.sched.enqueue(client, j)
+	return j, false, nil
+}
+
+// Job finds a job by its full spec hash or a unique prefix (at least
+// 8 hex digits).
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		return j, nil
+	}
+	if len(id) < 8 {
+		return nil, fmt.Errorf("labd: job id %q too short (want >= 8 hex digits)", id)
+	}
+	var found *Job
+	for _, j := range s.order {
+		if len(id) <= len(j.hash) && j.hash[:len(id)] == id {
+			if found != nil {
+				return nil, fmt.Errorf("labd: job id %q is ambiguous", id)
+			}
+			found = j
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("labd: no job %q", id)
+	}
+	return found, nil
+}
+
+// Jobs snapshots every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.order))
+	for i, j := range s.order {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Status is the daemon-level status snapshot.
+type Status struct {
+	// Workers is the configured job concurrency.
+	Workers int `json:"workers"`
+	// Parallelism is the per-job emulation parallelism (0 =
+	// GOMAXPROCS).
+	Parallelism int `json:"parallelism"`
+	// Draining reports whether Drain has begun.
+	Draining bool `json:"draining"`
+	// Jobs counts jobs by state, keys sorted.
+	Jobs map[string]int `json:"jobs"`
+	// Queued counts queued jobs per client, keys sorted.
+	Queued map[string]int `json:"queued"`
+	// Snapshots carries the shared warm-up cache counters, when the
+	// cache is enabled.
+	Snapshots *artifact.SnapshotStats `json:"snapshots,omitempty"`
+}
+
+// Status snapshots the daemon state.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	st := Status{
+		Workers:     s.workers,
+		Parallelism: s.parallelism,
+		Draining:    s.draining,
+		Jobs:        map[string]int{},
+	}
+	for _, j := range s.order {
+		st.Jobs[j.State()]++
+	}
+	s.mu.Unlock()
+	st.Queued = s.sched.depths()
+	if s.snapshots != nil {
+		snap := s.snapshots.Stats()
+		st.Snapshots = &snap
+	}
+	return st
+}
+
+// worker pulls jobs off the fair scheduler until Drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.sched.dequeue(s.stop)
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job through the exact `convergence -out` path:
+// bind the sweep to its store directory, run with the shared caches,
+// seal the manifest. The only addition is telemetry — the cache
+// wrapper publishes every per-run completion to the job's event log.
+func (s *Server) runJob(j *Job) {
+	j.setState(StateRunning)
+	ss, err := s.store.Sweep(j.sweep)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	sw := j.sweep
+	sw.Cache = &jobCache{inner: ss, job: j}
+	sw.Parallelism = s.parallelism
+	sw.Stop = s.stop
+	if s.snapshots != nil {
+		sw.Snapshots = s.snapshots
+	}
+	res, err := sw.Run()
+	stats := ss.Stats()
+	if err != nil {
+		if errors.Is(err, lab.ErrStopped) {
+			// Graceful drain: seal the partial manifest so the store
+			// stays auditable; the stored records resume the job later.
+			if ferr := ss.Finish(); ferr != nil {
+				j.fail(ferr)
+				return
+			}
+			j.interrupt(&stats, "drained mid-run; resubmit to resume")
+			return
+		}
+		j.fail(err)
+		return
+	}
+	if err := ss.Finish(); err != nil {
+		j.fail(err)
+		return
+	}
+	j.complete(res, stats)
+}
+
+// jobCache wraps the job's SweepStore, forwarding every cache call
+// verbatim and publishing the per-run telemetry the SSE stream fans
+// out. It cannot change results: a wrapped hit or store returns
+// exactly what the store returned.
+type jobCache struct {
+	inner *artifact.SweepStore
+	job   *Job
+}
+
+// Load consults the store; a hit is published as a cached per-run
+// completion.
+func (c *jobCache) Load(cell, run int) (lab.Result, bool, error) {
+	r, ok, err := c.inner.Load(cell, run)
+	if err == nil && ok {
+		c.job.publishRun(cell, run, true, r)
+	}
+	return r, ok, err
+}
+
+// Store files the fresh result and publishes the completion.
+func (c *jobCache) Store(cell, run int, r lab.Result) error {
+	if err := c.inner.Store(cell, run, r); err != nil {
+		return err
+	}
+	c.job.publishRun(cell, run, false, r)
+	return nil
+}
+
+// StoreFailure files the failure and publishes it.
+func (c *jobCache) StoreFailure(cell, run int, f lab.CellFailure) error {
+	if err := c.inner.StoreFailure(cell, run, f); err != nil {
+		return err
+	}
+	c.job.publishFailure(f)
+	return nil
+}
+
+// depths snapshots the per-client queue depths with sorted keys.
+func (s *scheduler) depths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{}
+	clients := append([]string(nil), s.order...)
+	sort.Strings(clients)
+	for _, c := range clients {
+		if n := len(s.queues[c]); n > 0 {
+			out[c] = n
+		}
+	}
+	return out
+}

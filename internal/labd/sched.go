@@ -1,0 +1,93 @@
+package labd
+
+import "sync"
+
+// scheduler is the multi-tenant fair queue: one FIFO per client,
+// served round-robin across clients, so a client submitting a burst
+// of N jobs cannot starve a client submitting one — under contention
+// completions interleave across clients. Jobs within one client run
+// in submission order.
+type scheduler struct {
+	mu     sync.Mutex
+	queues map[string][]*Job
+	order  []string // round-robin ring of client names, first-seen order
+	next   int      // ring cursor: the client served next
+	notify chan struct{}
+}
+
+// newScheduler builds an empty scheduler.
+func newScheduler() *scheduler {
+	return &scheduler{
+		queues: map[string][]*Job{},
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// enqueue appends a job to the client's queue and wakes one waiting
+// worker.
+func (s *scheduler) enqueue(client string, j *Job) {
+	s.mu.Lock()
+	if _, ok := s.queues[client]; !ok {
+		s.order = append(s.order, client)
+	}
+	s.queues[client] = append(s.queues[client], j)
+	s.mu.Unlock()
+	s.kick()
+}
+
+// kick signals the (buffered) wakeup channel without blocking.
+func (s *scheduler) kick() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// dequeue blocks until a job is available (returning it) or stop
+// closes (returning false). Fairness: the ring cursor advances past
+// each served client, so every client with pending work is served
+// once per round.
+func (s *scheduler) dequeue(stop <-chan struct{}) (*Job, bool) {
+	for {
+		if j, more, ok := s.tryDequeue(); ok {
+			if more {
+				// Work remains: re-arm the wakeup so sibling workers
+				// that missed the (coalescing) notify still drain it.
+				s.kick()
+			}
+			return j, true
+		}
+		select {
+		case <-s.notify:
+		case <-stop:
+			return nil, false
+		}
+	}
+}
+
+// tryDequeue pops the next job round-robin. It reports the job,
+// whether more jobs remain queued, and whether a job was found.
+func (s *scheduler) tryDequeue() (*Job, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.order)
+	for k := 0; k < n; k++ {
+		c := s.order[(s.next+k)%n]
+		q := s.queues[c]
+		if len(q) == 0 {
+			continue
+		}
+		j := q[0]
+		s.queues[c] = q[1:]
+		s.next = (s.next + k + 1) % n
+		more := false
+		for _, oc := range s.order {
+			if len(s.queues[oc]) > 0 {
+				more = true
+				break
+			}
+		}
+		return j, more, true
+	}
+	return nil, false, false
+}

@@ -1,0 +1,112 @@
+package labd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// schedJob builds a bare job for scheduler tests (never executed).
+func schedJob(name string) *Job {
+	return newJob(fmt.Sprintf("%064x", len(name)+int(name[0])<<8+int(name[len(name)-1])), name, []byte("{}"), testLabSweep())
+}
+
+// TestSchedulerFairRoundRobin pins the fair-queueing contract: with
+// two clients each holding a burst of queued jobs, dequeue order
+// interleaves across clients — client A's burst cannot starve client
+// B even though A enqueued first.
+func TestSchedulerFairRoundRobin(t *testing.T) {
+	s := newScheduler()
+	for i := 0; i < 3; i++ {
+		s.enqueue("alice", schedJob(fmt.Sprintf("a%d", i)))
+	}
+	for i := 0; i < 3; i++ {
+		s.enqueue("bob", schedJob(fmt.Sprintf("b%d", i)))
+	}
+	var got []string
+	for i := 0; i < 6; i++ {
+		j, more, ok := s.tryDequeue()
+		if !ok {
+			t.Fatalf("dequeue %d: no job", i)
+		}
+		if wantMore := i < 5; more != wantMore {
+			t.Fatalf("dequeue %d: more=%v, want %v", i, more, wantMore)
+		}
+		got = append(got, j.name)
+	}
+	want := []string{"a0", "b0", "a1", "b1", "a2", "b2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("unfair dequeue order %v, want %v", got, want)
+		}
+	}
+	if _, _, ok := s.tryDequeue(); ok {
+		t.Fatal("dequeue from empty scheduler succeeded")
+	}
+}
+
+// TestSchedulerUnevenClients pins round-robin with ragged queues: a
+// client whose queue empties drops out of the rotation without
+// stalling it.
+func TestSchedulerUnevenClients(t *testing.T) {
+	s := newScheduler()
+	s.enqueue("alice", schedJob("a0"))
+	s.enqueue("bob", schedJob("b0"))
+	s.enqueue("bob", schedJob("b1"))
+	s.enqueue("bob", schedJob("b2"))
+	var got []string
+	for {
+		j, _, ok := s.tryDequeue()
+		if !ok {
+			break
+		}
+		got = append(got, j.name)
+	}
+	want := []string{"a0", "b0", "b1", "b2"}
+	if len(got) != len(want) {
+		t.Fatalf("dequeued %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dequeued %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulerDequeueStops pins that a blocked dequeue unblocks on
+// stop, and that an enqueue wakes a blocked worker.
+func TestSchedulerDequeueStops(t *testing.T) {
+	s := newScheduler()
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := s.dequeue(stop)
+		done <- ok
+	}()
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("stopped dequeue returned a job")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dequeue did not unblock on stop")
+	}
+
+	got := make(chan *Job, 1)
+	go func() {
+		j, ok := s.dequeue(make(chan struct{}))
+		if ok {
+			got <- j
+		}
+	}()
+	s.enqueue("alice", schedJob("a0"))
+	select {
+	case j := <-got:
+		if j.name != "a0" {
+			t.Fatalf("dequeued %q, want a0", j.name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("enqueue did not wake the blocked dequeue")
+	}
+}

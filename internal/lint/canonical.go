@@ -61,6 +61,7 @@ var CanonicalContract = CanonicalConfig{
 		"Sweep.Retries":      "failure-tolerance knob; retries re-run the identical trial",
 		"Sweep.RetryBackoff": "real-time sleep between retries, invisible to results",
 		"Sweep.Inject":       "chaos test seam; can only fail a run, never alter one",
+		"Sweep.Stop":         "graceful-drain signal; stops scheduling, never alters a completed run",
 	},
 	ExcludeTypes: map[string]string{
 		// These are serialized wholesale through their String() form,

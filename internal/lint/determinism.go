@@ -22,6 +22,10 @@ var determinismScope = []string{
 	"internal/netem",
 	"internal/figures",
 	"internal/policy",
+	// The service layer executes the same sweeps: a wall-clock read or
+	// order-sensitive map walk in the daemon would break its
+	// byte-equality pin against the CLI path.
+	"internal/labd",
 }
 
 // inDeterminismScope reports whether the package is covered.

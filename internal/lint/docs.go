@@ -18,6 +18,9 @@ var docScope = []string{
 	"internal/artifact",
 	"internal/lint",
 	"internal/benchfmt",
+	"internal/labd",
+	"cmd/labd",
+	"cmd/labctl",
 }
 
 // DocAnalyzer checks that every exported top-level type, function,
