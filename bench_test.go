@@ -273,6 +273,42 @@ func BenchmarkRIBDecision(b *testing.B) {
 	}
 }
 
+// BenchmarkRIBDecisionSharded is BenchmarkRIBDecision's counterpart
+// under concurrent-grade table pressure: churn spread over 64 prefixes
+// across 8 shards, so the per-shard candidate index, the prefix-hash
+// router and the shard locks all sit on the measured path.
+func BenchmarkRIBDecisionSharded(b *testing.B) {
+	tbl := rib.NewTableShards(8)
+	prefixes := make([]netip.Prefix, 64)
+	for i := range prefixes {
+		prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 0}), 24)
+		for j := 0; j < 4; j++ {
+			tbl.SetAdjIn(&rib.Route{
+				Prefix:  prefixes[i],
+				Peer:    rib.PeerKey(string(rune('a' + j))),
+				PeerASN: idr.ASN(j + 2),
+				PeerID:  idr.RouterIDFromAddr(netip.AddrFrom4([4]byte{172, 16, 0, byte(j + 2)})),
+				Attrs: wire.PathAttrs{
+					ASPath:  wire.NewASPath(idr.ASN(j+2), 1),
+					NextHop: netip.AddrFrom4([4]byte{100, 64, 0, byte(j + 2)}),
+				},
+			})
+		}
+	}
+	updates := make([]*rib.Route, len(prefixes))
+	for i, prefix := range prefixes {
+		updates[i] = &rib.Route{
+			Prefix: prefix, Peer: "z", PeerASN: 99,
+			PeerID: idr.RouterIDFromAddr(netip.MustParseAddr("172.16.0.99")),
+			Attrs:  wire.PathAttrs{ASPath: wire.NewASPath(99, 1), NextHop: netip.MustParseAddr("100.64.0.99")},
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.SetAdjIn(updates[i%len(updates)])
+	}
+}
+
 // BenchmarkRIBLookup measures longest-prefix match on a populated
 // Loc-RIB — the data-plane forwarding decision behind every probe and
 // reachability check. The by-length bucket index makes it O(#distinct
@@ -315,16 +351,50 @@ func BenchmarkRIBLookup(b *testing.B) {
 	}
 }
 
-// BenchmarkTimerReset measures MRAI-style timer churn: a timer that is
-// repeatedly rescheduled before firing, the dominant event-queue
-// operation during convergence. Reset re-keys the pending event in
-// place instead of allocating a replacement.
+// BenchmarkTimerReset measures heap-resident timer churn: a sub-second
+// timer repeatedly rescheduled before firing, the delay class (message
+// deliveries, processing delays) that stays in the binary heap now
+// that second-scale deadlines file into the wheel (BenchmarkTimerWheel
+// measures those). Reset re-keys the pending event in place via
+// heap.Fix instead of allocating a replacement; the allocs/op recorded
+// at -benchtime=1x are entirely kernel + counting-RNG setup.
 func BenchmarkTimerReset(b *testing.B) {
 	k := sim.NewKernel(1)
-	timer := k.AfterFunc(time.Hour, func() {})
+	timer := k.AfterFunc(100*time.Millisecond, func() {})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		timer.Reset(time.Hour)
+		timer.Reset(100 * time.Millisecond)
+	}
+}
+
+// BenchmarkTimerWheel measures the long-delay arm the wheel absorbs:
+// hold-timer-style churn (seconds-scale deadlines, re-armed long before
+// firing) that the heap used to sift on every reset. The wheel re-keys
+// the resident entry in its slot.
+func BenchmarkTimerWheel(b *testing.B) {
+	k := sim.NewKernel(1)
+	timer := k.AfterFunc(90*time.Second, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		timer.Reset(90 * time.Second)
+	}
+}
+
+// BenchmarkKernelBatchDrain measures the batched event drain: many
+// same-timestamp events (a converged mesh's synchronized timer
+// population) popped once per instant instead of once per event.
+func BenchmarkKernelBatchDrain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		k := sim.NewKernel(1)
+		for j := 0; j < 1024; j++ {
+			k.AfterFunc(time.Millisecond, func() {})
+		}
+		b.StartTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+package bgp
+
+import (
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+)
+
+// attrArena interns the AS paths a router builds when exporting
+// routes. A router prepends its own ASN to every path it advertises,
+// and in steady state it re-exports the same handful of learned paths
+// over and over — to every peer, after every flap cycle, for every
+// re-announcement. The arena caches each (source path, prepended ASN)
+// result once, so the export hot path hands out a shared immutable
+// path instead of allocating a fresh two-level copy per advertisement.
+//
+// Sharing is safe because the framework treats attribute sets as
+// immutable once built (see Policy and exportAttrs): the wire encoder,
+// the Adj-RIB-Out diff logic and the flush grouping all read paths
+// without mutating them.
+//
+// The arena is a pure cache derived from traffic: it is never
+// serialized, and a restored router simply rebuilds it lazily — which
+// keeps it invisible to the snapshot byte-equality pins.
+type attrArena struct {
+	paths map[uint64][]internedPrepend
+}
+
+// internedPrepend is one cached prepend result. src is retained (not
+// copied) purely as the lookup identity; it is compared structurally
+// on every hit, so hash collisions cost a comparison, never a wrong
+// path.
+type internedPrepend struct {
+	asn idr.ASN
+	src wire.ASPath
+	out wire.ASPath
+}
+
+// prepend returns path with asn prepended, serving repeated requests
+// from the cache with zero allocations.
+func (a *attrArena) prepend(path wire.ASPath, asn idr.ASN) wire.ASPath {
+	h := hashPath(path, asn)
+	for _, e := range a.paths[h] {
+		if e.asn == asn && e.src.Equal(path) {
+			return e.out
+		}
+	}
+	if a.paths == nil {
+		a.paths = make(map[uint64][]internedPrepend)
+	}
+	out := path.Prepend(asn)
+	a.paths[h] = append(a.paths[h], internedPrepend{asn: asn, src: path, out: out})
+	return out
+}
+
+// hashPath is FNV-1a over the prepended ASN and the path's structure.
+func hashPath(p wire.ASPath, asn idr.ASN) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(asn)) * prime
+	for _, s := range p {
+		h = (h ^ uint64(s.Type)) * prime
+		h = (h ^ uint64(len(s.ASNs))) * prime
+		for _, a := range s.ASNs {
+			h = (h ^ uint64(a)) * prime
+		}
+	}
+	return h
+}

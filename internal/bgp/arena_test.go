@@ -1,0 +1,49 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+)
+
+// The export hot path re-prepends the same learned paths for every
+// advertisement; after the first build the arena must serve them
+// without allocating.
+func TestArenaPrependSteadyStateZeroAlloc(t *testing.T) {
+	var a attrArena
+	paths := []wire.ASPath{
+		wire.NewASPath(2, 3, 4),
+		wire.NewASPath(5, 6),
+		wire.NewASPath(7),
+	}
+	for _, p := range paths {
+		a.prepend(p, 1)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, p := range paths {
+			a.prepend(p, 1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm arena prepend allocates %v times per run, want 0", allocs)
+	}
+}
+
+// Interned results must be the correct prepend, shared across calls,
+// and distinct per prepended ASN even when the source path is shared.
+func TestArenaPrependCorrectness(t *testing.T) {
+	var a attrArena
+	src := wire.NewASPath(2, 3)
+	for _, asn := range []idr.ASN{1, 9} {
+		got := a.prepend(src, asn)
+		want := src.Prepend(asn)
+		if !got.Equal(want) {
+			t.Fatalf("prepend(%v, %d) = %v, want %v", src, asn, got, want)
+		}
+		again := a.prepend(src, asn)
+		if &got[0] != &again[0] {
+			t.Fatalf("repeated prepend(%v, %d) was not served from the arena", src, asn)
+		}
+	}
+}

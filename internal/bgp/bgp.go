@@ -173,6 +173,11 @@ type Config struct {
 	// jittered (+-50%) ProcessingDelay, other messages are free. Zero
 	// disables the model.
 	ProcessingDelay time.Duration
+	// RIBShards overrides the RIB shard count (0 selects
+	// rib.DefaultShards; 1 collapses to the historical single-map
+	// table). Purely an execution knob: results are byte-identical at
+	// any count.
+	RIBShards int
 }
 
 // Router is one BGP speaker.
@@ -192,6 +197,8 @@ type Router struct {
 	busyUntil time.Time
 	// damping is nil unless Config.Damping is set.
 	damping *damping
+	// arena interns exported AS paths (see attrArena).
+	arena attrArena
 }
 
 // New validates cfg and returns a Router.
@@ -217,7 +224,7 @@ func New(cfg Config) (*Router, error) {
 	}
 	r := &Router{
 		cfg:        cfg,
-		table:      rib.NewTable(),
+		table:      rib.NewTableShards(cfg.RIBShards),
 		adjOut:     rib.NewAdjOut(),
 		peers:      make(map[rib.PeerKey]*Peer),
 		originated: make(map[netip.Prefix]wire.PathAttrs),
@@ -388,12 +395,13 @@ func (r *Router) learnedFromNeighbor(rt *rib.Route) policy.Neighbor {
 // exportAttrs builds the eBGP attributes for advertising rt to p:
 // prepend the local ASN, set NEXT_HOP to the session address, strip
 // LOCAL_PREF (eBGP), and strip MED on re-advertisement of learned
-// routes. Prepend already copies the AS path, so the route's attrs
-// are shared structurally rather than deep-cloned a second time; the
-// export side treats attribute sets as immutable (see Policy).
+// routes. The prepended path comes from the router's attr arena, so
+// the steady-state export path shares one interned copy per distinct
+// source path instead of allocating per advertisement; the export
+// side treats attribute sets as immutable (see Policy).
 func (r *Router) exportAttrs(p *Peer, rt *rib.Route) wire.PathAttrs {
 	attrs := rt.Attrs
-	attrs.ASPath = attrs.ASPath.Prepend(r.cfg.ASN)
+	attrs.ASPath = r.arena.prepend(attrs.ASPath, r.cfg.ASN)
 	attrs.NextHop = p.cfg.NextHop
 	attrs.LocalPref = nil
 	if !rt.Local {

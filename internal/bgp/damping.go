@@ -165,9 +165,6 @@ func (d *damping) onUpdate(peer rib.PeerKey, prefix netip.Prefix, rt *rib.Route,
 func (d *damping) suppress(peer rib.PeerKey, prefix netip.Prefix, s *dampState, rt *rib.Route, penalty float64) {
 	s.suppressed = true
 	s.latest = rt
-	if s.reuseTimer != nil {
-		s.reuseTimer.Stop()
-	}
 	// Time until penalty decays to the reuse threshold.
 	ratio := penalty / d.cfg.ReuseThreshold
 	if ratio < 1 {
@@ -179,6 +176,13 @@ func (d *damping) suppress(peer rib.PeerKey, prefix netip.Prefix, s *dampState, 
 	}
 	if wait < time.Second {
 		wait = time.Second
+	}
+	// The reuse callback is identical for the lifetime of a dampState
+	// (it closes over the fixed peer/prefix/s triple), so repeated
+	// suppressions re-key the existing timer in place.
+	if s.reuseTimer != nil {
+		s.reuseTimer.Reset(wait)
+		return
 	}
 	s.reuseTimer = d.router.cfg.Clock.AfterFunc(wait, func() {
 		d.reuse(peer, prefix, s)

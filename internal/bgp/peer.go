@@ -27,6 +27,11 @@ type Peer struct {
 	keepaliveTimer sim.Timer
 	retryTimer     sim.Timer
 	mraiTimer      sim.Timer
+	// holdIsGuard records which callback holdTimer was armed with —
+	// the OpenSent guard (openGuardExpire) or the negotiated hold
+	// timer (holdExpire) — so re-arms can Reset the existing timer in
+	// place when the callback matches instead of allocating a new one.
+	holdIsGuard bool
 
 	// Pending outbound route changes, flushed under MRAI pacing.
 	pendingAnnounce map[netip.Prefix]wire.PathAttrs
@@ -91,10 +96,15 @@ func (p *Peer) startOpen() {
 	if p.router.cfg.Timers.HoldTime > guard {
 		guard = p.router.cfg.Timers.HoldTime
 	}
+	if p.holdTimer != nil && p.holdIsGuard {
+		p.holdTimer.Reset(guard)
+		return
+	}
 	if p.holdTimer != nil {
 		p.holdTimer.Stop()
 	}
 	p.holdTimer = p.clock().AfterFunc(guard, p.openGuardExpire)
+	p.holdIsGuard = true
 }
 
 // openGuardExpire is the OpenSent hold-timer callback: a half-open
@@ -104,7 +114,8 @@ func (p *Peer) openGuardExpire() { p.reset(true) }
 func (p *Peer) armRetry() {
 	d := p.router.cfg.Timers.ConnectRetry
 	if p.retryTimer != nil {
-		p.retryTimer.Stop()
+		p.retryTimer.Reset(d)
+		return
 	}
 	p.retryTimer = p.clock().AfterFunc(d, p.startOpen)
 }
@@ -232,10 +243,17 @@ func (p *Peer) armHoldTimer() {
 	if p.holdTime == 0 {
 		return // hold time 0 disables keepalives entirely
 	}
+	// Re-key the existing timer in place when it already runs the
+	// negotiated-hold callback — the per-received-message fast path.
+	if p.holdTimer != nil && !p.holdIsGuard {
+		p.holdTimer.Reset(p.holdTime)
+		return
+	}
 	if p.holdTimer != nil {
 		p.holdTimer.Stop()
 	}
 	p.holdTimer = p.clock().AfterFunc(p.holdTime, p.holdExpire)
+	p.holdIsGuard = false
 }
 
 // holdExpire is the negotiated hold-timer callback: notify the peer
@@ -255,7 +273,8 @@ func (p *Peer) armKeepalive() {
 		interval = time.Second
 	}
 	if p.keepaliveTimer != nil {
-		p.keepaliveTimer.Stop()
+		p.keepaliveTimer.Reset(interval)
+		return
 	}
 	p.keepaliveTimer = p.clock().AfterFunc(interval, p.keepaliveFire)
 }
@@ -448,6 +467,10 @@ func (p *Peer) scheduleFlush() {
 	if p.nextAdvAllowed.After(now) {
 		delay = p.nextAdvAllowed.Sub(now)
 	}
+	if p.mraiTimer != nil {
+		p.mraiTimer.Reset(delay)
+		return
+	}
 	p.mraiTimer = p.clock().AfterFunc(delay, p.flushAnnouncements)
 }
 
@@ -535,6 +558,7 @@ func (p *Peer) reset(reconnect bool) {
 		}
 	}
 	p.holdTimer, p.keepaliveTimer, p.mraiTimer, p.retryTimer = nil, nil, nil, nil
+	p.holdIsGuard = false
 	p.pendingAnnounce = make(map[netip.Prefix]wire.PathAttrs)
 	p.pendingWithdraw = make(map[netip.Prefix]bool)
 	p.nextAdvAllowed = time.Time{}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bgp/wire"
 	"repro/internal/idr"
@@ -122,13 +124,34 @@ func Better(a, b *Route) bool {
 // Table is a router's complete RIB state: per-peer Adj-RIB-In, the
 // locally originated routes, and the Loc-RIB (best routes).
 //
+// The table is sharded by prefix hash (dpdk-style): every per-prefix
+// structure — Adj-RIB-In entries, local routes, Loc-RIB, the candidate
+// index, the by-length lookup buckets — lives entirely in the prefix's
+// shard, under that shard's lock. Exported methods lock exactly the
+// shards they touch, so shards can be mutated, enumerated and
+// snapshotted independently; cross-shard enumerators merge and sort
+// globally, which makes every enumeration (and therefore every
+// serialization built on it) byte-identical at any shard count.
+//
 // Two indexes keep the hot paths off the maps: cands holds, per
 // prefix, every Adj-RIB-In candidate sorted by peer key (maintained
 // incrementally, so the decision process neither allocates nor sorts
-// per UPDATE), and byLen buckets the Loc-RIB by prefix length so
-// Lookup probes one masked prefix per populated length instead of
-// scanning the whole Loc-RIB.
+// per UPDATE), and byLen buckets the shard's Loc-RIB slice by prefix
+// length; the table-level lenCount counters let Lookup probe only
+// populated lengths — one masked prefix, in one shard — per step.
 type Table struct {
+	shards []tableShard
+	mask   uint32
+	// lenCount[bits] is the number of Loc-RIB entries of that prefix
+	// length across all shards. Atomic so concurrent mutators of
+	// different shards never race on the shared counters.
+	lenCount [maxPrefixBits + 1]atomic.Int32
+}
+
+// tableShard owns every per-prefix structure for the prefixes that
+// hash to it. All fields are guarded by mu.
+type tableShard struct {
+	mu    sync.Mutex
 	adjIn map[PeerKey]map[netip.Prefix]*Route
 	local map[netip.Prefix]*Route
 	best  map[netip.Prefix]*Route
@@ -139,14 +162,55 @@ type Table struct {
 // maxPrefixBits is the longest prefix length Table can index (IPv6).
 const maxPrefixBits = 128
 
-// NewTable returns an empty RIB.
-func NewTable() *Table {
-	return &Table{
-		adjIn: make(map[PeerKey]map[netip.Prefix]*Route),
-		local: make(map[netip.Prefix]*Route),
-		best:  make(map[netip.Prefix]*Route),
-		cands: make(map[netip.Prefix][]*Route),
+// DefaultShards is the shard count used by NewTable. Eight keeps shard
+// contention negligible for the parallel snapshot/distribution paths
+// while the per-shard maps stay dense.
+const DefaultShards = 8
+
+// NewTable returns an empty RIB with DefaultShards shards.
+func NewTable() *Table { return NewTableShards(0) }
+
+// NewTableShards returns an empty RIB sharded n ways, rounded up to a
+// power of two; n <= 0 selects DefaultShards and n == 1 collapses to
+// the historical single-map table. The shard count is an execution
+// knob only: enumeration order, decision results and serialized state
+// are byte-identical at any count (see FuzzRIBShardEquivalence).
+func NewTableShards(n int) *Table {
+	if n <= 0 {
+		n = DefaultShards
 	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &Table{shards: make([]tableShard, size), mask: uint32(size - 1)}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.adjIn = make(map[PeerKey]map[netip.Prefix]*Route)
+		sh.local = make(map[netip.Prefix]*Route)
+		sh.best = make(map[netip.Prefix]*Route)
+		sh.cands = make(map[netip.Prefix][]*Route)
+	}
+	return t
+}
+
+// Shards returns the table's shard count.
+func (t *Table) Shards() int { return len(t.shards) }
+
+// shardOf returns the shard owning prefix: FNV-1a over the full
+// 16-byte address plus the prefix length, allocation-free so the
+// decision path stays 0 allocs/op.
+func (t *Table) shardOf(p netip.Prefix) *tableShard {
+	if t.mask == 0 {
+		return &t.shards[0]
+	}
+	a := p.Addr().As16()
+	h := uint32(2166136261)
+	for i := 0; i < len(a); i++ {
+		h = (h ^ uint32(a[i])) * 16777619
+	}
+	h = (h ^ uint32(uint8(p.Bits()))) * 16777619
+	return &t.shards[h&t.mask]
 }
 
 // searchCands returns the position of peer in the candidate slice
@@ -166,8 +230,8 @@ func searchCands(s []*Route, peer PeerKey) (int, bool) {
 }
 
 // indexCand inserts or replaces r in the prefix's candidate slice.
-func (t *Table) indexCand(r *Route) {
-	s := t.cands[r.Prefix]
+func (sh *tableShard) indexCand(r *Route) {
+	s := sh.cands[r.Prefix]
 	i, ok := searchCands(s, r.Peer)
 	if ok {
 		s[i] = r
@@ -176,12 +240,12 @@ func (t *Table) indexCand(r *Route) {
 	s = append(s, nil)
 	copy(s[i+1:], s[i:])
 	s[i] = r
-	t.cands[r.Prefix] = s
+	sh.cands[r.Prefix] = s
 }
 
 // unindexCand removes the peer's route from the prefix's candidates.
-func (t *Table) unindexCand(peer PeerKey, prefix netip.Prefix) {
-	s := t.cands[prefix]
+func (sh *tableShard) unindexCand(peer PeerKey, prefix netip.Prefix) {
+	s := sh.cands[prefix]
 	i, ok := searchCands(s, peer)
 	if !ok {
 		return
@@ -190,27 +254,34 @@ func (t *Table) unindexCand(peer PeerKey, prefix netip.Prefix) {
 	s[len(s)-1] = nil
 	// Keep the (possibly empty) slice so a withdraw/re-announce cycle
 	// reuses its capacity instead of reallocating.
-	t.cands[prefix] = s[:len(s)-1]
+	sh.cands[prefix] = s[:len(s)-1]
 }
 
-// setBest installs r as the Loc-RIB entry for prefix, maintaining the
-// by-length lookup buckets; nil r removes the entry.
-func (t *Table) setBest(prefix netip.Prefix, r *Route) {
-	if prefix.Bits() < 0 || prefix.Bits() > maxPrefixBits {
+// setBest installs r as the shard's Loc-RIB entry for prefix,
+// maintaining the by-length lookup buckets and the table-level length
+// counters; nil r removes the entry.
+func (t *Table) setBest(sh *tableShard, prefix netip.Prefix, r *Route) {
+	bits := prefix.Bits()
+	if bits < 0 || bits > maxPrefixBits {
 		panic(fmt.Sprintf("rib: invalid prefix %v", prefix))
 	}
 	if r == nil {
-		delete(t.best, prefix)
-		if m := t.byLen[prefix.Bits()]; m != nil {
-			delete(m, prefix)
+		if _, ok := sh.best[prefix]; !ok {
+			return
 		}
+		delete(sh.best, prefix)
+		delete(sh.byLen[bits], prefix)
+		t.lenCount[bits].Add(-1)
 		return
 	}
-	t.best[prefix] = r
-	m := t.byLen[prefix.Bits()]
+	if _, ok := sh.best[prefix]; !ok {
+		t.lenCount[bits].Add(1)
+	}
+	sh.best[prefix] = r
+	m := sh.byLen[bits]
 	if m == nil {
 		m = make(map[netip.Prefix]*Route)
-		t.byLen[prefix.Bits()] = m
+		sh.byLen[bits] = m
 	}
 	m[prefix] = r
 }
@@ -242,40 +313,60 @@ func (t *Table) SetAdjIn(r *Route) Change {
 	if r.Peer == "" {
 		panic("rib: SetAdjIn with empty peer key")
 	}
-	m := t.adjIn[r.Peer]
+	sh := t.shardOf(r.Prefix)
+	sh.mu.Lock()
+	m := sh.adjIn[r.Peer]
 	if m == nil {
 		m = make(map[netip.Prefix]*Route)
-		t.adjIn[r.Peer] = m
+		sh.adjIn[r.Peer] = m
 	}
 	m[r.Prefix] = r
-	t.indexCand(r)
-	return t.decide(r.Prefix)
+	sh.indexCand(r)
+	c := t.decide(sh, r.Prefix)
+	sh.mu.Unlock()
+	return c
 }
 
 // WithdrawAdjIn removes the peer's route for prefix and re-decides.
 func (t *Table) WithdrawAdjIn(peer PeerKey, prefix netip.Prefix) Change {
-	if m := t.adjIn[peer]; m != nil {
+	sh := t.shardOf(prefix)
+	sh.mu.Lock()
+	if m := sh.adjIn[peer]; m != nil {
 		delete(m, prefix)
 	}
-	t.unindexCand(peer, prefix)
-	return t.decide(prefix)
+	sh.unindexCand(peer, prefix)
+	c := t.decide(sh, prefix)
+	sh.mu.Unlock()
+	return c
 }
 
 // AdjIn returns the peer's current route for prefix, if any.
 func (t *Table) AdjIn(peer PeerKey, prefix netip.Prefix) (*Route, bool) {
-	r, ok := t.adjIn[peer][prefix]
+	sh := t.shardOf(prefix)
+	sh.mu.Lock()
+	r, ok := sh.adjIn[peer][prefix]
+	sh.mu.Unlock()
 	return r, ok
 }
 
 // AdjInPeerKeys returns every peer with a non-empty Adj-RIB-In,
 // sorted — the deterministic enumeration order for dumps and
-// snapshots.
+// snapshots, independent of the shard count.
 func (t *Table) AdjInPeerKeys() []PeerKey {
-	out := make([]PeerKey, 0, len(t.adjIn))
-	for k, m := range t.adjIn {
-		if len(m) > 0 {
-			out = append(out, k)
+	seen := make(map[PeerKey]bool)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, m := range sh.adjIn {
+			if len(m) > 0 {
+				seen[k] = true
+			}
 		}
+		sh.mu.Unlock()
+	}
+	out := make([]PeerKey, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -284,32 +375,45 @@ func (t *Table) AdjInPeerKeys() []PeerKey {
 // AdjInPrefixes returns all prefixes present in the peer's Adj-RIB-In,
 // sorted.
 func (t *Table) AdjInPrefixes(peer PeerKey) []netip.Prefix {
-	m := t.adjIn[peer]
-	out := make([]netip.Prefix, 0, len(m))
-	for p := range m {
-		out = append(out, p)
+	var out []netip.Prefix
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for p := range sh.adjIn[peer] {
+			out = append(out, p)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i], out[j]) })
 	return out
 }
 
 // DropPeer removes the peer's entire Adj-RIB-In (session failure) and
-// re-decides every affected prefix, returning the material changes.
+// re-decides every affected prefix in globally sorted order, returning
+// the material changes — the same change sequence at any shard count.
 func (t *Table) DropPeer(peer PeerKey) []Change {
-	m := t.adjIn[peer]
-	if m == nil {
+	var prefixes []netip.Prefix
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for p := range sh.adjIn[peer] {
+			prefixes = append(prefixes, p)
+		}
+		delete(sh.adjIn, peer)
+		sh.mu.Unlock()
+	}
+	if len(prefixes) == 0 {
 		return nil
 	}
-	prefixes := make([]netip.Prefix, 0, len(m))
-	for p := range m {
-		prefixes = append(prefixes, p)
-	}
 	sort.Slice(prefixes, func(i, j int) bool { return idr.PrefixLess(prefixes[i], prefixes[j]) })
-	delete(t.adjIn, peer)
 	var out []Change
 	for _, p := range prefixes {
-		t.unindexCand(peer, p)
-		if c := t.decide(p); c.Changed() {
+		sh := t.shardOf(p)
+		sh.mu.Lock()
+		sh.unindexCand(peer, p)
+		c := t.decide(sh, p)
+		sh.mu.Unlock()
+		if c.Changed() {
 			out = append(out, c)
 		}
 	}
@@ -318,27 +422,43 @@ func (t *Table) DropPeer(peer PeerKey) []Change {
 
 // Originate installs a locally-originated route and re-decides.
 func (t *Table) Originate(prefix netip.Prefix, attrs wire.PathAttrs) Change {
-	t.local[prefix] = &Route{Prefix: prefix, Attrs: attrs, Local: true}
-	return t.decide(prefix)
+	sh := t.shardOf(prefix)
+	sh.mu.Lock()
+	sh.local[prefix] = &Route{Prefix: prefix, Attrs: attrs, Local: true}
+	c := t.decide(sh, prefix)
+	sh.mu.Unlock()
+	return c
 }
 
 // WithdrawLocal removes a locally-originated route and re-decides.
 func (t *Table) WithdrawLocal(prefix netip.Prefix) Change {
-	delete(t.local, prefix)
-	return t.decide(prefix)
+	sh := t.shardOf(prefix)
+	sh.mu.Lock()
+	delete(sh.local, prefix)
+	c := t.decide(sh, prefix)
+	sh.mu.Unlock()
+	return c
 }
 
 // Best returns the Loc-RIB entry for prefix, if any.
 func (t *Table) Best(prefix netip.Prefix) (*Route, bool) {
-	r, ok := t.best[prefix]
+	sh := t.shardOf(prefix)
+	sh.mu.Lock()
+	r, ok := sh.best[prefix]
+	sh.mu.Unlock()
 	return r, ok
 }
 
 // BestRoutes returns the whole Loc-RIB, sorted by prefix.
 func (t *Table) BestRoutes() []*Route {
-	out := make([]*Route, 0, len(t.best))
-	for _, r := range t.best {
-		out = append(out, r)
+	var out []*Route
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, r := range sh.best {
+			out = append(out, r)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return idr.PrefixLess(out[i].Prefix, out[j].Prefix) })
 	return out
@@ -346,14 +466,19 @@ func (t *Table) BestRoutes() []*Route {
 
 // Prefixes returns every prefix known to any RIB, sorted.
 func (t *Table) Prefixes() []netip.Prefix {
-	set := make(map[netip.Prefix]bool, len(t.cands)+len(t.local))
-	for p := range t.local {
-		set[p] = true
-	}
-	for p, s := range t.cands {
-		if len(s) > 0 {
+	set := make(map[netip.Prefix]bool)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for p := range sh.local {
 			set[p] = true
 		}
+		for p, s := range sh.cands {
+			if len(s) > 0 {
+				set[p] = true
+			}
+		}
+		sh.mu.Unlock()
 	}
 	out := make([]netip.Prefix, 0, len(set))
 	for p := range set {
@@ -365,21 +490,24 @@ func (t *Table) Prefixes() []netip.Prefix {
 
 // Lookup returns the Loc-RIB route whose prefix contains addr,
 // preferring the longest match — the data-plane forwarding decision.
-// It walks the by-length buckets from most to least specific, probing
-// the single masked prefix that could contain addr at each populated
-// length, so cost scales with the number of distinct prefix lengths
-// rather than the Loc-RIB size.
+// It walks lengths from most to least specific; the table-level
+// lenCount counters skip unpopulated lengths without touching any
+// shard, and a populated length costs one masked-prefix probe in the
+// single shard that could own it.
 func (t *Table) Lookup(addr netip.Addr) (*Route, bool) {
 	for bits := addr.BitLen(); bits >= 0; bits-- {
-		m := t.byLen[bits]
-		if len(m) == 0 {
+		if t.lenCount[bits].Load() == 0 {
 			continue
 		}
 		p, err := addr.Prefix(bits)
 		if err != nil {
 			continue
 		}
-		if r, ok := m[p]; ok {
+		sh := t.shardOf(p)
+		sh.mu.Lock()
+		r, ok := sh.byLen[bits][p]
+		sh.mu.Unlock()
+		if ok {
 			return r, true
 		}
 	}
@@ -390,19 +518,20 @@ func (t *Table) Lookup(addr netip.Addr) (*Route, bool) {
 // prefix's candidate index — already sorted by peer key, so the
 // iteration order (and therefore every MED tie-break) is deterministic
 // and identical to the historical sorted-peers scan, without
-// allocating or sorting per UPDATE.
-func (t *Table) decide(prefix netip.Prefix) Change {
-	old := t.best[prefix]
+// allocating or sorting per UPDATE. The caller must hold sh's lock,
+// where sh is the prefix's shard.
+func (t *Table) decide(sh *tableShard, prefix netip.Prefix) Change {
+	old := sh.best[prefix]
 	var best *Route
-	if lr, ok := t.local[prefix]; ok {
+	if lr, ok := sh.local[prefix]; ok {
 		best = lr
 	}
-	for _, r := range t.cands[prefix] {
+	for _, r := range sh.cands[prefix] {
 		if Better(r, best) {
 			best = r
 		}
 	}
-	t.setBest(prefix, best)
+	t.setBest(sh, prefix, best)
 	return Change{Prefix: prefix, Old: old, New: best}
 }
 

@@ -1,0 +1,216 @@
+package rib
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/bgp/wire"
+	"repro/internal/idr"
+)
+
+// routesEq compares routes semantically — fuzz reference and sharded
+// tables build some entries (locally-originated ones) independently,
+// so pointer identity is not available.
+func routesEq(a, b *Route) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Prefix == b.Prefix && a.Peer == b.Peer && a.Local == b.Local &&
+		a.PeerASN == b.PeerASN && a.PeerID == b.PeerID && a.Attrs.Equal(b.Attrs)
+}
+
+func changesEq(a, b Change) bool {
+	return a.Prefix == b.Prefix && routesEq(a.Old, b.Old) && routesEq(a.New, b.New)
+}
+
+// fuzzPools are the fixed identifier pools the fuzz driver draws from:
+// a few peers and prefixes are enough to exercise candidate-index
+// churn, MED tie-breaks and cross-shard enumeration.
+var fuzzPeers = []PeerKey{"as2:0", "as3:0", "as4:1", "as5:0"}
+
+var fuzzPrefixes = []netip.Prefix{
+	netip.MustParsePrefix("10.0.1.0/24"),
+	netip.MustParsePrefix("10.0.2.0/24"),
+	netip.MustParsePrefix("10.0.2.0/25"),
+	netip.MustParsePrefix("10.1.0.0/16"),
+	netip.MustParsePrefix("10.0.0.0/8"),
+	netip.MustParsePrefix("192.168.7.0/24"),
+	netip.MustParsePrefix("2001:db8::/32"),
+	netip.MustParsePrefix("2001:db8:1::/48"),
+}
+
+// fuzzRoute derives a deterministic route for (peer, prefix, variant).
+func fuzzRoute(pi int, prefix netip.Prefix, variant uint8) *Route {
+	peer := fuzzPeers[pi]
+	asn := idr.ASN(2 + pi)
+	pathLen := 1 + int(variant%3)
+	asns := make([]idr.ASN, pathLen)
+	for i := range asns {
+		asns[i] = idr.ASN(int(asn) + i)
+	}
+	r := &Route{
+		Prefix:  prefix,
+		Peer:    peer,
+		PeerASN: asn,
+		PeerID:  idr.RouterIDFromAddr(netip.AddrFrom4([4]byte{172, 16, 0, byte(asn)})),
+		Attrs: wire.PathAttrs{
+			Origin:  wire.Origin(variant % 3),
+			ASPath:  wire.NewASPath(asns...),
+			NextHop: netip.AddrFrom4([4]byte{100, 64, 0, byte(asn)}),
+		},
+	}
+	if variant&8 != 0 {
+		v := uint32(100 + variant%4*50)
+		r.Attrs.LocalPref = &v
+	}
+	if variant&16 != 0 {
+		v := uint32(variant % 7)
+		r.Attrs.MED = &v
+	}
+	return r
+}
+
+// applyOp drives one decoded operation against a table and returns the
+// resulting changes (nil for read-only ops).
+func applyOp(t *Table, code, pi, qi int, variant uint8) []Change {
+	prefix := fuzzPrefixes[qi]
+	switch code {
+	case 0, 1:
+		return []Change{t.SetAdjIn(fuzzRoute(pi, prefix, variant))}
+	case 2:
+		return []Change{t.WithdrawAdjIn(fuzzPeers[pi], prefix)}
+	case 3:
+		return t.DropPeer(fuzzPeers[pi])
+	case 4:
+		attrs := wire.PathAttrs{Origin: wire.OriginIGP, ASPath: wire.NewASPath()}
+		return []Change{t.Originate(prefix, attrs)}
+	default:
+		return []Change{t.WithdrawLocal(prefix)}
+	}
+}
+
+// compareTables asserts every observable view of the two tables agrees:
+// Loc-RIB contents, enumerations, per-peer Adj-RIB-In and longest-match
+// lookups for addresses inside and around every pool prefix.
+func compareTables(t *testing.T, ref, sharded *Table) {
+	t.Helper()
+	rb, sb := ref.BestRoutes(), sharded.BestRoutes()
+	if len(rb) != len(sb) {
+		t.Fatalf("BestRoutes length %d vs %d", len(rb), len(sb))
+	}
+	for i := range rb {
+		if !routesEq(rb[i], sb[i]) {
+			t.Fatalf("BestRoutes[%d]: %v vs %v", i, rb[i], sb[i])
+		}
+	}
+	rp, sp := ref.Prefixes(), sharded.Prefixes()
+	if len(rp) != len(sp) {
+		t.Fatalf("Prefixes length %d vs %d", len(rp), len(sp))
+	}
+	for i := range rp {
+		if rp[i] != sp[i] {
+			t.Fatalf("Prefixes[%d]: %v vs %v", i, rp[i], sp[i])
+		}
+	}
+	rk, sk := ref.AdjInPeerKeys(), sharded.AdjInPeerKeys()
+	if len(rk) != len(sk) {
+		t.Fatalf("AdjInPeerKeys length %d vs %d", len(rk), len(sk))
+	}
+	for i := range rk {
+		if rk[i] != sk[i] {
+			t.Fatalf("AdjInPeerKeys[%d]: %v vs %v", i, rk[i], sk[i])
+		}
+	}
+	for _, peer := range fuzzPeers {
+		ra, sa := ref.AdjInPrefixes(peer), sharded.AdjInPrefixes(peer)
+		if len(ra) != len(sa) {
+			t.Fatalf("AdjInPrefixes(%s) length %d vs %d", peer, len(ra), len(sa))
+		}
+		for i := range ra {
+			if ra[i] != sa[i] {
+				t.Fatalf("AdjInPrefixes(%s)[%d]: %v vs %v", peer, i, ra[i], sa[i])
+			}
+		}
+	}
+	for _, p := range fuzzPrefixes {
+		rr, rok := ref.Best(p)
+		sr, sok := sharded.Best(p)
+		if rok != sok || !routesEq(rr, sr) {
+			t.Fatalf("Best(%v): %v/%v vs %v/%v", p, rr, rok, sr, sok)
+		}
+		for _, addr := range []netip.Addr{p.Addr(), p.Addr().Next()} {
+			rr, rok = ref.Lookup(addr)
+			sr, sok = sharded.Lookup(addr)
+			if rok != sok || !routesEq(rr, sr) {
+				t.Fatalf("Lookup(%v): %v/%v vs %v/%v", addr, rr, rok, sr, sok)
+			}
+		}
+	}
+}
+
+// FuzzRIBShardEquivalence drives a random UPDATE/withdraw/drop stream
+// through a single-shard table (the historical single-map layout) and
+// a multi-shard one, asserting every returned Change and every
+// observable view stays identical — the shard count must be purely an
+// execution detail.
+func FuzzRIBShardEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 8, 2, 0, 0, 0}, uint8(3))
+	f.Add([]byte{0, 0, 4, 24, 0, 1, 4, 16, 3, 0, 0, 0, 4, 0, 4, 0}, uint8(1))
+	f.Add([]byte{0, 2, 6, 9, 0, 3, 7, 25, 5, 0, 6, 0, 2, 2, 6, 0}, uint8(4))
+	f.Fuzz(func(t *testing.T, ops []byte, shardSel uint8) {
+		ref := NewTableShards(1)
+		sharded := NewTableShards(1 << (shardSel%4 + 1)) // 2..16 shards
+		for i := 0; i+3 < len(ops); i += 4 {
+			code := int(ops[i] % 6)
+			pi := int(ops[i+1] % 4)
+			qi := int(ops[i+2]) % len(fuzzPrefixes)
+			variant := ops[i+3]
+			rc := applyOp(ref, code, pi, qi, variant)
+			sc := applyOp(sharded, code, pi, qi, variant)
+			if len(rc) != len(sc) {
+				t.Fatalf("op %d: %d changes vs %d", i/4, len(rc), len(sc))
+			}
+			for j := range rc {
+				if !changesEq(rc[j], sc[j]) {
+					t.Fatalf("op %d change %d: %+v vs %+v", i/4, j, rc[j], sc[j])
+				}
+			}
+		}
+		compareTables(t, ref, sharded)
+	})
+}
+
+func TestNewTableShardsRounding(t *testing.T) {
+	cases := map[int]int{-1: DefaultShards, 0: DefaultShards, 1: 1, 2: 2, 3: 4, 8: 8, 9: 16}
+	for n, want := range cases {
+		if got := NewTableShards(n).Shards(); got != want {
+			t.Fatalf("NewTableShards(%d).Shards() = %d, want %d", n, got, want)
+		}
+	}
+	if got := NewTable().Shards(); got != DefaultShards {
+		t.Fatalf("NewTable().Shards() = %d, want %d", got, DefaultShards)
+	}
+}
+
+// The length counters that guide Lookup must track Loc-RIB insertions
+// and removals exactly, across shards.
+func TestLenCountTracksLocRIB(t *testing.T) {
+	tbl := NewTable()
+	for qi := range fuzzPrefixes {
+		tbl.SetAdjIn(fuzzRoute(0, fuzzPrefixes[qi], 0))
+	}
+	for _, p := range fuzzPrefixes {
+		if tbl.lenCount[p.Bits()].Load() == 0 {
+			t.Fatalf("lenCount[%d] = 0 after install", p.Bits())
+		}
+	}
+	tbl.DropPeer(fuzzPeers[0])
+	for bits := 0; bits <= maxPrefixBits; bits++ {
+		if n := tbl.lenCount[bits].Load(); n != 0 {
+			t.Fatalf("lenCount[%d] = %d after drop, want 0", bits, n)
+		}
+	}
+}

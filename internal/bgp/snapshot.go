@@ -273,6 +273,7 @@ func (p *Peer) restore(ps PeerSnap) []sim.TimerArm {
 	if ps.State == StateOpenSent {
 		holdFire = p.openGuardExpire
 	}
+	p.holdIsGuard = ps.State == StateOpenSent
 	arm(ps.Hold, func(t sim.Timer) { p.holdTimer = t }, holdFire)
 	arm(ps.Keepalive, func(t sim.Timer) { p.keepaliveTimer = t }, p.keepaliveFire)
 	arm(ps.Retry, func(t sim.Timer) { p.retryTimer = t }, p.startOpen)

@@ -3,6 +3,7 @@ package experiment
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/topology"
 )
@@ -37,6 +38,25 @@ func FuzzSnapshotDecode(f *testing.F) {
 	}
 	f.Add(raw)
 	f.Add(raw[:len(raw)/2])
+	// A snapshot captured mid-batch: four timers share one instant and
+	// the kernel stops after the second, so the encoded KernelState
+	// carries a clock pinned inside a half-consumed batch.
+	var ran int
+	for i := 0; i < 4; i++ {
+		e.K.AfterFunc(time.Millisecond, func() { ran++ })
+	}
+	if err := e.K.RunWhile(func() bool { return ran < 2 }); err != nil {
+		f.Fatal(err)
+	}
+	midSnap, err := e.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	midRaw, err := EncodeSnapshot(midSnap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(midRaw)
 	f.Add([]byte(`{"version":1}`))
 	f.Add([]byte(`{"version":2,"kernel":{}}`))
 	f.Add([]byte(`{"version":"1"}`))

@@ -178,6 +178,89 @@ func TestSnapshotForkDivergence(t *testing.T) {
 	}
 }
 
+// TestSnapshotMidBatchRoundTripAndFork captures the experiment while
+// the kernel is halfway through a same-timestamp event batch — the
+// state the batched drain introduced — and checks both continuation
+// fidelity and forking. Four test events share one instant; the kernel
+// stops after the second, so the snapshot's KernelState carries a
+// clock pinned to the batch timestamp and sequence numbers already
+// consumed by the unexecuted half.
+func TestSnapshotMidBatchRoundTripAndFork(t *testing.T) {
+	cfg := Config{Seed: 7, Graph: mustGraph(topology.Clique(5)), Timers: jitterTimers()}
+	e1 := warmedUp(t, cfg)
+
+	var ran int
+	for i := 0; i < 4; i++ {
+		e1.K.AfterFunc(50*time.Millisecond, func() { ran++ })
+	}
+	at := e1.K.Now().Add(50 * time.Millisecond)
+	if err := e1.K.RunWhile(func() bool { return ran < 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("stopped after %d batch events, want 2", ran)
+	}
+	if !e1.K.Now().Equal(at) {
+		t.Fatalf("clock %v not pinned to the batch instant %v", e1.K.Now(), at)
+	}
+
+	snap, err := e1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Restore(cfg, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e2.K.Now(), e1.K.Now(); !got.Equal(want) {
+		t.Fatalf("restored clock %v != %v", got, want)
+	}
+	if got, want := ribDump(t, e2), ribDump(t, e1); got != want {
+		t.Fatalf("restored RIBs differ:\n--- original ---\n%s\n--- restored ---\n%s", want, got)
+	}
+	d1a, d1b := driveTrigger(t, e1)
+	d2a, d2b := driveTrigger(t, e2)
+	if d1a != d2a || d1b != d2b {
+		t.Fatalf("convergence diverged: original (%v, %v), restored (%v, %v)", d1a, d1b, d2a, d2b)
+	}
+	s1, r1 := e1.UpdateTotals()
+	s2, r2 := e2.UpdateTotals()
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("update totals diverged: original (%d, %d), restored (%d, %d)", s1, r1, s2, r2)
+	}
+	if got, want := ribDump(t, e2), ribDump(t, e1); got != want {
+		t.Fatalf("post-trigger RIBs differ:\n--- original ---\n%s\n--- restored ---\n%s", want, got)
+	}
+
+	// The same mid-batch snapshot forks under a fresh seed: jittered
+	// dynamics may differ, the converged answer must not.
+	fc := cfg
+	fc.Seed = 1007
+	fork, err := Restore(fc, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := driveTriggerOK(fork); err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range fork.ASNs() {
+		if !fork.Reachable(from, 1) {
+			t.Fatalf("fork: %v cannot reach origin after re-announce", from)
+		}
+	}
+	if ribDump(t, fork) != ribDump(t, e1) {
+		t.Fatal("fork converged to different routing state")
+	}
+}
+
 // driveTriggerOK is driveTrigger without the test dependency, for
 // closures that tolerate errors.
 func driveTriggerOK(e *Experiment) (time.Duration, time.Duration, error) {

@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/lab"
+)
+
+// hotPathTunings enumerates the execution strategies the equivalence
+// suite crosses: the default (sharded RIB, batched drain, timer wheel)
+// against every legacy fallback, including the fully-historical
+// configuration (single-map RIB, one event per scheduler pass, every
+// timer in the binary heap).
+var hotPathTunings = []struct {
+	name   string
+	tuning experiment.Tuning
+}{
+	{"default", experiment.Tuning{}},
+	{"serial-drain", experiment.Tuning{SerialDrain: true}},
+	{"single-shard", experiment.Tuning{RIBShards: 1}},
+	{"heap-timers", experiment.Tuning{HeapTimers: true}},
+	{"legacy", experiment.Tuning{RIBShards: 1, SerialDrain: true, HeapTimers: true}},
+}
+
+// TestRegistryHotPathEquivalence is the hot-path overhaul's acceptance
+// check at registry breadth: every experiment spec, shrunk to smoke
+// scale, must produce byte-identical output in all four encoders under
+// every tuning combination. RIB sharding, same-timestamp batching and
+// the timer wheel are execution details — any visible difference here
+// is a determinism bug, not a tuning effect.
+func TestRegistryHotPathEquivalence(t *testing.T) {
+	encodeAll := func(t *testing.T, res *lab.SweepResult) map[lab.Format]string {
+		t.Helper()
+		out := map[lab.Format]string{}
+		for _, f := range []lab.Format{lab.FormatTable, lab.FormatCSV, lab.FormatJSON, lab.FormatMarkdown} {
+			var sb strings.Builder
+			if err := lab.Write(&sb, f, res); err != nil {
+				t.Fatal(err)
+			}
+			out[f] = sb.String()
+		}
+		return out
+	}
+	for _, spec := range Registry() {
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			var want map[lab.Format]string
+			for _, tc := range hotPathTunings {
+				sw := snapshotSmokeSweep(t, spec)
+				sw.Parallelism = 1
+				sw.Base.Tuning = tc.tuning
+				res, err := sw.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := encodeAll(t, res)
+				if want == nil {
+					want = got
+					continue
+				}
+				for f, enc := range got {
+					if enc != want[f] {
+						t.Fatalf("%s output differs under tuning %s:\n--- default ---\n%s--- %s ---\n%s",
+							f, tc.name, want[f], tc.name, enc)
+					}
+				}
+			}
+		})
+	}
+}

@@ -17,14 +17,44 @@ var Epoch = time.Date(2014, 8, 18, 0, 0, 0, 0, time.UTC)
 // calls Run, Step or RunUntil. Two events scheduled for the same instant
 // run in the order they were scheduled. The zero Kernel is not usable;
 // call NewKernel.
+//
+// Internally the kernel keeps three structures, none of which changes
+// the executed (time, seq) order: a binary heap for short-range events,
+// a hierarchical timer wheel (wheel.go) that stages long-delay timers
+// in O(1) until their slot is released into the heap, and a drain batch
+// that pops all events sharing the earliest timestamp in one pass so
+// same-instant bursts (a router fanning UPDATEs to its peers) cost one
+// heap sift each instead of a full pop/push cycle. Both optimizations
+// are pinned byte-identical against the serial heap-only mode by the
+// equivalence tests in wheel_test.go and the hot-path suite.
 type Kernel struct {
-	now    time.Time
-	seq    uint64
-	queue  eventHeap
+	now   time.Time
+	seq   uint64
+	queue eventHeap
+	wheel timerWheel
+
+	// batch holds the run of same-timestamp events most recently popped
+	// from the heap; batchPos is the next entry to execute. Entries
+	// whose event was stopped or rescheduled by an earlier event in the
+	// batch are detected by sequence mismatch and skipped.
+	batch    []batchEntry
+	batchPos int
+
 	rng    *rand.Rand
 	src    *CountingSource
 	seed   int64
 	events uint64 // total events executed
+
+	// SerialDrain disables same-timestamp batch draining: every event
+	// is popped from the heap individually. This is the reference mode
+	// the batch-equivalence tests compare against; results are
+	// byte-identical either way.
+	SerialDrain bool
+
+	// NoWheel files every timer in the heap, bypassing the timer wheel.
+	// This is the reference mode for the wheel property tests; results
+	// are byte-identical either way.
+	NoWheel bool
 
 	// MaxEvents aborts Run with ErrEventBudget once this many events
 	// have executed, guarding against livelock (e.g. mutually
@@ -97,8 +127,13 @@ func (k *Kernel) Elapsed() time.Duration { return k.now.Sub(Epoch) }
 // Events returns the number of events executed so far.
 func (k *Kernel) Events() uint64 { return k.events }
 
-// Pending returns the number of scheduled, not-yet-fired events.
-func (k *Kernel) Pending() int { return k.queue.Len() }
+// Pending returns the number of scheduled, not-yet-fired events across
+// the heap, the timer wheel and the current drain batch. Like the
+// heap's lazy cancellation, events stopped but not yet discarded are
+// still counted.
+func (k *Kernel) Pending() int {
+	return k.queue.Len() + k.wheel.count + (len(k.batch) - k.batchPos)
+}
 
 // Go schedules fn as a zero-delay event.
 func (k *Kernel) Go(fn func()) { k.AfterFunc(0, fn) }
@@ -111,34 +146,153 @@ func (k *Kernel) AfterFunc(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: k.now.Add(d), kernel: k}
+	ev := &event{at: k.now.Add(d), kernel: k, index: -1}
 	ev.fn = func() { ev.fired = true; fn() }
-	k.push(ev)
+	k.schedule(ev, d)
 	return &simTimer{k: k, ev: ev, fn: fn}
 }
 
-func (k *Kernel) push(ev *event) {
+// schedule assigns the next scheduling sequence number and files the
+// event: long delays go through the timer wheel, near ones into the
+// heap. The sequence counter advances identically on both paths, so
+// the executed (time, seq) trace does not depend on which structure
+// held the event.
+func (k *Kernel) schedule(ev *event, d time.Duration) {
 	k.seq++
 	ev.seq = k.seq
+	if !k.NoWheel && d >= wheelMinDelay && k.wheel.insert(ev) {
+		ev.index = -1
+		return
+	}
+	if ev.walive {
+		// A previous revision of this event still sits in the wheel;
+		// that entry is now stale and pre-deducted from the count.
+		k.wheel.count--
+		ev.walive = false
+	}
 	heap.Push(&k.queue, ev)
+}
+
+// batchEntry pins one event revision in the drain batch.
+type batchEntry struct {
+	ev  *event
+	seq uint64
+}
+
+// nextEvent returns the earliest live pending event, consuming it from
+// the drain batch (refilled from the heap and wheel as it empties), or
+// nil when the kernel is quiescent.
+func (k *Kernel) nextEvent() *event {
+	for {
+		for k.batchPos < len(k.batch) {
+			e := k.batch[k.batchPos]
+			k.batch[k.batchPos] = batchEntry{}
+			k.batchPos++
+			if e.ev.cancelled || e.ev.seq != e.seq {
+				// Stopped or rescheduled by an earlier event in the
+				// batch.
+				continue
+			}
+			return e.ev
+		}
+		if len(k.batch) > 0 {
+			k.batch = k.batch[:0]
+			k.batchPos = 0
+		}
+		if !k.refill() {
+			return nil
+		}
+	}
+}
+
+// refill pops the run of events sharing the earliest pending timestamp
+// from the heap into the drain batch (a single event in SerialDrain
+// mode). It reports whether anything is pending.
+func (k *Kernel) refill() bool {
+	ev := k.peekQueue()
+	if ev == nil {
+		return false
+	}
+	heap.Pop(&k.queue)
+	k.batch = append(k.batch, batchEntry{ev, ev.seq})
+	if k.SerialDrain {
+		return true
+	}
+	at := ev.at
+	for k.queue.Len() > 0 {
+		top := k.queue[0]
+		if top.cancelled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if !top.at.Equal(at) {
+			break
+		}
+		heap.Pop(&k.queue)
+		k.batch = append(k.batch, batchEntry{top, top.seq})
+	}
+	return true
+}
+
+// peekNext returns the earliest live pending event without consuming
+// it, or nil when the kernel is quiescent.
+func (k *Kernel) peekNext() *event {
+	for k.batchPos < len(k.batch) {
+		e := k.batch[k.batchPos]
+		if !e.ev.cancelled && e.ev.seq == e.seq {
+			return e.ev
+		}
+		k.batch[k.batchPos] = batchEntry{}
+		k.batchPos++
+	}
+	return k.peekQueue()
+}
+
+// peekQueue returns the earliest live event in the heap without
+// popping it, first syncing the timer wheel: any wheel slot that could
+// hold an entry due at or before the heap head is released into the
+// heap, so the returned event is globally earliest by (time, seq).
+func (k *Kernel) peekQueue() *event {
+	for {
+		var top *event
+		for k.queue.Len() > 0 {
+			if k.queue[0].cancelled {
+				heap.Pop(&k.queue)
+				continue
+			}
+			top = k.queue[0]
+			break
+		}
+		if k.wheel.count == 0 {
+			return top
+		}
+		if top != nil {
+			if k.wheelRelease(tickOf(top.at)) == 0 {
+				return top
+			}
+			continue // the release may have surfaced an earlier event
+		}
+		start, ok := k.wheel.next()
+		if !ok {
+			return nil
+		}
+		k.wheelRelease(start)
+	}
 }
 
 // Step executes the single earliest pending event, advancing the clock
 // to its timestamp. It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		ev := heap.Pop(&k.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		if ev.at.After(k.now) {
-			k.now = ev.at
-		}
-		k.events++
-		ev.fn()
-		return true
+	ev := k.nextEvent()
+	if ev == nil {
+		return false
 	}
-	return false
+	if ev.at.After(k.now) {
+		k.now = ev.at
+	}
+	k.events++
+	ev.fn()
+	return true
 }
 
 // Run executes events until the queue is empty (the simulation is
@@ -156,7 +310,7 @@ func (k *Kernel) Run() error {
 // to t. Events scheduled beyond t remain pending.
 func (k *Kernel) RunUntil(t time.Time) error {
 	for {
-		ev := k.peek()
+		ev := k.peekNext()
 		if ev == nil || ev.at.After(t) {
 			break
 		}
@@ -188,20 +342,12 @@ func (k *Kernel) RunWhile(cond func() bool) error {
 	return nil
 }
 
-func (k *Kernel) peek() *event {
-	for k.queue.Len() > 0 {
-		ev := k.queue[0]
-		if !ev.cancelled {
-			return ev
-		}
-		heap.Pop(&k.queue)
-	}
-	return nil
-}
-
 // event is a scheduled callback. index is the event's position in the
-// kernel's heap (-1 once popped), which lets timers reschedule an
-// event in place instead of allocating a replacement per Reset.
+// kernel's heap (-1 once popped or while wheel-resident), which lets
+// timers reschedule an event in place instead of allocating a
+// replacement per Reset. The w* fields locate the event's current
+// revision in the timer wheel while walive is set, enabling the same
+// in-place re-key for wheel-resident timers.
 type event struct {
 	at        time.Time
 	seq       uint64
@@ -210,6 +356,11 @@ type event struct {
 	fired     bool
 	kernel    *Kernel
 	index     int
+
+	walive bool
+	wlevel uint8
+	wslot  uint8
+	windex int32
 }
 
 // simTimer implements Timer over a kernel event.
@@ -229,9 +380,10 @@ func (t *simTimer) Stop() bool {
 
 // Reset reschedules the timer, reusing its event: if the event is
 // still in the heap (pending or lazily cancelled) it is re-keyed in
-// place with heap.Fix; if it already fired or was popped, the same
-// struct is reset and pushed again. Either way the MRAI-churn path
-// allocates nothing.
+// place with heap.Fix; if it is wheel-resident and stays in the same
+// slot it is re-keyed there; otherwise the same struct is reset and
+// filed again. Either way the MRAI-churn path allocates nothing, and
+// the sequence counter advances exactly once per Reset on every path.
 func (t *simTimer) Reset(d time.Duration) bool {
 	ev := t.ev
 	was := ev != nil && !ev.cancelled && !ev.fired
@@ -246,7 +398,7 @@ func (t *simTimer) Reset(d time.Duration) bool {
 		ev.seq = t.k.seq
 		heap.Fix(&t.k.queue, ev.index)
 	} else {
-		t.k.push(ev)
+		t.k.schedule(ev, d)
 	}
 	return was
 }

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// traceKernel runs a randomized timer schedule on k and returns the
+// (elapsed, id) trace of every firing. The schedule derives entirely
+// from rng, so two kernels driven by equally-seeded generators execute
+// the identical logical workload.
+func traceKernel(k *Kernel, rng *rand.Rand, ops int) [][2]int64 {
+	var trace [][2]int64
+	var timers []Timer
+	id := 0
+	schedule := func() {
+		// Mix short heap-bound delays with long wheel-bound ones.
+		var d time.Duration
+		if rng.Intn(2) == 0 {
+			d = time.Duration(rng.Intn(2000)) * time.Millisecond
+		} else {
+			d = time.Duration(rng.Intn(120)) * time.Second
+		}
+		n := id
+		id++
+		timers = append(timers, k.AfterFunc(d, func() {
+			trace = append(trace, [2]int64{int64(k.Elapsed()), int64(n)})
+		}))
+	}
+	for i := 0; i < 8; i++ {
+		schedule()
+	}
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			schedule()
+		case 1:
+			if len(timers) > 0 {
+				timers[rng.Intn(len(timers))].Stop()
+			}
+		case 2:
+			if len(timers) > 0 {
+				d := time.Duration(rng.Intn(90)) * time.Second
+				timers[rng.Intn(len(timers))].Reset(d)
+			}
+		case 3:
+			k.RunFor(time.Duration(rng.Intn(5000)) * time.Millisecond)
+		}
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return trace
+}
+
+// Property: the timer wheel is execution-invisible — any schedule of
+// AfterFunc/Stop/Reset interleaved with partial runs fires in exactly
+// the same order, at the same instants, with the wheel on or off.
+func TestWheelHeapEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		wheel := NewKernel(1)
+		heapOnly := NewKernel(1)
+		heapOnly.NoWheel = true
+		a := traceKernel(wheel, rand.New(rand.NewSource(seed)), 200)
+		b := traceKernel(heapOnly, rand.New(rand.NewSource(seed)), 200)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return wheel.Events() == heapOnly.Events() && wheel.seq == heapOnly.seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: batch draining is execution-invisible — same trace, same
+// event and sequence counters, with SerialDrain on or off.
+func TestBatchSerialEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		batched := NewKernel(1)
+		serial := NewKernel(1)
+		serial.SerialDrain = true
+		a := traceKernel(batched, rand.New(rand.NewSource(seed)), 200)
+		b := traceKernel(serial, rand.New(rand.NewSource(seed)), 200)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return batched.Events() == serial.Events() && batched.seq == serial.seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Same-instant events scheduled during a batch must run after the
+// events already in the batch — the heap-pop order (time, seq) — and
+// events stopped or rescheduled by an earlier batch member must not
+// fire from their superseded slot.
+func TestBatchMidDrainMutation(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	var victim, moved Timer
+	k.AfterFunc(time.Second, func() {
+		got = append(got, 0)
+		victim.Stop()
+		moved.Reset(time.Second)                        // re-keys to t=2s
+		k.AfterFunc(0, func() { got = append(got, 9) }) // joins this instant, after peers
+	})
+	victim = k.AfterFunc(time.Second, func() { got = append(got, 1) })
+	moved = k.AfterFunc(time.Second, func() { got = append(got, 2) })
+	k.AfterFunc(time.Second, func() { got = append(got, 3) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 9, 2}
+	if len(got) != len(want) {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", got, want)
+		}
+	}
+}
+
+// A snapshot taken mid-batch — via RunWhile stopping partway through a
+// same-instant burst — must still see every unexecuted event as Active
+// with its original (deadline, seq), so component snapshots capture it.
+func TestMidBatchTimerStateAndPending(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	var timers []Timer
+	for i := 0; i < 6; i++ {
+		timers = append(timers, k.AfterFunc(time.Second, func() { ran++ }))
+	}
+	if err := k.RunWhile(func() bool { return ran < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+	if got := k.Pending(); got != 3 {
+		t.Fatalf("Pending() mid-batch = %d, want 3", got)
+	}
+	for i, tm := range timers {
+		at, seq, ok := TimerState(tm)
+		if i < 3 {
+			if ok {
+				t.Fatalf("timer %d: executed but still snapshot-visible", i)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("timer %d: unexecuted batch member invisible to snapshot", i)
+		}
+		if want := Epoch.Add(time.Second); !at.Equal(want) {
+			t.Fatalf("timer %d: at = %v, want %v", i, at, want)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("timer %d: seq = %d, want %d", i, seq, i+1)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 6 {
+		t.Fatalf("ran = %d after drain, want 6", ran)
+	}
+}
+
+// Wheel-resident timers must be re-keyed in place by Reset: the
+// MRAI/hold churn pattern — repeatedly pushing a long deadline out —
+// allocates nothing and leaves at most one wheel entry per timer slot.
+func TestWheelResetInPlaceZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.AfterFunc(90*time.Second, func() {})
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Reset(90 * time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("wheel Reset allocs/op = %v, want 0", allocs)
+	}
+	if k.wheel.count != 1 {
+		t.Fatalf("wheel count after churn = %d, want 1", k.wheel.count)
+	}
+}
+
+// A long jump of virtual time must cascade wheel entries down the
+// levels and fire them at their exact deadlines.
+func TestWheelCascadeAcrossLevels(t *testing.T) {
+	k := NewKernel(1)
+	deadlines := []time.Duration{
+		2 * time.Second,     // level 1 territory
+		5 * time.Minute,     // level 2
+		7 * time.Hour,       // level 3
+		30 * 24 * time.Hour, // beyond the wheel: heap fallback
+	}
+	fired := map[time.Duration]time.Duration{}
+	for _, d := range deadlines {
+		d := d
+		k.AfterFunc(d, func() { fired[d] = k.Elapsed() })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deadlines {
+		at, ok := fired[d]
+		if !ok {
+			t.Fatalf("timer at %v never fired", d)
+		}
+		if at != d {
+			t.Fatalf("timer at %v fired at %v", d, at)
+		}
+	}
+}
